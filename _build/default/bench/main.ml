@@ -1,0 +1,175 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's per-experiment index), plus Bechamel
+   micro-benchmarks of the toolchain itself.
+
+     dune exec bench/main.exe            -- print every table/figure
+     dune exec bench/main.exe -- --only table5 fig3
+     dune exec bench/main.exe -- --micro -- also run micro-benchmarks
+     dune exec bench/main.exe -- --synth 120  -- more Table I programs
+
+   Output is deterministic for a given --synth value. *)
+
+module E = Debugtuner.Experiments
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "[%s: %.1fs]\n\n%!" name (Unix.gettimeofday () -. t0);
+  r
+
+let experiments ctx : (string * (unit -> Util.Tablefmt.t list)) list =
+  [
+    ("table1", fun () -> [ E.table1 ctx ]);
+    ("table2", fun () -> [ E.table2 ctx ]);
+    ("table3", fun () -> [ E.table3 ctx ]);
+    ("table4", fun () -> [ E.table4 ctx ]);
+    ("table5", fun () -> [ E.table5 ctx ]);
+    ("table6", fun () -> [ E.table6 ctx ]);
+    ("table7", fun () -> [ E.table7 ctx ]);
+    ( "fig2",
+      fun () ->
+        print_string (E.fig2_scatter ctx);
+        print_newline ();
+        [ E.fig2 ctx ] );
+    ( "table8",
+      fun () ->
+        let top, bottom = E.table8 ctx in
+        [ top; bottom ] );
+    ("table9", fun () -> [ E.table9 ctx ]);
+    ("table10", fun () -> [ E.table10 ctx ]);
+    ("table11", fun () -> [ E.table11 ctx ]);
+    ("table12", fun () -> [ E.table12 ctx ]);
+    ( "table13",
+      fun () ->
+        let t13, _ = E.table13_14 ctx in
+        [ t13 ] );
+    ( "table14",
+      fun () ->
+        let _, t14 = E.table13_14 ctx in
+        [ t14 ] );
+    ( "fig3",
+      fun () ->
+        let f3, _ = E.fig3_table15 ctx in
+        [ f3 ] );
+    ( "table15",
+      fun () ->
+        let _, t15 = E.fig3_table15 ctx in
+        [ t15 ] );
+    ("fig4", fun () -> [ E.fig4 ctx ]);
+    ( "ablations",
+      fun () ->
+        let cfg = Debugtuner.Config.make Debugtuner.Config.Gcc Debugtuner.Config.O2 in
+        [
+          Debugtuner.Ablations.breakpoint_policy ctx.Debugtuner.Experiments.suite cfg;
+          Debugtuner.Ablations.entry_values ctx.Debugtuner.Experiments.suite cfg;
+          Debugtuner.Ablations.ranking_metric ctx.Debugtuner.Experiments.suite cfg;
+          Debugtuner.Ablations.scheduler_lines ctx.Debugtuner.Experiments.suite cfg;
+        ] );
+    ("clang-og", fun () -> [ E.clang_og_table ctx ]);
+    ("per-program", fun () -> [ E.per_program_table ctx ]);
+    ("dwarf-sizes", fun () -> [ E.dwarf_sizes_table ctx ]);
+    ("autofdo-rounds", fun () -> [ E.autofdo_rounds_table ctx ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the toolchain                          *)
+
+let micro_tests () =
+  let open Bechamel in
+  let libpng = Programs.find "libpng" in
+  let src = libpng.Suite_types.p_source in
+  let ast = Minic.Typecheck.parse_and_check src in
+  let roots = Suite_types.roots libpng in
+  let compile comp lvl () =
+    ignore
+      (Debugtuner.Toolchain.compile ast
+         ~config:(Debugtuner.Config.make comp lvl)
+         ~roots)
+  in
+  let bin =
+    Debugtuner.Toolchain.compile ast
+      ~config:(Debugtuner.Config.make Debugtuner.Config.Gcc Debugtuner.Config.O2)
+      ~roots
+  in
+  [
+    Test.make ~name:"parse+check libpng"
+      (Staged.stage (fun () -> ignore (Minic.Typecheck.parse_and_check src)));
+    Test.make ~name:"compile gcc-O0"
+      (Staged.stage (compile Debugtuner.Config.Gcc Debugtuner.Config.O0));
+    Test.make ~name:"compile gcc-O2"
+      (Staged.stage (compile Debugtuner.Config.Gcc Debugtuner.Config.O2));
+    Test.make ~name:"compile clang-O2"
+      (Staged.stage (compile Debugtuner.Config.Clang Debugtuner.Config.O2));
+    Test.make ~name:"vm run libpng/defilter"
+      (Staged.stage (fun () ->
+           ignore
+             (Vm.run bin ~entry:"fuzz_defilter"
+                ~input:[ 2; 0; 10; 20; 30; 40; 1; 5; 5; 5; 5 ]
+                Vm.default_opts)));
+    Test.make ~name:"debugger trace libpng"
+      (Staged.stage (fun () ->
+           ignore
+             (Debugger.trace bin ~entry:"fuzz_defilter"
+                ~inputs:[ [ 2; 0; 10; 20; 30; 40; 1; 5 ] ])));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.6) ~kde:(Some 100) ()
+  in
+  let grouped = Test.make_grouped ~name:"toolchain" (micro_tests ()) in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let results = Analyze.all ols instance raw in
+  print_endline "== Micro-benchmarks (Bechamel, monotonic clock) ==";
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-40s %12.1f ns/run\n" name est
+      | _ -> Printf.printf "%-40s (no estimate)\n" name)
+    results;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let rec parse only micro synth = function
+    | [] -> (only, micro, synth)
+    | "--only" :: rest ->
+        let names, rest' =
+          let rec take acc = function
+            | x :: r when String.length x < 2 || String.sub x 0 2 <> "--" ->
+                take (x :: acc) r
+            | r -> (List.rev acc, r)
+          in
+          take [] rest
+        in
+        parse (only @ names) micro synth rest'
+    | "--micro" :: rest -> parse only true synth rest
+    | "--synth" :: n :: rest -> parse only micro (int_of_string n) rest
+    | _ :: rest -> parse only micro synth rest
+  in
+  let only, micro, synth = parse [] false 40 (List.tl args) in
+  Printf.printf "DebugTuner benchmark harness (deterministic; synth=%d)\n\n%!"
+    synth;
+  let ctx = timed "prepare suite" (fun () -> E.create ~synth_count:synth ()) in
+  let selected =
+    match only with
+    | [] -> experiments ctx
+    | names -> List.filter (fun (n, _) -> List.mem n names) (experiments ctx)
+  in
+  List.iter
+    (fun (name, build) ->
+      let tables = timed name build in
+      List.iter
+        (fun t ->
+          Util.Tablefmt.print t;
+          print_newline ())
+        tables)
+    selected;
+  if micro then run_micro ()

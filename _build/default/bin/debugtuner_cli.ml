@@ -1,0 +1,723 @@
+(* The DebugTuner command-line interface.
+
+     debugtuner compile     -p libpng -c gcc -l O2 [-d pass]... [--profile F]
+     debugtuner measure     -p libpng -c gcc -l O2 [-d pass]...
+     debugtuner rank        -c gcc -l O2 [-k 10]
+     debugtuner tune        -c gcc -l O1 -y 5
+     debugtuner passes      -c clang -l O3
+     debugtuner suite
+     debugtuner run         -p zlib -e fuzz_deflate -i 1,2,3
+     debugtuner trace       -p zlib -l O2 -o trace.json [--against old.json]
+     debugtuner debug       -p zlib -l Og "break 12" "run 1,2" "print x" c
+     debugtuner dump        -p zlib -l O2 [-s functions|lines|locs]
+     debugtuner verify      -p zlib -l O3
+     debugtuner disasm      -p zlib -l O2 [-f func]
+     debugtuner dwarf-size  -p zlib -c gcc
+     debugtuner profile     -p 505.mcf -l O2 [-o mcf.prof]
+     debugtuner pass-trace  -p zlib -l O2
+     debugtuner value-check -p zlib -l Og
+
+   Programs are the built-in test-suite / SPEC-analog / selfcomp sources
+   (see `debugtuner suite`), or a path to a MiniC file. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+
+let compiler_conv =
+  Arg.conv
+    ( (fun s ->
+        match String.lowercase_ascii s with
+        | "gcc" -> Ok Debugtuner.Config.Gcc
+        | "clang" -> Ok Debugtuner.Config.Clang
+        | _ -> Error (`Msg "compiler must be gcc or clang")),
+      fun ppf c ->
+        Format.pp_print_string ppf (Debugtuner.Config.compiler_name c) )
+
+let level_conv =
+  Arg.conv
+    ( (fun s ->
+        match String.uppercase_ascii s with
+        | "O0" -> Ok Debugtuner.Config.O0
+        | "OG" -> Ok Debugtuner.Config.Og
+        | "O1" -> Ok Debugtuner.Config.O1
+        | "O2" -> Ok Debugtuner.Config.O2
+        | "O3" -> Ok Debugtuner.Config.O3
+        | _ -> Error (`Msg "level must be O0, Og, O1, O2 or O3")),
+      fun ppf l -> Format.pp_print_string ppf (Debugtuner.Config.level_name l)
+    )
+
+let compiler_arg =
+  Arg.(
+    value
+    & opt compiler_conv Debugtuner.Config.Gcc
+    & info [ "c"; "compiler" ] ~docv:"COMPILER" ~doc:"Pipeline family: gcc or clang.")
+
+let level_arg =
+  Arg.(
+    value
+    & opt level_conv Debugtuner.Config.O2
+    & info [ "l"; "level" ] ~docv:"LEVEL" ~doc:"Optimization level (O0, Og, O1, O2, O3).")
+
+let disabled_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "d"; "disable" ] ~docv:"PASS"
+        ~doc:"Disable every instance of $(docv) (repeatable).")
+
+let program_arg =
+  Arg.(
+    value & opt string "libpng"
+    & info [ "p"; "program" ] ~docv:"PROGRAM"
+        ~doc:
+          "A built-in program name (see $(b,debugtuner suite)) or a path to \
+           a MiniC source file.")
+
+let find_program name : Suite_types.sprogram =
+  if Sys.file_exists name then
+    let ic = open_in name in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    let ast = Minic.Typecheck.parse_and_check src in
+    let entry =
+      match Minic.Ast.find_func ast "main" with
+      | Some _ -> "main"
+      | None -> failwith "MiniC file must define main()"
+    in
+    {
+      Suite_types.p_name = Filename.basename name;
+      p_source = src;
+      p_harnesses =
+        [ { Suite_types.h_name = "main"; h_entry = entry; h_seeds = [ [] ] } ];
+    }
+  else
+    match List.find_opt (fun p -> p.Suite_types.p_name = name) Programs.all with
+    | Some p -> p
+    | None -> (
+        match List.find_opt (fun p -> p.Suite_types.p_name = name) Spec.all with
+        | Some p -> p
+        | None ->
+            if name = "selfcomp" then Selfcomp.program
+            else failwith ("unknown program " ^ name))
+
+let config compiler level disabled =
+  Debugtuner.Config.make ~disabled compiler level
+
+(* ------------------------------------------------------------------ *)
+(* compile: show binary statistics                                     *)
+
+let compile_cmd =
+  let profile_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:"AutoFDO text profile to optimize with (see $(b,profile)).")
+  in
+  let run program compiler level disabled profile_file =
+    let p = find_program program in
+    let cfg = config compiler level disabled in
+    let ast = Suite_types.ast p in
+    let profile =
+      Option.map
+        (fun file ->
+          let ic = open_in file in
+          let n = in_channel_length ic in
+          let text = really_input_string ic n in
+          close_in ic;
+          Debugtuner.Autofdo.profile_of_string text)
+        profile_file
+    in
+    let bin =
+      Debugtuner.Toolchain.compile ?profile ast ~config:cfg
+        ~roots:(Suite_types.roots p)
+    in
+    Printf.printf "%s at %s\n" p.Suite_types.p_name (Debugtuner.Config.name cfg);
+    Printf.printf "  code: %d instructions, %d functions\n"
+      (Array.length bin.Emit.code)
+      (Array.length bin.Emit.funcs);
+    Printf.printf "  line table: %d entries, %d steppable lines\n"
+      (List.length bin.Emit.debug.Dwarfish.line_table)
+      (List.length (Dwarfish.steppable_lines bin.Emit.debug));
+    Printf.printf "  variables with location info: %d\n"
+      (List.length bin.Emit.debug.Dwarfish.vars);
+    Printf.printf "  .text digest: %s\n" bin.Emit.text_digest
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a program and print binary statistics.")
+    Term.(
+      const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg
+      $ profile_arg)
+
+(* ------------------------------------------------------------------ *)
+(* measure: the four metric methods                                    *)
+
+let measure_cmd =
+  let run program compiler level disabled =
+    let p = find_program program in
+    let cfg = config compiler level disabled in
+    let prepared = Debugtuner.Evaluation.prepare p in
+    let m, _ = Debugtuner.Evaluation.measure prepared cfg in
+    Printf.printf "%s at %s (vs the O0 baseline)\n" p.Suite_types.p_name
+      (Debugtuner.Config.name cfg);
+    let show name (s : Metrics.score) =
+      Printf.printf "  %-10s availability=%.4f line-coverage=%.4f product=%.4f\n"
+        name s.Metrics.availability s.Metrics.line_coverage s.Metrics.product
+    in
+    show "static" m.Metrics.m_static;
+    show "static-dbg" m.Metrics.m_static_dbg;
+    show "dynamic" m.Metrics.m_dynamic;
+    show "hybrid" m.Metrics.m_hybrid
+  in
+  Cmd.v
+    (Cmd.info "measure"
+       ~doc:"Measure debug-information quality of a configuration.")
+    Term.(const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg)
+
+(* ------------------------------------------------------------------ *)
+(* rank: the DebugTuner sweep                                          *)
+
+let rank_cmd =
+  let k_arg =
+    Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Entries to print.")
+  in
+  let run compiler level k =
+    let cfg = Debugtuner.Config.make compiler level in
+    Printf.printf "ranking %s passes on the 13-program suite...\n%!"
+      (Debugtuner.Config.name cfg);
+    let prepared = List.map Debugtuner.Evaluation.prepare Programs.all in
+    let lr = Debugtuner.Ranking.rank prepared cfg in
+    Printf.printf "%-4s %-26s %8s %8s\n" "#" "pass" "+%" "avg rank";
+    List.iteri
+      (fun i (e : Debugtuner.Ranking.pass_effect) ->
+        if i < k then
+          Printf.printf "%-4d %-26s %8.2f %8.2f\n" (i + 1)
+            e.Debugtuner.Ranking.pe_pass e.Debugtuner.Ranking.pe_geo_increment_pct
+            e.Debugtuner.Ranking.pe_avg_rank)
+      lr.Debugtuner.Ranking.lr_effects
+  in
+  Cmd.v
+    (Cmd.info "rank"
+       ~doc:"Rank a level's passes by debug-information impact (Tables V/VI).")
+    Term.(const run $ compiler_arg $ level_arg $ k_arg)
+
+(* ------------------------------------------------------------------ *)
+(* tune: build and evaluate an Ox-dy configuration                     *)
+
+let tune_cmd =
+  let y_arg =
+    Arg.(value & opt int 5 & info [ "y" ] ~docv:"Y" ~doc:"Passes to disable.")
+  in
+  let run compiler level y =
+    let base = Debugtuner.Config.make compiler level in
+    Printf.printf "tuning %s (disabling top %d)...\n%!"
+      (Debugtuner.Config.name base) y;
+    let prepared = List.map Debugtuner.Evaluation.prepare Programs.all in
+    let lr = Debugtuner.Ranking.rank prepared base in
+    let dy = Debugtuner.Tuning.dy_config lr ~y in
+    Printf.printf "%s disables: %s\n" (Debugtuner.Config.name dy)
+      (String.concat ", " dy.Debugtuner.Config.disabled);
+    let o0_costs = Debugtuner.Tuning.o0_costs Spec.all in
+    let base_pt =
+      Debugtuner.Tuning.measure_point prepared ~o0_costs Spec.all base
+    in
+    let dy_pt = Debugtuner.Tuning.measure_point prepared ~o0_costs Spec.all dy in
+    Printf.printf "%-12s debug=%.4f speedup=%.4f\n"
+      (Debugtuner.Config.name base)
+      base_pt.Debugtuner.Tuning.cp_debug base_pt.Debugtuner.Tuning.cp_speedup;
+    Printf.printf "%-12s debug=%.4f (%+.2f%%) speedup=%.4f (%+.2f%%)\n"
+      (Debugtuner.Config.name dy)
+      dy_pt.Debugtuner.Tuning.cp_debug
+      (Util.Stats.pct_delta base_pt.Debugtuner.Tuning.cp_debug
+         dy_pt.Debugtuner.Tuning.cp_debug)
+      dy_pt.Debugtuner.Tuning.cp_speedup
+      (Util.Stats.pct_delta base_pt.Debugtuner.Tuning.cp_speedup
+         dy_pt.Debugtuner.Tuning.cp_speedup)
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:"Build an Ox-dy configuration and report its debug/perf trade.")
+    Term.(const run $ compiler_arg $ level_arg $ y_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace: JSON export + offline comparison                             *)
+
+let trace_cmd =
+  let entry_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "e"; "entry" ] ~docv:"FUNC"
+          ~doc:"Entry function (default: the program's first harness).")
+  in
+  let input_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "i"; "input" ] ~docv:"INTS"
+          ~doc:"Comma-separated input values.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the JSON here.")
+  in
+  let diff_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "against" ] ~docv:"FILE"
+          ~doc:"Compare against a previously exported trace.")
+  in
+  let run program compiler level disabled entry input out against =
+    let p = find_program program in
+    let cfg = config compiler level disabled in
+    let ast = Suite_types.ast p in
+    let bin =
+      Debugtuner.Toolchain.compile ast ~config:cfg ~roots:(Suite_types.roots p)
+    in
+    let entry =
+      match entry with
+      | Some e -> e
+      | None -> (List.hd p.Suite_types.p_harnesses).Suite_types.h_entry
+    in
+    let input =
+      if input = "" then []
+      else String.split_on_char ',' input |> List.map int_of_string
+    in
+    let t = Debugger.trace bin ~entry ~inputs:[ input ] in
+    let json = Trace_json.to_string t in
+    (match out with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc json;
+        close_out oc;
+        Printf.printf "trace written to %s (%d stepped lines)\n" file
+          (List.length (Debugger.stepped_lines t))
+    | None -> print_string json);
+    match against with
+    | None -> ()
+    | Some file ->
+        let ic = open_in file in
+        let n = in_channel_length ic in
+        let base = Trace_json.of_string (really_input_string ic n) in
+        close_in ic;
+        let d = Trace_json.compare_traces base t in
+        Printf.printf "vs %s:\n  lines lost: [%s]\n  lines gained: [%s]\n"
+          file
+          (String.concat "; " (List.map string_of_int d.Trace_json.lines_lost))
+          (String.concat "; " (List.map string_of_int d.Trace_json.lines_gained));
+        List.iter
+          (fun (line, vars) ->
+            Printf.printf "  line %d lost vars: %s\n" line
+              (String.concat ", " (List.map Ir.var_to_string vars)))
+          d.Trace_json.vars_lost
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a debug session and export the trace as JSON (optionally \
+          diffing against a previous export).")
+    Term.(
+      const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg
+      $ entry_arg $ input_arg $ out_arg $ diff_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dump / verify: the dwarfdump analog                                 *)
+
+let compile_for program compiler level disabled =
+  let p = find_program program in
+  let cfg = config compiler level disabled in
+  let ast = Suite_types.ast p in
+  (p, cfg, Debugtuner.Toolchain.compile ast ~config:cfg ~roots:(Suite_types.roots p))
+
+let dump_cmd =
+  let section_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "s"; "section" ] ~docv:"SECTION"
+          ~doc:
+            "Section to print: functions, lines or locs (repeatable; \
+             default all).")
+  in
+  let run program compiler level disabled sections =
+    let sections =
+      match sections with
+      | [] -> Dwarfdump.all_sections
+      | names ->
+          List.map
+            (fun n ->
+              match Dwarfdump.section_of_string n with
+              | Some s -> s
+              | None -> failwith ("unknown section " ^ n))
+            names
+    in
+    let p, cfg, bin = compile_for program compiler level disabled in
+    Printf.printf "%s at %s: %s\n\n" p.Suite_types.p_name
+      (Debugtuner.Config.name cfg)
+      (Dwarfdump.summary bin);
+    print_string (Dwarfdump.dump ~sections bin);
+    print_newline ();
+    print_string (Dwarfdump.locstats_to_string (Dwarfdump.locstats bin))
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:
+         "Pretty-print a binary's DWARF-like sections (the dwarfdump \
+          analog).")
+    Term.(
+      const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg
+      $ section_arg)
+
+let verify_cmd =
+  let run program compiler level disabled =
+    let p, cfg, bin = compile_for program compiler level disabled in
+    let ds = Debug_verify.verify bin in
+    Printf.printf "%s at %s: %s" p.Suite_types.p_name
+      (Debugtuner.Config.name cfg)
+      (Debug_verify.report ds);
+    if ds <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Check the structural integrity of a binary's debug info (the \
+          llvm-dwarfdump --verify analog); exits 1 on errors.")
+    Term.(const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg)
+
+(* ------------------------------------------------------------------ *)
+(* value-check: the dynamic value-soundness oracle                     *)
+
+let value_check_cmd =
+  let entry_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "e"; "entry" ] ~docv:"FUNC"
+          ~doc:"Entry function (default: the program's first harness).")
+  in
+  let input_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "i"; "input" ] ~docv:"INTS" ~doc:"Comma-separated inputs.")
+  in
+  let run program compiler level disabled entry input =
+    let p = find_program program in
+    let cfg = config compiler level disabled in
+    let ast = Suite_types.ast p in
+    let entry =
+      match entry with
+      | Some e -> e
+      | None -> (List.hd p.Suite_types.p_harnesses).Suite_types.h_entry
+    in
+    let input =
+      if input = "" then []
+      else String.split_on_char ',' input |> List.map int_of_string
+    in
+    let r =
+      Debugtuner.Value_oracle.check ast ~config:cfg
+        ~roots:(Suite_types.roots p) ~entry ~input
+    in
+    Printf.printf "%s at %s (%s):
+%s" p.Suite_types.p_name
+      (Debugtuner.Config.name cfg)
+      entry
+      (Debugtuner.Value_oracle.report_to_string r);
+    if
+      cfg.Debugtuner.Config.level = Debugtuner.Config.O0
+      && r.Debugtuner.Value_oracle.rp_mismatches <> []
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "value-check"
+       ~doc:
+         "Compare every value the debugger would display against the           reference interpreter (the dynamic soundness oracle); exits 1 on           O0 mismatches.")
+    Term.(
+      const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg
+      $ entry_arg $ input_arg)
+
+(* ------------------------------------------------------------------ *)
+(* pass-trace: per-pass IR statistics (the -fdump-tree-all analog)     *)
+
+let pass_trace_cmd =
+  let run program compiler level disabled =
+    let p = find_program program in
+    let cfg = config compiler level disabled in
+    let trace =
+      Debugtuner.Toolchain.pipeline_trace (Suite_types.ast p) ~config:cfg
+        ~roots:(Suite_types.roots p)
+    in
+    Printf.printf "%-28s %8s %7s %9s %9s %6s\n" "pass" "instrs" "blocks"
+      "bindings" "opt-out" "lines";
+    let prev = ref None in
+    List.iter
+      (fun (name, (st : Debugtuner.Toolchain.ir_stats)) ->
+        let delta get =
+          match !prev with
+          | Some p when get p <> get st ->
+              Printf.sprintf "%+d" (get st - get p)
+          | _ -> ""
+        in
+        Printf.printf "%-28s %5d %2s %4d %2s %6d %2s %6d %2s %4d %2s\n" name
+          st.Debugtuner.Toolchain.st_instrs
+          (delta (fun s -> s.Debugtuner.Toolchain.st_instrs))
+          st.Debugtuner.Toolchain.st_blocks
+          (delta (fun s -> s.Debugtuner.Toolchain.st_blocks))
+          st.Debugtuner.Toolchain.st_bindings
+          (delta (fun s -> s.Debugtuner.Toolchain.st_bindings))
+          st.Debugtuner.Toolchain.st_optimized_out
+          (delta (fun s -> s.Debugtuner.Toolchain.st_optimized_out))
+          st.Debugtuner.Toolchain.st_lines
+          (delta (fun s -> s.Debugtuner.Toolchain.st_lines));
+        prev := Some st)
+      trace
+  in
+  Cmd.v
+    (Cmd.info "pass-trace"
+       ~doc:
+         "Replay the IR pipeline and print per-pass statistics — where           instructions, debug bindings and line attributions go (the           -fdump-tree-all analog).")
+    Term.(const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg)
+
+(* ------------------------------------------------------------------ *)
+(* profile: collect an AutoFDO profile and write the text format       *)
+
+let profile_cmd =
+  let entry_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "e"; "entry" ] ~docv:"FUNC"
+          ~doc:"Entry function (default: the program's first harness).")
+  in
+  let period_arg =
+    Arg.(
+      value & opt int 211
+      & info [ "period" ] ~docv:"CYCLES" ~doc:"Sampling period in cycles.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the profile here.")
+  in
+  let run program compiler level disabled entry period out =
+    let p, cfg, bin = compile_for program compiler level disabled in
+    let entry =
+      match entry with
+      | Some e -> e
+      | None -> (List.hd p.Suite_types.p_harnesses).Suite_types.h_entry
+    in
+    let workloads =
+      List.concat_map
+        (fun h -> h.Suite_types.h_seeds)
+        p.Suite_types.p_harnesses
+    in
+    let coll = Debugtuner.Autofdo.collect bin ~entry ~workloads ~period ~seed:7 in
+    let text = Debugtuner.Autofdo.profile_to_string coll.Debugtuner.Autofdo.profile in
+    Printf.printf
+      "profiled %s at %s: %d samples taken, %d lost (%.1f%%) to missing line info\n"
+      p.Suite_types.p_name
+      (Debugtuner.Config.name cfg)
+      coll.Debugtuner.Autofdo.samples_taken coll.Debugtuner.Autofdo.samples_lost
+      (if coll.Debugtuner.Autofdo.samples_taken = 0 then 0.0
+       else
+         100.0
+         *. float_of_int coll.Debugtuner.Autofdo.samples_lost
+         /. float_of_int coll.Debugtuner.Autofdo.samples_taken);
+    match out with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "profile written to %s\n" file
+    | None -> print_string text
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a binary under PC sampling and emit the AutoFDO text profile           (the perf + create_llvm_prof analog). Feed it back with           $(b,compile --profile).")
+    Term.(
+      const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg
+      $ entry_arg $ period_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* disasm: objdump -dl analog                                          *)
+
+let disasm_cmd =
+  let func_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "f"; "function" ] ~docv:"FUNC" ~doc:"Only this function.")
+  in
+  let run program compiler level disabled func =
+    let _, _, bin = compile_for program compiler level disabled in
+    print_string (Objdump.disassemble ?func bin)
+  in
+  Cmd.v
+    (Cmd.info "disasm"
+       ~doc:
+         "Disassemble a binary with interleaved source lines (the objdump           -dl analog).")
+    Term.(
+      const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg
+      $ func_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dwarf-size: encoded debug-info sizes across levels                  *)
+
+let dwarf_size_cmd =
+  let run program compiler =
+    let p = find_program program in
+    let ast = Suite_types.ast p in
+    Printf.printf "%-8s %12s %12s %12s %8s %8s\n" "level" ".debug_line"
+      ".debug_loc" "total" "entries" "vars";
+    List.iter
+      (fun level ->
+        let cfg = Debugtuner.Config.make compiler level in
+        let bin =
+          Debugtuner.Toolchain.compile ast ~config:cfg
+            ~roots:(Suite_types.roots p)
+        in
+        let line, locs, total = Dwarf_encode.section_sizes bin.Emit.debug in
+        Printf.printf "%-8s %11dB %11dB %11dB %8d %8d\n"
+          (Debugtuner.Config.level_name level)
+          line locs total
+          (List.length bin.Emit.debug.Dwarfish.line_table)
+          (List.length bin.Emit.debug.Dwarfish.vars))
+      (Debugtuner.Config.O0 :: Debugtuner.Config.standard_levels compiler)
+  in
+  Cmd.v
+    (Cmd.info "dwarf-size"
+       ~doc:
+         "Encode the debug info with the DWARF wire formats (LEB128,           line-number program, location expressions) and report section           sizes per optimization level.")
+    Term.(const run $ program_arg $ compiler_arg)
+
+(* ------------------------------------------------------------------ *)
+(* debug: scripted debugger sessions (gdb -x analog)                   *)
+
+let debug_cmd =
+  let entry_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "e"; "entry" ] ~docv:"FUNC"
+          ~doc:"Entry function (default: the program's first harness).")
+  in
+  let script_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "x"; "script" ] ~docv:"FILE"
+          ~doc:"Read commands from $(docv), one per line ('#' comments).")
+  in
+  let commands_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"COMMAND"
+          ~doc:
+            "Debugger commands, e.g. 'break 6' 'run 1,2' 'print x' \
+             'continue'.")
+  in
+  let run program compiler level disabled entry script commands =
+    let p, _cfg, bin = compile_for program compiler level disabled in
+    let entry =
+      match entry with
+      | Some e -> e
+      | None -> (List.hd p.Suite_types.p_harnesses).Suite_types.h_entry
+    in
+    let commands =
+      match script with
+      | None -> commands
+      | Some file ->
+          let ic = open_in file in
+          let n = in_channel_length ic in
+          let text = really_input_string ic n in
+          close_in ic;
+          String.split_on_char '\n' text
+          |> List.map String.trim
+          |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+    in
+    if commands = [] then
+      print_endline
+        "no commands; pass them positionally or via -x FILE (commands: \
+         break/tbreak/delete L, run [inputs], continue, step, next, finish, \
+         print VAR, info locals|line|breakpoints, backtrace, quit)"
+    else print_string (Session.script bin ~entry commands)
+  in
+  Cmd.v
+    (Cmd.info "debug"
+       ~doc:
+         "Replay a scripted debugger session against an optimized binary \
+          (the gdb batch-mode analog).")
+    Term.(
+      const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg
+      $ entry_arg $ script_arg $ commands_arg)
+
+(* ------------------------------------------------------------------ *)
+(* passes / suite / run                                                *)
+
+let passes_cmd =
+  let run compiler level =
+    let cfg = Debugtuner.Config.make compiler level in
+    List.iter print_endline (Debugtuner.Toolchain.pass_names cfg)
+  in
+  Cmd.v
+    (Cmd.info "passes" ~doc:"List the toggleable passes of a level.")
+    Term.(const run $ compiler_arg $ level_arg)
+
+let suite_cmd =
+  let run () =
+    print_endline "test suite (13 programs):";
+    List.iter
+      (fun (p : Suite_types.sprogram) ->
+        Printf.printf "  %-12s %d harness(es)\n" p.Suite_types.p_name
+          (List.length p.Suite_types.p_harnesses))
+      Programs.all;
+    print_endline "SPEC CPU 2017 analogs:";
+    List.iter
+      (fun (p : Suite_types.sprogram) ->
+        Printf.printf "  %s\n" p.Suite_types.p_name)
+      Spec.all;
+    print_endline "large AutoFDO workload:";
+    print_endline "  selfcomp"
+  in
+  Cmd.v (Cmd.info "suite" ~doc:"List the built-in programs.") Term.(const run $ const ())
+
+let run_cmd =
+  let entry_arg =
+    Arg.(
+      value & opt string "main"
+      & info [ "e"; "entry" ] ~docv:"FUNC" ~doc:"Entry function.")
+  in
+  let input_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "i"; "input" ] ~docv:"INTS"
+          ~doc:"Comma-separated input values for input().")
+  in
+  let run program compiler level disabled entry input =
+    let p = find_program program in
+    let cfg = config compiler level disabled in
+    let ast = Suite_types.ast p in
+    let bin =
+      Debugtuner.Toolchain.compile ast ~config:cfg ~roots:(Suite_types.roots p)
+    in
+    let input =
+      if input = "" then []
+      else String.split_on_char ',' input |> List.map int_of_string
+    in
+    let r = Vm.run bin ~entry ~input Vm.default_opts in
+    Printf.printf "output: [%s]\n"
+      (String.concat "; " (List.map string_of_int r.Vm.output));
+    Printf.printf "cost: %d cycles, %d instructions%s\n" r.Vm.cost r.Vm.instrs
+      (if r.Vm.timed_out then "  (TIMED OUT)" else "")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute a program on the VM.")
+    Term.(
+      const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg
+      $ entry_arg $ input_arg)
+
+let () =
+  let info =
+    Cmd.info "debugtuner" ~version:"1.0.0"
+      ~doc:
+        "Measure and tune the debug-information quality of optimized \
+         binaries (DebugTuner reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ compile_cmd; measure_cmd; rank_cmd; tune_cmd; passes_cmd; suite_cmd; run_cmd; trace_cmd; dump_cmd; verify_cmd; debug_cmd; dwarf_size_cmd; disasm_cmd; profile_cmd; pass_trace_cmd; value_check_cmd ]))

@@ -1,0 +1,1 @@
+examples/autofdo_demo.ml: Debugtuner Dwarfish Emit List Printf Spec Suite_types Vm

@@ -1,0 +1,1 @@
+examples/autofdo_demo.mli:

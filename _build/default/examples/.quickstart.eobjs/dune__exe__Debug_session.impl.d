@@ -1,0 +1,1 @@
+examples/debug_session.ml: Debugtuner List Minic Printf Session String

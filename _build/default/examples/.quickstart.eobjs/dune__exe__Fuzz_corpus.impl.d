@@ -1,0 +1,1 @@
+examples/fuzz_corpus.ml: Cmin Debugger Debugtuner Fuzzer List Printf Programs Suite_types Trace_prune

@@ -1,0 +1,1 @@
+examples/inspect_binary.ml: Debug_verify Debugtuner Dwarf_encode Dwarfdump Emit List Objdump Printf Programs Suite_types

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Debugger Debugtuner Emit Ir List Metrics Minic Printf String Vm

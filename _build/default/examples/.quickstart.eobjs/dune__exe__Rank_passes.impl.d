@@ -1,0 +1,1 @@
+examples/rank_passes.ml: Debugtuner List Printf Programs String Util

@@ -1,0 +1,1 @@
+examples/rank_passes.mli:

@@ -1,0 +1,1 @@
+lib/backend/debug_verify.ml: Array Buffer Dwarfish Emit Ir List Mach Printf

@@ -1,0 +1,1 @@
+lib/backend/debug_verify.mli: Emit

@@ -1,0 +1,1 @@
+lib/backend/dwarfdump.ml: Array Buffer Dwarfish Emit Hashtbl Ir List Option Printf

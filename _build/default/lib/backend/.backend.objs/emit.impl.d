@@ -1,0 +1,1 @@
+lib/backend/emit.ml: Array Buffer Digest Dwarfish Hashtbl Ir List Mach Map Marshal Option Printf String

@@ -1,0 +1,1 @@
+lib/backend/isel.ml: Array Hashtbl Ir List Mach Option Regalloc

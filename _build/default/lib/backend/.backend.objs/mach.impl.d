@@ -1,0 +1,1 @@
+lib/backend/mach.ml: Array Hashtbl Ir List Printf String

@@ -1,0 +1,1 @@
+lib/backend/mach_passes.ml: Array Hashtbl List Mach Option

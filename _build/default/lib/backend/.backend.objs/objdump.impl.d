@@ -1,0 +1,1 @@
+lib/backend/objdump.ml: Array Buffer Emit Mach Printf

@@ -1,0 +1,1 @@
+lib/backend/regalloc.ml: Array Hashtbl Ir List Liveness Mach

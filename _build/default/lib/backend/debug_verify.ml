@@ -1,0 +1,194 @@
+(** Structural verification of the debug information in an emitted
+    binary — the [llvm-dwarfdump --verify] analog the paper's
+    methodology depends on (Section II-B vets its toolchain output
+    before measuring it).
+
+    Every check is purely structural: it cross-references the DWARF-like
+    sections ([Dwarfish.t]) against the binary's ground truth (the code
+    array, the per-address line attribution the VM uses, and the
+    function table). A healthy compilation must produce zero
+    diagnostics; the test suite injects corruptions and checks each one
+    is caught by exactly the right class. *)
+
+type diag_kind =
+  | Line_addr_oob  (** line-table entry outside the code section *)
+  | Line_table_unsorted  (** addresses not strictly increasing *)
+  | Line_mismatch  (** line table disagrees with the binary's own attribution *)
+  | Range_inverted  (** location range with [hi <= lo] *)
+  | Range_oob  (** location range outside the code section *)
+  | Range_crosses_function  (** range spans two functions *)
+  | Bad_register  (** location names a nonexistent register *)
+  | Bad_slot  (** slot offset outside the enclosing function's frame *)
+  | Overlap_conflict
+      (** two usable ranges of one variable overlap with different
+          locations — the debugger could not pick one *)
+  | Func_bounds  (** function table and address map disagree *)
+
+type diag = { kind : diag_kind; message : string }
+
+let kind_to_string = function
+  | Line_addr_oob -> "line-addr-oob"
+  | Line_table_unsorted -> "line-table-unsorted"
+  | Line_mismatch -> "line-mismatch"
+  | Range_inverted -> "range-inverted"
+  | Range_oob -> "range-oob"
+  | Range_crosses_function -> "range-crosses-function"
+  | Bad_register -> "bad-register"
+  | Bad_slot -> "bad-slot"
+  | Overlap_conflict -> "overlap-conflict"
+  | Func_bounds -> "func-bounds"
+
+let diag_to_string d =
+  Printf.sprintf "[%s] %s" (kind_to_string d.kind) d.message
+
+(* ------------------------------------------------------------------ *)
+
+let check_line_table (bin : Emit.binary) push =
+  let len = Array.length bin.Emit.code in
+  let prev = ref (-1) in
+  List.iter
+    (fun (e : Dwarfish.line_entry) ->
+      if e.Dwarfish.addr < 0 || e.Dwarfish.addr >= len then
+        push Line_addr_oob
+          (Printf.sprintf "line %d at address %d, code section is [0, %d)"
+             e.Dwarfish.line e.Dwarfish.addr len)
+      else begin
+        if e.Dwarfish.addr <= !prev then
+          push Line_table_unsorted
+            (Printf.sprintf "address %d follows %d" e.Dwarfish.addr !prev);
+        match bin.Emit.line_of.(e.Dwarfish.addr) with
+        | Some l when l = e.Dwarfish.line -> ()
+        | Some l ->
+            push Line_mismatch
+              (Printf.sprintf
+                 "line table says line %d at address %d, binary says %d"
+                 e.Dwarfish.line e.Dwarfish.addr l)
+        | None ->
+            push Line_mismatch
+              (Printf.sprintf
+                 "line table says line %d at address %d, binary has no line"
+                 e.Dwarfish.line e.Dwarfish.addr)
+      end;
+      prev := max !prev e.Dwarfish.addr)
+    bin.Emit.debug.Dwarfish.line_table
+
+let frame_words_at (bin : Emit.binary) addr =
+  let fi = bin.Emit.fn_of_addr.(addr) in
+  bin.Emit.funcs.(fi).Emit.fi_frame_words
+
+let check_ranges (bin : Emit.binary) push =
+  let len = Array.length bin.Emit.code in
+  List.iter
+    (fun (vi : Dwarfish.var_info) ->
+      let vname = Ir.var_to_string vi.Dwarfish.vi_var in
+      List.iter
+        (fun (r : Dwarfish.range) ->
+          if r.Dwarfish.hi <= r.Dwarfish.lo then
+            push Range_inverted
+              (Printf.sprintf "%s has range [%d, %d)" vname r.Dwarfish.lo
+                 r.Dwarfish.hi)
+          else if r.Dwarfish.lo < 0 || r.Dwarfish.hi > len then
+            push Range_oob
+              (Printf.sprintf "%s has range [%d, %d), code section is [0, %d)"
+                 vname r.Dwarfish.lo r.Dwarfish.hi len)
+          else begin
+            (if
+               bin.Emit.fn_of_addr.(r.Dwarfish.lo)
+               <> bin.Emit.fn_of_addr.(r.Dwarfish.hi - 1)
+             then
+               push Range_crosses_function
+                 (Printf.sprintf "%s has range [%d, %d) spanning two functions"
+                    vname r.Dwarfish.lo r.Dwarfish.hi));
+            match r.Dwarfish.where with
+            | Dwarfish.In_reg k ->
+                (* [num_regs] itself is the reserved scratch register:
+                   never allocated, so never a valid variable home. *)
+                if k < 0 || k >= Mach.num_regs then
+                  push Bad_register
+                    (Printf.sprintf "%s located in register r%d (of %d)" vname
+                       k Mach.num_regs)
+            | Dwarfish.In_slot o ->
+                let fw = frame_words_at bin r.Dwarfish.lo in
+                if o < 0 || o >= fw then
+                  push Bad_slot
+                    (Printf.sprintf
+                       "%s located in frame slot %d, frame has %d words" vname
+                       o fw)
+            | Dwarfish.Const _ -> ()
+          end)
+        vi.Dwarfish.vi_ranges)
+    bin.Emit.debug.Dwarfish.vars
+
+(* Overlapping usable ranges of one variable must agree on the
+   location: at any PC the debugger materializes exactly one home. *)
+let check_overlaps (bin : Emit.binary) push =
+  List.iter
+    (fun (vi : Dwarfish.var_info) ->
+      let usable =
+        List.filter
+          (fun (r : Dwarfish.range) ->
+            r.Dwarfish.usable && r.Dwarfish.lo < r.Dwarfish.hi)
+          vi.Dwarfish.vi_ranges
+      in
+      let sorted =
+        List.sort
+          (fun (a : Dwarfish.range) b -> compare a.Dwarfish.lo b.Dwarfish.lo)
+          usable
+      in
+      let rec scan = function
+        | (a : Dwarfish.range) :: (b :: _ as rest) ->
+            if b.Dwarfish.lo < a.Dwarfish.hi && a.Dwarfish.where <> b.Dwarfish.where
+            then
+              push Overlap_conflict
+                (Printf.sprintf
+                   "%s is in %s over [%d, %d) and in %s over [%d, %d)"
+                   (Ir.var_to_string vi.Dwarfish.vi_var)
+                   (Dwarfish.location_to_string a.Dwarfish.where)
+                   a.Dwarfish.lo a.Dwarfish.hi
+                   (Dwarfish.location_to_string b.Dwarfish.where)
+                   b.Dwarfish.lo b.Dwarfish.hi);
+            scan rest
+        | _ -> ()
+      in
+      scan sorted)
+    bin.Emit.debug.Dwarfish.vars
+
+let check_functions (bin : Emit.binary) push =
+  let len = Array.length bin.Emit.code in
+  Array.iter
+    (fun (fi : Emit.func_info) ->
+      if fi.Emit.fi_entry > fi.Emit.fi_end || fi.Emit.fi_end > len then
+        push Func_bounds
+          (Printf.sprintf "%s claims [%d, %d), code section is [0, %d)"
+             fi.Emit.fi_name fi.Emit.fi_entry fi.Emit.fi_end len)
+      else
+        for a = fi.Emit.fi_entry to fi.Emit.fi_end - 1 do
+          if bin.Emit.fn_of_addr.(a) <> fi.Emit.fi_index then
+            push Func_bounds
+              (Printf.sprintf "address %d inside %s maps to function #%d" a
+                 fi.Emit.fi_name
+                 bin.Emit.fn_of_addr.(a))
+        done)
+    bin.Emit.funcs
+
+let verify (bin : Emit.binary) : diag list =
+  let diags = ref [] in
+  let push kind fmt = diags := { kind; message = fmt } :: !diags in
+  check_line_table bin push;
+  check_ranges bin push;
+  check_overlaps bin push;
+  check_functions bin push;
+  List.rev !diags
+
+let report diags =
+  match diags with
+  | [] -> "debug info verification: clean\n"
+  | _ ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf
+        (Printf.sprintf "debug info verification: %d error(s)\n"
+           (List.length diags));
+      List.iter
+        (fun d -> Buffer.add_string buf ("  " ^ diag_to_string d ^ "\n"))
+        diags;
+      Buffer.contents buf

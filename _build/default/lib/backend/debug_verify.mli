@@ -1,0 +1,29 @@
+(** Structural verification of the debug information in an emitted
+    binary — the [llvm-dwarfdump --verify] analog. A healthy
+    compilation must produce zero diagnostics. *)
+
+type diag_kind =
+  | Line_addr_oob  (** line-table entry outside the code section *)
+  | Line_table_unsorted  (** addresses not strictly increasing *)
+  | Line_mismatch  (** line table disagrees with the binary's own attribution *)
+  | Range_inverted  (** location range with [hi <= lo] *)
+  | Range_oob  (** location range outside the code section *)
+  | Range_crosses_function  (** range spans two functions *)
+  | Bad_register  (** location names a nonexistent register *)
+  | Bad_slot  (** slot offset outside the enclosing function's frame *)
+  | Overlap_conflict
+      (** two usable ranges of one variable overlap with different
+          locations *)
+  | Func_bounds  (** function table and address map disagree *)
+
+type diag = { kind : diag_kind; message : string }
+
+val kind_to_string : diag_kind -> string
+val diag_to_string : diag -> string
+
+val verify : Emit.binary -> diag list
+(** Run every check; returns the diagnostics in section order (line
+    table, location lists, overlaps, function table). *)
+
+val report : diag list -> string
+(** Human-readable multi-line report. *)

@@ -1,0 +1,211 @@
+(** Pretty-printer for a binary's DWARF-like sections — the [dwarfdump]
+    analog. The paper's tooling shells out to [llvm-dwarfdump] /
+    [readelf --debug-dump] to inspect what each optimization level left
+    behind; this module renders the same three views over our emitted
+    binaries: the function table, the line table (.debug_line) and the
+    variable location lists (.debug_loc). *)
+
+type section = Functions | Lines | Locs
+
+let all_sections = [ Functions; Lines; Locs ]
+
+let section_of_string = function
+  | "functions" | "func" -> Some Functions
+  | "lines" | "line" | "debug_line" -> Some Lines
+  | "locs" | "loc" | "debug_loc" -> Some Locs
+  | _ -> None
+
+let func_name_at (bin : Emit.binary) addr =
+  if addr < 0 || addr >= Array.length bin.Emit.fn_of_addr then "?"
+  else bin.Emit.funcs.(bin.Emit.fn_of_addr.(addr)).Emit.fi_name
+
+let dump_functions (bin : Emit.binary) buf =
+  Buffer.add_string buf ".functions:\n";
+  Array.iter
+    (fun (fi : Emit.func_info) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-20s [%5d, %5d)  frame=%d word(s)%s\n"
+           fi.Emit.fi_name fi.Emit.fi_entry fi.Emit.fi_end
+           fi.Emit.fi_frame_words
+           (match fi.Emit.fi_activation with
+           | Some a -> Printf.sprintf "  shrink-wrapped (activates at %d)" a
+           | None -> "")))
+    bin.Emit.funcs;
+  (* Aliases introduced by identical-code folding share an index with
+     the function they were folded into. *)
+  Hashtbl.iter
+    (fun name idx ->
+      let fi = bin.Emit.funcs.(idx) in
+      if fi.Emit.fi_name <> name then
+        Buffer.add_string buf
+          (Printf.sprintf "  %-20s = %s (ICF alias)\n" name fi.Emit.fi_name))
+    bin.Emit.fn_by_name
+
+let dump_lines (bin : Emit.binary) buf =
+  Buffer.add_string buf ".debug_line:\n";
+  Buffer.add_string buf "  address  line  function\n";
+  let last_fn = ref (-1) in
+  List.iter
+    (fun (e : Dwarfish.line_entry) ->
+      let fn =
+        if e.Dwarfish.addr >= 0 && e.Dwarfish.addr < Array.length bin.Emit.fn_of_addr
+        then bin.Emit.fn_of_addr.(e.Dwarfish.addr)
+        else -1
+      in
+      let name = if fn <> !last_fn then func_name_at bin e.Dwarfish.addr else "" in
+      last_fn := fn;
+      Buffer.add_string buf
+        (Printf.sprintf "  %7d  %4d  %s\n" e.Dwarfish.addr e.Dwarfish.line name))
+    bin.Emit.debug.Dwarfish.line_table
+
+let dump_locs (bin : Emit.binary) buf =
+  Buffer.add_string buf ".debug_loc:\n";
+  let vars =
+    List.sort
+      (fun (a : Dwarfish.var_info) b ->
+        compare a.Dwarfish.vi_var b.Dwarfish.vi_var)
+      bin.Emit.debug.Dwarfish.vars
+  in
+  List.iter
+    (fun (vi : Dwarfish.var_info) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s%s:\n"
+           (Ir.var_to_string vi.Dwarfish.vi_var)
+           (if vi.Dwarfish.vi_is_array then " (array)" else ""));
+      let ranges =
+        List.sort
+          (fun (a : Dwarfish.range) b -> compare a.Dwarfish.lo b.Dwarfish.lo)
+          vi.Dwarfish.vi_ranges
+      in
+      if ranges = [] then Buffer.add_string buf "    <optimized out>\n"
+      else
+        List.iter
+          (fun (r : Dwarfish.range) ->
+            Buffer.add_string buf
+              (Printf.sprintf "    [%5d, %5d)  %s%s\n" r.Dwarfish.lo
+                 r.Dwarfish.hi
+                 (Dwarfish.location_to_string r.Dwarfish.where)
+                 (if r.Dwarfish.usable then "" else "  (entry value — unusable)")))
+          ranges)
+    vars
+
+(** [dump ?sections bin] renders the requested sections (all three by
+    default) into one string. *)
+let dump ?(sections = all_sections) (bin : Emit.binary) =
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf '\n';
+      match s with
+      | Functions -> dump_functions bin buf
+      | Lines -> dump_lines bin buf
+      | Locs -> dump_locs bin buf)
+    sections;
+  Buffer.contents buf
+
+(** One-line summary, e.g. for the CLI: code size, line-table entries,
+    variables with at least one usable range. *)
+let summary (bin : Emit.binary) =
+  let lines = List.length bin.Emit.debug.Dwarfish.line_table in
+  let vars = List.length bin.Emit.debug.Dwarfish.vars in
+  let covered =
+    List.length
+      (List.filter
+         (fun (vi : Dwarfish.var_info) ->
+           List.exists (fun (r : Dwarfish.range) -> r.Dwarfish.usable)
+             vi.Dwarfish.vi_ranges)
+         bin.Emit.debug.Dwarfish.vars)
+  in
+  Printf.sprintf
+    "%d instruction(s), %d function(s), %d line-table entr%s, %d/%d variable(s) located"
+    (Array.length bin.Emit.code)
+    (Array.length bin.Emit.funcs)
+    lines
+    (if lines = 1 then "y" else "ies")
+    covered vars
+
+(* ------------------------------------------------------------------ *)
+(* Location statistics (the llvm-locstats analog)                      *)
+
+type locstats = {
+  ls_vars : int;  (** variables with debug info *)
+  ls_avg_coverage : float;  (** mean covered fraction of the scope *)
+  ls_buckets : (string * int) list;  (** histogram, 0% .. 100% *)
+}
+
+(** Coverage of one variable: addresses covered by usable ranges inside
+    the enclosing function (the variable's scope approximation), over
+    the function size. Inlined variables may have ranges in several
+    functions; each range is clipped to its own function. *)
+let var_coverage (bin : Emit.binary) (vi : Dwarfish.var_info) =
+  let covered = Hashtbl.create 16 in
+  let scopes = Hashtbl.create 4 in
+  List.iter
+    (fun (r : Dwarfish.range) ->
+      if r.Dwarfish.lo < r.Dwarfish.hi && r.Dwarfish.lo >= 0
+         && r.Dwarfish.hi <= Array.length bin.Emit.code
+      then begin
+        let fi = bin.Emit.fn_of_addr.(r.Dwarfish.lo) in
+        Hashtbl.replace scopes fi ();
+        if r.Dwarfish.usable then
+          for a = r.Dwarfish.lo to r.Dwarfish.hi - 1 do
+            Hashtbl.replace covered a ()
+          done
+      end)
+    vi.Dwarfish.vi_ranges;
+  let scope_size =
+    Hashtbl.fold
+      (fun fi () acc ->
+        let f = bin.Emit.funcs.(fi) in
+        acc + (f.Emit.fi_end - f.Emit.fi_entry))
+      scopes 0
+  in
+  if scope_size = 0 then 0.0
+  else float_of_int (Hashtbl.length covered) /. float_of_int scope_size
+
+let bucket_names =
+  [ "0%"; "1-25%"; "26-50%"; "51-75%"; "76-99%"; "100%" ]
+
+let bucket_of coverage =
+  if coverage <= 0.0 then "0%"
+  else if coverage >= 1.0 then "100%"
+  else if coverage <= 0.25 then "1-25%"
+  else if coverage <= 0.50 then "26-50%"
+  else if coverage <= 0.75 then "51-75%"
+  else "76-99%"
+
+(** [locstats bin] computes llvm-locstats-style coverage statistics:
+    how much of its scope each variable's location list covers. *)
+let locstats (bin : Emit.binary) : locstats =
+  let vars = bin.Emit.debug.Dwarfish.vars in
+  let coverages = List.map (var_coverage bin) vars in
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let b = bucket_of c in
+      Hashtbl.replace counts b (1 + Option.value ~default:0 (Hashtbl.find_opt counts b)))
+    coverages;
+  {
+    ls_vars = List.length vars;
+    ls_avg_coverage =
+      (match coverages with
+      | [] -> 0.0
+      | cs -> List.fold_left ( +. ) 0.0 cs /. float_of_int (List.length cs));
+    ls_buckets =
+      List.map
+        (fun name ->
+          (name, Option.value ~default:0 (Hashtbl.find_opt counts name)))
+        bucket_names;
+  }
+
+let locstats_to_string (s : locstats) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "location statistics: %d variable(s), average scope coverage %.1f%%\n"
+       s.ls_vars (100.0 *. s.ls_avg_coverage));
+  List.iter
+    (fun (name, n) ->
+      Buffer.add_string buf (Printf.sprintf "  %-7s %4d\n" name n))
+    s.ls_buckets;
+  Buffer.contents buf

@@ -1,0 +1,55 @@
+(** Disassembly listing of an emitted binary — the [objdump -dl]
+    analog: one row per address with the instruction text, the source
+    line the line table attributes to it (the [-l] interleaving), and
+    function headers. The listing makes the debug-info losses visible
+    at a glance: optimized code shows long runs of line-less
+    instructions exactly where passes stripped or merged them. *)
+
+let eop_to_string (bin : Emit.binary) = function
+  | Emit.Eins mk -> Mach.mkind_to_string mk
+  | Emit.Ejmp t -> Printf.sprintf "jmp %d" t
+  | Emit.Ecbr (c, t1, t2) ->
+      Printf.sprintf "cbr %s, %d, %d" (Mach.mval_to_string c) t1 t2
+  | Emit.Eret None -> "ret"
+  | Emit.Eret (Some v) ->
+      ignore bin;
+      Printf.sprintf "ret %s" (Mach.mval_to_string v)
+
+(** [disassemble ?func bin] renders the whole binary (or just [func])
+    as an address-ordered listing. *)
+let disassemble ?func (bin : Emit.binary) =
+  let buf = Buffer.create 4096 in
+  let with_lines = ref 0 in
+  let total = ref 0 in
+  Array.iter
+    (fun (fi : Emit.func_info) ->
+      if func = None || func = Some fi.Emit.fi_name then begin
+        Buffer.add_string buf
+          (Printf.sprintf "%s:    ; [%d, %d), frame=%d word(s)\n"
+             fi.Emit.fi_name fi.Emit.fi_entry fi.Emit.fi_end
+             fi.Emit.fi_frame_words);
+        for a = fi.Emit.fi_entry to fi.Emit.fi_end - 1 do
+          incr total;
+          let line =
+            match bin.Emit.line_of.(a) with
+            | Some l ->
+                incr with_lines;
+                Printf.sprintf "  ; line %d" l
+            | None -> ""
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  %5d:  %-40s%s\n" a
+               (eop_to_string bin bin.Emit.code.(a))
+               line)
+        done;
+        Buffer.add_char buf '\n'
+      end)
+    bin.Emit.funcs;
+  if func <> None && !total = 0 then
+    Buffer.add_string buf "(no such function)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%d instruction(s), %d with line info (%.1f%%)\n" !total
+       !with_lines
+       (if !total = 0 then 0.0
+        else 100.0 *. float_of_int !with_lines /. float_of_int !total));
+  Buffer.contents buf

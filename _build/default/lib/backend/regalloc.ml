@@ -1,0 +1,223 @@
+(** Register allocation over precise per-block live segments.
+
+    Each virtual register's lifetime is a set of half-open position
+    segments (one per block where it is live), computed from dataflow
+    liveness — not a single hull, which would make large post-inlining
+    functions spill catastrophically from false interference. Allocation
+    is greedy in order of first definition: pick the lowest physical
+    register whose already-assigned segments don't overlap, else a spill
+    slot ([Pslot] frame words that instructions access directly at extra
+    cost).
+
+    Two pass toggles live here:
+
+    - [coalesce] (gcc's [tree-coalesce-vars]): copy-related registers
+      whose lifetimes only touch at the copy are merged, letting
+      instruction selection delete the copy. Merged registers share one
+      location, so the location-list builder later truncates the debug
+      ranges of whichever variable loses the location — the mechanical
+      debug cost of coalescing.
+    - [share_spill_slots] (gcc's [ira-share-spill-slots]): spilled
+      lifetimes that don't overlap share a frame word, shrinking the
+      frame (cheaper calls) but truncating frame-location debug ranges at
+      reuse. *)
+
+type result = {
+  loc_of : (Ir.reg, Mach.mloc) Hashtbl.t;
+  spill_words : int;
+}
+
+type seg = { lo : int; hi : int }
+(* Half-open [lo, hi). *)
+
+let segs_overlap a b = a.lo < b.hi && b.lo < a.hi
+
+let any_overlap (xs : seg list) (ys : seg list) =
+  List.exists (fun x -> List.exists (segs_overlap x) ys) xs
+
+(* Union-find over virtual registers, used for copy coalescing. *)
+let find parent r =
+  let rec go r = if parent.(r) = r then r else go parent.(r) in
+  let root = go r in
+  let rec compress r =
+    if parent.(r) <> root then begin
+      let next = parent.(r) in
+      parent.(r) <- root;
+      compress next
+    end
+  in
+  compress r;
+  root
+
+let allocate (fn : Ir.fn) ~coalesce ~share_spill_slots =
+  let n = fn.Ir.next_reg in
+  let live = Liveness.compute fn in
+  let segments : seg list array = Array.make n [] in
+  let add_seg r lo hi = if hi > lo then segments.(r) <- { lo; hi } :: segments.(r) in
+  let copies = ref [] in
+  let pos = ref 0 in
+  (* Parameters are defined by the calling convention just before the
+     entry block. *)
+  List.iter (fun (r, _) -> add_seg r (-1) 0) fn.Ir.f_params;
+  List.iter
+    (fun l ->
+      let b = Ir.block fn l in
+      let bstart = !pos in
+      (* Per-block first definition and last use/def position of each
+         register appearing here. *)
+      let first_def : (Ir.reg, int) Hashtbl.t = Hashtbl.create 16 in
+      let last_touch : (Ir.reg, int) Hashtbl.t = Hashtbl.create 16 in
+      let touch_use r p = Hashtbl.replace last_touch r p in
+      let touch_def r p =
+        if not (Hashtbl.mem first_def r) then Hashtbl.replace first_def r p;
+        Hashtbl.replace last_touch r p
+      in
+      List.iter
+        (fun (i : Ir.instr) ->
+          let p = !pos in
+          (match i.Ir.ik with
+          | Ir.Mov (d, Ir.Reg s) -> copies := (d, s, p) :: !copies
+          | _ -> ());
+          List.iter (fun r -> touch_use r p) (Ir.real_uses_of_ikind i.Ir.ik);
+          List.iter (fun r -> touch_def r p) (Ir.def_of_ikind i.Ir.ik);
+          incr pos)
+        b.Ir.instrs;
+      let term_pos = !pos in
+      List.iter (fun r -> touch_use r term_pos) (Ir.term_uses b.Ir.term);
+      incr pos;
+      let bend = term_pos + 1 in
+      let live_in = Liveness.live_in live l in
+      let live_out = Liveness.live_out live l in
+      (* Emit one segment per register touched or flowing through. *)
+      let emit r =
+        let starts =
+          if Liveness.Reg_set.mem r live_in then bstart
+          else
+            match Hashtbl.find_opt first_def r with
+            | Some p -> p
+            | None -> bstart
+        in
+        let ends =
+          if Liveness.Reg_set.mem r live_out then bend
+          else
+            match Hashtbl.find_opt last_touch r with
+            | Some p -> p + 1
+            | None -> bend
+        in
+        add_seg r starts ends
+      in
+      let seen = Hashtbl.create 16 in
+      let see r =
+        if not (Hashtbl.mem seen r) then begin
+          Hashtbl.replace seen r ();
+          emit r
+        end
+      in
+      Hashtbl.iter (fun r _ -> see r) first_def;
+      Hashtbl.iter (fun r _ -> see r) last_touch;
+      Liveness.Reg_set.iter see live_in;
+      Liveness.Reg_set.iter see live_out)
+    fn.Ir.layout;
+  (* Copy coalescing: merge classes whose lifetimes only touch at the
+     copy itself (the source's segment ends exactly where the copy
+     defines the destination). *)
+  let parent = Array.init n (fun r -> r) in
+  let class_segs = Array.copy segments in
+  if coalesce then
+    List.iter
+      (fun (d, s, p) ->
+        let rd = find parent d and rs = find parent s in
+        if rd <> rs then begin
+          (* Ignore a single-point overlap at the copy position. *)
+          let trim segs =
+            List.filter_map
+              (fun g ->
+                let g = if g.lo = p then { g with lo = p + 1 } else g in
+                let g = if g.hi = p + 1 then { g with hi = p } else g in
+                if g.hi > g.lo then Some g else None)
+              segs
+          in
+          if not (any_overlap (trim class_segs.(rd)) (trim class_segs.(rs)))
+          then begin
+            parent.(rs) <- rd;
+            class_segs.(rd) <- class_segs.(rd) @ class_segs.(rs);
+            class_segs.(rs) <- []
+          end
+        end)
+      (List.rev !copies);
+  (* Greedy assignment in order of first position. *)
+  let classes =
+    List.init n (fun r -> r)
+    |> List.filter (fun r -> find parent r = r && class_segs.(r) <> [])
+    |> List.sort (fun a b ->
+           let first r =
+             List.fold_left (fun m g -> min m g.lo) max_int class_segs.(r)
+           in
+           compare (first a, a) (first b, b))
+  in
+  let preg_segs = Array.make Mach.num_regs [] in
+  let slot_segs = ref [||] in
+  let n_slots = ref 0 in
+  let loc_of_class : (int, Mach.mloc) Hashtbl.t = Hashtbl.create 64 in
+  (* Round-robin starting point: spreading assignments across the file
+     (instead of always reusing the lowest register) leaves the post-RA
+     scheduler anti-dependence freedom, as production allocators do. *)
+  let hint = ref 0 in
+  List.iter
+    (fun cls ->
+      let segs = class_segs.(cls) in
+      let try_preg_from start =
+        let rec go tried =
+          if tried >= Mach.num_regs then None
+          else
+            let k = (start + tried) mod Mach.num_regs in
+            if any_overlap preg_segs.(k) segs then go (tried + 1) else Some k
+        in
+        go 0
+      in
+      match try_preg_from !hint with
+      | Some k ->
+          hint := (k + 1) mod Mach.num_regs;
+          preg_segs.(k) <- segs @ preg_segs.(k);
+          Hashtbl.replace loc_of_class cls (Mach.Preg k)
+      | None ->
+          (* Spill. With sharing, reuse the first compatible slot. *)
+          let slot =
+            if share_spill_slots then begin
+              let rec try_slot i =
+                if i >= !n_slots then None
+                else if any_overlap !slot_segs.(i) segs then try_slot (i + 1)
+                else Some i
+              in
+              match try_slot 0 with
+              | Some i -> i
+              | None ->
+                  let i = !n_slots in
+                  incr n_slots;
+                  if i >= Array.length !slot_segs then
+                    slot_segs :=
+                      Array.append !slot_segs
+                        (Array.make (max 8 (Array.length !slot_segs)) []);
+                  i
+            end
+            else begin
+              let i = !n_slots in
+              incr n_slots;
+              if i >= Array.length !slot_segs then
+                slot_segs :=
+                  Array.append !slot_segs
+                    (Array.make (max 8 (Array.length !slot_segs)) []);
+              i
+            end
+          in
+          !slot_segs.(slot) <- segs @ !slot_segs.(slot);
+          Hashtbl.replace loc_of_class cls (Mach.Pslot slot))
+    classes;
+  let loc_of = Hashtbl.create n in
+  List.init n (fun r -> r)
+  |> List.iter (fun r ->
+         let cls = find parent r in
+         match Hashtbl.find_opt loc_of_class cls with
+         | Some loc -> Hashtbl.replace loc_of r loc
+         | None -> ());
+  { loc_of; spill_words = !n_slots }

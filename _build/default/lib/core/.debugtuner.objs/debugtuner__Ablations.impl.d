@@ -1,0 +1,1 @@
+lib/core/ablations.ml: Config Debugger Evaluation Hashtbl List Metrics Printf Ranking Suite_types Toolchain Util

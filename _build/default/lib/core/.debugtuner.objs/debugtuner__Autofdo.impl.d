@@ -1,0 +1,1 @@
+lib/core/autofdo.ml: Array Buffer Config Dwarfish Emit Hashtbl List Minic Option Printf String Toolchain Vm

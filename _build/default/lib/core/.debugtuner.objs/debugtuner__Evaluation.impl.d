@@ -1,0 +1,1 @@
+lib/core/evaluation.ml: Cmin Config Debugger Emit Fuzzer Hashtbl List Metrics Minic Suite_types Toolchain Trace_prune

@@ -1,0 +1,1 @@
+lib/core/extensions.ml: Autofdo Config Evaluation List Minic Ranking Suite_types Toolchain Tuning Util Vm

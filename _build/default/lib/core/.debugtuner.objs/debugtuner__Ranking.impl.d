@@ -1,0 +1,1 @@
+lib/core/ranking.ml: Config Emit Evaluation List Metrics Toolchain Util

@@ -1,0 +1,1 @@
+lib/core/tuning.ml: Config Evaluation List Ranking Suite_types Toolchain Util Vm

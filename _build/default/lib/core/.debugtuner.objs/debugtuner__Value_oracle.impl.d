@@ -1,0 +1,1 @@
+lib/core/value_oracle.ml: Array Buffer Config Dwarfish Emit Hashtbl Ir List Mach Minic Option Printf String Toolchain Vm

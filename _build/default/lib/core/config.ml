@@ -1,0 +1,39 @@
+(** Compiler configurations: a compiler (pipeline family), an
+    optimization level, and a set of disabled pass instances — the
+    paper's [Ox-dy] configurations are values of this type. *)
+
+type compiler = Gcc | Clang
+
+type level = O0 | Og | O1 | O2 | O3
+
+type t = {
+  compiler : compiler;
+  level : level;
+  disabled : string list;
+      (** pass names to disable; a name disables every instance of the
+          pass in the pipeline (paper footnote 2) *)
+}
+
+let compiler_name = function Gcc -> "gcc" | Clang -> "clang"
+
+let level_name = function
+  | O0 -> "O0"
+  | Og -> "Og"
+  | O1 -> "O1"
+  | O2 -> "O2"
+  | O3 -> "O3"
+
+let name c =
+  let base = Printf.sprintf "%s-%s" (compiler_name c.compiler) (level_name c.level) in
+  match c.disabled with
+  | [] -> base
+  | ds -> Printf.sprintf "%s-d%d" base (List.length ds)
+
+let make ?(disabled = []) compiler level = { compiler; level; disabled }
+
+(** Standard levels of a compiler (clang has no Og, as in the paper). *)
+let standard_levels = function
+  | Gcc -> [ Og; O1; O2; O3 ]
+  | Clang -> [ O1; O2; O3 ]
+
+let enabled c pass_name = not (List.mem pass_name c.disabled)

@@ -1,0 +1,31 @@
+(** Compiler configurations: a pipeline family, an optimization level,
+    and a set of disabled pass instances — the paper's [Ox-dy]
+    configurations are values of this type. *)
+
+type compiler = Gcc | Clang
+
+type level = O0 | Og | O1 | O2 | O3
+
+type t = {
+  compiler : compiler;
+  level : level;
+  disabled : string list;
+      (** pass names to disable; a name disables every instance of the
+          pass in the pipeline (paper footnote 2) *)
+}
+
+val compiler_name : compiler -> string
+
+val level_name : level -> string
+
+val name : t -> string
+(** E.g. ["gcc-O2"] or ["clang-O1-d5"]. *)
+
+val make : ?disabled:string list -> compiler -> level -> t
+
+val standard_levels : compiler -> level list
+(** [Og; O1; O2; O3] for gcc, [O1; O2; O3] for clang (which has no Og,
+    as in the paper). *)
+
+val enabled : t -> string -> bool
+(** Is a pass instance enabled under this configuration? *)

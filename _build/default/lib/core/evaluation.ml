@@ -1,0 +1,159 @@
+(** Per-program debug-information evaluation (the left half of Figure 1):
+    corpus construction, trace extraction for the O0 baseline and for any
+    configuration, and metric computation.
+
+    Each suite program is "prepared" once — fuzzing-derived corpus,
+    minimization, trace pruning, O0 baseline trace — and then arbitrary
+    configurations are measured against that baseline. Binaries whose
+    .text is identical to the reference level's are not re-traced
+    (Section III-A's discard optimization). *)
+
+type harness_corpus = {
+  hc_harness : Suite_types.harness;
+  hc_inputs : int list list;  (** post-minimization, post-pruning *)
+  hc_raw_count : int;  (** corpus size before minimization *)
+  hc_edges : int;
+}
+
+type prepared = {
+  program : Suite_types.sprogram;
+  ast : Minic.Ast.program;
+  roots : string list;
+  defranges : Minic.Defranges.t;
+  corpora : harness_corpus list;
+  o0_bin : Emit.binary;
+  o0_trace : Debugger.trace;
+}
+
+(* Merge traces of several harness sessions into one program-level
+   trace (first binding of a line wins, like one long session). *)
+let merge_traces (traces : Debugger.trace list) : Debugger.trace =
+  let stepped = Hashtbl.create 128 in
+  let steppable = ref [] in
+  let hit_order = ref [] in
+  List.iter
+    (fun (t : Debugger.trace) ->
+      Hashtbl.iter
+        (fun line vars ->
+          if not (Hashtbl.mem stepped line) then Hashtbl.replace stepped line vars)
+        t.Debugger.stepped;
+      steppable := t.Debugger.steppable @ !steppable;
+      hit_order := t.Debugger.hit_order @ !hit_order)
+    traces;
+  {
+    Debugger.stepped;
+    steppable = List.sort_uniq compare !steppable;
+    hit_order = List.rev !hit_order;
+    per_input_lines = [||];
+  }
+
+let trace_with_corpora (corpora : harness_corpus list) (bin : Emit.binary) =
+  merge_traces
+    (List.map
+       (fun hc ->
+         Debugger.trace bin ~entry:hc.hc_harness.Suite_types.h_entry
+           ~inputs:hc.hc_inputs)
+       corpora)
+
+let trace_config_bin (prepared : prepared) (bin : Emit.binary) =
+  trace_with_corpora prepared.corpora bin
+
+(** [prepare ?fuzz_budget program] builds the corpus (fuzz + afl-cmin
+    analog + debug-trace pruning) and the O0 baseline. *)
+let prepare ?(fuzz_budget = 700) ?(seed = 42) (program : Suite_types.sprogram) :
+    prepared =
+  let ast = Suite_types.ast program in
+  let roots = Suite_types.roots program in
+  let defranges = Minic.Defranges.analyze ast in
+  let o0_config = Config.make Config.Gcc Config.O0 in
+  let o0_bin = Toolchain.compile ast ~config:o0_config ~roots in
+  let corpora =
+    List.mapi
+      (fun i (h : Suite_types.harness) ->
+        let entry = h.Suite_types.h_entry in
+        let fuzzed =
+          Fuzzer.fuzz o0_bin ~entry ~seeds:h.Suite_types.h_seeds
+            ~budget:fuzz_budget ~seed:(seed + (i * 1000))
+        in
+        let raw =
+          h.Suite_types.h_seeds
+          @ List.map (fun (c : Fuzzer.corpus_entry) -> c.Fuzzer.data) fuzzed.Fuzzer.corpus
+        in
+        let minimized = Cmin.minimize o0_bin ~entry raw in
+        let pruned = Trace_prune.prune o0_bin ~entry minimized.Cmin.kept in
+        {
+          hc_harness = h;
+          hc_inputs = pruned;
+          hc_raw_count = List.length raw;
+          hc_edges = fuzzed.Fuzzer.edges_found;
+        })
+      program.Suite_types.p_harnesses
+  in
+  let o0_trace = trace_with_corpora corpora o0_bin in
+  { program; ast; roots; defranges; corpora; o0_bin; o0_trace }
+
+(** [compile prepared config] — the program under a configuration. *)
+let compile (prepared : prepared) (config : Config.t) =
+  Toolchain.compile prepared.ast ~config ~roots:prepared.roots
+
+(** [measure prepared config] — all four metric methods for [config].
+    [reuse] short-circuits tracing when the binary's .text digest matches
+    a previously measured binary (the discard optimization). *)
+let measure ?reuse (prepared : prepared) (config : Config.t) :
+    Metrics.all_methods * Emit.binary =
+  let bin = compile prepared config in
+  match reuse with
+  | Some (digest, cached) when digest = bin.Emit.text_digest -> (cached, bin)
+  | _ ->
+      let opt_trace = trace_config_bin prepared bin in
+      let m =
+        Metrics.all
+          {
+            Metrics.defranges = prepared.defranges;
+            unopt_trace = prepared.o0_trace;
+            opt_trace;
+            unopt_bin = prepared.o0_bin;
+            opt_bin = bin;
+          }
+      in
+      (m, bin)
+
+(** The paper's headline number for a configuration. *)
+let product (prepared : prepared) (config : Config.t) =
+  let m, _ = measure prepared config in
+  m.Metrics.m_hybrid.Metrics.product
+
+(* -------------------------------------------------------------- *)
+(* Table III statistics                                            *)
+
+type suite_stats = {
+  ss_program : string;
+  ss_inputs : int;  (** average per harness, post-minimization *)
+  ss_reduction_pct : float;
+  ss_steppable : int;
+  ss_stepped : int;
+  ss_debug_coverage_pct : float;
+}
+
+let stats (prepared : prepared) : suite_stats =
+  let n_harnesses = max 1 (List.length prepared.corpora) in
+  let kept =
+    List.fold_left (fun a hc -> a + List.length hc.hc_inputs) 0 prepared.corpora
+  in
+  let raw =
+    List.fold_left (fun a hc -> a + hc.hc_raw_count) 0 prepared.corpora
+  in
+  let steppable = List.length prepared.o0_trace.Debugger.steppable in
+  let stepped = List.length (Debugger.stepped_lines prepared.o0_trace) in
+  {
+    ss_program = prepared.program.Suite_types.p_name;
+    ss_inputs = kept / n_harnesses;
+    ss_reduction_pct =
+      (if raw = 0 then 0.0
+       else float_of_int (raw - kept) /. float_of_int raw *. 100.0);
+    ss_steppable = steppable;
+    ss_stepped = stepped;
+    ss_debug_coverage_pct =
+      (if steppable = 0 then 0.0
+       else float_of_int stepped /. float_of_int steppable *. 100.0);
+  }

@@ -1,0 +1,923 @@
+(** The paper's evaluation, one constructor per table/figure. Each
+    function renders a {!Util.Tablefmt.t} (printed by [bench/main.exe])
+    from shared, cached measurement state. All randomness is seeded, so
+    every run prints identical tables. *)
+
+module T = Util.Tablefmt
+
+type ctx = {
+  suite : Evaluation.prepared list;
+  spec : Suite_types.sprogram list;
+  o0_costs : (string * int) list;
+  synth_count : int;
+  mutable synth : Evaluation.prepared list option;
+  mutable rankings : (Config.t * Ranking.level_ranking) list;
+  mutable points : (Config.t * Tuning.config_point) list;
+  mutable speedup_cache : (Config.t * Tuning.speedup_row list) list;
+}
+
+let create ?(synth_count = 40) () =
+  {
+    suite = List.map Evaluation.prepare Programs.all;
+    spec = Spec.all;
+    o0_costs = Tuning.o0_costs Spec.all;
+    synth_count;
+    synth = None;
+    rankings = [];
+    points = [];
+    speedup_cache = [];
+  }
+
+let synth_programs ctx =
+  match ctx.synth with
+  | Some s -> s
+  | None ->
+      let s =
+        List.init ctx.synth_count (fun i ->
+            Evaluation.prepare ~fuzz_budget:8 (Synth.program ~seed:(i + 1)))
+      in
+      ctx.synth <- Some s;
+      s
+
+let ranking ctx config =
+  match List.assoc_opt config ctx.rankings with
+  | Some r -> r
+  | None ->
+      let r = Ranking.rank ctx.suite config in
+      ctx.rankings <- (config, r) :: ctx.rankings;
+      r
+
+let point ctx config =
+  match List.assoc_opt config ctx.points with
+  | Some p -> p
+  | None ->
+      let p =
+        Tuning.measure_point ctx.suite ~o0_costs:ctx.o0_costs ctx.spec config
+      in
+      ctx.points <- (config, p) :: ctx.points;
+      p
+
+let all_standard_configs =
+  List.concat_map
+    (fun comp ->
+      List.map (fun l -> Config.make comp l) (Config.standard_levels comp))
+    [ Config.Gcc; Config.Clang ]
+
+let dy_values = [ 3; 5; 7; 9 ]
+
+let dy_configs ctx =
+  List.concat_map
+    (fun base ->
+      List.map (fun y -> (base, y, Tuning.dy_config (ranking ctx base) ~y)) dy_values)
+    all_standard_configs
+
+(* ------------------------------------------------------------------ *)
+(* Table I: method comparison on synthetic programs                    *)
+
+let table1 ctx =
+  let programs = synth_programs ctx in
+  let rows =
+    List.map
+      (fun config ->
+        let per_program =
+          List.map (fun p -> fst (Evaluation.measure p config)) programs
+        in
+        let geo f = Util.Stats.geomean (List.map f per_program) in
+        let avail m = (m : Metrics.all_methods) in
+        ignore avail;
+        [
+          Config.compiler_name config.Config.compiler;
+          Config.level_name config.Config.level;
+          T.f4 (geo (fun m -> m.Metrics.m_static.Metrics.availability));
+          T.f4 (geo (fun m -> m.Metrics.m_static_dbg.Metrics.availability));
+          T.f4 (geo (fun m -> m.Metrics.m_dynamic.Metrics.availability));
+          T.f4 (geo (fun m -> m.Metrics.m_hybrid.Metrics.availability));
+          T.f4 (geo (fun m -> m.Metrics.m_static.Metrics.line_coverage));
+          T.f4 (geo (fun m -> m.Metrics.m_static_dbg.Metrics.line_coverage));
+          T.f4 (geo (fun m -> m.Metrics.m_dynamic.Metrics.line_coverage));
+          T.f4 (geo (fun m -> m.Metrics.m_static.Metrics.product));
+          T.f4 (geo (fun m -> m.Metrics.m_static_dbg.Metrics.product));
+          T.f4 (geo (fun m -> m.Metrics.m_dynamic.Metrics.product));
+          T.f4 (geo (fun m -> m.Metrics.m_hybrid.Metrics.product));
+        ])
+      all_standard_configs
+  in
+  (* The paper also reports geometric standard deviations in
+     [1.08, 1.12] to argue low per-program variability. *)
+  let gsd =
+    let programs = synth_programs ctx in
+    let per_program =
+      List.concat_map
+        (fun config ->
+          List.map
+            (fun p ->
+              (fst (Evaluation.measure p config)).Metrics.m_hybrid.Metrics.product)
+            programs)
+        all_standard_configs
+    in
+    Util.Stats.geo_stddev per_program
+  in
+  T.make
+    ~title:
+      (Printf.sprintf
+         "Table I: metric methods on %d synthetic programs (geomean; hybrid           product geo-stddev %.2f)"
+         ctx.synth_count gsd)
+    ~header:
+      [
+        "compiler"; "opt"; "avail:static"; "static-dbg"; "dynamic"; "hybrid";
+        "lc:static"; "static-dbg"; "dyn/hybrid"; "prod:static"; "static-dbg";
+        "dynamic"; "hybrid";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Table II: the four metrics on libpng                                *)
+
+let table2 ctx =
+  let libpng =
+    List.find
+      (fun (p : Evaluation.prepared) ->
+        p.Evaluation.program.Suite_types.p_name = "libpng")
+      ctx.suite
+  in
+  let rows =
+    List.map
+      (fun config ->
+        let m, _ = Evaluation.measure libpng config in
+        let h = m.Metrics.m_hybrid in
+        [
+          Config.compiler_name config.Config.compiler;
+          Config.level_name config.Config.level;
+          T.f4 h.Metrics.availability;
+          T.f4 h.Metrics.line_coverage;
+          T.f4 h.Metrics.product;
+        ])
+      all_standard_configs
+  in
+  T.make ~title:"Table II: debug information quality metrics on libpng"
+    ~header:[ "compiler"; "opt"; "avail. of vars"; "line coverage"; "product" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Table III: test-suite statistics                                    *)
+
+let table3 ctx =
+  let stats = List.map Evaluation.stats ctx.suite in
+  let rows =
+    List.map
+      (fun (s : Evaluation.suite_stats) ->
+        [
+          s.Evaluation.ss_program;
+          string_of_int s.Evaluation.ss_inputs;
+          T.f2 s.Evaluation.ss_reduction_pct;
+          string_of_int s.Evaluation.ss_steppable;
+          string_of_int s.Evaluation.ss_stepped;
+          T.f2 s.Evaluation.ss_debug_coverage_pct;
+        ])
+      stats
+  in
+  let avg f = Util.Stats.mean (List.map f stats) in
+  let avg_row =
+    [
+      "average";
+      T.f2 (avg (fun s -> float_of_int s.Evaluation.ss_inputs));
+      T.f2 (avg (fun s -> s.Evaluation.ss_reduction_pct));
+      T.f2 (avg (fun s -> float_of_int s.Evaluation.ss_steppable));
+      T.f2 (avg (fun s -> float_of_int s.Evaluation.ss_stepped));
+      T.f2 (avg (fun s -> s.Evaluation.ss_debug_coverage_pct));
+    ]
+  in
+  T.make ~title:"Table III: programs and inputs of the test suite"
+    ~header:
+      [
+        "program"; "avg inputs (min.)"; "% reduction"; "steppable lines";
+        "stepped lines"; "% debug coverage";
+      ]
+    (rows @ [ avg_row ])
+
+(* ------------------------------------------------------------------ *)
+(* Table IV: product metric on the suite, standard levels              *)
+
+let suite_products ctx config =
+  List.map
+    (fun (p : Evaluation.prepared) ->
+      ( p.Evaluation.program.Suite_types.p_name,
+        Evaluation.product p config ))
+    ctx.suite
+
+let table4 ctx =
+  let gcc_levels = [ Config.Og; Config.O1; Config.O2; Config.O3 ] in
+  let clang_levels = [ Config.O1; Config.O2; Config.O3 ] in
+  let gcc =
+    List.map (fun l -> (l, suite_products ctx (Config.make Config.Gcc l))) gcc_levels
+  in
+  let clang =
+    List.map
+      (fun l -> (l, suite_products ctx (Config.make Config.Clang l)))
+      clang_levels
+  in
+  let value table level name = List.assoc name (List.assoc level table) in
+  let rows =
+    List.map
+      (fun (p : Evaluation.prepared) ->
+        let name = p.Evaluation.program.Suite_types.p_name in
+        let delta l =
+          let g = value gcc l name and c = value clang l name in
+          if c = 0.0 then "-" else T.pct ((g -. c) /. c *. 100.0)
+        in
+        [ name ]
+        @ List.map (fun l -> T.f2 (value gcc l name)) gcc_levels
+        @ List.map (fun l -> T.f2 (value clang l name)) clang_levels
+        @ List.map delta clang_levels)
+      ctx.suite
+  in
+  let avg_of table levels =
+    List.map
+      (fun l -> T.f2 (Util.Stats.mean (List.map snd (List.assoc l table))))
+      levels
+  in
+  let avg_delta =
+    List.map
+      (fun l ->
+        let g = Util.Stats.mean (List.map snd (List.assoc l gcc)) in
+        let c = Util.Stats.mean (List.map snd (List.assoc l clang)) in
+        T.pct ((g -. c) /. c *. 100.0))
+      clang_levels
+  in
+  let avg_row =
+    [ "average" ] @ avg_of gcc gcc_levels @ avg_of clang clang_levels @ avg_delta
+  in
+  T.make
+    ~title:"Table IV: debug information availability on the test suite"
+    ~header:
+      [
+        "program"; "gcc Og"; "gcc O1"; "gcc O2"; "gcc O3"; "clang O1";
+        "clang O2"; "clang O3"; "d%O1"; "d%O2"; "d%O3";
+      ]
+    (rows @ [ avg_row ])
+
+(* ------------------------------------------------------------------ *)
+(* Tables V / VI: top-10 critical passes                               *)
+
+let top10_table ctx comp title =
+  let levels = Config.standard_levels comp in
+  let tops =
+    List.map
+      (fun l ->
+        (l, Ranking.top_passes ~k:10 (ranking ctx (Config.make comp l))))
+      levels
+  in
+  (* The paper's stability argument: the average-rank top-10 should
+     recur in per-program rankings (Section V-A reports 7-8 in the
+     per-program top-10). *)
+  let stab =
+    List.map
+      (fun l ->
+        let lr = ranking ctx (Config.make comp l) in
+        let in10, in20 = Ranking.stability ~k:10 ctx.suite lr in
+        Printf.sprintf "%s: %.1f/10 in per-program top-10, %.1f in top-20"
+          (Config.level_name l) in10 in20)
+      levels
+  in
+  let title = title ^ " [stability: " ^ String.concat "; " stab ^ "]" in
+  let rows =
+    List.init 10 (fun i ->
+        string_of_int (i + 1)
+        :: List.concat_map
+             (fun (_, top) ->
+               match List.nth_opt top i with
+               | Some (e : Ranking.pass_effect) ->
+                   [ e.Ranking.pe_pass; T.f2 e.Ranking.pe_geo_increment_pct ]
+               | None -> [ "-"; "-" ])
+             tops)
+  in
+  let header =
+    "#"
+    :: List.concat_map
+         (fun l -> [ Config.level_name l; "+%" ])
+         levels
+  in
+  T.make ~title ~header rows
+
+let table5 ctx = top10_table ctx Config.Gcc "Table V: top-10 critical passes, gcc"
+
+let table6 ctx =
+  top10_table ctx Config.Clang "Table VI: top-10 critical passes, clang"
+
+(* ------------------------------------------------------------------ *)
+(* Table VII: pass impact counts                                       *)
+
+let table7 ctx =
+  let rows =
+    List.concat_map
+      (fun comp ->
+        List.map
+          (fun l ->
+            let total, pos, neutral, neg =
+              Ranking.impact_counts (ranking ctx (Config.make comp l))
+            in
+            [
+              Config.compiler_name comp;
+              Config.level_name l;
+              string_of_int total;
+              Printf.sprintf "(%d,%d,%d)" pos neutral neg;
+            ])
+          (Config.standard_levels comp))
+      [ Config.Gcc; Config.Clang ]
+  in
+  T.make
+    ~title:"Table VII: tested passes per level (positive, neutral, negative)"
+    ~header:[ "compiler"; "level"; "passes"; "(>,=,<)" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2 / Tables VIII, XIII, XIV: trade-off and Pareto front       *)
+
+let all_points ctx =
+  let standard = List.map (fun c -> point ctx c) all_standard_configs in
+  let dy = List.map (fun (_, _, c) -> point ctx c) (dy_configs ctx) in
+  standard @ dy
+
+let fig2_scatter ctx =
+  let points = all_points ctx in
+  let fronted = Pareto.front (List.map Pareto.of_config_point points) in
+  Util.Tablefmt.scatter
+    ~title:"Figure 2 (scatter): x = debug product, y = speedup over O0; * = Pareto-optimal, s = standard level, d = Ox-dy"
+    ~width:64 ~height:18 ~xlabel:"debug product" ~ylabel:"speedup"
+    (List.map
+       (fun ((p : Pareto.point), optimal) ->
+         let marker =
+           if optimal then '*'
+           else if String.contains p.Pareto.pt_name 'd' then 'd'
+           else 's'
+         in
+         (p.Pareto.pt_debug, p.Pareto.pt_speedup, marker))
+       fronted)
+
+let fig2 ctx =
+  let points = all_points ctx in
+  let pareto = Pareto.front (List.map Pareto.of_config_point points) in
+  let rows =
+    List.map
+      (fun ((p : Pareto.point), optimal) ->
+        [
+          p.Pareto.pt_name;
+          T.f4 p.Pareto.pt_debug;
+          T.f4 p.Pareto.pt_speedup;
+          (if optimal then "pareto" else "");
+        ])
+      pareto
+  in
+  T.make
+    ~title:
+      "Figure 2: debuggability (product) vs speedup over O0, all configurations"
+    ~header:[ "configuration"; "debug product"; "speedup"; "front" ]
+    rows
+
+let table8 ctx =
+  let rows which =
+    List.concat_map
+      (fun comp ->
+        List.map
+          (fun y ->
+            [ Config.compiler_name comp; Printf.sprintf "Ox-d%d" y ]
+            @ List.map
+                (fun l ->
+                  let base = point ctx (Config.make comp l) in
+                  let cfg = Tuning.dy_config (ranking ctx (Config.make comp l)) ~y in
+                  let p = point ctx cfg in
+                  match which with
+                  | `Debug ->
+                      T.pct
+                        (Util.Stats.pct_delta base.Tuning.cp_debug
+                           p.Tuning.cp_debug)
+                  | `Speed ->
+                      T.pct
+                        (Util.Stats.pct_delta base.Tuning.cp_speedup
+                           p.Tuning.cp_speedup))
+                (Config.standard_levels comp))
+          dy_values)
+      [ Config.Gcc; Config.Clang ]
+  in
+  let header comp_levels = [ "compiler"; "config" ] @ comp_levels in
+  ( T.make
+      ~title:"Table VIII (top): % improvement of debug info availability"
+      ~header:(header [ "Og/O1"; "O1/O2"; "O2/O3"; "O3/-" ])
+      (rows `Debug),
+    T.make
+      ~title:"Table VIII (bottom): % speedup reduction"
+      ~header:(header [ "Og/O1"; "O1/O2"; "O2/O3"; "O3/-" ])
+      (rows `Speed) )
+
+let table13_14 ctx =
+  let points = all_points ctx in
+  let fronted = Pareto.front (List.map Pareto.of_config_point points) in
+  let find name =
+    List.find (fun ((p : Pareto.point), _) -> p.Pareto.pt_name = name) fronted
+  in
+  let mk which title =
+    let rows =
+      List.concat_map
+        (fun comp ->
+          List.map
+            (fun l ->
+              let base_cfg = Config.make comp l in
+              let base_name = Config.name base_cfg in
+              let base, base_opt = find base_name in
+              let base_v =
+                match which with
+                | `Debug -> base.Pareto.pt_debug
+                | `Speed -> base.Pareto.pt_speedup
+              in
+              [
+                Config.compiler_name comp;
+                Config.level_name l;
+                (T.f4 base_v ^ if base_opt then "*" else "");
+              ]
+              @ List.concat_map
+                  (fun y ->
+                    let cfg = Tuning.dy_config (ranking ctx base_cfg) ~y in
+                    let p, opt = find (Config.name cfg) in
+                    let v =
+                      match which with
+                      | `Debug -> p.Pareto.pt_debug
+                      | `Speed -> p.Pareto.pt_speedup
+                    in
+                    [
+                      (T.f4 v ^ if opt then "*" else "");
+                      T.pct (Util.Stats.pct_delta base_v v);
+                    ])
+                  dy_values)
+            (Config.standard_levels comp))
+        [ Config.Gcc; Config.Clang ]
+    in
+    T.make ~title
+      ~header:
+        [
+          "compiler"; "level"; "Ox"; "d3"; "d%"; "d5"; "d%"; "d7"; "d%"; "d9";
+          "d%";
+        ]
+      rows
+  in
+  ( mk `Debug "Table XIII: debug product per configuration (* = Pareto-optimal)",
+    mk `Speed "Table XIV: speedup per configuration (* = Pareto-optimal)" )
+
+(* ------------------------------------------------------------------ *)
+(* Tables IX / X: per-program debug quality for Ox-dy                  *)
+
+let per_program_dy_table ctx comp title =
+  let levels = Config.standard_levels comp in
+  let configs =
+    List.concat_map
+      (fun y ->
+        List.map
+          (fun l -> (y, l, Tuning.dy_config (ranking ctx (Config.make comp l)) ~y))
+          levels)
+      dy_values
+  in
+  let measured =
+    List.map (fun (y, l, cfg) -> ((y, l), point ctx cfg)) configs
+  in
+  let rows =
+    List.map
+      (fun (p : Evaluation.prepared) ->
+        let name = p.Evaluation.program.Suite_types.p_name in
+        name
+        :: List.concat_map
+             (fun y ->
+               List.map
+                 (fun l ->
+                   let pt = List.assoc (y, l) measured in
+                   T.f4 (List.assoc name pt.Tuning.cp_per_program))
+                 levels)
+             dy_values)
+      ctx.suite
+  in
+  let avg_row =
+    "average"
+    :: List.concat_map
+         (fun y ->
+           List.map
+             (fun l ->
+               let pt = List.assoc (y, l) measured in
+               T.f4 pt.Tuning.cp_debug)
+             levels)
+         dy_values
+  in
+  let header =
+    "program"
+    :: List.concat_map
+         (fun y ->
+           List.map
+             (fun l -> Printf.sprintf "%s-d%d" (Config.level_name l) y)
+             levels)
+         dy_values
+  in
+  T.make ~title ~header (rows @ [ avg_row ])
+
+let table9 ctx =
+  per_program_dy_table ctx Config.Gcc
+    "Table IX: per-program debug quality, gcc Ox-dy"
+
+let table10 ctx =
+  per_program_dy_table ctx Config.Clang
+    "Table X: per-program debug quality, clang Ox-dy"
+
+(* ------------------------------------------------------------------ *)
+(* Tables XI / XII: SPEC speedups                                      *)
+
+let spec_speedup_rows ctx config =
+  match List.assoc_opt config ctx.speedup_cache with
+  | Some rows -> rows
+  | None ->
+      let rows = fst (Tuning.speedups_cached ~o0_costs:ctx.o0_costs ctx.spec config) in
+      ctx.speedup_cache <- (config, rows) :: ctx.speedup_cache;
+      rows
+
+let table11 ctx =
+  let rows =
+    List.concat_map
+      (fun (p : Suite_types.sprogram) ->
+        let name = p.Suite_types.p_name in
+        List.concat_map
+          (fun comp ->
+            List.map
+              (fun l ->
+                let base = Config.make comp l in
+                let cell cfg =
+                  let rows = spec_speedup_rows ctx cfg in
+                  T.f4
+                    (List.find (fun r -> r.Tuning.sp_bench = name) rows)
+                      .Tuning.sp_speedup
+                in
+                [
+                  name;
+                  Config.compiler_name comp;
+                  Config.level_name l;
+                  cell base;
+                ]
+                @ List.map
+                    (fun y ->
+                      cell (Tuning.dy_config (ranking ctx base) ~y))
+                    dy_values)
+              (Config.standard_levels comp))
+          [ Config.Gcc; Config.Clang ])
+      ctx.spec
+  in
+  T.make
+    ~title:"Table XI: SPEC analog speedups over O0 (standard and Ox-dy)"
+    ~header:[ "benchmark"; "compiler"; "level"; "standard"; "d3"; "d5"; "d7"; "d9" ]
+    rows
+
+let table12 ctx =
+  let rows =
+    List.concat_map
+      (fun (p : Suite_types.sprogram) ->
+        let name = p.Suite_types.p_name in
+        List.concat_map
+          (fun comp ->
+            List.map
+              (fun l ->
+                let base = Config.make comp l in
+                let speedup cfg =
+                  let rows = spec_speedup_rows ctx cfg in
+                  (List.find (fun r -> r.Tuning.sp_bench = name) rows)
+                    .Tuning.sp_speedup
+                in
+                let base_v = speedup base in
+                [ name; Config.compiler_name comp; Config.level_name l ]
+                @ List.map
+                    (fun y ->
+                      let v =
+                        speedup (Tuning.dy_config (ranking ctx base) ~y)
+                      in
+                      T.pct (Util.Stats.pct_delta base_v v))
+                    dy_values)
+              (Config.standard_levels comp))
+          [ Config.Gcc; Config.Clang ])
+      ctx.spec
+  in
+  T.make
+    ~title:"Table XII: SPEC analog % improvement of Ox-dy over reference level"
+    ~header:[ "benchmark"; "compiler"; "level"; "d3"; "d5"; "d7"; "d9" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3 / Table XV: AutoFDO on the SPEC analogs                    *)
+
+type autofdo_row = {
+  ar_bench : string;
+  ar_o2_speedup : float;  (** plain O2 vs O2-AutoFDO *)
+  ar_dy : (int * float * float) list;
+      (** y, speedup of O2-dy-profile AutoFDO vs O2-AutoFDO, % extra
+          steppable lines in the profiling binary *)
+}
+
+let autofdo_level = Config.O2
+
+let autofdo_data ctx =
+  let comp = Config.Clang in
+  let base_cfg = Config.make comp autofdo_level in
+  let lr = ranking ctx base_cfg in
+  List.map
+    (fun (p : Suite_types.sprogram) ->
+      let ast = Suite_types.ast p in
+      let roots = Suite_types.roots p in
+      let h = List.hd p.Suite_types.p_harnesses in
+      let entry = h.Suite_types.h_entry in
+      let workloads =
+        if h.Suite_types.h_seeds = [] then [ [] ] else h.Suite_types.h_seeds
+      in
+      let run_with profiling_config =
+        Autofdo.run_autofdo ast ~roots ~entry ~workloads ~profiling_config
+          ~final_config:base_cfg ()
+      in
+      let baseline = run_with base_cfg in
+      let plain_o2_cost =
+        let bin = Toolchain.compile ast ~config:base_cfg ~roots in
+        List.fold_left
+          (fun acc input ->
+            let r = Vm.run bin ~entry ~input Vm.default_opts in
+            acc + r.Vm.cost)
+          0 workloads
+      in
+      let dy =
+        List.map
+          (fun y ->
+            let cfg = Tuning.dy_config lr ~y in
+            let o = run_with cfg in
+            ( y,
+              float_of_int baseline.Autofdo.final_cost
+                /. float_of_int (max 1 o.Autofdo.final_cost),
+              Util.Stats.pct_delta
+                (float_of_int baseline.Autofdo.steppable_lines)
+                (float_of_int o.Autofdo.steppable_lines) ))
+          dy_values
+      in
+      {
+        ar_bench = p.Suite_types.p_name;
+        ar_o2_speedup =
+          float_of_int baseline.Autofdo.final_cost
+          /. float_of_int (max 1 plain_o2_cost);
+        ar_dy = dy;
+      })
+    ctx.spec
+
+let fig3_table15 ctx =
+  let data = autofdo_data ctx in
+  let fig3_rows =
+    List.map
+      (fun r ->
+        let best_y, best, _ =
+          List.fold_left
+            (fun ((_, bv, _) as acc) ((_, v, _) as cand) ->
+              if v > bv then cand else acc)
+            (List.hd r.ar_dy) r.ar_dy
+        in
+        [
+          r.ar_bench;
+          T.f4 r.ar_o2_speedup;
+          T.f4 best;
+          Printf.sprintf "O2-d%d" best_y;
+          T.pct ((best -. 1.0) *. 100.0);
+        ])
+      data
+  in
+  let fig3 =
+    T.make
+      ~title:
+        "Figure 3: relative performance vs O2-AutoFDO (plain O2, best O2-dy-AutoFDO)"
+      ~header:[ "benchmark"; "O2 (no AutoFDO)"; "best O2-dy"; "config"; "d%" ]
+      fig3_rows
+  in
+  let t15_rows =
+    List.map
+      (fun r ->
+        r.ar_bench
+        :: List.concat_map
+             (fun (_, v, lines) -> [ T.f4 v; T.pct ((v -. 1.0) *. 100.0); T.pct lines ])
+             r.ar_dy)
+      data
+  in
+  let avg_row =
+    "average"
+    :: List.concat_map
+         (fun idx ->
+           let col f =
+             Util.Stats.mean (List.map (fun r -> f (List.nth r.ar_dy idx)) data)
+           in
+           [
+             T.f4 (col (fun (_, v, _) -> v));
+             T.pct (col (fun (_, v, _) -> (v -. 1.0) *. 100.0));
+             T.pct (col (fun (_, _, l) -> l));
+           ])
+         [ 0; 1; 2; 3 ]
+  in
+  let t15 =
+    T.make
+      ~title:
+        "Table XV: AutoFDO speedup vs O2-AutoFDO and % extra steppable lines"
+      ~header:
+        ([ "benchmark" ]
+        @ List.concat_map
+            (fun y ->
+              [
+                Printf.sprintf "d%d speedup" y; "d%"; "extra lines %";
+              ])
+            dy_values)
+      (t15_rows @ [ avg_row ])
+  in
+  (fig3, t15)
+
+(* ------------------------------------------------------------------ *)
+(* Extension: the prototype clang -Og (paper Section V-B takeaway)      *)
+
+let clang_og_table ctx =
+  let candidates =
+    [
+      ("clang-O0", Config.make Config.Clang Config.O0);
+      ("clang-O1", Config.make Config.Clang Config.O1);
+      ("clang-Og (proposed)", Extensions.clang_og);
+      ("gcc-Og", Config.make Config.Gcc Config.Og);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, cfg) ->
+        let pt = point ctx cfg in
+        [
+          name;
+          T.f4 pt.Tuning.cp_debug;
+          T.f4 pt.Tuning.cp_speedup;
+        ])
+      candidates
+  in
+  T.make
+    ~title:
+      "Extension: a prototype clang -Og (O1 minus the five recurring lossy        passes), vs its neighbours"
+    ~header:[ "configuration"; "debug product"; "speedup over O0" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Extension: per-program tuned configurations (Section VI)            *)
+
+let per_program_table ctx =
+  let cfg = Config.make Config.Gcc Config.O2 in
+  let y = 5 in
+  let rows = Extensions.per_program ctx.suite cfg ~y in
+  let abbreviate passes =
+    match passes with
+    | a :: b :: c :: _ :: _ -> Printf.sprintf "%s, %s, %s, ..." a b c
+    | l -> String.concat ", " l
+  in
+  T.make
+    ~title:
+      (Printf.sprintf
+         "Extension: per-program O2-d%d vs the suite-wide O2-d%d (gcc; mean \
+          gain %+.2f%%)"
+         y y
+         (Extensions.per_program_mean_gain rows))
+    ~header:
+      [ "program"; "global d5"; "own d5"; "gain %"; "program's disable set" ]
+    (List.map
+       (fun (r : Extensions.per_program_row) ->
+         [
+           r.Extensions.pp_program;
+           T.f4 r.Extensions.pp_global;
+           T.f4 r.Extensions.pp_local;
+           T.pct r.Extensions.pp_gain_pct;
+           abbreviate r.Extensions.pp_disabled;
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* Extension: encoded debug-info sizes                                 *)
+
+let dwarf_sizes_table ctx =
+  let levels =
+    [
+      (Config.Gcc, Config.O0); (Config.Gcc, Config.Og); (Config.Gcc, Config.O1);
+      (Config.Gcc, Config.O2); (Config.Gcc, Config.O3);
+      (Config.Clang, Config.O2);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (comp, level) ->
+        let cfg = Config.make comp level in
+        let line_total = ref 0 and loc_total = ref 0 in
+        let entries = ref 0 and code = ref 0 in
+        List.iter
+          (fun (p : Evaluation.prepared) ->
+            let bin =
+              Toolchain.compile p.Evaluation.ast ~config:cfg
+                ~roots:p.Evaluation.roots
+            in
+            let line, locs, _ = Dwarf_encode.section_sizes bin.Emit.debug in
+            line_total := !line_total + line;
+            loc_total := !loc_total + locs;
+            entries :=
+              !entries + List.length bin.Emit.debug.Dwarfish.line_table;
+            code := !code + Array.length bin.Emit.code)
+          ctx.suite;
+        [
+          Config.name cfg;
+          string_of_int !code;
+          string_of_int !entries;
+          Printf.sprintf "%dB" !line_total;
+          Printf.sprintf "%dB" !loc_total;
+          Printf.sprintf "%.2f" (float_of_int !loc_total /. float_of_int !line_total);
+        ])
+      levels
+  in
+  T.make
+    ~title:
+      "Extension: encoded DWARF section sizes over the 13-program suite        (.debug_line shrinks with optimization; .debug_loc fragments and grows)"
+    ~header:
+      [ "config"; "instrs"; "line entries"; ".debug_line"; ".debug_loc"; "loc/line" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Extension: iterative (multi-round) AutoFDO                          *)
+
+let autofdo_rounds_table ctx =
+  ignore ctx;
+  let bench = Spec.find "505.mcf" in
+  let ast = Suite_types.ast bench in
+  let rounds =
+    Extensions.iterative_autofdo ast ~roots:(Suite_types.roots bench)
+      ~entry:"main" ~workloads:[ [] ]
+      ~config:(Config.make Config.Clang Config.O2)
+      ~rounds:3 ()
+  in
+  let rows =
+    List.map
+      (fun (r : Extensions.round) ->
+        [
+          string_of_int r.Extensions.rd_index;
+          string_of_int r.Extensions.rd_cost;
+          T.pct (r.Extensions.rd_lost_fraction *. 100.0);
+        ])
+      rounds
+  in
+  T.make
+    ~title:
+      "Extension: iterative AutoFDO on 505.mcf (each round profiles the        previous round's optimized binary)"
+    ~header:[ "round"; "final cost"; "samples lost %" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: AutoFDO on the large workload                             *)
+
+let fig4 ctx =
+  let comp = Config.Clang in
+  let base_cfg = Config.make comp Config.O3 in
+  let lr = ranking ctx base_cfg in
+  let p = Selfcomp.program in
+  let ast = Suite_types.ast p in
+  let roots = Suite_types.roots p in
+  let workload = Selfcomp.workload ~seed:2026 ~units:100 in
+  let run_with profiling_config =
+    Autofdo.run_autofdo ast ~roots ~entry:"main" ~workloads:[ workload ]
+      ~profiling_config ~final_config:base_cfg ~period:431 ()
+  in
+  let baseline = run_with base_cfg in
+  let plain_bin = Toolchain.compile ast ~config:base_cfg ~roots in
+  let plain_cost =
+    (Vm.run plain_bin ~entry:"main" ~input:workload Vm.default_opts).Vm.cost
+  in
+  let rows =
+    List.map
+      (fun y ->
+        let cfg = Tuning.dy_config lr ~y in
+        let o = run_with cfg in
+        [
+          Printf.sprintf "O3-d%d" y;
+          T.f4
+            (float_of_int baseline.Autofdo.final_cost
+            /. float_of_int (max 1 o.Autofdo.final_cost));
+          T.pct
+            ((float_of_int baseline.Autofdo.final_cost
+              /. float_of_int (max 1 o.Autofdo.final_cost)
+             -. 1.0)
+            *. 100.0);
+          T.pct (o.Autofdo.lost_fraction *. 100.0);
+        ])
+      dy_values
+  in
+  let headline =
+    [
+      "O3-AutoFDO vs plain O3";
+      T.f4 (float_of_int plain_cost /. float_of_int (max 1 baseline.Autofdo.final_cost));
+      T.pct
+        ((float_of_int plain_cost /. float_of_int (max 1 baseline.Autofdo.final_cost)
+         -. 1.0)
+        *. 100.0);
+      T.pct (baseline.Autofdo.lost_fraction *. 100.0);
+    ]
+  in
+  T.make
+    ~title:
+      "Figure 4: AutoFDO on the large workload (selfcomp, 100 units); O3-dy profiles vs O3 profile"
+    ~header:[ "configuration"; "speedup"; "d%"; "samples lost %" ]
+    (headline :: rows)

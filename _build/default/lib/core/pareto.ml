@@ -1,0 +1,29 @@
+(** Pareto-front computation over (debuggability, speedup) points
+    (Figure 2): a configuration is Pareto-optimal when no other tested
+    configuration is at least as good on both axes and strictly better on
+    one. *)
+
+type point = { pt_name : string; pt_debug : float; pt_speedup : float }
+
+let dominates a b =
+  a.pt_debug >= b.pt_debug && a.pt_speedup >= b.pt_speedup
+  && (a.pt_debug > b.pt_debug || a.pt_speedup > b.pt_speedup)
+
+(** [front points] — each point paired with its Pareto-optimality. *)
+let front (points : point list) : (point * bool) list =
+  List.map
+    (fun p -> (p, not (List.exists (fun q -> dominates q p) points)))
+    points
+
+(** Pareto-optimal points sorted by increasing debuggability. *)
+let optimal points =
+  front points
+  |> List.filter_map (fun (p, opt) -> if opt then Some p else None)
+  |> List.sort (fun a b -> compare a.pt_debug b.pt_debug)
+
+let of_config_point (cp : Tuning.config_point) =
+  {
+    pt_name = Config.name cp.Tuning.cp_config;
+    pt_debug = cp.Tuning.cp_debug;
+    pt_speedup = cp.Tuning.cp_speedup;
+  }

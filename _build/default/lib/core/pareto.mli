@@ -1,0 +1,16 @@
+(** Pareto-front computation over (debuggability, speedup) points
+    (Figure 2). *)
+
+type point = { pt_name : string; pt_debug : float; pt_speedup : float }
+
+val dominates : point -> point -> bool
+(** [dominates a b]: at least as good on both axes, strictly better on
+    one. *)
+
+val front : point list -> (point * bool) list
+(** Each point paired with its Pareto-optimality. *)
+
+val optimal : point list -> point list
+(** Pareto-optimal points, sorted by increasing debuggability. *)
+
+val of_config_point : Tuning.config_point -> point

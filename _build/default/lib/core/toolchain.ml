@@ -1,0 +1,488 @@
+(** The toolchain driver: MiniC source + configuration -> binary.
+
+    Pipelines for the two compiler families are lists of named pass
+    instances; disabling a name (the paper's setup, our OptPassGate
+    analog) skips every instance carrying it. Backend behaviours
+    (coalescing, scheduling, placement, …) are toggled through named
+    flags folded into {!Mach.opts}.
+
+    An optional AutoFDO profile (source-line -> sample count) overrides
+    the static branch-probability estimates and feeds callsite hotness,
+    reproducing the paper's Section V-C setup. *)
+
+type profile = { line_counts : (int, int) Hashtbl.t; total_samples : int }
+
+type env = {
+  prog : Ir.program;
+  roots : string list;
+  mutable pure : string -> bool;
+  profile : profile option;
+  enabled : string -> bool;  (** pass-toggle lookup (master gates) *)
+}
+
+type entry =
+  | Ir_pass of string * (env -> unit)
+  | Backend_flag of string * (Mach.opts -> Mach.opts)
+
+let entry_name = function Ir_pass (n, _) | Backend_flag (n, _) -> n
+
+(* ------------------------------------------------------------------ *)
+(* Profile annotation                                                  *)
+
+(* Set block frequencies and branch probabilities from per-line sample
+   counts. Blocks whose lines carry no samples get a small floor, so
+   lost samples (debug-info holes in the profiling binary!) directly
+   degrade the frequency picture. *)
+let annotate_from_profile (prof : profile) (prog : Ir.program) =
+  Hashtbl.iter
+    (fun _ fn ->
+      Ir.iter_blocks fn (fun b ->
+          let count = ref 0 in
+          List.iter
+            (fun (i : Ir.instr) ->
+              match i.Ir.line with
+              | Some l ->
+                  count :=
+                    max !count
+                      (Option.value ~default:0
+                         (Hashtbl.find_opt prof.line_counts l))
+              | None -> ())
+            b.Ir.instrs;
+          (match b.Ir.term_line with
+          | Some l ->
+              count :=
+                max !count
+                  (Option.value ~default:0 (Hashtbl.find_opt prof.line_counts l))
+          | None -> ());
+          b.Ir.freq <- float_of_int !count +. 0.01);
+      (* Branch probabilities from successor frequencies, with
+         hysteresis: near-balanced counts stay at 0.5 so sampling noise
+         cannot flip block placement (AutoFDO's FS-discriminator
+         smoothing plays the same role). *)
+      Ir.iter_blocks fn (fun b ->
+          match b.Ir.term with
+          | Ir.Cbr (_, l1, l2) when l1 <> l2 ->
+              let f1 = (Ir.block fn l1).Ir.freq
+              and f2 = (Ir.block fn l2).Ir.freq in
+              let total = f1 +. f2 in
+              if total > 0.0 && abs_float (f1 -. f2) > 0.25 *. total then
+                b.Ir.prob <- f1 /. total
+              else b.Ir.prob <- 0.5
+          | _ -> ()))
+    prog.Ir.funcs
+
+let apply_profile env =
+  match env.profile with
+  | Some prof -> annotate_from_profile prof env.prog
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline definitions                                                *)
+
+let inline_pass name policy =
+  Ir_pass
+    ( name,
+      fun env ->
+        ignore (Inline.run env.prog ~policy ~roots:env.roots);
+        apply_profile env )
+
+(* gcc's specific inlining toggles are all gated by the master [inline]
+   switch (-fno-inline turns the inliner off wholesale). *)
+let gated_inline_pass name policy =
+  Ir_pass
+    ( name,
+      fun env ->
+        if env.enabled "inline" then begin
+          ignore (Inline.run env.prog ~policy ~roots:env.roots);
+          apply_profile env
+        end )
+
+let simple name f = Ir_pass (name, fun env -> f env.prog)
+
+let gcc_pipeline (level : Config.level) : entry list =
+  let base =
+    [
+      Ir_pass
+        ( "ipa-pure-const",
+          fun env ->
+            Ipa_pure_const.run env.prog;
+            env.pure <- Ipa_pure_const.pure_predicate env.prog );
+      Ir_pass
+        ( "guess-branch-probability",
+          fun env ->
+            Branch_prob.run_program env.prog;
+            apply_profile env );
+    ]
+  in
+  let inliners =
+    match level with
+    | Config.O0 -> []
+    | Config.Og ->
+        (* gcc -Og only inlines always_inline-style trivia; model as a
+           present-but-idle toggle (it never reaches the top-10, as in
+           the paper). *)
+        [ inline_pass "inline" { Inline.policy_off with small_threshold = 1 } ]
+    | Config.O1 ->
+        [
+          inline_pass "inline" { Inline.policy_off with small_threshold = 4 };
+          gated_inline_pass "inline-fncs-called-once"
+            { Inline.policy_off with called_once = true };
+        ]
+    | Config.O2 ->
+        [
+          inline_pass "inline" { Inline.policy_off with small_threshold = 8 };
+          gated_inline_pass "inline-fncs-called-once"
+            { Inline.policy_off with called_once = true };
+          gated_inline_pass "inline-small-functions"
+            { Inline.policy_off with small_threshold = 16 };
+          gated_inline_pass "inline-functions"
+            { Inline.policy_off with functions_threshold = 32 };
+        ]
+    | Config.O3 ->
+        [
+          inline_pass "inline" { Inline.policy_off with small_threshold = 8 };
+          gated_inline_pass "inline-fncs-called-once"
+            { Inline.policy_off with called_once = true };
+          gated_inline_pass "inline-small-functions"
+            { Inline.policy_off with small_threshold = 24 };
+          gated_inline_pass "inline-functions"
+            { Inline.policy_off with functions_threshold = 64 };
+        ]
+  in
+  let scalar_cleanup =
+    [
+      simple "tree-ccp" Instcombine.run_program;
+      simple "tree-forwprop" Instcombine.run_program;
+      Ir_pass
+        ( "tree-fre",
+          fun env -> Cse.run_global_program ~pure_calls:env.pure env.prog );
+      Ir_pass ("dce", fun env -> Dce.run_program ~pure_calls:env.pure env.prog);
+    ]
+  in
+  let o1_extras =
+    [
+      simple "sra" Sroa.run_program;
+      simple "tree-ch" Loop_rotate.run_program;
+      simple "tree-loop-optimize" Licm.run_program;
+      simple "tree-sink" Sink.run_program;
+      Ir_pass
+        ( "tree-dominator-opts",
+          fun env ->
+            Cse.run_global_program ~pure_calls:env.pure env.prog;
+            Jump_threading.run_program env.prog );
+      simple "tree-ter" Ter.run_program;
+    ]
+  in
+  let o2_extras =
+    [
+      simple "tree-ivopts" (fun p ->
+          Hashtbl.iter (fun _ fn -> ignore (Lsr.run fn)) p.Ir.funcs);
+      simple "dse" (fun p -> ignore (Dse.run p));
+      Ir_pass
+        ( "expensive-opts",
+          (* The -fexpensive-optimizations group: a second redundancy /
+             sinking / dead-store round. *)
+          fun env ->
+            Cse.run_global_program ~pure_calls:env.pure env.prog;
+            Sink.run_program env.prog;
+            ignore (Dse.run env.prog) );
+      simple "if-conversion" (fun p -> If_conversion.run_program p);
+    ]
+  in
+  let o3_extras =
+    [
+      simple "cunroll" (fun p ->
+          Hashtbl.iter (fun _ fn -> ignore (Loop_unroll.run fn ~factor:2)) p.Ir.funcs);
+      simple "tree-slp-vectorize" Slp.run_program;
+    ]
+  in
+  let late =
+    [
+      simple "thread-jumps" Jump_threading.run_program;
+      Ir_pass ("dce", fun env -> Dce.run_program ~pure_calls:env.pure env.prog);
+    ]
+  in
+  let backend_flags =
+    [
+      Backend_flag ("tree-coalesce-vars", fun o -> { o with Mach.coalesce = true });
+      Backend_flag
+        ("ira-share-spill-slots", fun o -> { o with Mach.share_spill_slots = true });
+      Backend_flag ("shrink-wrap", fun o -> { o with Mach.shrink_wrap = true });
+      Backend_flag ("reorder-blocks", fun o -> { o with Mach.place_blocks = true });
+    ]
+  in
+  let o1_flags =
+    [ Backend_flag ("toplevel-reorder", fun o -> { o with Mach.icf = true }) ]
+  in
+  let o2_flags =
+    [
+      Backend_flag ("schedule-insns2", fun o -> { o with Mach.schedule = true });
+      Backend_flag ("crossjumping", fun o -> { o with Mach.tail_merge = true });
+    ]
+  in
+  match level with
+  | Config.O0 -> []
+  | Config.Og -> base @ inliners @ scalar_cleanup @ late @ backend_flags
+  | Config.O1 ->
+      base @ inliners @ scalar_cleanup @ o1_extras @ late @ backend_flags
+      @ o1_flags
+  | Config.O2 ->
+      base @ inliners @ scalar_cleanup @ o1_extras @ o2_extras @ late
+      @ backend_flags @ o1_flags @ o2_flags
+  | Config.O3 ->
+      base @ inliners @ scalar_cleanup @ o1_extras @ o2_extras @ o3_extras
+      @ late @ backend_flags @ o1_flags @ o2_flags
+
+let clang_pipeline (level : Config.level) : entry list =
+  let inliner threshold =
+    inline_pass "Inliner" { Inline.policy_off with small_threshold = threshold }
+  in
+  let o1 =
+    [
+      simple "SROA" Sroa.run_program;
+      simple "EarlyCSE" (fun p -> Cse.run_local_program p);
+      simple "SimplifyCFG" Simplify_cfg.run_program;
+      simple "InstCombine" Instcombine.run_program;
+      (match level with
+      | Config.O1 -> inliner 12
+      | Config.O2 -> inliner 16
+      | _ -> inliner 20);
+      simple "LoopRotate" Loop_rotate.run_program;
+      simple "LICM" Licm.run_program;
+      simple "LoopStrengthReduce" (fun p ->
+          Hashtbl.iter (fun _ fn -> ignore (Lsr.run fn)) p.Ir.funcs);
+      simple "SimplifyCFG" Simplify_cfg.run_program;
+      simple "InstCombine" Instcombine.run_program;
+      simple "EarlyCSE" (fun p -> Cse.run_local_program p);
+    ]
+  in
+  let o2 =
+    [
+      Ir_pass
+        ( "GVN",
+          fun env -> Cse.run_global_program ~pure_calls:env.pure env.prog );
+      simple "JumpThreading" Jump_threading.run_program;
+      simple "DSE" (fun p -> ignore (Dse.run p));
+      simple "LoopUnroll" (fun p ->
+          Hashtbl.iter (fun _ fn -> ignore (Loop_unroll.run fn ~factor:2)) p.Ir.funcs);
+      simple "SimplifyCFG" Simplify_cfg.run_program;
+    ]
+  in
+  let o3 =
+    [
+      simple "LoopUnroll" (fun p ->
+          Hashtbl.iter (fun _ fn -> ignore (Loop_unroll.run fn ~factor:2)) p.Ir.funcs);
+      simple "SLPVectorizer" Slp.run_program;
+    ]
+  in
+  let dce_late =
+    [
+      Ir_pass ("ADCE", fun env -> Dce.run_program ~pure_calls:env.pure env.prog);
+    ]
+  in
+  let purity =
+    [
+      Ir_pass
+        ( "FunctionAttrs",
+          fun env ->
+            Ipa_pure_const.run env.prog;
+            env.pure <- Ipa_pure_const.pure_predicate env.prog );
+    ]
+  in
+  let machine_flags =
+    [
+      Backend_flag ("Machine code sinking", fun o -> { o with Mach.sink = true });
+      Backend_flag
+        ("Control Flow Optimizer", fun o -> { o with Mach.tail_merge = true });
+      Backend_flag
+        ("Branch Prob BB Placement", fun o -> { o with Mach.place_blocks = true });
+      Backend_flag ("Machine Scheduler", fun o -> { o with Mach.schedule = true });
+    ]
+  in
+  match level with
+  | Config.O0 -> []
+  | Config.Og | Config.O1 -> purity @ o1 @ dce_late @ machine_flags
+  | Config.O2 -> purity @ o1 @ o2 @ dce_late @ machine_flags
+  | Config.O3 -> purity @ o1 @ o2 @ o3 @ dce_late @ machine_flags
+
+let pipeline (c : Config.t) =
+  match c.Config.compiler with
+  | Config.Gcc -> gcc_pipeline c.Config.level
+  | Config.Clang -> clang_pipeline c.Config.level
+
+(** Names of the toggleable passes of a configuration's level, in
+    pipeline order, deduplicated — the sweep set of Section V. *)
+let pass_names (c : Config.t) =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun e ->
+      let n = entry_name e in
+      if Hashtbl.mem seen n then None
+      else begin
+        Hashtbl.replace seen n ();
+        Some n
+      end)
+    (pipeline c)
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+
+(** [compile ?profile src_program ~config ~roots] produces a binary.
+    [roots] lists entry functions that must survive (harness entries).
+    [entry_values] and [sched_keep_lines] override the compiler-family
+    defaults (ablation hooks). *)
+let compile ?profile ?entry_values ?sched_keep_lines
+    (src : Minic.Ast.program) ~(config : Config.t) ~roots : Emit.binary =
+  let prog = Lower.lower_program src in
+  let env =
+    {
+      prog;
+      roots;
+      pure = (fun _ -> false);
+      profile;
+      enabled = Config.enabled config;
+    }
+  in
+  let mach_opts = ref Mach.opts_o0 in
+  if config.Config.level <> Config.O0 then begin
+    (* into-ssa: neither compiler lets you opt out of SSA construction. *)
+    Hashtbl.iter (fun _ fn -> Mem2reg.run fn) prog.Ir.funcs;
+    Cleanup.run_program prog;
+    (* clang's register allocator always coalesces and shares stack
+       slots and shrink-wraps; gcc exposes these as flags. *)
+    (if config.Config.compiler = Config.Clang then
+       mach_opts :=
+         {
+           !mach_opts with
+           Mach.coalesce = true;
+           share_spill_slots = true;
+           shrink_wrap = true;
+           sched_keep_lines = true;
+         });
+    apply_profile env;
+    List.iter
+      (fun e ->
+        match e with
+        | Ir_pass (name, f) when Config.enabled config name ->
+            f env;
+            Cleanup.run_program prog
+        | Backend_flag (name, f) when Config.enabled config name ->
+            mach_opts := f !mach_opts
+        | Ir_pass _ | Backend_flag _ -> ())
+      (pipeline config);
+    apply_profile env
+  end;
+  (* Emission order: source order (our toplevel-reorder only gates ICF,
+     which the emitter applies when the flag is on). *)
+  let fns =
+    Hashtbl.fold (fun _ fn acc -> fn :: acc) prog.Ir.funcs []
+    |> List.sort (fun (a : Ir.fn) b -> compare (a.Ir.f_line, a.Ir.f_name) (b.Ir.f_line, b.Ir.f_name))
+  in
+  (* Ablation hook: force the scheduler's line-retention behaviour
+     (gcc's scheduler strips displaced lines, clang's keeps them)
+     independently of the compiler family. *)
+  (match sched_keep_lines with
+  | Some v -> mach_opts := { !mach_opts with Mach.sched_keep_lines = v }
+  | None -> ());
+  let mfuncs =
+    List.map
+      (fun fn ->
+        let m = Isel.translate_fn fn !mach_opts in
+        Mach_passes.run m !mach_opts;
+        m)
+      fns
+  in
+  let entry_values =
+    match entry_values with
+    | Some v -> v
+    | None ->
+        config.Config.compiler = Config.Gcc && config.Config.level <> Config.O0
+  in
+  Emit.emit ~icf:!mach_opts.Mach.icf ~entry_values
+    { Mach.mfuncs; mglobals = prog.Ir.prog_globals }
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline tracing                                                    *)
+
+type ir_stats = {
+  st_instrs : int;  (** real (non-debug) instructions *)
+  st_blocks : int;
+  st_bindings : int;  (** Dbg bindings with a live operand *)
+  st_optimized_out : int;  (** Dbg bindings already lost *)
+  st_lines : int;  (** distinct source lines still on instructions *)
+}
+
+let ir_stats_of (prog : Ir.program) =
+  let instrs = ref 0 and blocks = ref 0 in
+  let bindings = ref 0 and dead = ref 0 in
+  let lines = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ fn ->
+      Ir.iter_blocks fn (fun b ->
+          incr blocks;
+          (match b.Ir.term_line with
+          | Some l -> Hashtbl.replace lines l ()
+          | None -> ());
+          List.iter
+            (fun (i : Ir.instr) ->
+              match i.Ir.ik with
+              | Ir.Dbg (_, Some _) -> incr bindings
+              | Ir.Dbg (_, None) -> incr dead
+              | _ ->
+                  incr instrs;
+                  (match i.Ir.line with
+                  | Some l -> Hashtbl.replace lines l ()
+                  | None -> ()))
+            b.Ir.instrs))
+    prog.Ir.funcs;
+  {
+    st_instrs = !instrs;
+    st_blocks = !blocks;
+    st_bindings = !bindings;
+    st_optimized_out = !dead;
+    st_lines = Hashtbl.length lines;
+  }
+
+(** [pipeline_trace src ~config ~roots] replays the IR phase of
+    {!compile} and records the statistics after every executed pass —
+    the [-fdump-tree-all] analog, showing where instructions, debug
+    bindings and line attributions go. The first row ("lower") is the
+    freshly lowered program; "mem2reg" follows SSA construction; later
+    rows carry the pipeline's pass names. Backend flags do not run at
+    the IR level and are reported with unchanged statistics. *)
+let pipeline_trace (src : Minic.Ast.program) ~(config : Config.t) ~roots :
+    (string * ir_stats) list =
+  let prog = Lower.lower_program src in
+  let env =
+    {
+      prog;
+      roots;
+      pure = (fun _ -> false);
+      profile = None;
+      enabled = Config.enabled config;
+    }
+  in
+  let steps = ref [ ("lower", ir_stats_of prog) ] in
+  if config.Config.level <> Config.O0 then begin
+    Hashtbl.iter (fun _ fn -> Mem2reg.run fn) prog.Ir.funcs;
+    Cleanup.run_program prog;
+    steps := ("mem2reg", ir_stats_of prog) :: !steps;
+    apply_profile env;
+    List.iter
+      (fun e ->
+        match e with
+        | Ir_pass (name, f) when Config.enabled config name ->
+            f env;
+            Cleanup.run_program prog;
+            steps := (name, ir_stats_of prog) :: !steps
+        | Backend_flag (name, _) when Config.enabled config name ->
+            steps := (name ^ " (backend)", ir_stats_of prog) :: !steps
+        | Ir_pass _ | Backend_flag _ -> ())
+      (pipeline config)
+  end;
+  List.rev !steps
+
+(** Convenience: parse, check and compile a source string. *)
+let compile_source ?profile source ~config ~roots =
+  let ast = Minic.Typecheck.parse_and_check source in
+  compile ?profile ast ~config ~roots

@@ -1,0 +1,106 @@
+(** Configuration tuning (Section III-B, second component): build the
+    [Ox-dy] configurations from a ranking and measure both sides of the
+    trade — debuggability on the test suite, performance on the SPEC
+    analogs. *)
+
+(** [dy_config ranking ~y] disables the top-[y] ranked passes, with the
+    paper's inliner exception: the general inliner toggle (gcc [inline],
+    clang [Inliner]) is never disabled — only the more specific inlining
+    flags participate. *)
+let dy_config (lr : Ranking.level_ranking) ~y : Config.t =
+  let candidates =
+    List.filter
+      (fun (e : Ranking.pass_effect) ->
+        e.Ranking.pe_pass <> "inline" && e.Ranking.pe_pass <> "Inliner")
+      lr.Ranking.lr_effects
+  in
+  let top = List.filteri (fun i _ -> i < y) candidates in
+  {
+    lr.Ranking.lr_config with
+    Config.disabled = List.map (fun (e : Ranking.pass_effect) -> e.Ranking.pe_pass) top;
+  }
+
+(* -------------------------------------------------------------- *)
+(* Performance on the SPEC analogs                                 *)
+
+type bench_run = { br_name : string; br_cost : int }
+
+(** Total VM cost of one benchmark under a configuration. The SPEC
+    analogs are closed programs; the median-of-three of the paper
+    degenerates to a single deterministic run here. *)
+let bench_cost (p : Suite_types.sprogram) (config : Config.t) =
+  let ast = Suite_types.ast p in
+  let roots = Suite_types.roots p in
+  let bin = Toolchain.compile ast ~config ~roots in
+  List.fold_left
+    (fun acc (h : Suite_types.harness) ->
+      let inputs = if h.Suite_types.h_seeds = [] then [ [] ] else h.Suite_types.h_seeds in
+      List.fold_left
+        (fun acc input ->
+          let r = Vm.run bin ~entry:h.Suite_types.h_entry ~input Vm.default_opts in
+          if r.Vm.timed_out then invalid_arg ("bench timed out: " ^ p.Suite_types.p_name);
+          acc + r.Vm.cost)
+        acc inputs)
+    0 p.Suite_types.p_harnesses
+
+type speedup_row = {
+  sp_bench : string;
+  sp_speedup : float;  (** over the O0 build of the same benchmark *)
+}
+
+(** [speedups benches config] — per-benchmark speedup over O0 plus the
+    geometric mean. O0 costs are computed on the fly; callers measuring
+    many configurations should use {!speedups_cached}. *)
+let speedups_cached ~(o0_costs : (string * int) list)
+    (benches : Suite_types.sprogram list) (config : Config.t) =
+  let rows =
+    List.map
+      (fun p ->
+        let name = p.Suite_types.p_name in
+        let base = List.assoc name o0_costs in
+        let c = bench_cost p config in
+        {
+          sp_bench = name;
+          sp_speedup = float_of_int base /. float_of_int (max 1 c);
+        })
+      benches
+  in
+  let geo = Util.Stats.geomean (List.map (fun r -> r.sp_speedup) rows) in
+  (rows, geo)
+
+let o0_costs (benches : Suite_types.sprogram list) =
+  List.map
+    (fun p ->
+      (p.Suite_types.p_name, bench_cost p (Config.make Config.Gcc Config.O0)))
+    benches
+
+let speedups benches config =
+  speedups_cached ~o0_costs:(o0_costs benches) benches config
+
+(* -------------------------------------------------------------- *)
+(* Joint debug + performance measurement of a configuration         *)
+
+type config_point = {
+  cp_config : Config.t;
+  cp_debug : float;  (** average hybrid product over the test suite *)
+  cp_speedup : float;  (** geomean speedup over O0 on SPEC *)
+  cp_per_program : (string * float) list;
+}
+
+let measure_point (prepared_suite : Evaluation.prepared list)
+    ~(o0_costs : (string * int) list) (benches : Suite_types.sprogram list)
+    (config : Config.t) : config_point =
+  let per_program =
+    List.map
+      (fun (p : Evaluation.prepared) ->
+        ( p.Evaluation.program.Suite_types.p_name,
+          Evaluation.product p config ))
+      prepared_suite
+  in
+  let _, geo = speedups_cached ~o0_costs benches config in
+  {
+    cp_config = config;
+    cp_debug = Util.Stats.mean (List.map snd per_program);
+    cp_speedup = geo;
+    cp_per_program = per_program;
+  }

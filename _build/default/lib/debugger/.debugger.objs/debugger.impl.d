@@ -1,0 +1,1 @@
+lib/debugger/debugger.ml: Array Dwarfish Emit Hashtbl Ir List Option Set Vm

@@ -1,0 +1,1 @@
+lib/debugger/debugger.mli: Emit Hashtbl Ir Set

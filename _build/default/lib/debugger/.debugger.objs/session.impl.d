@@ -1,0 +1,1 @@
+lib/debugger/session.ml: Array Buffer Dwarfish Emit Hashtbl Ir List Mach Printf String Vm

@@ -1,0 +1,1 @@
+lib/debugger/session.mli: Emit

@@ -1,0 +1,1 @@
+lib/debugger/trace_json.ml: Buffer Char Debugger Hashtbl Ir List Printf String

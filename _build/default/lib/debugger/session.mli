@@ -1,0 +1,28 @@
+(** Interactive debugger sessions driven by command scripts — the
+    analog of the paper's methodology of driving gdb in batch mode.
+
+    Commands (gdb-flavoured): [break L] (optionally
+    [break L if var OP int]), [tbreak L], [delete L],
+    [run i1,i2,...], [continue]/[c], [step]/[s], [next]/[n], [finish],
+    [print x]/[p x], [watch x], [unwatch x], [info locals], [info line],
+    [info breakpoints], [info watchpoints], [backtrace]/[bt], [quit].
+    Watchpoints are software watchpoints: the value is re-sampled from
+    the debug info after every instruction, as gdb does without
+    hardware debug registers. Variables are materialized from the
+    binary's DWARF-like debug information; a variable whose location
+    list does not cover the stop address prints [<optimized out>],
+    exactly the artifact the paper measures. *)
+
+type t
+
+val create : Emit.binary -> entry:string -> t
+(** A fresh session; the program is not running until [run]. *)
+
+val exec : t -> string -> string list
+(** Execute one command; returns its output lines. Unknown commands
+    produce a one-line error, never an exception. *)
+
+val script : Emit.binary -> entry:string -> string list -> string
+(** [script bin ~entry commands] replays a batch script (the gdb [-x]
+    analog) and returns the transcript: each command echoed behind a
+    ["(dbg) "] prompt, followed by its output. *)

@@ -1,0 +1,1 @@
+lib/debuginfo/dwarf_encode.ml: Buffer Char Dwarfish Ir List Printf String

@@ -1,0 +1,1 @@
+lib/debuginfo/dwarf_encode.mli: Buffer Dwarfish

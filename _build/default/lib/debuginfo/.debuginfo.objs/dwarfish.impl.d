@@ -1,0 +1,1 @@
+lib/debuginfo/dwarfish.ml: Hashtbl Ir List Printf

@@ -1,0 +1,30 @@
+(** Binary encoding of the debug information using the actual DWARF
+    wire formats: LEB128 varints, a `.debug_line` line-number program
+    (standard + special opcodes, replayed through the state machine)
+    and `.debug_loc` lists of DWARF location expressions
+    ([DW_OP_reg0+k], [DW_OP_fbreg], [DW_OP_consts]; entry-value entries
+    wrapped in [DW_OP_entry_value] exactly as gcc emits them). *)
+
+exception Malformed of string
+
+val encode : Dwarfish.t -> string
+(** Serialize to a blob: magic, version, `.debug_line`, `.debug_loc`. *)
+
+val decode : string -> Dwarfish.t
+(** Parse an {!encode}d blob. Raises {!Malformed} on anything
+    structurally wrong; never returns partial data. *)
+
+val section_sizes : Dwarfish.t -> int * int * int
+(** Encoded sizes in bytes: (.debug_line, .debug_loc, whole blob). *)
+
+(** {2 Wire-format primitives} (exposed for direct testing) *)
+
+type cursor = { data : string; mutable pos : int }
+
+val write_uleb : Buffer.t -> int -> unit
+val write_sleb : Buffer.t -> int -> unit
+val read_uleb : cursor -> int
+val read_sleb : cursor -> int
+
+val encode_line_program : Buffer.t -> Dwarfish.line_entry list -> unit
+val decode_line_program : cursor -> Dwarfish.line_entry list

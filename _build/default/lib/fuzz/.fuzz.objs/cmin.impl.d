@@ -1,0 +1,1 @@
+lib/fuzz/cmin.ml: Emit Fuzzer Hashtbl List

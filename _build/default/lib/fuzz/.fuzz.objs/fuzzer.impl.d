@@ -1,0 +1,1 @@
+lib/fuzz/fuzzer.ml: Array Emit Hashtbl List Util Vm

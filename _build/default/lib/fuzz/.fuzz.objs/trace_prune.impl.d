@@ -1,0 +1,1 @@
+lib/fuzz/trace_prune.ml: Debugger Emit Hashtbl List

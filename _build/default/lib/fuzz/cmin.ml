@@ -1,0 +1,42 @@
+(** Coverage-preserving corpus minimization — the [afl-cmin] analog.
+
+    Greedy set cover over edge coverage: process inputs by decreasing
+    coverage, keep an input only if it contributes an edge not yet
+    covered by the kept set. The kept subset covers exactly the same
+    edges as the full corpus. *)
+
+type stats = { kept : int list list; original : int; reduction_pct : float }
+
+let minimize (bin : Emit.binary) ~entry (corpus : int list list) : stats =
+  let with_cov =
+    List.map
+      (fun input ->
+        let res = Fuzzer.run_input bin ~entry input in
+        (input, Fuzzer.edges_of res))
+      corpus
+  in
+  let sorted =
+    List.sort
+      (fun (_, a) (_, b) -> compare (List.length b) (List.length a))
+      with_cov
+  in
+  let covered = Hashtbl.create 1024 in
+  let kept =
+    List.filter_map
+      (fun (input, edges) ->
+        let adds = List.exists (fun e -> not (Hashtbl.mem covered e)) edges in
+        if adds then begin
+          List.iter (fun e -> Hashtbl.replace covered e ()) edges;
+          Some input
+        end
+        else None)
+      sorted
+  in
+  let original = List.length corpus in
+  let reduction =
+    if original = 0 then 0.0
+    else
+      float_of_int (original - List.length kept)
+      /. float_of_int original *. 100.0
+  in
+  { kept; original; reduction_pct = reduction }

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Arith Array Buffer Hashtbl List Printf String

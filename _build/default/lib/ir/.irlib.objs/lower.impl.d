@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Hashtbl Ir List Minic Option

@@ -1,0 +1,1 @@
+lib/ir/mem2reg.ml: Dom Hashtbl Int Ir List Option Set

@@ -1,0 +1,132 @@
+(** Natural-loop detection.
+
+    A back edge is an edge [t -> h] where [h] dominates [t]; the natural
+    loop of [h] is [h] plus every block that can reach some latch [t]
+    without passing through [h]. Used by LICM, loop rotation, unrolling,
+    strength reduction and the branch-probability estimator. *)
+
+module Label_set = Set.Make (Int)
+
+type loop = {
+  header : int;
+  latches : int list;  (** sources of back edges into [header] *)
+  body : Label_set.t;  (** includes the header *)
+  depth : int;  (** 1 for outermost *)
+}
+
+type t = { loops : loop list; depth_of : (int, int) Hashtbl.t }
+
+let find (fn : Ir.fn) (dom : Dom.t) =
+  Ir.recompute_preds fn;
+  let back_edges = ref [] in
+  List.iter
+    (fun l ->
+      let b = Ir.block fn l in
+      List.iter
+        (fun s -> if Dom.dominates dom s l then back_edges := (l, s) :: !back_edges)
+        (Ir.succs b.Ir.term))
+    dom.Dom.order;
+  (* Group back edges by header. *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (t, h) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_header h) in
+      Hashtbl.replace by_header h (t :: cur))
+    !back_edges;
+  let natural_loop header latches =
+    let body = ref (Label_set.singleton header) in
+    let stack = ref latches in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | l :: rest ->
+          stack := rest;
+          if not (Label_set.mem l !body) then begin
+            body := Label_set.add l !body;
+            stack := (Ir.block fn l).Ir.preds @ !stack
+          end
+    done;
+    !body
+  in
+  let loops =
+    Hashtbl.fold
+      (fun header latches acc ->
+        { header; latches; body = natural_loop header latches; depth = 1 } :: acc)
+      by_header []
+  in
+  (* Nesting depth of a block: number of loop bodies containing it. *)
+  let depth_of = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      let d =
+        List.fold_left
+          (fun acc lp -> if Label_set.mem l lp.body then acc + 1 else acc)
+          0 loops
+      in
+      Hashtbl.replace depth_of l d)
+    dom.Dom.order;
+  let loops =
+    List.map
+      (fun lp -> { lp with depth = Hashtbl.find depth_of lp.header })
+      loops
+  in
+  (* Deterministic order: by header label. *)
+  let loops = List.sort (fun a b -> compare a.header b.header) loops in
+  { loops; depth_of }
+
+let depth t l = Option.value ~default:0 (Hashtbl.find_opt t.depth_of l)
+
+(** Blocks outside the loop that branch into its header. *)
+let entering (fn : Ir.fn) lp =
+  List.filter (fun p -> not (Label_set.mem p lp.body)) (Ir.block fn lp.header).Ir.preds
+
+(** [preheader fn lp] returns the unique outside predecessor of the
+    header if it has the header as its only successor; otherwise creates
+    one, rerouting outside edges and header phis through it. Returns the
+    preheader label. *)
+let preheader (fn : Ir.fn) lp =
+  let outside = entering fn lp in
+  match outside with
+  | [ p ] when Ir.succs (Ir.block fn p).Ir.term = [ lp.header ] -> p
+  | _ ->
+      let ph = Ir.new_block fn in
+      ph.Ir.term <- Br lp.header;
+      (* Reroute each outside edge to the preheader. *)
+      List.iter
+        (fun p ->
+          let pb = Ir.block fn p in
+          let redirect l = if l = lp.header then ph.Ir.b_label else l in
+          pb.Ir.term <-
+            (match pb.Ir.term with
+            | Br l -> Br (redirect l)
+            | Cbr (c, l1, l2) -> Cbr (c, redirect l1, redirect l2)
+            | Ret _ as t -> t))
+        outside;
+      (* Split header phis: outside entries move to a phi in the
+         preheader. *)
+      let header_b = Ir.block fn lp.header in
+      List.iter
+        (fun (p : Ir.phi) ->
+          let outside_args, inside_args =
+            List.partition (fun (l, _) -> List.mem l outside) p.p_args
+          in
+          match outside_args with
+          | [] -> ()
+          | [ (_, o) ] ->
+              p.p_args <- (ph.Ir.b_label, o) :: inside_args
+          | _ ->
+              let r = Ir.fresh_reg fn in
+              ph.Ir.phis <-
+                ph.Ir.phis @ [ { Ir.p_dst = r; p_args = outside_args } ];
+              p.p_args <- (ph.Ir.b_label, Reg r) :: inside_args)
+        header_b.Ir.phis;
+      (* Place the preheader just before the header in the layout. *)
+      fn.Ir.layout <-
+        List.concat_map
+          (fun l ->
+            if l = lp.header then [ ph.Ir.b_label; l ]
+            else if l = ph.Ir.b_label then []
+            else [ l ])
+          fn.Ir.layout;
+      Ir.recompute_preds fn;
+      ph.Ir.b_label

@@ -1,0 +1,289 @@
+(** Lowering from the MiniC AST to the IR.
+
+    The result is the "O0 shape": every named variable lives in a frame
+    slot, every access is an explicit load or store, short-circuit
+    operators become control flow merging through anonymous slots, and
+    every instruction carries the source line of the expression it came
+    from. Virtual registers are single-assignment by construction (all
+    merges go through slots), so {!Mem2reg} turns the function into
+    proper SSA. *)
+
+open Minic.Ast
+
+type env = {
+  fn : Ir.fn;
+  slots : (string, Ir.slot) Hashtbl.t;  (** local name -> slot *)
+  globals : (string, int) Hashtbl.t;  (** global name -> size *)
+  mutable cur : Ir.block;
+  mutable loop_stack : (Ir.label * Ir.label) list;
+      (** (break target, continue target) *)
+  mutable terminated : bool;
+}
+
+let emit env ~line ik =
+  if not env.terminated then
+    env.cur.Ir.instrs <- env.cur.Ir.instrs @ [ { Ir.ik; line = Some line } ]
+
+let set_term env ~line t =
+  if not env.terminated then begin
+    env.cur.Ir.term <- t;
+    env.cur.Ir.term_line <- Some line;
+    env.terminated <- true
+  end
+
+let switch_to env b =
+  env.cur <- b;
+  env.terminated <- false
+
+let binop_of_ast : Minic.Ast.binop -> Ir.binop = function
+  | Add -> Ir.Add
+  | Sub -> Ir.Sub
+  | Mul -> Ir.Mul
+  | Div -> Ir.Div
+  | Rem -> Ir.Rem
+  | Band -> Ir.And
+  | Bor -> Ir.Or
+  | Bxor -> Ir.Xor
+  | Shl -> Ir.Shl
+  | Shr -> Ir.Shr
+  | Eq -> Ir.Ceq
+  | Ne -> Ir.Cne
+  | Lt -> Ir.Clt
+  | Le -> Ir.Cle
+  | Gt -> Ir.Cgt
+  | Ge -> Ir.Cge
+  | Land | Lor -> invalid_arg "binop_of_ast: short-circuit operator"
+
+let slot_addr (s : Ir.slot) index = { Ir.base = Ir.Slot s.Ir.s_id; index }
+
+let var_addr env name =
+  match Hashtbl.find_opt env.slots name with
+  | Some s -> slot_addr s (Ir.Imm 0)
+  | None -> { Ir.base = Ir.Global name; index = Ir.Imm 0 }
+
+let array_addr env name index =
+  match Hashtbl.find_opt env.slots name with
+  | Some s -> slot_addr s index
+  | None -> { Ir.base = Ir.Global name; index }
+
+let rec lower_expr env (e : expr) : Ir.operand =
+  let line = e.eline in
+  match e.edesc with
+  | Int n -> Ir.Imm n
+  | Var name ->
+      let r = Ir.fresh_reg env.fn in
+      emit env ~line (Ir.Load (r, var_addr env name));
+      Ir.Reg r
+  | Index (name, idx) ->
+      let i = lower_expr env idx in
+      let r = Ir.fresh_reg env.fn in
+      emit env ~line (Ir.Load (r, array_addr env name i));
+      Ir.Reg r
+  | Unary (op, a) ->
+      let va = lower_expr env a in
+      let r = Ir.fresh_reg env.fn in
+      let irop =
+        match op with Neg -> Ir.Neg | Lnot -> Ir.Lnot | Bnot -> Ir.Bnot
+      in
+      emit env ~line (Ir.Un (irop, r, va));
+      Ir.Reg r
+  | Binary ((Land | Lor) as op, a, b) -> lower_short_circuit env ~line op a b
+  | Binary (op, a, b) ->
+      let va = lower_expr env a in
+      let vb = lower_expr env b in
+      let r = Ir.fresh_reg env.fn in
+      emit env ~line (Ir.Bin (binop_of_ast op, r, va, vb));
+      Ir.Reg r
+  | Call (f, args) ->
+      let vargs = List.map (lower_expr env) args in
+      let r = Ir.fresh_reg env.fn in
+      emit env ~line (Ir.Call (Some r, f, vargs));
+      Ir.Reg r
+  | Input ->
+      let r = Ir.fresh_reg env.fn in
+      emit env ~line (Ir.Input r);
+      Ir.Reg r
+  | Eof ->
+      let r = Ir.fresh_reg env.fn in
+      emit env ~line (Ir.Eof r);
+      Ir.Reg r
+
+(* [a && b] / [a || b] with C semantics: the result is 0 or 1 and [b] is
+   evaluated only when needed. The result merges through an anonymous
+   slot, which mem2reg later turns into a phi. *)
+and lower_short_circuit env ~line op a b =
+  let slot = Ir.fresh_slot env.fn ~size:1 ~var:None ~array:false in
+  let addr = slot_addr slot (Ir.Imm 0) in
+  let va = lower_expr env a in
+  let eval_b = Ir.new_block env.fn in
+  let shortcut = Ir.new_block env.fn in
+  let join = Ir.new_block env.fn in
+  (match op with
+  | Land -> set_term env ~line (Ir.Cbr (va, eval_b.Ir.b_label, shortcut.Ir.b_label))
+  | Lor -> set_term env ~line (Ir.Cbr (va, shortcut.Ir.b_label, eval_b.Ir.b_label))
+  | _ -> assert false);
+  switch_to env eval_b;
+  let vb = lower_expr env b in
+  let norm = Ir.fresh_reg env.fn in
+  emit env ~line (Ir.Bin (Ir.Cne, norm, vb, Ir.Imm 0));
+  emit env ~line (Ir.Store (addr, Ir.Reg norm));
+  set_term env ~line (Ir.Br join.Ir.b_label);
+  switch_to env shortcut;
+  let const = match op with Land -> 0 | Lor -> 1 | _ -> assert false in
+  emit env ~line (Ir.Store (addr, Ir.Imm const));
+  set_term env ~line (Ir.Br join.Ir.b_label);
+  switch_to env join;
+  let r = Ir.fresh_reg env.fn in
+  emit env ~line (Ir.Load (r, addr));
+  Ir.Reg r
+
+let declare_scalar env ~line name =
+  let var = Some { Ir.origin = env.fn.Ir.f_name; name } in
+  let s = Ir.fresh_slot env.fn ~size:1 ~var ~array:false in
+  Hashtbl.replace env.slots name s;
+  ignore line;
+  s
+
+let rec lower_stmt env (s : stmt) =
+  if env.terminated then ()
+  else
+    let line = s.sline in
+    match s.sdesc with
+    | Decl_scalar (name, init) ->
+        let value =
+          match init with Some e -> lower_expr env e | None -> Ir.Imm 0
+        in
+        let slot = declare_scalar env ~line name in
+        emit env ~line (Ir.Store (slot_addr slot (Ir.Imm 0), value))
+    | Decl_array (name, size) ->
+        let var = Some { Ir.origin = env.fn.Ir.f_name; name } in
+        let slot = Ir.fresh_slot env.fn ~size ~var ~array:true in
+        Hashtbl.replace env.slots name slot
+    | Assign (name, e) ->
+        let v = lower_expr env e in
+        emit env ~line (Ir.Store (var_addr env name, v))
+    | Assign_index (name, idx, e) ->
+        let i = lower_expr env idx in
+        let v = lower_expr env e in
+        emit env ~line (Ir.Store (array_addr env name i, v))
+    | If (cond, then_blk, else_blk) ->
+        let vc = lower_expr env cond in
+        let then_b = Ir.new_block env.fn in
+        let else_b = Ir.new_block env.fn in
+        let join = Ir.new_block env.fn in
+        set_term env ~line (Ir.Cbr (vc, then_b.Ir.b_label, else_b.Ir.b_label));
+        switch_to env then_b;
+        lower_block env then_blk;
+        set_term env ~line (Ir.Br join.Ir.b_label);
+        switch_to env else_b;
+        lower_block env else_blk;
+        set_term env ~line (Ir.Br join.Ir.b_label);
+        switch_to env join
+    | While (cond, body) ->
+        let header = Ir.new_block env.fn in
+        let body_b = Ir.new_block env.fn in
+        let exit_b = Ir.new_block env.fn in
+        set_term env ~line (Ir.Br header.Ir.b_label);
+        switch_to env header;
+        let vc = lower_expr env cond in
+        set_term env ~line (Ir.Cbr (vc, body_b.Ir.b_label, exit_b.Ir.b_label));
+        switch_to env body_b;
+        env.loop_stack <- (exit_b.Ir.b_label, header.Ir.b_label) :: env.loop_stack;
+        lower_block env body;
+        env.loop_stack <- List.tl env.loop_stack;
+        set_term env ~line (Ir.Br header.Ir.b_label);
+        switch_to env exit_b
+    | For (init, cond, step, body) ->
+        Option.iter (lower_stmt env) init;
+        let header = Ir.new_block env.fn in
+        let body_b = Ir.new_block env.fn in
+        let step_b = Ir.new_block env.fn in
+        let exit_b = Ir.new_block env.fn in
+        set_term env ~line (Ir.Br header.Ir.b_label);
+        switch_to env header;
+        (match cond with
+        | Some c ->
+            let vc = lower_expr env c in
+            set_term env ~line:c.eline
+              (Ir.Cbr (vc, body_b.Ir.b_label, exit_b.Ir.b_label))
+        | None -> set_term env ~line (Ir.Br body_b.Ir.b_label));
+        switch_to env body_b;
+        env.loop_stack <-
+          (exit_b.Ir.b_label, step_b.Ir.b_label) :: env.loop_stack;
+        lower_block env body;
+        env.loop_stack <- List.tl env.loop_stack;
+        set_term env ~line (Ir.Br step_b.Ir.b_label);
+        switch_to env step_b;
+        Option.iter (lower_stmt env) step;
+        set_term env ~line (Ir.Br header.Ir.b_label);
+        switch_to env exit_b
+    | Return None -> set_term env ~line (Ir.Ret (Some (Ir.Imm 0)))
+    | Return (Some e) ->
+        let v = lower_expr env e in
+        set_term env ~line (Ir.Ret (Some v))
+    | Break -> (
+        match env.loop_stack with
+        | (brk, _) :: _ -> set_term env ~line (Ir.Br brk)
+        | [] -> invalid_arg "Lower: break outside loop")
+    | Continue -> (
+        match env.loop_stack with
+        | (_, cont) :: _ -> set_term env ~line (Ir.Br cont)
+        | [] -> invalid_arg "Lower: continue outside loop")
+    | Expr e -> (
+        match e.edesc with
+        | Call (f, args) ->
+            let vargs = List.map (lower_expr env) args in
+            emit env ~line (Ir.Call (None, f, vargs))
+        | _ -> ignore (lower_expr env e))
+    | Output e ->
+        let v = lower_expr env e in
+        emit env ~line (Ir.Output v)
+
+and lower_block env (b : block) = List.iter (lower_stmt env) b.stmts
+
+let lower_fn globals (f : func) =
+  let fn = Ir.create_fn ~name:f.fname ~line:f.fline ~params:f.params in
+  let env =
+    {
+      fn;
+      slots = Hashtbl.create 16;
+      globals;
+      cur = Ir.block fn fn.Ir.entry;
+      loop_stack = [];
+      terminated = false;
+    }
+  in
+  (* Spill parameters to their slots so they are debuggable at O0 and
+     promotable by mem2reg. *)
+  List.iter
+    (fun (r, (v : Ir.var_id)) ->
+      let slot = declare_scalar env ~line:f.fline v.Ir.name in
+      emit env ~line:f.fline (Ir.Store (slot_addr slot (Ir.Imm 0), Ir.Reg r)))
+    fn.Ir.f_params;
+  lower_block env f.body;
+  (* Fall off the end: return 0. *)
+  if not env.terminated then
+    set_term env ~line:f.body.end_line (Ir.Ret (Some (Ir.Imm 0)));
+  Ir.recompute_preds fn;
+  fn
+
+(** [lower_program p] lowers a checked MiniC program to IR. *)
+let lower_program (p : program) : Ir.program =
+  let globals = Hashtbl.create 16 in
+  let global_defs =
+    List.map
+      (fun g ->
+        match g with
+        | Gscalar (n, v) ->
+            Hashtbl.replace globals n 1;
+            { Ir.g_name = n; g_size = 1; g_init = v }
+        | Garray (n, size) ->
+            Hashtbl.replace globals n size;
+            { Ir.g_name = n; g_size = size; g_init = 0 })
+      p.globals
+  in
+  let funcs = Hashtbl.create 16 in
+  List.iter
+    (fun f -> Hashtbl.replace funcs f.fname (lower_fn globals f))
+    p.funcs;
+  { Ir.funcs; prog_globals = global_defs }

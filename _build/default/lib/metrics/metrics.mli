@@ -1,0 +1,47 @@
+(** Debug-information quality metrics — the four methods of the paper's
+    Section II, each producing availability of variables, line coverage,
+    and their product (the headline score). *)
+
+type score = { availability : float; line_coverage : float; product : float }
+
+type inputs = {
+  defranges : Minic.Defranges.t;  (** static definition ranges *)
+  unopt_trace : Debugger.trace;  (** the O0 baseline session *)
+  opt_trace : Debugger.trace;  (** the optimized binary's session *)
+  unopt_bin : Emit.binary;
+  opt_bin : Emit.binary;
+}
+
+val line_coverage_of_traces : Debugger.trace -> Debugger.trace -> float
+(** Fraction of the baseline session's stepped lines also stepped in the
+    optimized session (the line-coverage factor of {!dynamic}). *)
+
+val dynamic : inputs -> score
+(** Assaiante et al.: per stepped line, the ratio of variables visible in
+    the optimized vs the unoptimized session. Underestimates, because the
+    O0 baseline over-reports (frame variables visible before their first
+    assignment). *)
+
+val static : inputs -> score
+(** Stinnett & Kell: per-variable coverage of the static definition range
+    by the binary's debug symbols, measured over binary addresses; all
+    statement lines (dead code included) form the line baseline.
+    Overestimates: deleted code leaves the denominator, and unusable
+    entries count. *)
+
+val static_dbg : inputs -> score
+(** The static method with baselines restricted to lines stepped at O0
+    (Table I's refined variant). *)
+
+val hybrid : inputs -> score
+(** This paper's method: the dynamic measurement with both traces cleaned
+    against static definition ranges, removing the O0 artifact. *)
+
+type all_methods = {
+  m_static : score;
+  m_static_dbg : score;
+  m_dynamic : score;
+  m_hybrid : score;
+}
+
+val all : inputs -> all_methods

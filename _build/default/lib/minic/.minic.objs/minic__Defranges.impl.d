@@ -1,0 +1,1 @@
+lib/minic/defranges.ml: Ast Hashtbl Int List Option Set

@@ -1,0 +1,1 @@
+lib/minic/interp.ml: Arith Array Ast Fun Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Ast Lexer List Printf

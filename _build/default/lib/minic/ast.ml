@@ -1,0 +1,154 @@
+(** Abstract syntax for MiniC, the C-like source language of the
+    reproduction.
+
+    MiniC is deliberately small — scalars are machine integers, arrays are
+    fixed-size and one-dimensional — but it has everything the paper's
+    debug-information dynamics depend on: lexically-scoped local variables,
+    parameters, globals, structured control flow, and function calls.
+    Every expression and statement carries the 1-based source line it
+    starts on; line identity is what the line table, the debugger and the
+    metrics all speak. *)
+
+type unop =
+  | Neg  (** arithmetic negation [-e] *)
+  | Lnot  (** logical not [!e], yields 0 or 1 *)
+  | Bnot  (** bitwise complement [~e] *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** truncated toward zero; division by zero evaluates to 0 *)
+  | Rem  (** remainder; by zero evaluates to 0 *)
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Land  (** short-circuit logical and *)
+  | Lor  (** short-circuit logical or *)
+
+type expr = { edesc : edesc; eline : int }
+
+and edesc =
+  | Int of int
+  | Var of string
+  | Index of string * expr  (** array element [a[i]] *)
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list
+  | Input  (** [input()]: next value of the test input, 0 at end *)
+  | Eof  (** [eof()]: 1 when the test input is exhausted, else 0 *)
+
+type stmt = { sdesc : sdesc; sline : int }
+
+and sdesc =
+  | Decl_scalar of string * expr option
+      (** [int x;] or [int x = e;] — uninitialized scalars read as 0 *)
+  | Decl_array of string * int  (** [int a[N];] — zero-initialized *)
+  | Assign of string * expr
+  | Assign_index of string * expr * expr  (** [a[i] = e;] *)
+  | If of expr * block * block  (** else-less [if] has an empty else block *)
+  | While of expr * block
+  | For of stmt option * expr option * stmt option * block
+      (** [for (init; cond; step) body]; [continue] jumps to [step] *)
+  | Return of expr option
+  | Break
+  | Continue
+  | Expr of expr  (** expression statement, e.g. a call for effect *)
+  | Output of expr  (** [output(e);] appends [e] to the program output *)
+
+and block = { stmts : stmt list; end_line : int }
+(** A brace-delimited block; [end_line] is the closing brace's line, used
+    to bound variable scopes in the definition-range analysis. *)
+
+type func = {
+  fname : string;
+  params : string list;
+  body : block;
+  fline : int;  (** line of the function header *)
+}
+
+type global =
+  | Gscalar of string * int  (** global scalar with constant initializer *)
+  | Garray of string * int  (** zero-initialized global array of size N *)
+
+type program = { globals : global list; funcs : func list }
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Land -> "&&"
+  | Lor -> "||"
+
+let unop_name = function Neg -> "-" | Lnot -> "!" | Bnot -> "~"
+
+(** [find_func p name] looks a function up by name. *)
+let find_func p name = List.find_opt (fun f -> f.fname = name) p.funcs
+
+(** [max_line p] is the largest source line mentioned anywhere in [p],
+    used to size line-indexed tables. *)
+let max_line p =
+  let m = ref 0 in
+  let see line = if line > !m then m := line in
+  let rec expr e =
+    see e.eline;
+    match e.edesc with
+    | Int _ | Var _ | Input | Eof -> ()
+    | Index (_, i) -> expr i
+    | Unary (_, a) -> expr a
+    | Binary (_, a, b) ->
+        expr a;
+        expr b
+    | Call (_, args) -> List.iter expr args
+  and stmt s =
+    see s.sline;
+    match s.sdesc with
+    | Decl_scalar (_, None) | Decl_array _ | Break | Continue -> ()
+    | Decl_scalar (_, Some e) | Assign (_, e) | Expr e | Output e -> expr e
+    | Assign_index (_, i, e) ->
+        expr i;
+        expr e
+    | If (c, b1, b2) ->
+        expr c;
+        block b1;
+        block b2
+    | While (c, b) ->
+        expr c;
+        block b
+    | For (init, cond, step, b) ->
+        Option.iter stmt init;
+        Option.iter expr cond;
+        Option.iter stmt step;
+        block b
+    | Return e -> Option.iter expr e
+  and block b =
+    see b.end_line;
+    List.iter stmt b.stmts
+  in
+  List.iter
+    (fun f ->
+      see f.fline;
+      block f.body)
+    p.funcs;
+  !m

@@ -1,0 +1,176 @@
+(** Static source analysis of variable definition ranges.
+
+    This reproduces the paper's ~400-line AST tool (Section III-C): for
+    each function-local variable (parameters included) it computes the
+    source lines on which the variable is (a) lexically in scope and
+    (b) past its first textual assignment — the range on which a debugger
+    *should* be able to show a value. The hybrid metric (Section II)
+    intersects the unoptimized baseline with these ranges, correcting the
+    DWARF artifact where O0 frame-resident variables appear visible before
+    they are ever assigned.
+
+    Globals are intentionally excluded: they are always memory-resident
+    and available, and the paper's availability metric concerns function
+    variables. *)
+
+open Ast
+
+module Int_set = Set.Make (Int)
+
+type var_range = {
+  func : string;
+  var : string;
+  is_array : bool;
+  is_param : bool;
+  scope_start : int;  (** first line on which the variable is in scope *)
+  scope_end : int;  (** last line on which the variable is in scope *)
+  def_start : int option;
+      (** first line at which the variable is assigned; [None] for a
+          variable that is never assigned *)
+}
+
+type t = {
+  vars : var_range list;
+  by_key : (string * string, var_range) Hashtbl.t;
+  stmt_lines : (string, Int_set.t) Hashtbl.t;
+      (** per function: lines that hold a statement *)
+}
+
+(* Record the first textual assignment line for each variable of a
+   function. [min_assign] maps variable name to the smallest line that
+   assigns it. *)
+let analyze_function (f : func) =
+  let vars = ref [] in
+  let min_assign : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let stmt_lines = ref Int_set.empty in
+  let note_assign name line =
+    match Hashtbl.find_opt min_assign name with
+    | Some l when l <= line -> ()
+    | _ -> Hashtbl.replace min_assign name line
+  in
+  let rec walk_stmt scope_end s =
+    stmt_lines := Int_set.add s.sline !stmt_lines;
+    match s.sdesc with
+    | Decl_scalar (name, init) ->
+        if init <> None then note_assign name s.sline;
+        vars :=
+          (name, false, s.sline, scope_end, Option.map (fun _ -> s.sline) init)
+          :: !vars
+    | Decl_array (name, _) ->
+        (* Arrays are zero-initialized, hence defined at declaration. *)
+        vars := (name, true, s.sline, scope_end, Some s.sline) :: !vars
+    | Assign (name, _) -> note_assign name s.sline
+    | Assign_index (name, _, _) -> note_assign name s.sline
+    | If (_, b1, b2) ->
+        walk_block b1;
+        walk_block b2
+    | While (_, body) -> walk_block body
+    | For (init, _, step, body) ->
+        (* Header declarations scope over the whole loop. *)
+        Option.iter (walk_stmt body.end_line) init;
+        Option.iter (walk_stmt body.end_line) step;
+        walk_block body
+    | Return _ | Break | Continue | Expr _ | Output _ -> ()
+  and walk_block (b : block) = List.iter (walk_stmt b.end_line) b.stmts in
+  walk_block f.body;
+  let param_ranges =
+    List.map
+      (fun p ->
+        {
+          func = f.fname;
+          var = p;
+          is_array = false;
+          is_param = true;
+          scope_start = f.fline;
+          scope_end = f.body.end_line;
+          (* Parameters are defined on entry. *)
+          def_start = Some f.fline;
+        })
+      f.params
+  in
+  let local_ranges =
+    List.rev_map
+      (fun (name, is_array, decl_line, scope_end, init_line) ->
+        let def_start =
+          match init_line with
+          | Some l -> Some l
+          | None -> (
+              match Hashtbl.find_opt min_assign name with
+              | Some l when l >= decl_line -> Some l
+              | Some _ | None -> (
+                  (* An assignment textually before the declaration can
+                     only target a same-named variable in another scope —
+                     ruled out by the no-shadowing check — or a global.
+                     Fall back to any recorded assignment. *)
+                  match Hashtbl.find_opt min_assign name with
+                  | Some l -> Some (max l decl_line)
+                  | None -> None))
+        in
+        {
+          func = f.fname;
+          var = name;
+          is_array;
+          is_param = false;
+          scope_start = decl_line;
+          scope_end;
+          def_start;
+        })
+      !vars
+  in
+  (param_ranges @ local_ranges, !stmt_lines)
+
+(** [analyze p] runs the definition-range analysis on every function. *)
+let analyze (p : program) =
+  let by_key = Hashtbl.create 64 in
+  let stmt_lines = Hashtbl.create 16 in
+  let vars =
+    List.concat_map
+      (fun f ->
+        let ranges, lines = analyze_function f in
+        Hashtbl.replace stmt_lines f.fname lines;
+        List.iter (fun r -> Hashtbl.replace by_key (r.func, r.var) r) ranges;
+        ranges)
+      p.funcs
+  in
+  { vars; by_key; stmt_lines }
+
+(** [find t ~func ~var] is the range record for a function variable. *)
+let find t ~func ~var = Hashtbl.find_opt t.by_key (func, var)
+
+(** [in_def_range t ~func ~var ~line] is true when the static analysis
+    says the variable should hold a meaningful value on [line]. *)
+let in_def_range t ~func ~var ~line =
+  match find t ~func ~var with
+  | None -> false
+  | Some r -> (
+      match r.def_start with
+      | None -> false
+      | Some d -> line >= d && line >= r.scope_start && line <= r.scope_end)
+
+(** [in_scope t ~func ~var ~line] ignores the definition refinement and
+    only checks lexical scope — the (over-approximate) view a purely
+    static method has of variable visibility. *)
+let in_scope t ~func ~var ~line =
+  match find t ~func ~var with
+  | None -> false
+  | Some r -> line >= r.scope_start && line <= r.scope_end
+
+(** [defined_at t ~func ~line] lists the variables statically defined and
+    in scope at [line] of [func]. *)
+let defined_at t ~func ~line =
+  List.filter_map
+    (fun r ->
+      if r.func = func && in_def_range t ~func ~var:r.var ~line then
+        Some r.var
+      else None)
+    t.vars
+
+(** [statement_lines t ~func] is the set of source lines holding a
+    statement of [func] — the static steppability baseline. *)
+let statement_lines t ~func =
+  match Hashtbl.find_opt t.stmt_lines func with
+  | Some s -> s
+  | None -> Int_set.empty
+
+(** [vars_of t ~func] lists all tracked variables of [func]. *)
+let vars_of t ~func = List.filter (fun r -> r.func = func) t.vars

@@ -1,0 +1,205 @@
+(** Hand-written lexer for MiniC.
+
+    Produces a token stream with per-token line numbers. Supports [//]
+    line comments and [/* ... */] block comments. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_INT
+  | KW_VOID
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | BANG
+  | SHL
+  | SHR
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | EOF
+
+let token_name = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | KW_INT -> "int"
+  | KW_VOID -> "void"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_FOR -> "for"
+  | KW_RETURN -> "return"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | ASSIGN -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | TILDE -> "~"
+  | BANG -> "!"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | EQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | EOF -> "<eof>"
+
+exception Error of string * int
+(** [Error (message, line)] *)
+
+let keyword_of_string = function
+  | "int" -> Some KW_INT
+  | "void" -> Some KW_VOID
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "for" -> Some KW_FOR
+  | "return" -> Some KW_RETURN
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(** [tokenize src] lexes the whole source, returning [(token, line)] pairs
+    ending with [EOF]. Raises [Error] on malformed input. *)
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push tok = toks := (tok, !line) :: !toks in
+  let peek k = if !i + k < n then src.[!i + k] else '\000' in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then (
+      incr line;
+      incr i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = '/' then
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    else if c = '/' && peek 1 = '*' then (
+      let start_line = !line in
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && peek 1 = '/' then (
+          closed := true;
+          i := !i + 2)
+        else incr i
+      done;
+      if not !closed then raise (Error ("unterminated block comment", start_line)))
+    else if is_digit c then (
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do
+        incr j
+      done;
+      let text = String.sub src !i (!j - !i) in
+      (match int_of_string_opt text with
+      | Some v -> push (INT v)
+      | None -> raise (Error ("integer literal out of range: " ^ text, !line)));
+      i := !j)
+    else if is_ident_start c then (
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      let text = String.sub src !i (!j - !i) in
+      (match keyword_of_string text with
+      | Some kw -> push kw
+      | None -> push (IDENT text));
+      i := !j)
+    else begin
+      let two tok =
+        push tok;
+        i := !i + 2
+      in
+      let one tok =
+        push tok;
+        incr i
+      in
+      match (c, peek 1) with
+      | '<', '<' -> two SHL
+      | '>', '>' -> two SHR
+      | '=', '=' -> two EQ
+      | '!', '=' -> two NE
+      | '<', '=' -> two LE
+      | '>', '=' -> two GE
+      | '&', '&' -> two ANDAND
+      | '|', '|' -> two OROR
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | ';', _ -> one SEMI
+      | ',', _ -> one COMMA
+      | '=', _ -> one ASSIGN
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | '&', _ -> one AMP
+      | '|', _ -> one PIPE
+      | '^', _ -> one CARET
+      | '~', _ -> one TILDE
+      | '!', _ -> one BANG
+      | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, !line))
+    end
+  done;
+  push EOF;
+  List.rev !toks

@@ -1,0 +1,377 @@
+(** Recursive-descent parser for MiniC.
+
+    Expression parsing uses precedence climbing with C's precedence
+    levels. Statement bodies of [if]/[while]/[for] may be either a braced
+    block or a single statement (wrapped into a one-statement block). *)
+
+open Ast
+
+exception Error of string * int
+(** [Error (message, line)] *)
+
+type state = { mutable toks : (Lexer.token * int) list }
+
+let peek st = match st.toks with [] -> (Lexer.EOF, 0) | t :: _ -> t
+let peek2 st = match st.toks with _ :: t :: _ -> t | _ -> (Lexer.EOF, 0)
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let cur_line st = snd (peek st)
+
+let fail st msg = raise (Error (msg, cur_line st))
+
+let expect st tok =
+  let got, line = peek st in
+  if got = tok then advance st
+  else
+    raise
+      (Error
+         ( Printf.sprintf "expected %s but found %s" (Lexer.token_name tok)
+             (Lexer.token_name got),
+           line ))
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT name, _ ->
+      advance st;
+      name
+  | got, line ->
+      raise
+        (Error
+           ( Printf.sprintf "expected identifier but found %s"
+               (Lexer.token_name got),
+             line ))
+
+let expect_int st =
+  match peek st with
+  | Lexer.INT v, _ ->
+      advance st;
+      v
+  | Lexer.MINUS, _ -> (
+      advance st;
+      match peek st with
+      | Lexer.INT v, _ ->
+          advance st;
+          -v
+      | got, line ->
+          raise
+            (Error
+               ( Printf.sprintf "expected integer but found %s"
+                   (Lexer.token_name got),
+                 line )))
+  | got, line ->
+      raise
+        (Error
+           ( Printf.sprintf "expected integer but found %s"
+               (Lexer.token_name got),
+             line ))
+
+(* Binary operator precedence, loosest first (C-like). *)
+let precedence = function
+  | Lexer.OROR -> Some (1, Lor)
+  | Lexer.ANDAND -> Some (2, Land)
+  | Lexer.PIPE -> Some (3, Bor)
+  | Lexer.CARET -> Some (4, Bxor)
+  | Lexer.AMP -> Some (5, Band)
+  | Lexer.EQ -> Some (6, Eq)
+  | Lexer.NE -> Some (6, Ne)
+  | Lexer.LT -> Some (7, Lt)
+  | Lexer.LE -> Some (7, Le)
+  | Lexer.GT -> Some (7, Gt)
+  | Lexer.GE -> Some (7, Ge)
+  | Lexer.SHL -> Some (8, Shl)
+  | Lexer.SHR -> Some (8, Shr)
+  | Lexer.PLUS -> Some (9, Add)
+  | Lexer.MINUS -> Some (9, Sub)
+  | Lexer.STAR -> Some (10, Mul)
+  | Lexer.SLASH -> Some (10, Div)
+  | Lexer.PERCENT -> Some (10, Rem)
+  | _ -> None
+
+let rec parse_expr st = parse_binary st 0
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match precedence (fst (peek st)) with
+    | Some (prec, op) when prec >= min_prec ->
+        let line = cur_line st in
+        advance st;
+        let rhs = parse_binary st (prec + 1) in
+        lhs := { edesc = Binary (op, !lhs, rhs); eline = line }
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  let line = cur_line st in
+  match fst (peek st) with
+  | Lexer.MINUS ->
+      advance st;
+      { edesc = Unary (Neg, parse_unary st); eline = line }
+  | Lexer.BANG ->
+      advance st;
+      { edesc = Unary (Lnot, parse_unary st); eline = line }
+  | Lexer.TILDE ->
+      advance st;
+      { edesc = Unary (Bnot, parse_unary st); eline = line }
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let line = cur_line st in
+  match fst (peek st) with
+  | Lexer.INT v ->
+      advance st;
+      { edesc = Int v; eline = line }
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RPAREN;
+      e
+  | Lexer.IDENT name -> (
+      advance st;
+      match fst (peek st) with
+      | Lexer.LPAREN ->
+          advance st;
+          let args = parse_args st in
+          expect st Lexer.RPAREN;
+          let desc =
+            match (name, args) with
+            | "input", [] -> Input
+            | "eof", [] -> Eof
+            | _ -> Call (name, args)
+          in
+          { edesc = desc; eline = line }
+      | Lexer.LBRACKET ->
+          advance st;
+          let idx = parse_expr st in
+          expect st Lexer.RBRACKET;
+          { edesc = Index (name, idx); eline = line }
+      | _ -> { edesc = Var name; eline = line })
+  | got -> fail st (Printf.sprintf "unexpected token %s" (Lexer.token_name got))
+
+and parse_args st =
+  if fst (peek st) = Lexer.RPAREN then []
+  else
+    let rec loop acc =
+      let e = parse_expr st in
+      if fst (peek st) = Lexer.COMMA then (
+        advance st;
+        loop (e :: acc))
+      else List.rev (e :: acc)
+    in
+    loop []
+
+(* A "simple statement" is one legal without a trailing semicolon: used in
+   [for] headers. *)
+let parse_simple st =
+  let line = cur_line st in
+  match peek st with
+  | Lexer.KW_INT, _ ->
+      advance st;
+      let name = expect_ident st in
+      expect st Lexer.ASSIGN;
+      let e = parse_expr st in
+      { sdesc = Decl_scalar (name, Some e); sline = line }
+  | Lexer.IDENT name, _ -> (
+      advance st;
+      match fst (peek st) with
+      | Lexer.ASSIGN ->
+          advance st;
+          let e = parse_expr st in
+          { sdesc = Assign (name, e); sline = line }
+      | Lexer.LBRACKET ->
+          advance st;
+          let idx = parse_expr st in
+          expect st Lexer.RBRACKET;
+          expect st Lexer.ASSIGN;
+          let e = parse_expr st in
+          { sdesc = Assign_index (name, idx, e); sline = line }
+      | Lexer.LPAREN ->
+          advance st;
+          let args = parse_args st in
+          expect st Lexer.RPAREN;
+          let desc =
+            match (name, args) with
+            | "input", [] -> Input
+            | "eof", [] -> Eof
+            | _ -> Call (name, args)
+          in
+          { sdesc = Expr { edesc = desc; eline = line }; sline = line }
+      | got ->
+          fail st
+            (Printf.sprintf "expected assignment or call, found %s"
+               (Lexer.token_name got)))
+  | got, _ ->
+      fail st
+        (Printf.sprintf "expected simple statement, found %s"
+           (Lexer.token_name got))
+
+let rec parse_stmt st =
+  let line = cur_line st in
+  match fst (peek st) with
+  | Lexer.KW_INT -> (
+      advance st;
+      let name = expect_ident st in
+      match fst (peek st) with
+      | Lexer.LBRACKET ->
+          advance st;
+          let size = expect_int st in
+          expect st Lexer.RBRACKET;
+          expect st Lexer.SEMI;
+          if size <= 0 then fail st "array size must be positive";
+          { sdesc = Decl_array (name, size); sline = line }
+      | Lexer.ASSIGN ->
+          advance st;
+          let e = parse_expr st in
+          expect st Lexer.SEMI;
+          { sdesc = Decl_scalar (name, Some e); sline = line }
+      | _ ->
+          expect st Lexer.SEMI;
+          { sdesc = Decl_scalar (name, None); sline = line })
+  | Lexer.KW_IF ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let cond = parse_expr st in
+      expect st Lexer.RPAREN;
+      let then_blk = parse_body st in
+      let else_blk =
+        if fst (peek st) = Lexer.KW_ELSE then (
+          advance st;
+          parse_body st)
+        else { stmts = []; end_line = then_blk.end_line }
+      in
+      { sdesc = If (cond, then_blk, else_blk); sline = line }
+  | Lexer.KW_WHILE ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let cond = parse_expr st in
+      expect st Lexer.RPAREN;
+      let body = parse_body st in
+      { sdesc = While (cond, body); sline = line }
+  | Lexer.KW_FOR ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let init =
+        if fst (peek st) = Lexer.SEMI then None else Some (parse_simple st)
+      in
+      expect st Lexer.SEMI;
+      let cond =
+        if fst (peek st) = Lexer.SEMI then None else Some (parse_expr st)
+      in
+      expect st Lexer.SEMI;
+      let step =
+        if fst (peek st) = Lexer.RPAREN then None else Some (parse_simple st)
+      in
+      expect st Lexer.RPAREN;
+      let body = parse_body st in
+      { sdesc = For (init, cond, step, body); sline = line }
+  | Lexer.KW_RETURN ->
+      advance st;
+      let value =
+        if fst (peek st) = Lexer.SEMI then None else Some (parse_expr st)
+      in
+      expect st Lexer.SEMI;
+      { sdesc = Return value; sline = line }
+  | Lexer.KW_BREAK ->
+      advance st;
+      expect st Lexer.SEMI;
+      { sdesc = Break; sline = line }
+  | Lexer.KW_CONTINUE ->
+      advance st;
+      expect st Lexer.SEMI;
+      { sdesc = Continue; sline = line }
+  | Lexer.IDENT "output" when fst (peek2 st) = Lexer.LPAREN ->
+      advance st;
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RPAREN;
+      expect st Lexer.SEMI;
+      { sdesc = Output e; sline = line }
+  | Lexer.IDENT _ ->
+      let s = parse_simple st in
+      expect st Lexer.SEMI;
+      s
+  | got -> fail st (Printf.sprintf "unexpected token %s" (Lexer.token_name got))
+
+(* Body of a control construct: braced block or single statement. *)
+and parse_body st =
+  if fst (peek st) = Lexer.LBRACE then parse_block st
+  else
+    let s = parse_stmt st in
+    { stmts = [ s ]; end_line = s.sline }
+
+and parse_block st =
+  expect st Lexer.LBRACE;
+  let rec loop acc =
+    match fst (peek st) with
+    | Lexer.RBRACE ->
+        let end_line = cur_line st in
+        advance st;
+        { stmts = List.rev acc; end_line }
+    | Lexer.EOF -> fail st "unexpected end of input inside block"
+    | _ -> loop (parse_stmt st :: acc)
+  in
+  loop []
+
+let parse_params st =
+  expect st Lexer.LPAREN;
+  if fst (peek st) = Lexer.RPAREN then (
+    advance st;
+    [])
+  else
+    let rec loop acc =
+      (match fst (peek st) with
+      | Lexer.KW_INT -> advance st
+      | _ -> fail st "expected parameter type 'int'");
+      let name = expect_ident st in
+      if fst (peek st) = Lexer.COMMA then (
+        advance st;
+        loop (name :: acc))
+      else (
+        expect st Lexer.RPAREN;
+        List.rev (name :: acc))
+    in
+    loop []
+
+let parse_toplevel st (globals, funcs) =
+  let line = cur_line st in
+  match fst (peek st) with
+  | Lexer.KW_INT | Lexer.KW_VOID -> (
+      advance st;
+      let name = expect_ident st in
+      match fst (peek st) with
+      | Lexer.LPAREN ->
+          let params = parse_params st in
+          let body = parse_block st in
+          (globals, { fname = name; params; body; fline = line } :: funcs)
+      | Lexer.LBRACKET ->
+          advance st;
+          let size = expect_int st in
+          expect st Lexer.RBRACKET;
+          expect st Lexer.SEMI;
+          if size <= 0 then fail st "array size must be positive";
+          (Garray (name, size) :: globals, funcs)
+      | Lexer.ASSIGN ->
+          advance st;
+          let v = expect_int st in
+          expect st Lexer.SEMI;
+          (Gscalar (name, v) :: globals, funcs)
+      | _ ->
+          expect st Lexer.SEMI;
+          (Gscalar (name, 0) :: globals, funcs))
+  | got ->
+      fail st
+        (Printf.sprintf "expected declaration, found %s" (Lexer.token_name got))
+
+(** [parse_program src] lexes and parses a whole MiniC source file.
+    Raises {!Error} or {!Lexer.Error} on malformed input. *)
+let parse_program src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec loop acc =
+    if fst (peek st) = Lexer.EOF then acc else loop (parse_toplevel st acc)
+  in
+  let globals, funcs = loop ([], []) in
+  { globals = List.rev globals; funcs = List.rev funcs }

@@ -1,0 +1,88 @@
+(** Pretty-printer for MiniC programs.
+
+    Used by the synthetic generator (to materialize generated ASTs as
+    source text with stable line numbers) and in diagnostics. The printer
+    emits one statement per line, so re-parsing its output yields
+    one-statement-per-line programs — the layout all suite programs use. *)
+
+open Ast
+
+let rec expr_to_string e =
+  match e.edesc with
+  | Int n -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+  | Var name -> name
+  | Index (name, i) -> Printf.sprintf "%s[%s]" name (expr_to_string i)
+  | Unary (op, a) -> Printf.sprintf "%s(%s)" (unop_name op) (expr_to_string a)
+  | Binary (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_name op)
+        (expr_to_string b)
+  | Call (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_to_string args))
+  | Input -> "input()"
+  | Eof -> "eof()"
+
+let rec stmt_lines indent s =
+  let pad = String.make indent ' ' in
+  match s.sdesc with
+  | Decl_scalar (name, None) -> [ Printf.sprintf "%sint %s;" pad name ]
+  | Decl_scalar (name, Some e) ->
+      [ Printf.sprintf "%sint %s = %s;" pad name (expr_to_string e) ]
+  | Decl_array (name, size) -> [ Printf.sprintf "%sint %s[%d];" pad name size ]
+  | Assign (name, e) -> [ Printf.sprintf "%s%s = %s;" pad name (expr_to_string e) ]
+  | Assign_index (name, i, e) ->
+      [
+        Printf.sprintf "%s%s[%s] = %s;" pad name (expr_to_string i)
+          (expr_to_string e);
+      ]
+  | If (c, b1, b2) ->
+      let head = Printf.sprintf "%sif (%s) {" pad (expr_to_string c) in
+      let mid = block_lines (indent + 2) b1 in
+      if b2.stmts = [] then (head :: mid) @ [ pad ^ "}" ]
+      else
+        (head :: mid)
+        @ [ pad ^ "} else {" ]
+        @ block_lines (indent + 2) b2
+        @ [ pad ^ "}" ]
+  | While (c, b) ->
+      (Printf.sprintf "%swhile (%s) {" pad (expr_to_string c)
+      :: block_lines (indent + 2) b)
+      @ [ pad ^ "}" ]
+  | For (init, cond, step, b) ->
+      let part f = function None -> "" | Some x -> f x in
+      let simple s0 =
+        match stmt_lines 0 s0 with
+        | [ one ] -> String.sub one 0 (String.length one - 1) (* drop ';' *)
+        | _ -> invalid_arg "Pretty: complex statement in for header"
+      in
+      (Printf.sprintf "%sfor (%s; %s; %s) {" pad (part simple init)
+         (part expr_to_string cond) (part simple step)
+      :: block_lines (indent + 2) b)
+      @ [ pad ^ "}" ]
+  | Return None -> [ pad ^ "return;" ]
+  | Return (Some e) -> [ Printf.sprintf "%sreturn %s;" pad (expr_to_string e) ]
+  | Break -> [ pad ^ "break;" ]
+  | Continue -> [ pad ^ "continue;" ]
+  | Expr e -> [ Printf.sprintf "%s%s;" pad (expr_to_string e) ]
+  | Output e -> [ Printf.sprintf "%soutput(%s);" pad (expr_to_string e) ]
+
+and block_lines indent (b : block) = List.concat_map (stmt_lines indent) b.stmts
+
+let func_lines f =
+  let params = String.concat ", " (List.map (fun p -> "int " ^ p) f.params) in
+  (Printf.sprintf "int %s(%s) {" f.fname params :: block_lines 2 f.body)
+  @ [ "}" ]
+
+(** [program_to_string p] renders [p] as MiniC source text. Note that line
+    numbers in the rendered text are positional, not the AST's [sline]
+    values; re-parse the output to obtain a consistent program. *)
+let program_to_string (p : program) =
+  let globals =
+    List.map
+      (function
+        | Gscalar (n, 0) -> Printf.sprintf "int %s;" n
+        | Gscalar (n, v) -> Printf.sprintf "int %s = %d;" n v
+        | Garray (n, size) -> Printf.sprintf "int %s[%d];" n size)
+      p.globals
+  in
+  let funcs = List.concat_map (fun f -> func_lines f @ [ "" ]) p.funcs in
+  String.concat "\n" (globals @ ("" :: funcs)) ^ "\n"

@@ -1,0 +1,165 @@
+(** Semantic checks for MiniC programs.
+
+    Everything is an integer, so "typechecking" here means scope and shape
+    checking: variables are declared before use, scalars and arrays are
+    used consistently, calls match arities, and — important for the
+    metrics — no local variable shadows another local or parameter of the
+    same function, so that a variable is identified by
+    [(function, name)] across all builds of the program. Locals may
+    shadow globals. *)
+
+open Ast
+
+exception Error of string * int
+
+type var_kind = Scalar | Array of int
+
+type env = {
+  globals : (string, var_kind) Hashtbl.t;
+  funcs : (string, int) Hashtbl.t;  (** arity by name *)
+}
+
+let fail line fmt = Printf.ksprintf (fun m -> raise (Error (m, line))) fmt
+
+let reserved = [ "input"; "eof"; "output" ]
+
+let check_program (p : program) =
+  let env = { globals = Hashtbl.create 16; funcs = Hashtbl.create 16 } in
+  List.iter
+    (fun g ->
+      let name, kind =
+        match g with
+        | Gscalar (n, _) -> (n, Scalar)
+        | Garray (n, size) -> (n, Array size)
+      in
+      if Hashtbl.mem env.globals name then fail 0 "duplicate global %s" name;
+      if List.mem name reserved then fail 0 "global %s shadows a builtin" name;
+      Hashtbl.replace env.globals name kind)
+    p.globals;
+  List.iter
+    (fun f ->
+      if Hashtbl.mem env.funcs f.fname then
+        fail f.fline "duplicate function %s" f.fname;
+      if List.mem f.fname reserved then
+        fail f.fline "function %s shadows a builtin" f.fname;
+      Hashtbl.replace env.funcs f.fname (List.length f.params))
+    p.funcs;
+  let check_func f =
+    (* All names bound in this function, for the no-shadowing rule. *)
+    let locals : (string, var_kind) Hashtbl.t = Hashtbl.create 16 in
+    let declare line name kind =
+      if Hashtbl.mem locals name then
+        fail line "variable %s shadows another local in %s" name f.fname;
+      if List.mem name reserved then
+        fail line "variable %s shadows a builtin" name;
+      Hashtbl.replace locals name kind
+    in
+    List.iter (fun param -> declare f.fline param Scalar) f.params;
+    (* Scope checking uses a stack of name lists so that block-local
+       declarations go out of scope, even though their names stay
+       reserved function-wide. *)
+    let lookup in_scope name =
+      if List.exists (List.mem name) in_scope then
+        Some (Hashtbl.find locals name)
+      else Hashtbl.find_opt env.globals name
+    in
+    let rec check_expr in_scope e =
+      match e.edesc with
+      | Int _ | Input | Eof -> ()
+      | Var name -> (
+          match lookup in_scope name with
+          | Some Scalar -> ()
+          | Some (Array _) -> fail e.eline "array %s used without index" name
+          | None -> fail e.eline "undeclared variable %s" name)
+      | Index (name, idx) -> (
+          check_expr in_scope idx;
+          match lookup in_scope name with
+          | Some (Array _) -> ()
+          | Some Scalar -> fail e.eline "scalar %s used with index" name
+          | None -> fail e.eline "undeclared array %s" name)
+      | Unary (_, a) -> check_expr in_scope a
+      | Binary (_, a, b) ->
+          check_expr in_scope a;
+          check_expr in_scope b
+      | Call (name, args) -> (
+          List.iter (check_expr in_scope) args;
+          match Hashtbl.find_opt env.funcs name with
+          | Some arity ->
+              if arity <> List.length args then
+                fail e.eline "call to %s with %d args, expected %d" name
+                  (List.length args) arity
+          | None -> fail e.eline "call to undeclared function %s" name)
+    in
+    let rec check_stmt in_scope in_loop s =
+      match s.sdesc with
+      | Decl_scalar (name, init) ->
+          Option.iter (check_expr in_scope) init;
+          declare s.sline name Scalar;
+          (* The caller extends the innermost scope; see check_block. *)
+          ()
+      | Decl_array (name, size) -> declare s.sline name (Array size)
+      | Assign (name, e) -> (
+          check_expr in_scope e;
+          match lookup in_scope name with
+          | Some Scalar -> ()
+          | Some (Array _) -> fail s.sline "cannot assign whole array %s" name
+          | None -> fail s.sline "undeclared variable %s" name)
+      | Assign_index (name, idx, e) -> (
+          check_expr in_scope idx;
+          check_expr in_scope e;
+          match lookup in_scope name with
+          | Some (Array _) -> ()
+          | Some Scalar -> fail s.sline "scalar %s used with index" name
+          | None -> fail s.sline "undeclared array %s" name)
+      | If (cond, b1, b2) ->
+          check_expr in_scope cond;
+          check_block in_scope in_loop b1;
+          check_block in_scope in_loop b2
+      | While (cond, body) ->
+          check_expr in_scope cond;
+          check_block in_scope true body
+      | For (init, cond, step, body) ->
+          (* The [for] header introduces its own small scope. *)
+          let header_scope = ref [] in
+          Option.iter
+            (fun s0 ->
+              check_stmt (!header_scope :: in_scope) in_loop s0;
+              match s0.sdesc with
+              | Decl_scalar (name, _) -> header_scope := name :: !header_scope
+              | _ -> ())
+            init;
+          let scopes = !header_scope :: in_scope in
+          Option.iter (check_expr scopes) cond;
+          check_block scopes true body;
+          Option.iter
+            (fun s0 ->
+              (* The step executes inside the loop scope, including the
+                 body's own declarations being out of scope. *)
+              check_stmt scopes true s0)
+            step
+      | Return e -> Option.iter (check_expr in_scope) e
+      | Break -> if not in_loop then fail s.sline "break outside loop"
+      | Continue -> if not in_loop then fail s.sline "continue outside loop"
+      | Expr e -> check_expr in_scope e
+      | Output e -> check_expr in_scope e
+    and check_block in_scope in_loop (b : block) =
+      let names = ref [] in
+      List.iter
+        (fun s ->
+          check_stmt (!names :: in_scope) in_loop s;
+          match s.sdesc with
+          | Decl_scalar (name, _) | Decl_array (name, _) ->
+              names := name :: !names
+          | _ -> ())
+        b.stmts
+    in
+    check_block [ f.params ] false f.body
+  in
+  List.iter check_func p.funcs
+
+(** [parse_and_check src] parses [src] and runs all semantic checks,
+    returning the checked program. *)
+let parse_and_check src =
+  let p = Parser.parse_program src in
+  check_program p;
+  p

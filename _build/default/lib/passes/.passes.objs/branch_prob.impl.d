@@ -1,0 +1,1 @@
+lib/passes/branch_prob.ml: Dom Hashtbl Ir Loops

@@ -1,0 +1,1 @@
+lib/passes/cleanup.ml: Hashtbl Ir List Putil

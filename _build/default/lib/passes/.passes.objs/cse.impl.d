@@ -1,0 +1,1 @@
+lib/passes/cse.ml: Dom Hashtbl Ir List Printf Putil String

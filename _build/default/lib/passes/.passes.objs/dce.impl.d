@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Hashtbl Ir List Putil

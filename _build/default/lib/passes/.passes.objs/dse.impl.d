@@ -1,0 +1,1 @@
+lib/passes/dse.ml: Hashtbl Ir List Printf

@@ -1,0 +1,1 @@
+lib/passes/if_conversion.ml: Cleanup Hashtbl Ir List Option Putil

@@ -1,0 +1,1 @@
+lib/passes/inline.ml: Cleanup Hashtbl Ir List Option Putil

@@ -1,0 +1,1 @@
+lib/passes/instcombine.ml: Cleanup Hashtbl Ir List Putil

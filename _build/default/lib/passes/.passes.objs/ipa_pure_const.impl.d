@@ -1,0 +1,1 @@
+lib/passes/ipa_pure_const.ml: Hashtbl Ir Option

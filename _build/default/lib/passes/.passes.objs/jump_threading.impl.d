@@ -1,0 +1,1 @@
+lib/passes/jump_threading.ml: Cleanup Dom Hashtbl Ir List Putil

@@ -1,0 +1,1 @@
+lib/passes/licm.ml: Dom Hashtbl Ir List Loops Putil

@@ -1,0 +1,1 @@
+lib/passes/loop_rotate.ml: Cleanup Dom Hashtbl Ir List Loops Option Putil

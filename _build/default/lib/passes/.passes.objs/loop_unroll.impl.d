@@ -1,0 +1,1 @@
+lib/passes/loop_unroll.ml: Hashtbl Ir List Putil

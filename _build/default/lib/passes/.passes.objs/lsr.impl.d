@@ -1,0 +1,1 @@
+lib/passes/lsr.ml: Dom Hashtbl Ir List Loops Putil

@@ -1,0 +1,1 @@
+lib/passes/putil.ml: Array Hashtbl Ir List Option Printf

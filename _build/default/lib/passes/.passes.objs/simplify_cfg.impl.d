@@ -1,0 +1,1 @@
+lib/passes/simplify_cfg.ml: Cleanup Hashtbl If_conversion Ir List Putil

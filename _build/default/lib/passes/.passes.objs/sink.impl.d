@@ -1,0 +1,1 @@
+lib/passes/sink.ml: Dom Hashtbl Ir List Loops Putil

@@ -1,0 +1,1 @@
+lib/passes/slp.ml: Array Hashtbl Ir List

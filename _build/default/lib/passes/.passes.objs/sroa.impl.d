@@ -1,0 +1,1 @@
+lib/passes/sroa.ml: Array Hashtbl Ir List Mem2reg

@@ -1,0 +1,1 @@
+lib/passes/ter.ml: Array Hashtbl Ir List Option Putil

@@ -1,0 +1,108 @@
+(** Dead store elimination.
+
+    Two safe-but-real cases:
+    - a store overwritten later in the same block by another store to the
+      same static address, with no intervening read or call that could
+      observe the memory;
+    - stores to memory that is never read anywhere in the program (an
+      anonymous or write-only slot/global).
+
+    A deleted store's line entry vanishes. When the store targeted a
+    named variable's frame home, the variable's memory image is stale
+    from then on; we record the fact by binding the variable to the
+    stored value if it is still available, or optimized-out otherwise —
+    the same trade gcc's -Og refuses to make (paper refs [12], [13]). *)
+
+let addr_key (a : Ir.addr) =
+  Printf.sprintf "%s[%s]" (Ir.base_to_string a.Ir.base)
+    (Ir.operand_to_string a.Ir.index)
+
+(* Bases loaded anywhere in the function/program. *)
+let loaded_bases (p : Ir.program) =
+  let tbl = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun _ fn ->
+      Ir.iter_instrs fn (fun _ i ->
+          match i.Ir.ik with
+          | Ir.Load (_, a) -> (
+              match a.Ir.base with
+              | Ir.Global g -> Hashtbl.replace tbl ("g:" ^ g) ()
+              | Ir.Slot s ->
+                  Hashtbl.replace tbl (Printf.sprintf "s:%s:%d" fn.Ir.f_name s) ())
+          | _ -> ()))
+    p.Ir.funcs;
+  tbl
+
+let base_key (fn : Ir.fn) = function
+  | Ir.Global g -> "g:" ^ g
+  | Ir.Slot s -> Printf.sprintf "s:%s:%d" fn.Ir.f_name s
+
+let var_of_slot (fn : Ir.fn) = function
+  | Ir.Slot s ->
+      List.find_map
+        (fun (sl : Ir.slot) ->
+          if sl.Ir.s_id = s && not sl.Ir.s_array then sl.Ir.s_var else None)
+        fn.Ir.f_slots
+  | Ir.Global _ -> None
+
+let run_fn (fn : Ir.fn) ~loaded =
+  let removed = ref 0 in
+  (* Case 2: write-only memory. *)
+  Ir.iter_blocks fn (fun b ->
+      b.Ir.instrs <-
+        List.concat_map
+          (fun (i : Ir.instr) ->
+            match i.Ir.ik with
+            | Ir.Store (a, v) when not (Hashtbl.mem loaded (base_key fn a.Ir.base))
+              -> (
+                incr removed;
+                match var_of_slot fn a.Ir.base with
+                | Some var ->
+                    (* Keep the value findable for the debugger where we
+                       can; the frame home is gone. *)
+                    [ { Ir.ik = Ir.Dbg (var, Some v); line = i.Ir.line } ]
+                | None -> [])
+            | _ -> [ i ])
+          b.Ir.instrs);
+  (* Case 1: intra-block overwrites. Walk backwards remembering the
+     addresses stored after the current point with nothing observing
+     memory in between. *)
+  Ir.iter_blocks fn (fun b ->
+      let pending : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+      let observes = function
+        | Ir.Load _ | Ir.Call _ | Ir.Input _ | Ir.Output _ -> true
+        | _ -> false
+      in
+      let kept =
+        List.fold_left
+          (fun acc (i : Ir.instr) ->
+            match i.Ir.ik with
+            | Ir.Store (a, v) ->
+                let k = addr_key a in
+                if Hashtbl.mem pending k then begin
+                  (* This store is overwritten later with no observer in
+                     between: dead. *)
+                  incr removed;
+                  match var_of_slot fn a.Ir.base with
+                  | Some var ->
+                      { Ir.ik = Ir.Dbg (var, Some v); line = i.Ir.line } :: acc
+                  | None -> acc
+                end
+                else begin
+                  Hashtbl.replace pending k ();
+                  i :: acc
+                end
+            | ik when observes ik ->
+                Hashtbl.reset pending;
+                i :: acc
+            | _ -> i :: acc)
+          []
+          (List.rev b.Ir.instrs)
+      in
+      b.Ir.instrs <- kept);
+  !removed
+
+(** [run p] runs DSE over the whole program; returns stores removed. *)
+let run (p : Ir.program) =
+  let loaded = loaded_bases p in
+  Hashtbl.fold (fun _ fn acc -> acc + run_fn fn ~loaded) p.Ir.funcs 0

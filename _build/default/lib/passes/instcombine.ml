@@ -1,0 +1,125 @@
+(** Instruction combining: constant folding, algebraic identities,
+    copy/constant propagation and comparison/branch shaping.
+
+    Serves as clang's [InstCombine] and gcc's [tree-forwprop]. Folded
+    instructions disappear together with their line entries; debug
+    bindings follow the replacement value, so the dominant debug cost of
+    this pass is in the line table, matching its mid-table ranking in the
+    paper. *)
+
+let is_cmp = function
+  | Ir.Ceq | Ir.Cne | Ir.Clt | Ir.Cle | Ir.Cgt | Ir.Cge -> true
+  | _ -> false
+
+let invert_cmp = function
+  | Ir.Ceq -> Ir.Cne
+  | Ir.Cne -> Ir.Ceq
+  | Ir.Clt -> Ir.Cge
+  | Ir.Cle -> Ir.Cgt
+  | Ir.Cgt -> Ir.Cle
+  | Ir.Cge -> Ir.Clt
+  | op -> op
+
+(* One simplification step for a single instruction: either a replacement
+   operand for its destination (instruction disappears) or a cheaper
+   instruction form. *)
+type outcome = Replace of Ir.operand | Rewrite of Ir.ikind | Keep
+
+let simplify defs ik =
+  match ik with
+  | Ir.Mov (_, o) -> Replace o
+  | Ir.Bin (op, _, Ir.Imm a, Ir.Imm b) -> Replace (Ir.Imm (Ir.eval_binop op a b))
+  | Ir.Un (op, _, Ir.Imm a) -> Replace (Ir.Imm (Ir.eval_unop op a))
+  | Ir.Bin (op, d, Ir.Imm a, b) when Ir.commutative op ->
+      Rewrite (Ir.Bin (op, d, b, Ir.Imm a))
+  | Ir.Bin (Ir.Add, _, a, Ir.Imm 0)
+  | Ir.Bin (Ir.Sub, _, a, Ir.Imm 0)
+  | Ir.Bin (Ir.Mul, _, a, Ir.Imm 1)
+  | Ir.Bin (Ir.Div, _, a, Ir.Imm 1)
+  | Ir.Bin (Ir.Or, _, a, Ir.Imm 0)
+  | Ir.Bin (Ir.Xor, _, a, Ir.Imm 0)
+  | Ir.Bin (Ir.Shl, _, a, Ir.Imm 0)
+  | Ir.Bin (Ir.Shr, _, a, Ir.Imm 0) ->
+      Replace a
+  | Ir.Bin (Ir.Mul, _, _, Ir.Imm 0) | Ir.Bin (Ir.And, _, _, Ir.Imm 0) ->
+      Replace (Ir.Imm 0)
+  | Ir.Bin (Ir.Sub, _, Ir.Reg a, Ir.Reg b) when a = b -> Replace (Ir.Imm 0)
+  | Ir.Bin (Ir.Xor, _, Ir.Reg a, Ir.Reg b) when a = b -> Replace (Ir.Imm 0)
+  | Ir.Bin (Ir.Mul, d, a, Ir.Imm 2) -> Rewrite (Ir.Bin (Ir.Add, d, a, a))
+  | Ir.Bin (Ir.Mul, d, a, Ir.Imm n)
+    when n > 2 && n land (n - 1) = 0 ->
+      (* Multiply by a power of two becomes a shift. *)
+      let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+      Rewrite (Ir.Bin (Ir.Shl, d, a, Ir.Imm (log2 n 0)))
+  | Ir.Select (_, Ir.Imm c, a, b) -> Replace (if c <> 0 then a else b)
+  | Ir.Select (_, _, a, b) when a = b -> Replace a
+  (* (a + c1) + c2 -> a + (c1 + c2), reassociating through the defining
+     instruction. *)
+  | Ir.Bin (Ir.Add, d, Ir.Reg r, Ir.Imm c2) -> (
+      match Hashtbl.find_opt defs r with
+      | Some (Ir.Bin (Ir.Add, _, a, Ir.Imm c1)) ->
+          Rewrite (Ir.Bin (Ir.Add, d, a, Ir.Imm (c1 + c2)))
+      | Some (Ir.Bin (Ir.Sub, _, a, Ir.Imm c1)) ->
+          Rewrite (Ir.Bin (Ir.Add, d, a, Ir.Imm (c2 - c1)))
+      | _ -> Keep)
+  (* !(cmp) -> inverted cmp *)
+  | Ir.Un (Ir.Lnot, d, Ir.Reg r) -> (
+      match Hashtbl.find_opt defs r with
+      | Some (Ir.Bin (op, _, a, b)) when is_cmp op ->
+          Rewrite (Ir.Bin (invert_cmp op, d, a, b))
+      | _ -> Keep)
+  (* cmp-of-cmp against zero: (cmp != 0) -> cmp, (cmp == 0) -> inverted *)
+  | Ir.Bin (Ir.Cne, _, Ir.Reg r, Ir.Imm 0) -> (
+      match Hashtbl.find_opt defs r with
+      | Some (Ir.Bin (op, _, _, _)) when is_cmp op -> Replace (Ir.Reg r)
+      | _ -> Keep)
+  | Ir.Bin (Ir.Ceq, d, Ir.Reg r, Ir.Imm 0) -> (
+      match Hashtbl.find_opt defs r with
+      | Some (Ir.Bin (op, _, a, b)) when is_cmp op ->
+          Rewrite (Ir.Bin (invert_cmp op, d, a, b))
+      | _ -> Keep)
+  | _ -> Keep
+
+(** [run fn] applies simplifications to a fixpoint; returns the number of
+    instructions removed. *)
+let run (fn : Ir.fn) =
+  let removed = ref 0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    (* Definition table for cross-instruction rules. *)
+    let defs = Hashtbl.create 64 in
+    Ir.iter_instrs fn (fun _ i ->
+        List.iter
+          (fun d -> Hashtbl.replace defs d i.Ir.ik)
+          (Ir.def_of_ikind i.Ir.ik));
+    let subst = Hashtbl.create 16 in
+    Ir.iter_blocks fn (fun b ->
+        b.Ir.instrs <-
+          List.filter
+            (fun (i : Ir.instr) ->
+              match i.Ir.ik with
+              | Ir.Dbg _ -> true
+              | ik -> (
+                  match simplify defs ik with
+                  | Replace o -> (
+                      match Ir.def_of_ikind ik with
+                      | [ d ] ->
+                          Hashtbl.replace subst d o;
+                          incr removed;
+                          progress := true;
+                          false
+                      | _ -> true)
+                  | Rewrite ik' ->
+                      i.Ir.ik <- ik';
+                      progress := true;
+                      true
+                  | Keep -> true))
+            b.Ir.instrs);
+    if Hashtbl.length subst > 0 then Putil.replace_uses fn subst
+  done;
+  Cleanup.run fn;
+  !removed
+
+let run_program (p : Ir.program) =
+  Hashtbl.iter (fun _ fn -> ignore (run fn)) p.Ir.funcs

@@ -1,0 +1,48 @@
+(** Interprocedural purity analysis (gcc [ipa-pure-const]).
+
+    Marks functions whose result depends only on their arguments and that
+    have no observable effects: no stores, no I/O, no loads from globals
+    or arrays (memory could change between calls), and only calls to
+    functions already proven pure. CSE and DCE consume the marking:
+    repeated pure calls collapse and unused pure calls disappear —
+    together with their line entries and any variable bound to a deleted
+    result. *)
+
+let fn_locally_pure (fn : Ir.fn) ~assumed =
+  let ok = ref true in
+  Ir.iter_instrs fn (fun _ i ->
+      match i.Ir.ik with
+      | Ir.Store _ | Ir.Input _ | Ir.Eof _ | Ir.Output _ | Ir.Load _ ->
+          ok := false
+      | Ir.Call (_, callee, _) -> if not (assumed callee) then ok := false
+      | _ -> ());
+  !ok
+
+(** [run p] computes the greatest fixpoint of purity (optimistic start,
+    remove offenders until stable) and sets [is_pure] on each function. *)
+let run (p : Ir.program) =
+  let pure = Hashtbl.create 16 in
+  Hashtbl.iter (fun name _ -> Hashtbl.replace pure name true) p.Ir.funcs;
+  let assumed name = Option.value ~default:false (Hashtbl.find_opt pure name) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun name fn ->
+        if assumed name && not (fn_locally_pure fn ~assumed) then begin
+          Hashtbl.replace pure name false;
+          changed := true
+        end)
+      p.Ir.funcs
+  done;
+  Hashtbl.iter (fun name fn -> fn.Ir.is_pure <- assumed name) p.Ir.funcs
+
+(** Predicate over the current markings, as consumed by DCE/CSE. *)
+let pure_predicate (p : Ir.program) name =
+  match Hashtbl.find_opt p.Ir.funcs name with
+  | Some fn -> fn.Ir.is_pure
+  | None -> false
+
+(** Clear markings (pass disabled). *)
+let reset (p : Ir.program) =
+  Hashtbl.iter (fun _ fn -> fn.Ir.is_pure <- false) p.Ir.funcs

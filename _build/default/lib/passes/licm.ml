@@ -1,0 +1,133 @@
+(** Loop-invariant code motion — the heart of [tree-loop-optimize] in our
+    gcc pipeline and of the loop canonicalization stage in clang's.
+
+    Pure instructions whose operands are defined outside the loop are
+    hoisted to the preheader; loads additionally require that the loop
+    contains no store to the same base and no calls. Hoisted
+    instructions lose their line (cross-block motion), shrinking the
+    steppable set inside hot loops. *)
+
+module Label_set = Loops.Label_set
+
+let run (fn : Ir.fn) =
+  Ir.prune_unreachable fn;
+  let hoisted = ref 0 in
+  let dom = Dom.compute fn in
+  let loop_info = Loops.find fn dom in
+  (* Innermost loops first so invariants bubble outward across
+     iterations of the pass. *)
+  let loops =
+    List.sort (fun a b -> compare b.Loops.depth a.Loops.depth) loop_info.Loops.loops
+  in
+  List.iter
+    (fun lp ->
+      (* Defs inside the loop. *)
+      let inside_defs = Hashtbl.create 32 in
+      Label_set.iter
+        (fun l ->
+          let b = Ir.block fn l in
+          List.iter
+            (fun (p : Ir.phi) -> Hashtbl.replace inside_defs p.Ir.p_dst ())
+            b.Ir.phis;
+          List.iter
+            (fun (i : Ir.instr) ->
+              List.iter
+                (fun d -> Hashtbl.replace inside_defs d ())
+                (Ir.def_of_ikind i.Ir.ik))
+            b.Ir.instrs)
+        lp.Loops.body;
+      let loop_has_store_to base =
+        Label_set.fold
+          (fun l acc ->
+            acc
+            || List.exists
+                 (fun (i : Ir.instr) ->
+                   match i.Ir.ik with
+                   | Ir.Store (a, _) -> a.Ir.base = base
+                   | _ -> false)
+                 (Ir.block fn l).Ir.instrs)
+          lp.Loops.body false
+      in
+      let loop_has_call =
+        Label_set.fold
+          (fun l acc ->
+            acc
+            || List.exists
+                 (fun (i : Ir.instr) ->
+                   match i.Ir.ik with Ir.Call _ -> true | _ -> false)
+                 (Ir.block fn l).Ir.instrs)
+          lp.Loops.body false
+      in
+      let invariant_reg r = not (Hashtbl.mem inside_defs r) in
+      let invariant_operand = function
+        | Ir.Imm _ -> true
+        | Ir.Reg r -> invariant_reg r
+      in
+      (* Iterate within the loop: hoisting one instruction can make
+         another invariant. *)
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        Label_set.iter
+          (fun l ->
+            let b = Ir.block fn l in
+            let to_hoist = ref [] in
+            b.Ir.instrs <-
+              List.filter
+                (fun (i : Ir.instr) ->
+                  let movable =
+                    match i.Ir.ik with
+                    | Ir.Load (_, a) ->
+                        invariant_operand a.Ir.index
+                        && (not (loop_has_store_to a.Ir.base))
+                        && not loop_has_call
+                    | ik ->
+                        Putil.pure_ikind ik
+                        && (match ik with Ir.Load _ -> false | _ -> true)
+                        && List.for_all invariant_reg (Ir.uses_of_ikind ik)
+                  in
+                  (* Hoisting from a conditionally-executed block would
+                     change how often the instruction runs; our operations
+                     are total (no traps), so speculation is safe, but we
+                     restrict division to blocks that dominate every latch
+                     to keep the cost model honest. *)
+                  let speculation_ok =
+                    match i.Ir.ik with
+                    | Ir.Bin ((Ir.Div | Ir.Rem), _, _, _) ->
+                        List.for_all
+                          (fun latch -> Dom.dominates dom l latch)
+                          lp.Loops.latches
+                    | _ -> true
+                  in
+                  if
+                    movable && speculation_ok
+                    &&
+                    match i.Ir.ik with
+                    | Ir.Load (_, a) -> invariant_operand a.Ir.index
+                    | ik -> List.for_all invariant_reg (Ir.uses_of_ikind ik)
+                  then begin
+                    to_hoist := i :: !to_hoist;
+                    List.iter
+                      (fun d -> Hashtbl.remove inside_defs d)
+                      (Ir.def_of_ikind i.Ir.ik);
+                    incr hoisted;
+                    progress := true;
+                    false
+                  end
+                  else true)
+                b.Ir.instrs;
+            if !to_hoist <> [] then begin
+              let ph = Loops.preheader fn lp in
+              let phb = Ir.block fn ph in
+              List.iter
+                (fun (i : Ir.instr) ->
+                  i.Ir.line <- None;
+                  phb.Ir.instrs <- phb.Ir.instrs @ [ i ])
+                (List.rev !to_hoist)
+            end)
+          lp.Loops.body
+      done)
+    loops;
+  !hoisted
+
+let run_program (p : Ir.program) = Hashtbl.iter (fun _ fn -> ignore (run fn)) p.Ir.funcs

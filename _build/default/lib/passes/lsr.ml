@@ -1,0 +1,124 @@
+(** Loop strength reduction (clang [LoopStrengthReduce]).
+
+    In a single-block self-loop with an induction variable
+    [i = phi(init, i + k)], a multiplication [d = i * m] is replaced by a
+    derived induction variable [j = phi(init * m, j + k * m)] — an add per
+    iteration instead of a multiply. Uses of [d] (and debug bindings)
+    re-point at [j], whose value is identical; when the original IV ends
+    up used only by the deleted multiply, later DCE kills its phi and any
+    variable bound to it goes optimized-out — the indirect loss the paper
+    measures for this pass. *)
+
+let run (fn : Ir.fn) =
+  Ir.prune_unreachable fn;
+  let reduced = ref 0 in
+  let dom = Dom.compute fn in
+  let loop_info = Loops.find fn dom in
+  List.iter
+    (fun (lp : Loops.loop) ->
+      if
+        Loops.Label_set.cardinal lp.Loops.body = 1
+        && lp.Loops.latches = [ lp.Loops.header ]
+      then begin
+        let l = lp.Loops.header in
+        let b = Ir.block fn l in
+        (* Induction variables: i = phi(..., (l, Reg s)) with
+           s = i + constant in this block. *)
+        let ivs =
+          List.filter_map
+            (fun (p : Ir.phi) ->
+              if List.length p.Ir.p_args <> 2 then None
+              else
+              match List.assoc_opt l p.Ir.p_args with
+              | Some (Ir.Reg s) ->
+                  List.find_map
+                    (fun (i : Ir.instr) ->
+                      match i.Ir.ik with
+                      | Ir.Bin (Ir.Add, d, Ir.Reg x, Ir.Imm k)
+                        when d = s && x = p.Ir.p_dst ->
+                          Some (p, k)
+                      | Ir.Bin (Ir.Add, d, Ir.Imm k, Ir.Reg x)
+                        when d = s && x = p.Ir.p_dst ->
+                          Some (p, k)
+                      | _ -> None)
+                    b.Ir.instrs
+              | _ -> None)
+            b.Ir.phis
+        in
+        if ivs <> [] then begin
+          let subst = Hashtbl.create 4 in
+          let new_phis = ref [] in
+          let new_steps = ref [] in
+          let pre_instrs = ref [] in
+          b.Ir.instrs <-
+            List.filter
+              (fun (i : Ir.instr) ->
+                match i.Ir.ik with
+                | Ir.Bin (Ir.Mul, d, Ir.Reg x, Ir.Imm m)
+                | Ir.Bin (Ir.Mul, d, Ir.Imm m, Ir.Reg x) -> (
+                    match
+                      List.find_opt (fun ((p : Ir.phi), _) -> p.Ir.p_dst = x) ivs
+                    with
+                    | Some (p, k) ->
+                        (* init * m in the preheader (constant-folded when
+                           possible); j accumulates by k * m. *)
+                        let init =
+                          List.find_map
+                            (fun (pl, o) -> if pl <> l then Some o else None)
+                            p.Ir.p_args
+                        in
+                        (match init with
+                        | Some init ->
+                            let j = Ir.fresh_reg fn in
+                            let j_next = Ir.fresh_reg fn in
+                            let init_op =
+                              match init with
+                              | Ir.Imm n -> Ir.Imm (n * m)
+                              | Ir.Reg _ ->
+                                  let r0 = Ir.fresh_reg fn in
+                                  pre_instrs :=
+                                    {
+                                      Ir.ik = Ir.Bin (Ir.Mul, r0, init, Ir.Imm m);
+                                      line = None;
+                                    }
+                                    :: !pre_instrs;
+                                  Ir.Reg r0
+                            in
+                            new_phis :=
+                              (j, init_op, j_next) :: !new_phis;
+                            new_steps :=
+                              {
+                                Ir.ik =
+                                  Ir.Bin (Ir.Add, j_next, Ir.Reg j, Ir.Imm (k * m));
+                                line = None;
+                              }
+                              :: !new_steps;
+                            Hashtbl.replace subst d (Ir.Reg j);
+                            incr reduced;
+                            false
+                        | None -> true)
+                    | None -> true)
+                | _ -> true)
+              b.Ir.instrs;
+          if !new_phis <> [] then begin
+            let ph = Loops.preheader fn lp in
+            let phb = Ir.block fn ph in
+            phb.Ir.instrs <- phb.Ir.instrs @ List.rev !pre_instrs;
+            List.iter
+              (fun (j, init_op, j_next) ->
+                b.Ir.phis <-
+                  b.Ir.phis
+                  @ [
+                      {
+                        Ir.p_dst = j;
+                        p_args = [ (ph, init_op); (l, Ir.Reg j_next) ];
+                      };
+                    ])
+              (List.rev !new_phis);
+            b.Ir.instrs <- b.Ir.instrs @ List.rev !new_steps;
+            Putil.replace_uses fn subst
+          end
+        end
+      end)
+    loop_info.Loops.loops;
+  !reduced

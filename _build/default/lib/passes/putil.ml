@@ -1,0 +1,101 @@
+(** Shared helpers for the optimization passes. *)
+
+(** [kill_bindings fn dead] marks every debug binding that references one
+    of the [dead] registers as optimized-out — what a compiler does when
+    it deletes a value it cannot salvage. *)
+let kill_bindings (fn : Ir.fn) (dead : (Ir.reg, unit) Hashtbl.t) =
+  Ir.iter_instrs fn (fun _ i ->
+      match i.Ir.ik with
+      | Ir.Dbg (v, Some (Ir.Reg r)) when Hashtbl.mem dead r ->
+          i.Ir.ik <- Ir.Dbg (v, None)
+      | _ -> ())
+
+(** [replace_uses fn map] rewrites register uses (including debug
+    bindings, which follow the value). *)
+let replace_uses (fn : Ir.fn) (map : (Ir.reg, Ir.operand) Hashtbl.t) =
+  if Hashtbl.length map > 0 then begin
+    (* Chase chains so that a->b, b->c resolves a->c. *)
+    let rec resolve o depth =
+      match o with
+      | Ir.Reg r when depth < 64 -> (
+          match Hashtbl.find_opt map r with
+          | Some o' -> resolve o' (depth + 1)
+          | None -> o)
+      | _ -> o
+    in
+    Ir.apply_subst fn (fun r ->
+        match Hashtbl.find_opt map r with
+        | Some o -> Some (resolve o 1)
+        | None -> None)
+  end
+
+(** Registers defined anywhere in the function, with their use counts
+    (debug bindings excluded). *)
+let use_counts (fn : Ir.fn) =
+  let counts = Hashtbl.create 64 in
+  let bump r =
+    Hashtbl.replace counts r (1 + Option.value ~default:0 (Hashtbl.find_opt counts r))
+  in
+  Ir.iter_blocks fn (fun b ->
+      List.iter
+        (fun (p : Ir.phi) ->
+          List.iter (fun (_, o) -> List.iter bump (Ir.operand_uses o)) p.Ir.p_args)
+        b.Ir.phis;
+      List.iter
+        (fun (i : Ir.instr) -> List.iter bump (Ir.real_uses_of_ikind i.Ir.ik))
+        b.Ir.instrs;
+      List.iter bump (Ir.term_uses b.Ir.term));
+  counts
+
+(** Is the instruction free of side effects (deletable when its results
+    are unused)? [pure_calls] lists functions proven pure. *)
+let pure_ikind ?(pure_calls = fun _ -> false) = function
+  | Ir.Bin _ | Ir.Un _ | Ir.Mov _ | Ir.Select _ | Ir.Vec _ | Ir.Load _ -> true
+  | Ir.Call (_, f, _) -> pure_calls f
+  | Ir.Store _ | Ir.Input _ | Ir.Eof _ | Ir.Output _ | Ir.Dbg _ -> false
+
+(** A key identifying the value computed by a pure instruction, for value
+    numbering; [None] when the instruction is not numberable. Commutative
+    operands are put in a canonical order. *)
+let value_key = function
+  | Ir.Bin (op, _, a, b) ->
+      let a, b = if Ir.commutative op && b < a then (b, a) else (a, b) in
+      Some (Printf.sprintf "bin:%s:%s:%s" (Ir.binop_name op)
+              (Ir.operand_to_string a) (Ir.operand_to_string b))
+  | Ir.Un (op, _, a) ->
+      Some (Printf.sprintf "un:%s:%s" (Ir.unop_name op) (Ir.operand_to_string a))
+  | Ir.Select (_, c, a, b) ->
+      Some (Printf.sprintf "sel:%s:%s:%s" (Ir.operand_to_string c)
+              (Ir.operand_to_string a) (Ir.operand_to_string b))
+  | Ir.Mov (_, a) -> Some (Printf.sprintf "mov:%s" (Ir.operand_to_string a))
+  | _ -> None
+
+(** Clone an instruction kind, renaming definitions through [fresh_def]
+    and uses through [map_use]. *)
+let clone_ikind ~fresh_def ~map_use (ik : Ir.ikind) : Ir.ikind =
+  let mapped = Ir.subst_uses map_use ik in
+  match mapped with
+  | Ir.Bin (op, d, a, b) -> Ir.Bin (op, fresh_def d, a, b)
+  | Ir.Un (op, d, a) -> Ir.Un (op, fresh_def d, a)
+  | Ir.Mov (d, a) -> Ir.Mov (fresh_def d, a)
+  | Ir.Load (d, a) -> Ir.Load (fresh_def d, a)
+  | Ir.Store _ | Ir.Output _ | Ir.Dbg _ -> mapped
+  | Ir.Call (d, f, args) -> Ir.Call (Option.map fresh_def d, f, args)
+  | Ir.Input d -> Ir.Input (fresh_def d)
+  | Ir.Eof d -> Ir.Eof (fresh_def d)
+  | Ir.Select (d, c, a, b) -> Ir.Select (fresh_def d, c, a, b)
+  | Ir.Vec (op, lanes) ->
+      Ir.Vec (op, Array.map (fun (d, a, b) -> (fresh_def d, a, b)) lanes)
+
+(** Blocks of a function whose register definitions include [r]. *)
+let def_site (fn : Ir.fn) r =
+  let found = ref None in
+  Ir.iter_blocks fn (fun b ->
+      List.iter
+        (fun (p : Ir.phi) -> if p.Ir.p_dst = r then found := Some (b, `Phi p))
+        b.Ir.phis;
+      List.iter
+        (fun (i : Ir.instr) ->
+          if List.mem r (Ir.def_of_ikind i.Ir.ik) then found := Some (b, `Instr i))
+        b.Ir.instrs);
+  !found

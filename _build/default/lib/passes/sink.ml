@@ -1,0 +1,72 @@
+(** Code sinking (gcc [tree-sink]; the same engine serves clang's
+    [Machine code sinking] at the IR level just before the backend).
+
+    A pure instruction whose results are used in exactly one block other
+    than its own is moved to the head of that block, provided the
+    destination is dominated by the definition and the instruction has no
+    memory or ordering constraints. Paths that never reach the use no
+    longer execute the instruction (the performance win); the moved
+    instruction drops its line (compilers deliberately strip locations on
+    cross-block motion to avoid erratic stepping), and any binding of its
+    value starts later — both measurable losses. *)
+
+let run (fn : Ir.fn) =
+  Ir.prune_unreachable fn;
+  let moved = ref 0 in
+  let dom = Dom.compute fn in
+  let loops = Loops.find fn dom in
+  (* Map register -> blocks using it (phis count as uses in the
+     predecessor contributing the value). *)
+  let use_blocks : (Ir.reg, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let add_use r l =
+    match Hashtbl.find_opt use_blocks r with
+    | Some refs -> if not (List.mem l !refs) then refs := l :: !refs
+    | None -> Hashtbl.replace use_blocks r (ref [ l ])
+  in
+  Ir.iter_blocks fn (fun b ->
+      List.iter
+        (fun (p : Ir.phi) ->
+          List.iter
+            (fun (pl, o) -> List.iter (fun r -> add_use r pl) (Ir.operand_uses o))
+            p.Ir.p_args)
+        b.Ir.phis;
+      List.iter
+        (fun (i : Ir.instr) ->
+          List.iter
+            (fun r -> add_use r b.Ir.b_label)
+            (Ir.real_uses_of_ikind i.Ir.ik))
+        b.Ir.instrs;
+      List.iter (fun r -> add_use r b.Ir.b_label) (Ir.term_uses b.Ir.term));
+  Ir.iter_blocks fn (fun b ->
+      let sunk = ref [] in
+      b.Ir.instrs <-
+        List.filter
+          (fun (i : Ir.instr) ->
+            match i.Ir.ik with
+            | Ir.Load _ | Ir.Dbg _ -> true (* loads are order-sensitive *)
+            | ik when Putil.pure_ikind ik -> (
+                match Ir.def_of_ikind ik with
+                | [ d ] -> (
+                    match Hashtbl.find_opt use_blocks d with
+                    | Some { contents = [ target ] }
+                      when target <> b.Ir.b_label
+                           && Dom.dominates dom b.Ir.b_label target
+                           && Loops.depth loops target
+                              <= Loops.depth loops b.Ir.b_label ->
+                        (* Never sink *into* a loop (it would execute more
+                           often); sinking to equal/shallower depth only. *)
+                        sunk := (target, i) :: !sunk;
+                        incr moved;
+                        false
+                    | _ -> true)
+                | _ -> true)
+            | _ -> true)
+          b.Ir.instrs;
+      List.iter
+        (fun (target, (i : Ir.instr)) ->
+          i.Ir.line <- None;
+          let tb = Ir.block fn target in
+          tb.Ir.instrs <- i :: tb.Ir.instrs)
+        (List.rev !sunk))
+
+let run_program (p : Ir.program) = Hashtbl.iter (fun _ fn -> run fn) p.Ir.funcs

@@ -1,0 +1,75 @@
+(** Superword-level parallelism (gcc [tree-slp-vectorize]).
+
+    Independent same-operator scalar operations inside a block are packed
+    into one [Vec] instruction (placed at the first member's position,
+    which is legal because every member's operands are checked to be
+    available there). The vector instruction carries the first member's
+    line; the other members' line entries vanish — the per-element
+    stepping loss the paper observes. All lane destinations are still
+    defined, so debug bindings survive packing itself. *)
+
+let max_lanes = 4
+let window = 8
+
+let packable (ik : Ir.ikind) =
+  match ik with
+  | Ir.Bin ((Ir.Div | Ir.Rem), _, _, _) -> None (* lane cost would lie *)
+  | Ir.Bin (op, d, a, b) -> Some (op, d, a, b)
+  | _ -> None
+
+let run (fn : Ir.fn) =
+  let packed = ref 0 in
+  Ir.iter_blocks fn (fun blk ->
+      let arr = Array.of_list blk.Ir.instrs in
+      let n = Array.length arr in
+      let consumed = Array.make n false in
+      let out = ref [] in
+      for i = 0 to n - 1 do
+        if not consumed.(i) then begin
+          match packable arr.(i).Ir.ik with
+          | Some (op, d0, a0, b0) ->
+              (* Scan a small window ahead for isomorphic, independent
+                 operations whose operands are defined before position
+                 [i]. *)
+              let group = ref [ (d0, a0, b0) ] in
+              let group_dsts = ref [ d0 ] in
+              let defs_between = ref [] in
+              let j = ref (i + 1) in
+              while !j < n && !j <= i + window && List.length !group < max_lanes do
+                (match packable arr.(!j).Ir.ik with
+                | Some (op', d, a, b) when op' = op && not consumed.(!j) ->
+                    let operand_ok = function
+                      | Ir.Imm _ -> true
+                      | Ir.Reg r ->
+                          (not (List.mem r !defs_between))
+                          && not (List.mem r !group_dsts)
+                    in
+                    if operand_ok a && operand_ok b then begin
+                      group := (d, a, b) :: !group;
+                      group_dsts := d :: !group_dsts;
+                      consumed.(!j) <- true
+                    end
+                    else
+                      defs_between :=
+                        Ir.def_of_ikind arr.(!j).Ir.ik @ !defs_between
+                | _ ->
+                    defs_between := Ir.def_of_ikind arr.(!j).Ir.ik @ !defs_between);
+                incr j
+              done;
+              if List.length !group >= 2 then begin
+                incr packed;
+                out :=
+                  {
+                    Ir.ik = Ir.Vec (op, Array.of_list (List.rev !group));
+                    line = arr.(i).Ir.line;
+                  }
+                  :: !out
+              end
+              else out := arr.(i) :: !out
+          | None -> out := arr.(i) :: !out
+        end
+      done;
+      blk.Ir.instrs <- List.rev !out);
+  !packed
+
+let run_program (p : Ir.program) = Hashtbl.iter (fun _ fn -> ignore (run fn)) p.Ir.funcs

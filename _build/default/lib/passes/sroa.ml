@@ -1,0 +1,64 @@
+(** Scalar replacement of aggregates (clang [SROA]; gcc's equivalent SRA
+    runs under the same implementation in our gcc pipeline, where it never
+    reaches the top-10 ranking, matching the paper).
+
+    Small local arrays accessed only through constant indices are split
+    into scalar slots, which mem2reg then promotes into SSA values. The
+    elements become anonymous — DWARF has no per-element home once the
+    aggregate is gone (real compilers rarely recover full
+    [DW_OP_piece] coverage) — so the array variable disappears from the
+    debug info while every access gets register speed. *)
+
+let max_elements = 4
+
+let run (fn : Ir.fn) =
+  let split = ref 0 in
+  let candidates =
+    List.filter
+      (fun (s : Ir.slot) -> s.Ir.s_array && s.Ir.s_size <= max_elements)
+      fn.Ir.f_slots
+  in
+  let const_indexed (s : Ir.slot) =
+    let ok = ref true in
+    Ir.iter_instrs fn (fun _ i ->
+        match i.Ir.ik with
+        | Ir.Load (_, { base = Ir.Slot id; index })
+        | Ir.Store ({ base = Ir.Slot id; index }, _)
+          when id = s.Ir.s_id -> (
+            match index with
+            | Ir.Imm n when n >= 0 && n < s.Ir.s_size -> ()
+            | _ -> ok := false)
+        | _ -> ());
+    !ok
+  in
+  let new_ids = ref [] in
+  List.iter
+    (fun (s : Ir.slot) ->
+      if const_indexed s then begin
+        incr split;
+        (* One anonymous scalar slot per element. *)
+        let pieces =
+          Array.init s.Ir.s_size (fun _ ->
+              let piece = Ir.fresh_slot fn ~size:1 ~var:None ~array:false in
+              new_ids := piece.Ir.s_id :: !new_ids;
+              piece.Ir.s_id)
+        in
+        Ir.iter_instrs fn (fun _ i ->
+            match i.Ir.ik with
+            | Ir.Load (d, { base = Ir.Slot id; index = Ir.Imm n })
+              when id = s.Ir.s_id ->
+                i.Ir.ik <-
+                  Ir.Load (d, { Ir.base = Ir.Slot pieces.(n); index = Ir.Imm 0 })
+            | Ir.Store ({ base = Ir.Slot id; index = Ir.Imm n }, v)
+              when id = s.Ir.s_id ->
+                i.Ir.ik <-
+                  Ir.Store ({ Ir.base = Ir.Slot pieces.(n); index = Ir.Imm 0 }, v)
+            | _ -> ());
+        fn.Ir.f_slots <-
+          List.filter (fun (x : Ir.slot) -> x.Ir.s_id <> s.Ir.s_id) fn.Ir.f_slots
+      end)
+    candidates;
+  if !new_ids <> [] then Mem2reg.run ~only:!new_ids fn;
+  !split
+
+let run_program (p : Ir.program) = Hashtbl.iter (fun _ fn -> ignore (run fn)) p.Ir.funcs

@@ -1,0 +1,1 @@
+lib/suite/programs.ml: List Programs_a Programs_b Programs_c Suite_types

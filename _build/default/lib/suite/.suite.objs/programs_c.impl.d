@@ -1,0 +1,1 @@
+lib/suite/programs_c.ml: Suite_types

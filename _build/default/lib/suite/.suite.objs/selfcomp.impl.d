@@ -1,0 +1,1 @@
+lib/suite/selfcomp.ml: List Suite_types Util

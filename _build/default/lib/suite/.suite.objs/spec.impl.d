@@ -1,0 +1,1 @@
+lib/suite/spec.ml: List Suite_types

@@ -1,0 +1,1 @@
+lib/suite/synth.ml: Buffer List Printf String Suite_types Util

@@ -1,0 +1,16 @@
+(** The 13-program debug-information test suite (paper Section IV).
+
+    Every program is a MiniC application themed after its OSS-Fuzz
+    namesake, with the harnesses and hand-written seed inputs a fuzzing
+    setup would ship. *)
+
+open Suite_types
+
+let all : sprogram list = Programs_a.all @ Programs_b.all @ Programs_c.all
+
+let find name =
+  match List.find_opt (fun p -> p.p_name = name) all with
+  | Some p -> p
+  | None -> invalid_arg ("Programs.find: unknown program " ^ name)
+
+let names = List.map (fun p -> p.p_name) all

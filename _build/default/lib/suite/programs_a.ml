@@ -1,0 +1,475 @@
+(** Test-suite programs, batch A: bzip2, libdwarf, libexif, liblouis.
+
+    Each is a small but genuine program in its namesake's domain —
+    run-length + move-to-front coding, LEB128/DIE parsing, tag parsing,
+    translation-table lookup — written in MiniC with the control-flow and
+    variable-usage texture of real C (helper functions, state machines,
+    tables, bounded scan loops). *)
+
+open Suite_types
+
+(* Run-length encoding with a move-to-front stage, the flavor of bzip2's
+   RLE+MTF front end. *)
+let bzip2 =
+  {
+    p_name = "bzip2";
+    p_harnesses =
+      [
+        {
+          h_name = "compress";
+          h_entry = "fuzz_compress";
+          h_seeds =
+            [
+              [ 7; 7; 7; 7; 2; 3; 3; 9 ];
+              [ 1; 1; 1; 1; 1; 1; 1; 1; 1; 1; 5 ];
+              [ 250; 250; 4; 4; 4; 0 ];
+            ];
+        };
+        {
+          h_name = "crc";
+          h_entry = "fuzz_crc";
+          h_seeds = [ [ 10; 20; 30 ]; [ 255; 0; 255; 0 ] ];
+        };
+      ];
+    p_source =
+      {|
+int mtf_table[16];
+
+int mtf_init() {
+  int i = 0;
+  while (i < 16) {
+    mtf_table[i] = i;
+    i = i + 1;
+  }
+  return 0;
+}
+
+int mtf_encode(int sym) {
+  int pos = 0;
+  int i = 0;
+  while (i < 16) {
+    if (mtf_table[i] == sym) {
+      pos = i;
+    }
+    i = i + 1;
+  }
+  int j = pos;
+  while (j > 0) {
+    mtf_table[j] = mtf_table[j - 1];
+    j = j - 1;
+  }
+  mtf_table[0] = sym;
+  return pos;
+}
+
+int rle_flush(int byte, int run) {
+  if (run >= 4) {
+    output(byte);
+    output(byte);
+    output(byte);
+    output(byte);
+    output(run - 4);
+    return 5;
+  }
+  int k = 0;
+  while (k < run) {
+    output(byte);
+    k = k + 1;
+  }
+  return run;
+}
+
+int fuzz_compress() {
+  mtf_init();
+  int prev = -1;
+  int run = 0;
+  int emitted = 0;
+  int budget = 200;
+  while (!eof() && budget > 0) {
+    int raw = input();
+    int byte = raw & 255;
+    int coded = mtf_encode(byte & 15);
+    if (coded == prev && run < 255) {
+      run = run + 1;
+    } else {
+      emitted = emitted + rle_flush(prev, run);
+      prev = coded;
+      run = 1;
+    }
+    budget = budget - 1;
+  }
+  emitted = emitted + rle_flush(prev, run);
+  output(emitted);
+  return emitted;
+}
+
+int crc_update(int crc, int byte) {
+  int c = crc ^ (byte & 255);
+  int k = 0;
+  while (k < 8) {
+    if (c & 1) {
+      c = (c >> 1) ^ 21111;
+    } else {
+      c = c >> 1;
+    }
+    k = k + 1;
+  }
+  return c;
+}
+
+int fuzz_crc() {
+  int crc = 65535;
+  int count = 0;
+  while (!eof() && count < 300) {
+    crc = crc_update(crc, input());
+    count = count + 1;
+  }
+  output(crc);
+  output(count);
+  return crc;
+}
+|};
+  }
+
+(* LEB128 decoding and a miniature DIE (debugging information entry)
+   walker, libdwarf's bread and butter. *)
+let libdwarf =
+  {
+    p_name = "libdwarf";
+    p_harnesses =
+      [
+        {
+          h_name = "leb";
+          h_entry = "fuzz_leb";
+          h_seeds = [ [ 200; 15 ]; [ 129; 129; 1 ]; [ 127 ] ];
+        };
+        {
+          h_name = "die";
+          h_entry = "fuzz_die";
+          h_seeds =
+            [
+              [ 1; 3; 2; 5; 0 ];
+              [ 2; 10; 1; 4; 2; 6; 0 ];
+              [ 3; 1; 2; 3; 4; 5; 6; 0 ];
+            ];
+        };
+      ];
+    p_source =
+      {|
+int die_depth;
+int die_count;
+
+int read_uleb() {
+  int result = 0;
+  int shift = 0;
+  int more = 1;
+  while (more && shift < 56) {
+    int byte = input() & 255;
+    result = result | ((byte & 127) << shift);
+    shift = shift + 7;
+    if ((byte & 128) == 0) {
+      more = 0;
+    }
+  }
+  return result;
+}
+
+int read_sleb() {
+  int result = 0;
+  int shift = 0;
+  int byte = 0;
+  int more = 1;
+  while (more && shift < 56) {
+    byte = input() & 255;
+    result = result | ((byte & 127) << shift);
+    shift = shift + 7;
+    if ((byte & 128) == 0) {
+      more = 0;
+    }
+  }
+  if (shift < 56 && (byte & 64)) {
+    result = result | ((-1) << shift);
+  }
+  return result;
+}
+
+int fuzz_leb() {
+  int sum = 0;
+  int n = 0;
+  while (!eof() && n < 80) {
+    int u = read_uleb();
+    int s = read_sleb();
+    sum = sum + u - s;
+    n = n + 1;
+  }
+  output(sum);
+  return sum;
+}
+
+int attr_size(int form) {
+  if (form == 1) { return 1; }
+  if (form == 2) { return 2; }
+  if (form == 3) { return 4; }
+  if (form == 4) { return 8; }
+  return 0;
+}
+
+int skip_attrs(int count) {
+  int skipped = 0;
+  int a = 0;
+  while (a < count && !eof()) {
+    int form = input() & 7;
+    int size = attr_size(form);
+    int b = 0;
+    while (b < size && !eof()) {
+      input();
+      skipped = skipped + 1;
+      b = b + 1;
+    }
+    a = a + 1;
+  }
+  return skipped;
+}
+
+int walk_die() {
+  int tag = input();
+  if (tag == 0) {
+    die_depth = die_depth - 1;
+    return 0;
+  }
+  die_count = die_count + 1;
+  int nattrs = input() & 3;
+  int skipped = skip_attrs(nattrs);
+  if (tag & 1) {
+    die_depth = die_depth + 1;
+  }
+  return skipped;
+}
+
+int parse_indirect_form(int depth, int form) {
+  if (depth > 4) {
+    return -1;
+  }
+  if (form == 22) {
+    return parse_indirect_form(depth + 1, form - 1);
+  }
+  int width = attr_size(form & 7);
+  return width * 2 + depth;
+}
+
+int format_producer_string(int vendor) {
+  int code = 0;
+  if (vendor == 1) {
+    code = 71;
+  }
+  if (vendor == 2) {
+    code = 67;
+  }
+  if (vendor == 3) {
+    code = 77;
+  }
+  if (code == 0) {
+    code = 63;
+  }
+  return code * 1000 + vendor;
+}
+
+int fuzz_die() {
+  die_depth = 0;
+  die_count = 0;
+  int total = 0;
+  int steps = 0;
+  while (!eof() && die_depth >= 0 && steps < 120) {
+    total = total + walk_die();
+    steps = steps + 1;
+  }
+  output(die_count);
+  output(total);
+  return die_count;
+}
+|};
+  }
+
+(* EXIF-style tag directory parsing with bounds validation. *)
+let libexif =
+  {
+    p_name = "libexif";
+    p_harnesses =
+      [
+        {
+          h_name = "ifd";
+          h_entry = "fuzz_ifd";
+          h_seeds =
+            [
+              [ 2; 1; 3; 100; 2; 4; 7 ];
+              [ 1; 5; 2; 300 ];
+              [ 4; 9; 1; 1; 10; 3; 0; 11; 2; 50; 12; 4; 60 ];
+            ];
+        };
+      ];
+    p_source =
+      {|
+int tag_values[32];
+int tag_ids[32];
+int tag_count;
+
+int type_width(int t) {
+  if (t == 1) { return 1; }
+  if (t == 2) { return 1; }
+  if (t == 3) { return 2; }
+  if (t == 4) { return 4; }
+  if (t == 5) { return 8; }
+  return 0;
+}
+
+int store_tag(int id, int value) {
+  if (tag_count >= 32) {
+    return 0;
+  }
+  tag_ids[tag_count] = id;
+  tag_values[tag_count] = value;
+  tag_count = tag_count + 1;
+  return 1;
+}
+
+int parse_entry() {
+  int id = input() & 1023;
+  int etype = input() & 7;
+  int width = type_width(etype);
+  if (width == 0) {
+    return 0;
+  }
+  int value = input();
+  if (width > 4) {
+    value = value & 65535;
+  }
+  return store_tag(id, value);
+}
+
+int find_tag(int id) {
+  int i = 0;
+  while (i < tag_count) {
+    if (tag_ids[i] == id) {
+      return tag_values[i];
+    }
+    i = i + 1;
+  }
+  return -1;
+}
+
+int fuzz_ifd() {
+  tag_count = 0;
+  int declared = input() & 31;
+  int parsed = 0;
+  int e = 0;
+  while (e < declared && !eof()) {
+    parsed = parsed + parse_entry();
+    e = e + 1;
+  }
+  int orientation = find_tag(9);
+  int width = find_tag(11);
+  if (orientation > 0 && orientation <= 8) {
+    output(orientation);
+  } else {
+    output(0);
+  }
+  output(parsed);
+  output(width);
+  return parsed;
+}
+|};
+  }
+
+(* Braille translation with a rule table and greedy longest-match, in
+   liblouis's spirit. *)
+let liblouis =
+  {
+    p_name = "liblouis";
+    p_harnesses =
+      [
+        {
+          h_name = "translate";
+          h_entry = "fuzz_translate";
+          h_seeds =
+            [
+              [ 3; 8; 3; 8; 1; 2 ];
+              [ 5; 5; 5; 5; 5 ];
+              [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ];
+            ];
+        };
+      ];
+    p_source =
+      {|
+int rule_in[8];
+int rule_out[8];
+int text[64];
+int text_len;
+
+int load_rules() {
+  rule_in[0] = 3; rule_out[0] = 17;
+  rule_in[1] = 8; rule_out[1] = 23;
+  rule_in[2] = 5; rule_out[2] = 29;
+  rule_in[3] = 1; rule_out[3] = 31;
+  rule_in[4] = 2; rule_out[4] = 37;
+  rule_in[5] = 9; rule_out[5] = 41;
+  rule_in[6] = 4; rule_out[6] = 43;
+  rule_in[7] = 6; rule_out[7] = 47;
+  return 8;
+}
+
+int read_text() {
+  text_len = 0;
+  while (!eof() && text_len < 64) {
+    text[text_len] = input() & 15;
+    text_len = text_len + 1;
+  }
+  return text_len;
+}
+
+int match_rule(int sym) {
+  int r = 0;
+  while (r < 8) {
+    if (rule_in[r] == sym) {
+      return rule_out[r];
+    }
+    r = r + 1;
+  }
+  return sym + 64;
+}
+
+int contract_pair(int a, int b) {
+  if (a == 3 && b == 8) {
+    return 99;
+  }
+  if (a == 5 && b == 5) {
+    return 98;
+  }
+  return -1;
+}
+
+int fuzz_translate() {
+  load_rules();
+  int n = read_text();
+  int i = 0;
+  int cells = 0;
+  while (i < n) {
+    int pair = -1;
+    if (i + 1 < n) {
+      pair = contract_pair(text[i], text[i + 1]);
+    }
+    if (pair >= 0) {
+      output(pair);
+      i = i + 2;
+    } else {
+      output(match_rule(text[i]));
+      i = i + 1;
+    }
+    cells = cells + 1;
+  }
+  output(cells);
+  return cells;
+}
+|};
+  }
+
+let all = [ bzip2; libdwarf; libexif; liblouis ]

@@ -1,0 +1,611 @@
+(** Test-suite programs, batch B: libmpeg2, libpcap, libpng, libssh. *)
+
+open Suite_types
+
+(* Dequantization + a butterfly transform over 8-sample rows, the inner
+   loop shape of an MPEG-2 block decoder. *)
+let libmpeg2 =
+  {
+    p_name = "libmpeg2";
+    p_harnesses =
+      [
+        {
+          h_name = "block";
+          h_entry = "fuzz_block";
+          h_seeds =
+            [
+              [ 1; 16; 8; 4; 2; 1; 0; 0; 0 ];
+              [ 2; 100; 50; 25; 12; 6; 3; 1; 1 ];
+            ];
+        };
+      ];
+    p_source =
+      {|
+int coeffs[64];
+int quant[8];
+
+int init_quant(int scale) {
+  int i = 0;
+  while (i < 8) {
+    quant[i] = 8 + i * scale;
+    i = i + 1;
+  }
+  return 0;
+}
+
+int read_block() {
+  int nonzero = 0;
+  int i = 0;
+  while (i < 64) {
+    if (eof()) {
+      coeffs[i] = 0;
+    } else {
+      coeffs[i] = input();
+      if (coeffs[i] != 0) {
+        nonzero = nonzero + 1;
+      }
+    }
+    i = i + 1;
+  }
+  return nonzero;
+}
+
+int dequantize() {
+  int row = 0;
+  while (row < 8) {
+    int col = 0;
+    while (col < 8) {
+      int idx = row * 8 + col;
+      coeffs[idx] = coeffs[idx] * quant[col];
+      col = col + 1;
+    }
+    row = row + 1;
+  }
+  return 0;
+}
+
+int butterfly_row(int base) {
+  int t0 = coeffs[base] + coeffs[base + 4];
+  int t1 = coeffs[base] - coeffs[base + 4];
+  int t2 = coeffs[base + 2] + coeffs[base + 6];
+  int t3 = coeffs[base + 2] - coeffs[base + 6];
+  coeffs[base] = t0 + t2;
+  coeffs[base + 2] = t1 + t3;
+  coeffs[base + 4] = t1 - t3;
+  coeffs[base + 6] = t0 - t2;
+  return coeffs[base];
+}
+
+int clamp(int v) {
+  if (v > 255) { return 255; }
+  if (v < 0) { return 0; }
+  return v;
+}
+
+int block_energy() {
+  int total = 0;
+  int i = 0;
+  while (i < 64) {
+    int v = coeffs[i];
+    total = total + v * v;
+    i = i + 1;
+  }
+  return total;
+}
+
+int block_power() {
+  int total = 0;
+  int i = 0;
+  while (i < 64) {
+    int v = coeffs[i];
+    total = total + v * v;
+    i = i + 1;
+  }
+  return total;
+}
+
+int fuzz_block() {
+  int scale = (input() & 7) + 1;
+  init_quant(scale);
+  int nonzero = read_block();
+  dequantize();
+  int row = 0;
+  int acc = 0;
+  while (row < 8) {
+    acc = acc + butterfly_row(row * 8);
+    row = row + 1;
+  }
+  int i = 0;
+  int clamped = 0;
+  while (i < 64) {
+    int v = clamp(coeffs[i] >> 4);
+    clamped = clamped + v;
+    i = i + 1;
+  }
+  int energy = block_energy();
+  int power = block_power();
+  output(nonzero);
+  output(acc);
+  output(clamped);
+  output(energy - power);
+  return clamped;
+}
+|};
+  }
+
+(* A classic BPF-style packet-filter virtual machine: load a small
+   program, run it over a packet, accept or reject. *)
+let libpcap =
+  {
+    p_name = "libpcap";
+    p_harnesses =
+      [
+        {
+          h_name = "filter";
+          h_entry = "fuzz_filter";
+          h_seeds =
+            [
+              [ 3; 0; 2; 1; 40; 2; 4; 0; 6; 17; 99; 34 ];
+              [ 2; 0; 0; 3; 0; 0; 8; 1; 2; 3 ];
+              [ 5; 0; 1; 1; 6; 2; 2; 3; 4; 1; 3; 0; 0; 7; 7; 7; 7; 7 ];
+            ];
+        };
+      ];
+    p_source =
+      {|
+int prog_op[16];
+int prog_arg[16];
+int prog_len;
+int packet[32];
+int packet_len;
+
+int load_program() {
+  prog_len = input() & 15;
+  int i = 0;
+  while (i < prog_len && !eof()) {
+    prog_op[i] = input() & 7;
+    prog_arg[i] = input() & 31;
+    i = i + 1;
+  }
+  prog_len = i;
+  return prog_len;
+}
+
+int load_packet() {
+  packet_len = 0;
+  while (!eof() && packet_len < 32) {
+    packet[packet_len] = input() & 255;
+    packet_len = packet_len + 1;
+  }
+  return packet_len;
+}
+
+int run_filter() {
+  int acc = 0;
+  int x = 0;
+  int pc = 0;
+  int steps = 0;
+  while (pc < prog_len && steps < 64) {
+    int op = prog_op[pc];
+    int arg = prog_arg[pc];
+    pc = pc + 1;
+    steps = steps + 1;
+    if (op == 0) {
+      if (arg < packet_len) {
+        acc = packet[arg];
+      } else {
+        return 0;
+      }
+    }
+    if (op == 1) {
+      acc = acc + arg;
+    }
+    if (op == 2) {
+      acc = acc & arg;
+    }
+    if (op == 3) {
+      x = acc;
+    }
+    if (op == 4) {
+      if (acc == arg) {
+        pc = pc + 1;
+      }
+    }
+    if (op == 5) {
+      if (acc > x) {
+        pc = pc + arg;
+      }
+    }
+    if (op == 6) {
+      return acc;
+    }
+    if (op == 7) {
+      acc = acc ^ x;
+    }
+  }
+  return acc;
+}
+
+int packet_checksum() {
+  int acc = 7;
+  int i = 0;
+  while (i < 32) {
+    acc = acc * 31 + packet[i];
+    acc = acc ^ (acc >> 7);
+    i = i + 1;
+  }
+  return acc & 65535;
+}
+
+int packet_digest() {
+  int acc = 7;
+  int i = 0;
+  while (i < 32) {
+    acc = acc * 31 + packet[i];
+    acc = acc ^ (acc >> 7);
+    i = i + 1;
+  }
+  return acc & 65535;
+}
+
+int fuzz_filter() {
+  load_program();
+  load_packet();
+  int before = packet_checksum();
+  int verdict = run_filter();
+  int after = packet_digest();
+  if (before != after) {
+    output(-2);
+  }
+  int unused_digest = packet_checksum() + packet_digest();
+  unused_digest = unused_digest & 1;
+  if (verdict > 0) {
+    output(1);
+    output((verdict + unused_digest - unused_digest) & 255);
+  } else {
+    output(0);
+  }
+  return verdict;
+}
+|};
+  }
+
+(* PNG scanline defiltering (None/Sub/Up/Average/Paeth), libpng's most
+   exercised decode path. *)
+let libpng =
+  {
+    p_name = "libpng";
+    p_harnesses =
+      [
+        {
+          h_name = "defilter";
+          h_entry = "fuzz_defilter";
+          h_seeds =
+            [
+              [ 2; 0; 10; 20; 30; 40; 1; 5; 5; 5; 5 ];
+              [ 3; 4; 9; 9; 9; 9; 2; 1; 2; 3; 4; 0; 7; 8; 9; 1 ];
+            ];
+        };
+        {
+          h_name = "chunk";
+          h_entry = "fuzz_chunk";
+          h_seeds = [ [ 73; 72; 68; 82; 4; 1; 2; 3; 4 ]; [ 73; 68; 65; 84; 2; 9; 9 ] ];
+        };
+      ];
+    p_source =
+      {|
+int prev_row[16];
+int cur_row[16];
+int row_width;
+
+int abs_val(int v) {
+  if (v < 0) {
+    return -v;
+  }
+  return v;
+}
+
+int paeth_predict(int a, int b, int c) {
+  int p = a + b - c;
+  int pa = abs_val(p - a);
+  int pb = abs_val(p - b);
+  int pc = abs_val(p - c);
+  if (pa <= pb && pa <= pc) {
+    return a;
+  }
+  if (pb <= pc) {
+    return b;
+  }
+  return c;
+}
+
+int defilter_row(int filter) {
+  int x = 0;
+  int sum = 0;
+  while (x < row_width) {
+    int raw = 0;
+    if (!eof()) {
+      raw = input() & 255;
+    }
+    int left = 0;
+    int up = prev_row[x];
+    int corner = 0;
+    if (x > 0) {
+      left = cur_row[x - 1];
+      corner = prev_row[x - 1];
+    }
+    int value = raw;
+    if (filter == 1) {
+      value = (raw + left) & 255;
+    }
+    if (filter == 2) {
+      value = (raw + up) & 255;
+    }
+    if (filter == 3) {
+      value = (raw + ((left + up) / 2)) & 255;
+    }
+    if (filter == 4) {
+      value = (raw + paeth_predict(left, up, corner)) & 255;
+    }
+    cur_row[x] = value;
+    sum = sum + value;
+    x = x + 1;
+  }
+  return sum;
+}
+
+int commit_row() {
+  int x = 0;
+  while (x < row_width) {
+    prev_row[x] = cur_row[x];
+    x = x + 1;
+  }
+  return 0;
+}
+
+int fuzz_defilter() {
+  row_width = (input() & 7) + 4;
+  if (row_width > 16) {
+    row_width = 16;
+  }
+  int i = 0;
+  while (i < 16) {
+    prev_row[i] = 0;
+    i = i + 1;
+  }
+  int rows = 0;
+  int checksum = 0;
+  while (!eof() && rows < 12) {
+    int filter = input() & 7;
+    if (filter > 4) {
+      output(-1);
+      return -1;
+    }
+    checksum = checksum + defilter_row(filter);
+    commit_row();
+    rows = rows + 1;
+  }
+  output(rows);
+  output(checksum);
+  return checksum;
+}
+
+int interlace_pass_width(int pass, int width) {
+  if (pass == 0) {
+    return (width + 7) / 8;
+  }
+  if (pass == 1) {
+    return (width + 3) / 8;
+  }
+  if (pass == 2) {
+    return (width + 3) / 4;
+  }
+  if (pass == 3) {
+    return (width + 1) / 4;
+  }
+  if (pass == 4) {
+    return (width + 1) / 2;
+  }
+  if (pass == 5) {
+    return width / 2;
+  }
+  return width;
+}
+
+int gamma_correct(int value, int gamma_x100) {
+  int v = value & 255;
+  int out = v;
+  if (gamma_x100 < 100) {
+    out = (v * v) / 255;
+  }
+  if (gamma_x100 > 100) {
+    out = 255 - (((255 - v) * (255 - v)) / 255);
+  }
+  return out;
+}
+
+int chunk_type(int a, int b, int c, int d) {
+  return ((a & 255) << 24) | ((b & 255) << 16) | ((c & 255) << 8) | (d & 255);
+}
+
+int fuzz_chunk() {
+  int seen_header = 0;
+  int data_bytes = 0;
+  int chunks = 0;
+  while (!eof() && chunks < 8) {
+    int t = chunk_type(input(), input(), input(), input());
+    int len = input() & 15;
+    int k = 0;
+    while (k < len && !eof()) {
+      input();
+      data_bytes = data_bytes + 1;
+      k = k + 1;
+    }
+    if (t == 1229472850) {
+      seen_header = 1;
+    }
+    chunks = chunks + 1;
+  }
+  output(seen_header);
+  output(data_bytes);
+  return chunks;
+}
+|};
+  }
+
+(* A toy stream cipher (xorshift keystream) plus a polynomial MAC over
+   the ciphertext — libssh's packet-protection shape. *)
+let libssh =
+  {
+    p_name = "libssh";
+    p_harnesses =
+      [
+        {
+          h_name = "decrypt";
+          h_entry = "fuzz_decrypt";
+          h_seeds =
+            [
+              [ 42; 5; 11; 22; 33; 44; 55 ];
+              [ 7; 3; 100; 100; 100 ];
+            ];
+        };
+        {
+          h_name = "kex";
+          h_entry = "fuzz_kex";
+          h_seeds = [ [ 5; 9 ]; [ 123; 45 ] ];
+        };
+      ];
+    p_source =
+      {|
+int stream_state;
+
+int stream_init(int key) {
+  stream_state = key * 2654435761 + 1;
+  return stream_state;
+}
+
+int stream_next() {
+  int s = stream_state;
+  s = s ^ (s << 13);
+  s = s ^ (s >> 7);
+  s = s ^ (s << 17);
+  stream_state = s;
+  return s & 255;
+}
+
+int mac_update(int mac, int byte) {
+  return (mac * 31 + byte) % 1000003;
+}
+
+int fuzz_decrypt() {
+  int key = input();
+  int declared = input() & 63;
+  stream_init(key);
+  int mac = 0;
+  int plain_sum = 0;
+  int got = 0;
+  while (got < declared && !eof()) {
+    int cipher_byte = input() & 255;
+    int ks = stream_next();
+    int plain = cipher_byte ^ ks;
+    mac = mac_update(mac, cipher_byte);
+    plain_sum = plain_sum + plain;
+    got = got + 1;
+  }
+  if (got != declared) {
+    output(-1);
+    return -1;
+  }
+  output(mac);
+  output(plain_sum);
+  return mac;
+}
+
+int modpow(int base, int exp, int m) {
+  if (m <= 1) {
+    return 0;
+  }
+  int result = 1;
+  int b = base % m;
+  int e = exp & 1023;
+  while (e > 0) {
+    if (e & 1) {
+      result = (result * b) % m;
+    }
+    b = (b * b) % m;
+    e = e >> 1;
+  }
+  return result;
+}
+
+int host_key_fingerprint(int key) {
+  int h = key;
+  int round = 0;
+  while (round < 16) {
+    h = h * 33 + round;
+    h = h ^ (h >> 11);
+    round = round + 1;
+  }
+  return h & 16777215;
+}
+
+int server_validate_banner(int version, int flags) {
+  if (version < 1) {
+    return -1;
+  }
+  if (version > 2) {
+    return -2;
+  }
+  int score = 0;
+  if (flags & 1) {
+    score = score + 10;
+  }
+  if (flags & 2) {
+    score = score + 20;
+  }
+  if (flags & 4) {
+    score = score - 5;
+  }
+  return score;
+}
+
+int server_pick_cipher(int offered) {
+  int best = -1;
+  int bit = 0;
+  while (bit < 8) {
+    if (offered & (1 << bit)) {
+      best = bit;
+    }
+    bit = bit + 1;
+  }
+  if (best < 0) {
+    return 0;
+  }
+  return best + 100;
+}
+
+int server_session_cleanup(int handles) {
+  int closed = 0;
+  while (handles > 0) {
+    handles = handles - 1;
+    closed = closed + 1;
+    stream_state = stream_state ^ handles;
+  }
+  return closed;
+}
+
+int fuzz_kex() {
+  int secret = (input() & 255) + 2;
+  int peer = (input() & 255) + 2;
+  int generator = 5;
+  int modulus = 1000000007;
+  int mine = modpow(generator, secret, modulus);
+  int shared = modpow(peer, secret, modulus);
+  output(mine);
+  output(shared);
+  return shared;
+}
+|};
+  }
+
+let all = [ libmpeg2; libpcap; libpng; libssh ]

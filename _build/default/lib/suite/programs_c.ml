@@ -1,0 +1,553 @@
+(** Test-suite programs, batch C: libyaml, lighttpd, wasm3, zlib,
+    zydis. *)
+
+open Suite_types
+
+(* A YAML-ish scalar/sequence tokenizer with indentation tracking. *)
+let libyaml =
+  {
+    p_name = "libyaml";
+    p_harnesses =
+      [
+        {
+          h_name = "scan";
+          h_entry = "fuzz_scan";
+          h_seeds =
+            [
+              (* "- a\n- b\nkey: v\n" in a small alphabet: 1=dash 2=space
+                 3=alpha 4=colon 5=newline *)
+              [ 1; 2; 3; 5; 1; 2; 3; 5; 3; 4; 2; 3; 5 ];
+              [ 2; 2; 1; 2; 3; 5 ];
+              [ 3; 3; 3; 4; 2; 3; 3; 5; 5 ];
+            ];
+        };
+      ];
+    p_source =
+      {|
+int tokens_emitted;
+int max_indent;
+
+int classify(int c) {
+  int k = c & 7;
+  if (k == 1) { return 1; }
+  if (k == 2) { return 2; }
+  if (k == 4) { return 4; }
+  if (k == 5) { return 5; }
+  return 3;
+}
+
+int emit_token(int kind, int payload) {
+  output(kind * 100 + (payload & 63));
+  tokens_emitted = tokens_emitted + 1;
+  return tokens_emitted;
+}
+
+int scan_line(int first) {
+  int indent = 0;
+  int c = first;
+  while (c == 2 && !eof()) {
+    indent = indent + 1;
+    c = classify(input());
+  }
+  if (indent > max_indent) {
+    max_indent = indent;
+  }
+  if (c == 1) {
+    emit_token(1, indent);
+    if (!eof()) {
+      c = classify(input());
+    }
+  }
+  int scalar_len = 0;
+  int saw_colon = 0;
+  while (c != 5 && !eof()) {
+    if (c == 3) {
+      scalar_len = scalar_len + 1;
+    }
+    if (c == 4) {
+      saw_colon = 1;
+    }
+    c = classify(input());
+  }
+  if (saw_colon) {
+    emit_token(2, scalar_len);
+  } else {
+    if (scalar_len > 0) {
+      emit_token(3, scalar_len);
+    }
+  }
+  return indent;
+}
+
+int fuzz_scan() {
+  tokens_emitted = 0;
+  max_indent = 0;
+  int lines = 0;
+  while (!eof() && lines < 40) {
+    int first = classify(input());
+    scan_line(first);
+    lines = lines + 1;
+  }
+  output(tokens_emitted);
+  output(max_indent);
+  return tokens_emitted;
+}
+|};
+  }
+
+(* An HTTP/1.0-flavored request-line and header parser state machine. *)
+let lighttpd =
+  {
+    p_name = "lighttpd";
+    p_harnesses =
+      [
+        {
+          h_name = "request";
+          h_entry = "fuzz_request";
+          h_seeds =
+            [
+              (* method=1(GET) path tokens then 0 terminator, headers *)
+              [ 1; 7; 7; 7; 0; 2; 5; 0; 3; 9; 0; 0 ];
+              [ 2; 7; 0; 0 ];
+              [ 9; 7; 0; 0 ];
+            ];
+        };
+      ];
+    p_source =
+      {|
+int known_method(int m) {
+  if (m == 1) { return 1; }
+  if (m == 2) { return 1; }
+  if (m == 3) { return 1; }
+  return 0;
+}
+
+int parse_path() {
+  int len = 0;
+  int dots = 0;
+  int c = input();
+  while (c != 0 && !eof() && len < 32) {
+    if (c == 46) {
+      dots = dots + 1;
+    }
+    len = len + 1;
+    c = input();
+  }
+  if (dots >= 2) {
+    return -1;
+  }
+  return len;
+}
+
+int parse_header() {
+  int name = input();
+  if (name == 0) {
+    return 0;
+  }
+  int value_sum = 0;
+  int c = input();
+  while (c != 0 && !eof()) {
+    value_sum = value_sum + (c & 255);
+    c = input();
+  }
+  if (name == 5) {
+    return 1000 + value_sum;
+  }
+  return 1;
+}
+
+int error_page_length(int status) {
+  int base = 48;
+  if (status == 404) {
+    return base + 21;
+  }
+  if (status == 403) {
+    return base + 17;
+  }
+  if (status == 413) {
+    return base + 30;
+  }
+  if (status >= 500) {
+    return base + 25;
+  }
+  return base;
+}
+
+int config_merge_flags(int global_flags, int vhost_flags) {
+  int merged = global_flags | vhost_flags;
+  if (vhost_flags & 8) {
+    merged = merged & ~1;
+  }
+  if (vhost_flags & 16) {
+    merged = merged | 2;
+  }
+  return merged;
+}
+
+int fuzz_request() {
+  int method = input() & 15;
+  if (!known_method(method)) {
+    output(405);
+    return 405;
+  }
+  int path_len = parse_path();
+  if (path_len < 0) {
+    output(403);
+    return 403;
+  }
+  int content_length = 0;
+  int headers = 0;
+  int h = 1;
+  while (h != 0 && headers < 16 && !eof()) {
+    h = parse_header();
+    if (h >= 1000) {
+      content_length = h - 1000;
+    }
+    if (h != 0) {
+      headers = headers + 1;
+    }
+  }
+  int status = 200;
+  if (path_len == 0) {
+    status = 404;
+  }
+  if (content_length > 100) {
+    status = 413;
+  }
+  output(status);
+  output(headers);
+  return status;
+}
+|};
+  }
+
+(* A miniature WebAssembly-flavored stack machine interpreter. *)
+let wasm3 =
+  {
+    p_name = "wasm3";
+    p_harnesses =
+      [
+        {
+          h_name = "exec";
+          h_entry = "fuzz_exec";
+          h_seeds =
+            [
+              (* push 4, push 5, add, print, halt *)
+              [ 1; 4; 1; 5; 2; 7; 0 ];
+              [ 1; 10; 1; 3; 4; 7; 0 ];
+              [ 1; 1; 6; 2; 5; 250; 7; 0 ];
+            ];
+        };
+      ];
+    p_source =
+      {|
+int stack[16];
+int sp;
+
+int push(int v) {
+  if (sp >= 16) {
+    return 0;
+  }
+  stack[sp] = v;
+  sp = sp + 1;
+  return 1;
+}
+
+int pop() {
+  if (sp <= 0) {
+    return 0;
+  }
+  sp = sp - 1;
+  return stack[sp];
+}
+
+int binop_step(int op) {
+  int b = pop();
+  int a = pop();
+  int r = 0;
+  if (op == 2) {
+    r = a + b;
+  }
+  if (op == 3) {
+    r = a - b;
+  }
+  if (op == 4) {
+    r = a * b;
+  }
+  if (op == 8) {
+    r = a / (b | 1);
+  }
+  return push(r);
+}
+
+int fuzz_exec() {
+  sp = 0;
+  int steps = 0;
+  int running = 1;
+  while (running && steps < 150 && !eof()) {
+    int op = input() & 15;
+    steps = steps + 1;
+    if (op == 0) {
+      running = 0;
+    }
+    if (op == 1) {
+      push(input());
+    }
+    if (op == 2 || op == 3 || op == 4 || op == 8) {
+      binop_step(op);
+    }
+    if (op == 5) {
+      int n = input() & 200;
+      int i = 0;
+      int acc = 0;
+      while (i < n) {
+        acc = acc + i;
+        i = i + 1;
+      }
+      push(acc);
+    }
+    if (op == 6) {
+      int top = pop();
+      push(top);
+      push(top);
+    }
+    if (op == 7) {
+      output(pop());
+    }
+  }
+  output(sp);
+  output(steps);
+  return steps;
+}
+|};
+  }
+
+(* LZ77-with-small-window matching plus an Adler-ish checksum: zlib's
+   deflate front end in miniature. *)
+let zlib =
+  {
+    p_name = "zlib";
+    p_harnesses =
+      [
+        {
+          h_name = "deflate";
+          h_entry = "fuzz_deflate";
+          h_seeds =
+            [
+              [ 1; 2; 3; 1; 2; 3; 1; 2; 3 ];
+              [ 9; 9; 9; 9; 9; 9; 9; 9 ];
+              [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+            ];
+        };
+      ];
+    p_source =
+      {|
+int window[32];
+int wpos;
+int adler_a;
+int adler_b;
+
+int adler_push(int byte) {
+  adler_a = (adler_a + (byte & 255)) % 65521;
+  adler_b = (adler_b + adler_a) % 65521;
+  return adler_b;
+}
+
+int find_match(int byte) {
+  int best = -1;
+  int i = 0;
+  while (i < 32) {
+    if (window[i] == byte) {
+      best = i;
+    }
+    i = i + 1;
+  }
+  return best;
+}
+
+int window_push(int byte) {
+  window[wpos & 31] = byte;
+  wpos = wpos + 1;
+  return wpos;
+}
+
+int fuzz_deflate() {
+  wpos = 0;
+  adler_a = 1;
+  adler_b = 0;
+  int i = 0;
+  while (i < 32) {
+    window[i] = -1;
+    i = i + 1;
+  }
+  int literals = 0;
+  int matches = 0;
+  int count = 0;
+  while (!eof() && count < 200) {
+    int byte = input() & 255;
+    adler_push(byte);
+    int hit = find_match(byte);
+    if (hit >= 0) {
+      matches = matches + 1;
+      output(256 + hit);
+    } else {
+      literals = literals + 1;
+      output(byte);
+    }
+    window_push(byte);
+    count = count + 1;
+  }
+  output(literals);
+  output(matches);
+  output((adler_b << 16) | adler_a);
+  return matches;
+}
+|};
+  }
+
+(* An x86-flavored instruction-length decoder: prefixes, opcode map,
+   modrm/sib, immediate widths — zydis's core loop. *)
+let zydis =
+  {
+    p_name = "zydis";
+    p_harnesses =
+      [
+        {
+          h_name = "decode";
+          h_entry = "fuzz_decode";
+          h_seeds =
+            [
+              [ 102; 1; 192 ];
+              [ 15; 5 ];
+              [ 184; 1; 2; 3; 4; 144 ];
+            ];
+        };
+      ];
+    p_source =
+      {|
+int insn_count;
+int byte_count;
+
+int is_prefix(int b) {
+  if (b == 102) { return 1; }
+  if (b == 103) { return 1; }
+  if (b == 240) { return 1; }
+  if (b == 243) { return 1; }
+  return 0;
+}
+
+int imm_width(int opcode) {
+  if (opcode >= 184 && opcode < 192) {
+    return 4;
+  }
+  if (opcode == 104) {
+    return 4;
+  }
+  if (opcode == 106) {
+    return 1;
+  }
+  if (opcode >= 112 && opcode < 128) {
+    return 1;
+  }
+  return 0;
+}
+
+int has_modrm(int opcode) {
+  if (opcode < 64) {
+    return (opcode & 7) < 4;
+  }
+  if (opcode >= 128 && opcode < 144) {
+    return 1;
+  }
+  return 0;
+}
+
+int read_byte() {
+  byte_count = byte_count + 1;
+  return input() & 255;
+}
+
+int decode_one() {
+  int prefixes = 0;
+  int b = read_byte();
+  while (is_prefix(b) && prefixes < 4 && !eof()) {
+    prefixes = prefixes + 1;
+    b = read_byte();
+  }
+  int two_byte = 0;
+  if (b == 15) {
+    two_byte = 1;
+    b = read_byte();
+  }
+  int length = 1 + prefixes + two_byte;
+  if (has_modrm(b)) {
+    int modrm = read_byte();
+    length = length + 1;
+    int mode = (modrm >> 6) & 3;
+    int rm = modrm & 7;
+    if (mode != 3 && rm == 4) {
+      read_byte();
+      length = length + 1;
+    }
+    if (mode == 1) {
+      read_byte();
+      length = length + 1;
+    }
+    if (mode == 2) {
+      read_byte();
+      read_byte();
+      read_byte();
+      read_byte();
+      length = length + 4;
+    }
+  }
+  int imm = imm_width(b);
+  int k = 0;
+  while (k < imm && !eof()) {
+    read_byte();
+    length = length + 1;
+    k = k + 1;
+  }
+  insn_count = insn_count + 1;
+  return length;
+}
+
+int stats_mix() {
+  int h = insn_count * 73 + byte_count;
+  int k = 0;
+  while (k < 6) {
+    h = (h ^ (h >> 3)) * 131;
+    k = k + 1;
+  }
+  return h & 16383;
+}
+
+int stats_hash() {
+  int h = insn_count * 73 + byte_count;
+  int k = 0;
+  while (k < 6) {
+    h = (h ^ (h >> 3)) * 131;
+    k = k + 1;
+  }
+  return h & 16383;
+}
+
+int fuzz_decode() {
+  insn_count = 0;
+  byte_count = 0;
+  int total_len = 0;
+  while (!eof() && insn_count < 64) {
+    total_len = total_len + decode_one();
+  }
+  int mix = stats_mix();
+  int hash = stats_hash();
+  output(insn_count);
+  output(total_len);
+  output(byte_count);
+  output(mix - hash);
+  return insn_count;
+}
+|};
+  }
+
+let all = [ libyaml; lighttpd; wasm3; zlib; zydis ]

@@ -1,0 +1,309 @@
+(** The large AutoFDO workload (paper Figure 4): where the paper
+    self-compiles clang, we run a MiniC-written mini-compiler over many
+    generated compilation units. The program tokenizes, parses
+    (recursive descent with precedence), constant-folds, emits stack
+    code, and peephole-optimizes it — a compiler-shaped hot path.
+
+    Input format: a sequence of units, each a token stream terminated by
+    0; tokens are 1=number (followed by its value), 2=+, 3=*, 4=-,
+    5=( , 6=) , 7=identifier (followed by slot index). *)
+
+open Suite_types
+
+let source =
+  {|
+int unit_toks[128];
+int unit_vals[128];
+int unit_len;
+int cursor;
+int code_op[256];
+int code_arg[256];
+int code_len;
+int env[8];
+int units_done;
+
+int read_unit() {
+  unit_len = 0;
+  int t = input();
+  while (t != 0 && !eof() && unit_len < 126) {
+    unit_toks[unit_len] = t & 7;
+    if ((t & 7) == 1 || (t & 7) == 7) {
+      unit_vals[unit_len] = input();
+    } else {
+      unit_vals[unit_len] = 0;
+    }
+    unit_len = unit_len + 1;
+    t = input();
+  }
+  return unit_len;
+}
+
+int emit(int op, int arg) {
+  if (code_len >= 256) {
+    return 0;
+  }
+  code_op[code_len] = op;
+  code_arg[code_len] = arg;
+  code_len = code_len + 1;
+  return 1;
+}
+
+int peek_tok() {
+  if (cursor >= unit_len) {
+    return 0;
+  }
+  return unit_toks[cursor];
+}
+
+int parse_primary() {
+  int t = peek_tok();
+  if (t == 1) {
+    int v = unit_vals[cursor];
+    cursor = cursor + 1;
+    emit(1, v);
+    return 1;
+  }
+  if (t == 7) {
+    int slot = unit_vals[cursor] & 7;
+    cursor = cursor + 1;
+    emit(2, slot);
+    return 1;
+  }
+  if (t == 5) {
+    cursor = cursor + 1;
+    parse_sum();
+    if (peek_tok() == 6) {
+      cursor = cursor + 1;
+    }
+    return 1;
+  }
+  cursor = cursor + 1;
+  emit(1, 0);
+  return 0;
+}
+
+int parse_product() {
+  parse_primary();
+  while (peek_tok() == 3) {
+    cursor = cursor + 1;
+    parse_primary();
+    emit(4, 0);
+  }
+  return 1;
+}
+
+int parse_sum() {
+  parse_product();
+  int t = peek_tok();
+  while (t == 2 || t == 4) {
+    cursor = cursor + 1;
+    parse_product();
+    if (t == 2) {
+      emit(3, 0);
+    } else {
+      emit(5, 0);
+    }
+    t = peek_tok();
+  }
+  return 1;
+}
+
+int fold_constants() {
+  int folded = 0;
+  int changed = 1;
+  while (changed) {
+    changed = 0;
+    int i = 2;
+    while (i < code_len) {
+      int is_binop = 0;
+      if (code_op[i] >= 3 && code_op[i] <= 5) {
+        is_binop = 1;
+      }
+      if (is_binop && code_op[i - 1] == 1 && code_op[i - 2] == 1) {
+        int a = code_arg[i - 2];
+        int b = code_arg[i - 1];
+        int r = 0;
+        if (code_op[i] == 3) {
+          r = a + b;
+        }
+        if (code_op[i] == 4) {
+          r = (a * b) % 1000003;
+        }
+        if (code_op[i] == 5) {
+          r = a - b;
+        }
+        code_op[i - 2] = 1;
+        code_arg[i - 2] = r;
+        int j = i + 1;
+        while (j < code_len) {
+          code_op[j - 2] = code_op[j];
+          code_arg[j - 2] = code_arg[j];
+          j = j + 1;
+        }
+        code_len = code_len - 2;
+        folded = folded + 1;
+        changed = 1;
+      } else {
+        i = i + 1;
+      }
+    }
+  }
+  return folded;
+}
+
+int peephole() {
+  int removed = 0;
+  int i = 0;
+  while (i + 1 < code_len) {
+    int kill = 0;
+    if (code_op[i] == 1 && code_arg[i] == 0 && code_op[i + 1] == 3) {
+      kill = 1;
+    }
+    if (code_op[i] == 1 && code_arg[i] == 1 && code_op[i + 1] == 4) {
+      kill = 1;
+    }
+    if (kill) {
+      int j = i + 2;
+      while (j < code_len) {
+        code_op[j - 2] = code_op[j];
+        code_arg[j - 2] = code_arg[j];
+        j = j + 1;
+      }
+      code_len = code_len - 2;
+      removed = removed + 1;
+    } else {
+      i = i + 1;
+    }
+  }
+  return removed;
+}
+
+int execute() {
+  int stack[32];
+  int sp = 0;
+  int pc = 0;
+  while (pc < code_len) {
+    int op = code_op[pc];
+    int arg = code_arg[pc];
+    if (op == 1) {
+      if (sp < 32) {
+        stack[sp] = arg;
+        sp = sp + 1;
+      }
+    }
+    if (op == 2) {
+      if (sp < 32) {
+        stack[sp] = env[arg];
+        sp = sp + 1;
+      }
+    }
+    if (op >= 3 && op <= 5) {
+      if (sp >= 2) {
+        int b = stack[sp - 1];
+        int a = stack[sp - 2];
+        int r = 0;
+        if (op == 3) {
+          r = a + b;
+        }
+        if (op == 4) {
+          r = (a * b) % 1000003;
+        }
+        if (op == 5) {
+          r = a - b;
+        }
+        stack[sp - 2] = r;
+        sp = sp - 1;
+      }
+    }
+    pc = pc + 1;
+  }
+  if (sp > 0) {
+    return stack[sp - 1];
+  }
+  return 0;
+}
+
+int compile_unit() {
+  cursor = 0;
+  code_len = 0;
+  parse_sum();
+  int folded = fold_constants();
+  int removed = peephole();
+  int value = execute();
+  units_done = units_done + 1;
+  return value + folded + removed;
+}
+
+int main() {
+  int i = 0;
+  while (i < 8) {
+    env[i] = i * 3 + 1;
+    i = i + 1;
+  }
+  units_done = 0;
+  int checksum = 0;
+  while (!eof() && units_done < 150) {
+    int n = read_unit();
+    if (n > 0) {
+      checksum = (checksum + compile_unit()) % 1000003;
+    }
+  }
+  output(units_done);
+  output(checksum);
+  return checksum;
+}
+|}
+
+let program =
+  {
+    p_name = "selfcomp";
+    p_source = source;
+    p_harnesses = [ { h_name = "units"; h_entry = "main"; h_seeds = [] } ];
+  }
+
+(** Generate [n] compilation units in the program's token format —
+    seeded, so the Figure 4 workload is reproducible. *)
+let workload ~seed ~units : int list =
+  let rng = Util.Rng.create seed in
+  let buf = ref [] in
+  let push v = buf := v :: !buf in
+  for _ = 1 to units do
+    let toks = 8 + Util.Rng.int rng 40 in
+    let depth = ref 0 in
+    let want_operand = ref true in
+    for _ = 1 to toks do
+      if !want_operand then
+        if Util.Rng.chance rng 1 5 && !depth < 3 then begin
+          push 5;
+          incr depth
+        end
+        else if Util.Rng.chance rng 1 4 then begin
+          push 7;
+          push (Util.Rng.int rng 8);
+          want_operand := false
+        end
+        else begin
+          push 1;
+          push (Util.Rng.int rng 1000);
+          want_operand := false
+        end
+      else if Util.Rng.chance rng 1 4 && !depth > 0 then begin
+        push 6;
+        decr depth
+      end
+      else begin
+        push (Util.Rng.choose rng [| 2; 3; 4 |]);
+        want_operand := true
+      end
+    done;
+    if !want_operand then begin
+      push 1;
+      push 1
+    end;
+    while !depth > 0 do
+      push 6;
+      decr depth
+    done;
+    push 0
+  done;
+  List.rev !buf

@@ -1,0 +1,888 @@
+(** SPEC CPU 2017 integer-suite analogs — the 8 C/C++ benchmarks the
+    paper uses (520.omnetpp excluded there as well). Each is a
+    self-driving compute kernel in the domain of its namesake, sized so a
+    full run takes on the order of 10^5 VM instructions. They are used
+    for performance measurements, not for fuzzing, so they synthesize
+    their own workloads from a seeded LCG. *)
+
+open Suite_types
+
+let bench name source =
+  { p_name = name; p_source = source; p_harnesses = [ { h_name = "ref"; h_entry = "main"; h_seeds = [ [] ] } ] }
+
+(* Wildcard pattern matching over generated text, perlbench's regex
+   engine in miniature. *)
+let perlbench =
+  bench "500.perlbench"
+    {|
+int text[256];
+int pattern[16];
+int rng_state;
+
+int rng_next() {
+  rng_state = (rng_state * 1103515245 + 12345) & 2147483647;
+  return rng_state >> 16;
+}
+
+int gen_text(int n) {
+  int i = 0;
+  while (i < n) {
+    text[i] = rng_next() % 6;
+    i = i + 1;
+  }
+  return n;
+}
+
+int gen_pattern(int n) {
+  int i = 0;
+  while (i < n) {
+    int r = rng_next() % 8;
+    if (r >= 6) {
+      pattern[i] = -1;
+    } else {
+      pattern[i] = r;
+    }
+    i = i + 1;
+  }
+  return n;
+}
+
+int match_at(int pos, int plen) {
+  int k = 0;
+  while (k < plen) {
+    int pc = pattern[k];
+    if (pc != -1 && text[pos + k] != pc) {
+      return 0;
+    }
+    k = k + 1;
+  }
+  return 1;
+}
+
+int count_matches(int tlen, int plen) {
+  int hits = 0;
+  int pos = 0;
+  while (pos + plen <= tlen) {
+    hits = hits + match_at(pos, plen);
+    pos = pos + 1;
+  }
+  return hits;
+}
+
+int main() {
+  rng_state = 12345;
+  int total = 0;
+  int round = 0;
+  while (round < 40) {
+    int tlen = 128 + (rng_next() % 128);
+    int plen = 3 + (rng_next() % 5);
+    gen_text(tlen);
+    gen_pattern(plen);
+    total = total + count_matches(tlen, plen);
+    round = round + 1;
+  }
+  output(total);
+  return total;
+}
+|}
+
+(* Tokenize, parse and constant-fold arithmetic expressions, then
+   "emit" stack code — a pocket 502.gcc. *)
+let gcc_bench =
+  bench "502.gcc"
+    {|
+int toks[64];
+int ntoks;
+int pos;
+int emitted;
+int rng_state;
+
+int rng_next() {
+  rng_state = (rng_state * 1103515245 + 12345) & 2147483647;
+  return rng_state >> 16;
+}
+
+int gen_tokens() {
+  ntoks = 0;
+  int depth = 0;
+  int want_operand = 1;
+  while (ntoks < 60) {
+    if (want_operand) {
+      int r = rng_next() % 10;
+      if (r < 2 && depth < 4 && ntoks < 50) {
+        toks[ntoks] = -3;
+        depth = depth + 1;
+      } else {
+        toks[ntoks] = rng_next() % 100;
+        want_operand = 0;
+      }
+    } else {
+      int r2 = rng_next() % 10;
+      if (r2 < 3 && depth > 0) {
+        toks[ntoks] = -4;
+        depth = depth - 1;
+      } else {
+        if (r2 < 7) {
+          toks[ntoks] = -1;
+          want_operand = 1;
+        } else {
+          toks[ntoks] = -2;
+          want_operand = 1;
+        }
+      }
+    }
+    ntoks = ntoks + 1;
+  }
+  while (depth > 0 && ntoks < 64) {
+    if (want_operand) {
+      toks[ntoks] = 1;
+      want_operand = 0;
+    } else {
+      toks[ntoks] = -4;
+      depth = depth - 1;
+    }
+    ntoks = ntoks + 1;
+  }
+  return ntoks;
+}
+
+int parse_primary() {
+  if (pos >= ntoks) {
+    return 0;
+  }
+  int t = toks[pos];
+  pos = pos + 1;
+  if (t == -3) {
+    int inner = parse_expr();
+    if (pos < ntoks && toks[pos] == -4) {
+      pos = pos + 1;
+    }
+    return inner;
+  }
+  if (t >= 0) {
+    emitted = emitted + 1;
+    return t;
+  }
+  return 0;
+}
+
+int parse_expr() {
+  int lhs = parse_primary();
+  int more = 1;
+  while (more && pos < ntoks) {
+    int t = toks[pos];
+    if (t == -1) {
+      pos = pos + 1;
+      int rhs = parse_primary();
+      lhs = lhs + rhs;
+      emitted = emitted + 1;
+    } else {
+      if (t == -2) {
+        pos = pos + 1;
+        int rhs2 = parse_primary();
+        lhs = lhs * rhs2;
+        lhs = lhs % 100003;
+        emitted = emitted + 1;
+      } else {
+        more = 0;
+      }
+    }
+  }
+  return lhs;
+}
+
+int main() {
+  rng_state = 99;
+  emitted = 0;
+  int checksum = 0;
+  int unit = 0;
+  while (unit < 60) {
+    gen_tokens();
+    pos = 0;
+    int value = parse_expr();
+    checksum = (checksum + value) % 1000003;
+    unit = unit + 1;
+  }
+  output(checksum);
+  output(emitted);
+  return checksum;
+}
+|}
+
+(* Bellman-Ford relaxation sweeps over a generated network, the memory
+   access pattern of 505.mcf. *)
+let mcf =
+  bench "505.mcf"
+    {|
+int arc_from[160];
+int arc_to[160];
+int arc_cost[160];
+int dist[48];
+int narcs;
+int nnodes;
+int rng_state;
+
+int rng_next() {
+  rng_state = (rng_state * 1103515245 + 12345) & 2147483647;
+  return rng_state >> 16;
+}
+
+int build_network() {
+  nnodes = 48;
+  narcs = 0;
+  int i = 0;
+  while (i < 47) {
+    arc_from[narcs] = i;
+    arc_to[narcs] = i + 1;
+    arc_cost[narcs] = 1 + (rng_next() % 10);
+    narcs = narcs + 1;
+    i = i + 1;
+  }
+  while (narcs < 160) {
+    arc_from[narcs] = rng_next() % 48;
+    arc_to[narcs] = rng_next() % 48;
+    arc_cost[narcs] = 1 + (rng_next() % 30);
+    narcs = narcs + 1;
+  }
+  return narcs;
+}
+
+int relax_all() {
+  int improved = 0;
+  int a = 0;
+  while (a < narcs) {
+    int u = arc_from[a];
+    int v = arc_to[a];
+    int du = dist[u];
+    if (du < 1000000) {
+      int cand = du + arc_cost[a];
+      if (cand < dist[v]) {
+        dist[v] = cand;
+        improved = improved + 1;
+      }
+    }
+    a = a + 1;
+  }
+  return improved;
+}
+
+int shortest_paths(int source) {
+  int i = 0;
+  while (i < nnodes) {
+    dist[i] = 1000000;
+    i = i + 1;
+  }
+  dist[source] = 0;
+  int rounds = 0;
+  int improved = 1;
+  while (improved > 0 && rounds < nnodes) {
+    improved = relax_all();
+    rounds = rounds + 1;
+  }
+  return rounds;
+}
+
+int main() {
+  rng_state = 777;
+  build_network();
+  int total = 0;
+  int s = 0;
+  while (s < 12) {
+    shortest_paths(s);
+    total = total + dist[47];
+    s = s + 1;
+  }
+  output(total);
+  return total;
+}
+|}
+
+(* Array-encoded binary tree construction and transformation passes,
+   after 523.xalancbmk's DOM churning. *)
+let xalancbmk =
+  bench "523.xalancbmk"
+    {|
+int node_left[128];
+int node_right[128];
+int node_value[128];
+int node_kind[128];
+int nnodes;
+int rng_state;
+
+int rng_next() {
+  rng_state = (rng_state * 1103515245 + 12345) & 2147483647;
+  return rng_state >> 16;
+}
+
+int new_node(int kind, int value) {
+  if (nnodes >= 128) {
+    return 0;
+  }
+  int id = nnodes;
+  nnodes = nnodes + 1;
+  node_kind[id] = kind;
+  node_value[id] = value;
+  node_left[id] = -1;
+  node_right[id] = -1;
+  return id;
+}
+
+int build_tree(int depth) {
+  int kind = rng_next() % 3;
+  int id = new_node(kind, rng_next() % 1000);
+  if (depth > 0 && nnodes < 120) {
+    node_left[id] = build_tree(depth - 1);
+    if (rng_next() % 3 != 0) {
+      node_right[id] = build_tree(depth - 1);
+    }
+  }
+  return id;
+}
+
+int transform(int id) {
+  if (id < 0) {
+    return 0;
+  }
+  int count = 1;
+  if (node_kind[id] == 0) {
+    node_value[id] = node_value[id] * 2 + 1;
+  }
+  if (node_kind[id] == 1) {
+    int tmp = node_left[id];
+    node_left[id] = node_right[id];
+    node_right[id] = tmp;
+  }
+  count = count + transform(node_left[id]);
+  count = count + transform(node_right[id]);
+  return count;
+}
+
+int checksum(int id) {
+  if (id < 0) {
+    return 0;
+  }
+  int h = node_value[id] * 31 + node_kind[id];
+  h = h + checksum(node_left[id]) * 7;
+  h = h + checksum(node_right[id]) * 13;
+  return h % 1000003;
+}
+
+int main() {
+  rng_state = 4242;
+  int total = 0;
+  int doc = 0;
+  while (doc < 25) {
+    nnodes = 0;
+    int root = build_tree(6);
+    int pass = 0;
+    while (pass < 4) {
+      transform(root);
+      pass = pass + 1;
+    }
+    total = (total + checksum(root)) % 1000003;
+    doc = doc + 1;
+  }
+  output(total);
+  return total;
+}
+|}
+
+(* Sum-of-absolute-differences motion search over generated frames —
+   x264's hottest loop, and the suite's vectorization showcase. *)
+let x264 =
+  bench "525.x264"
+    {|
+int ref_frame[256];
+int cur_frame[256];
+int rng_state;
+
+int rng_next() {
+  rng_state = (rng_state * 1103515245 + 12345) & 2147483647;
+  return rng_state >> 16;
+}
+
+int gen_frames() {
+  int i = 0;
+  while (i < 256) {
+    ref_frame[i] = rng_next() % 256;
+    cur_frame[i] = (ref_frame[i] + (rng_next() % 16)) % 256;
+    i = i + 1;
+  }
+  return 0;
+}
+
+int sad_block(int roff, int coff) {
+  int sum = 0;
+  int row = 0;
+  while (row < 4) {
+    int base_r = roff + row * 16;
+    int base_c = coff + row * 16;
+    int d0 = ref_frame[base_r] - cur_frame[base_c];
+    int d1 = ref_frame[base_r + 1] - cur_frame[base_c + 1];
+    int d2 = ref_frame[base_r + 2] - cur_frame[base_c + 2];
+    int d3 = ref_frame[base_r + 3] - cur_frame[base_c + 3];
+    int a0 = d0 * d0;
+    int a1 = d1 * d1;
+    int a2 = d2 * d2;
+    int a3 = d3 * d3;
+    sum = sum + a0 + a1 + a2 + a3;
+    row = row + 1;
+  }
+  return sum;
+}
+
+int search_block(int coff) {
+  int best = 1000000000;
+  int best_off = 0;
+  int dy = 0;
+  while (dy < 4) {
+    int dx = 0;
+    while (dx < 4) {
+      int roff = (coff + dy * 16 + dx) & 191;
+      int cost = sad_block(roff, coff & 191);
+      if (cost < best) {
+        best = cost;
+        best_off = roff;
+      }
+      dx = dx + 1;
+    }
+    dy = dy + 1;
+  }
+  return best + best_off;
+}
+
+int main() {
+  rng_state = 31337;
+  int total = 0;
+  int frame = 0;
+  while (frame < 6) {
+    gen_frames();
+    int block = 0;
+    while (block < 12) {
+      total = total + search_block(block * 16);
+      block = block + 1;
+    }
+    frame = frame + 1;
+  }
+  output(total);
+  return total;
+}
+|}
+
+(* Alpha-beta search with a toy evaluation, 531.deepsjeng's shape. *)
+let deepsjeng =
+  bench "531.deepsjeng"
+    {|
+int board[16];
+int nodes;
+int rng_state;
+
+int rng_next() {
+  rng_state = (rng_state * 1103515245 + 12345) & 2147483647;
+  return rng_state >> 16;
+}
+
+int evaluate() {
+  int score = 0;
+  int i = 0;
+  while (i < 16) {
+    score = score + board[i] * (i + 1);
+    i = i + 1;
+  }
+  return score % 1000;
+}
+
+int make_move(int m, int side) {
+  int sq = m & 15;
+  int old = board[sq];
+  board[sq] = board[sq] + side;
+  return old;
+}
+
+int unmake_move(int m, int old) {
+  board[m & 15] = old;
+  return 0;
+}
+
+int alphabeta(int depth, int alpha, int beta, int side) {
+  nodes = nodes + 1;
+  if (depth == 0) {
+    return side * evaluate();
+  }
+  int best = -100000;
+  int m = 0;
+  while (m < 6) {
+    int move = (rng_next() + m) & 15;
+    int old = make_move(move, side);
+    int score = -alphabeta(depth - 1, -beta, -alpha, -side);
+    unmake_move(move, old);
+    if (score > best) {
+      best = score;
+    }
+    if (best > alpha) {
+      alpha = best;
+    }
+    if (alpha >= beta) {
+      m = 6;
+    } else {
+      m = m + 1;
+    }
+  }
+  return best;
+}
+
+int main() {
+  rng_state = 2024;
+  nodes = 0;
+  int i = 0;
+  while (i < 16) {
+    board[i] = rng_next() % 9;
+    i = i + 1;
+  }
+  int total = 0;
+  int game = 0;
+  while (game < 6) {
+    total = total + alphabeta(5, -100000, 100000, 1);
+    game = game + 1;
+  }
+  output(total);
+  output(nodes);
+  return total;
+}
+|}
+
+(* Monte-Carlo playouts on a tiny board, 541.leela's rollout loop. *)
+let leela =
+  bench "541.leela"
+    {|
+int board[81];
+int wins;
+int rng_state;
+
+int rng_next() {
+  rng_state = (rng_state * 1103515245 + 12345) & 2147483647;
+  return rng_state >> 16;
+}
+
+int playout() {
+  int i = 0;
+  while (i < 81) {
+    board[i] = 0;
+    i = i + 1;
+  }
+  int moves = 0;
+  int score = 0;
+  int side = 1;
+  while (moves < 60) {
+    int at = rng_next() % 81;
+    if (board[at] == 0) {
+      board[at] = side;
+      int row = at / 9;
+      int col = at % 9;
+      int neighbors = 0;
+      if (col > 0 && board[at - 1] == side) {
+        neighbors = neighbors + 1;
+      }
+      if (col < 8 && board[at + 1] == side) {
+        neighbors = neighbors + 1;
+      }
+      if (row > 0 && board[at - 9] == side) {
+        neighbors = neighbors + 1;
+      }
+      if (row < 8 && board[at + 9] == side) {
+        neighbors = neighbors + 1;
+      }
+      score = score + side * (1 + neighbors);
+      side = -side;
+    }
+    moves = moves + 1;
+  }
+  return score;
+}
+
+int main() {
+  rng_state = 555;
+  wins = 0;
+  int total = 0;
+  int p = 0;
+  while (p < 70) {
+    int s = playout();
+    if (s > 0) {
+      wins = wins + 1;
+    }
+    total = total + s;
+    p = p + 1;
+  }
+  output(wins);
+  output(total);
+  return wins;
+}
+|}
+
+(* Match finding plus an arithmetic-coder-ish accumulator, 557.xz. *)
+let xz =
+  bench "557.xz"
+    {|
+int data[300];
+int hash_head[64];
+int rng_state;
+int range_low;
+int range_size;
+
+int rng_next() {
+  rng_state = (rng_state * 1103515245 + 12345) & 2147483647;
+  return rng_state >> 16;
+}
+
+int gen_data() {
+  int i = 0;
+  while (i < 300) {
+    if (i > 20 && rng_next() % 3 == 0) {
+      data[i] = data[i - 17];
+    } else {
+      data[i] = rng_next() % 32;
+    }
+    i = i + 1;
+  }
+  return 300;
+}
+
+int hash3(int pos) {
+  return (data[pos] * 33 + data[pos + 1] * 7 + data[pos + 2]) & 63;
+}
+
+int match_length(int a, int b, int limit) {
+  int len = 0;
+  while (len < limit && data[a + len] == data[b + len]) {
+    len = len + 1;
+  }
+  return len;
+}
+
+int encode_bit(int bit, int prob) {
+  int bound = (range_size >> 8) * prob;
+  if (bit) {
+    range_low = range_low + bound;
+    range_size = range_size - bound;
+  } else {
+    range_size = bound;
+  }
+  if (range_size < 65536) {
+    range_size = range_size << 8;
+    range_low = (range_low << 8) & 16777215;
+  }
+  return range_low;
+}
+
+int main() {
+  rng_state = 808;
+  gen_data();
+  range_low = 0;
+  range_size = 16777215;
+  int i = 0;
+  while (i < 64) {
+    hash_head[i] = -1;
+    i = i + 1;
+  }
+  int pos = 0;
+  int matched = 0;
+  int literals = 0;
+  while (pos < 290) {
+    int h = hash3(pos);
+    int cand = hash_head[h];
+    int len = 0;
+    if (cand >= 0 && cand < pos) {
+      len = match_length(cand, pos, 8);
+    }
+    if (len >= 3) {
+      matched = matched + len;
+      encode_bit(1, 128 + len);
+      pos = pos + len;
+    } else {
+      literals = literals + 1;
+      encode_bit(0, 100);
+      pos = pos + 1;
+    }
+    hash_head[h] = pos - 1;
+  }
+  output(matched);
+  output(literals);
+  output(range_low);
+  return matched;
+}
+|}
+
+(* Discrete-event simulation: a ring of modules exchanging timestamped
+   messages through a binary-heap future-event set, after 520.omnetpp's
+   network simulator kernel. *)
+let omnetpp =
+  bench "520.omnetpp"
+    {|
+int ev_time[128];
+int ev_module[128];
+int ev_kind[128];
+int heap_size;
+int module_state[16];
+int delivered;
+int sim_rng;
+
+int sim_next() {
+  sim_rng = (sim_rng * 1103515245 + 12345) & 2147483647;
+  return sim_rng >> 16;
+}
+
+int heap_push(int time, int module, int kind) {
+  if (heap_size >= 128) { return 0; }
+  int i = heap_size;
+  ev_time[i] = time;
+  ev_module[i] = module;
+  ev_kind[i] = kind;
+  heap_size = heap_size + 1;
+  while (i > 0) {
+    int parent = (i - 1) / 2;
+    if (ev_time[parent] <= ev_time[i]) { break; }
+    int t = ev_time[parent]; ev_time[parent] = ev_time[i]; ev_time[i] = t;
+    t = ev_module[parent]; ev_module[parent] = ev_module[i]; ev_module[i] = t;
+    t = ev_kind[parent]; ev_kind[parent] = ev_kind[i]; ev_kind[i] = t;
+    i = parent;
+  }
+  return 1;
+}
+
+int heap_pop() {
+  int top = ev_time[0] * 1024 + ev_module[0] * 8 + ev_kind[0];
+  heap_size = heap_size - 1;
+  ev_time[0] = ev_time[heap_size];
+  ev_module[0] = ev_module[heap_size];
+  ev_kind[0] = ev_kind[heap_size];
+  int i = 0;
+  while (1 < 2) {
+    int l = 2 * i + 1;
+    int r = 2 * i + 2;
+    int smallest = i;
+    if (l < heap_size && ev_time[l] < ev_time[smallest]) { smallest = l; }
+    if (r < heap_size && ev_time[r] < ev_time[smallest]) { smallest = r; }
+    if (smallest == i) { break; }
+    int t = ev_time[smallest]; ev_time[smallest] = ev_time[i]; ev_time[i] = t;
+    t = ev_module[smallest]; ev_module[smallest] = ev_module[i]; ev_module[i] = t;
+    t = ev_kind[smallest]; ev_kind[smallest] = ev_kind[i]; ev_kind[i] = t;
+    i = smallest;
+  }
+  return top;
+}
+
+int handle_message(int module, int time, int kind) {
+  module_state[module] = module_state[module] + kind + 1;
+  delivered = delivered + 1;
+  if (delivered < 600) {
+    int target = (module + 1 + (kind % 3)) % 16;
+    int delay = 1 + (sim_next() % 9);
+    heap_push(time + delay, target, (module_state[module] + kind) % 5);
+  }
+  return module_state[module];
+}
+
+int run_simulation(int until) {
+  int now = 0;
+  while (heap_size > 0 && now <= until) {
+    int packed = heap_pop();
+    now = packed / 1024;
+    int module = (packed / 8) % 128;
+    int kind = packed % 8;
+    handle_message(module % 16, now, kind);
+  }
+  return now;
+}
+
+int main() {
+  sim_rng = 2026;
+  delivered = 0;
+  heap_size = 0;
+  int m = 0;
+  while (m < 16) {
+    module_state[m] = 0;
+    heap_push(1 + (sim_next() % 5), m, m % 5);
+    m = m + 1;
+  }
+  int end_time = run_simulation(4000);
+  int checksum = end_time * 31 + delivered;
+  int i = 0;
+  while (i < 16) {
+    checksum = checksum + module_state[i] * (i + 1);
+    i = i + 1;
+  }
+  output(checksum);
+  return checksum;
+}
+|}
+
+(* Recursive exact-cover search with pruning over a 6x6 latin-square
+   board, after 548.exchange2's sudoku-style solver. *)
+let exchange2 =
+  bench "548.exchange2"
+    {|
+int board[36];
+int solutions;
+int steps;
+
+int can_place(int cell, int digit) {
+  int row = cell / 6;
+  int col = cell % 6;
+  int i = 0;
+  while (i < 6) {
+    if (board[row * 6 + i] == digit) { return 0; }
+    if (board[i * 6 + col] == digit) { return 0; }
+    i = i + 1;
+  }
+  return 1;
+}
+
+int solve(int cell) {
+  steps = steps + 1;
+  if (steps > 20000) { return solutions; }
+  while (cell < 36 && board[cell] != 0) {
+    cell = cell + 1;
+  }
+  if (cell >= 36) {
+    solutions = solutions + 1;
+    return solutions;
+  }
+  int digit = 1;
+  while (digit <= 6) {
+    if (can_place(cell, digit) == 1) {
+      board[cell] = digit;
+      solve(cell + 1);
+      board[cell] = 0;
+      if (solutions >= 40) { return solutions; }
+    }
+    digit = digit + 1;
+  }
+  return solutions;
+}
+
+int main() {
+  int i = 0;
+  while (i < 36) {
+    board[i] = 0;
+    i = i + 1;
+  }
+  board[0] = 1; board[7] = 2; board[14] = 3;
+  board[21] = 4; board[28] = 5; board[35] = 6;
+  solutions = 0;
+  steps = 0;
+  solve(0);
+  output(solutions * 100000 + steps);
+  return solutions;
+}
+|}
+
+let all =
+  [
+    perlbench; gcc_bench; mcf; xalancbmk; omnetpp; x264; deepsjeng; leela;
+    exchange2; xz;
+  ]
+
+let find name =
+  match List.find_opt (fun p -> p.p_name = name) all with
+  | Some p -> p
+  | None -> invalid_arg ("Spec.find: unknown benchmark " ^ name)

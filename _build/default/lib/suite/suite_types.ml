@@ -1,0 +1,32 @@
+(** Test-suite program descriptions.
+
+    A program is MiniC source text plus one or more harnesses — entry
+    functions that read the test input with [input()]/[eof()], mirroring
+    OSS-Fuzz fuzz targets. [h_seeds] are the hand-written seed inputs a
+    project ships with its fuzzers. *)
+
+type harness = {
+  h_name : string;
+  h_entry : string;  (** entry function; takes no parameters *)
+  h_seeds : int list list;
+}
+
+type sprogram = {
+  p_name : string;
+  p_source : string;
+  p_harnesses : harness list;
+}
+
+(** Parse and check a suite program, failing loudly if its source is
+    malformed (suite sources are part of the repository and must always
+    parse). *)
+let ast (p : sprogram) =
+  try Minic.Typecheck.parse_and_check p.p_source with
+  | Minic.Parser.Error (msg, line) ->
+      failwith (Printf.sprintf "%s: parse error line %d: %s" p.p_name line msg)
+  | Minic.Lexer.Error (msg, line) ->
+      failwith (Printf.sprintf "%s: lex error line %d: %s" p.p_name line msg)
+  | Minic.Typecheck.Error (msg, line) ->
+      failwith (Printf.sprintf "%s: check error line %d: %s" p.p_name line msg)
+
+let roots (p : sprogram) = List.map (fun h -> h.h_entry) p.p_harnesses

@@ -1,0 +1,164 @@
+(** Csmith-like synthetic program generator (paper Section II).
+
+    Mirrors the properties the paper attributes to its 5000 reference
+    programs: closed (no input, so a single run covers everything),
+    expression-heavy, and full of artificial computation that optimizers
+    delete wholesale — which is exactly why synthetic line coverage
+    collapses at O1+ while real programs keep most of theirs. Roughly
+    half of the generated statements feed a value that is never
+    observable. Deterministic under the seed. *)
+
+type gen = { rng : Util.Rng.t; buf : Buffer.t; mutable line : int }
+
+let emit g s =
+  Buffer.add_string g.buf s;
+  Buffer.add_char g.buf '\n';
+  g.line <- g.line + 1
+
+let pad depth = String.make (2 * depth) ' '
+
+(* Random expression over the variables in scope. *)
+let rec expr g vars depth =
+  if depth <= 0 || Util.Rng.chance g.rng 2 5 then
+    if vars <> [] && Util.Rng.chance g.rng 3 5 then
+      Util.Rng.choose_list g.rng vars
+    else string_of_int (Util.Rng.int_in g.rng 0 99)
+  else
+    let op =
+      Util.Rng.choose g.rng
+        [| "+"; "-"; "*"; "&"; "|"; "^"; "%"; ">>"; "=="; "<"; ">" |]
+    in
+    let lhs = expr g vars (depth - 1) in
+    let rhs =
+      (* Keep % and >> well-behaved. *)
+      match op with
+      | "%" -> string_of_int (Util.Rng.int_in g.rng 2 13)
+      | ">>" -> string_of_int (Util.Rng.int_in g.rng 1 5)
+      | _ -> expr g vars (depth - 1)
+    in
+    Printf.sprintf "(%s %s %s)" lhs op rhs
+
+let fresh_var prefix counter =
+  incr counter;
+  Printf.sprintf "%s%d" prefix !counter
+
+(* A statement block; returns the variables it declared at this level. *)
+let rec statements g ~vars ~counter ~depth ~budget ~loop_depth =
+  let local_vars = ref vars in
+  let n = Util.Rng.int_in g.rng 2 (max 2 budget) in
+  for _ = 1 to n do
+    match Util.Rng.int g.rng 10 with
+    | 0 | 1 | 2 | 3 ->
+        (* Fresh temporary (often dead). *)
+        let v = fresh_var "t" counter in
+        emit g
+          (Printf.sprintf "%sint %s = %s;" (pad depth) v
+             (expr g !local_vars 2));
+        local_vars := v :: !local_vars
+    | 4 | 5 ->
+        (* Mutate an existing variable (never a loop counter, so loops
+           always terminate). *)
+        let mutable_vars =
+          List.filter (fun v -> String.length v = 0 || v.[0] <> 'i') !local_vars
+        in
+        if mutable_vars <> [] then
+          let v = Util.Rng.choose_list g.rng mutable_vars in
+          emit g
+            (Printf.sprintf "%s%s = %s;" (pad depth) v (expr g !local_vars 2))
+    | 6 | 7 ->
+        if depth < 4 then begin
+          emit g
+            (Printf.sprintf "%sif (%s) {" (pad depth) (expr g !local_vars 1));
+          ignore
+            (statements g ~vars:!local_vars ~counter ~depth:(depth + 1)
+               ~budget:(budget / 2) ~loop_depth);
+          if Util.Rng.bool g.rng then begin
+            emit g (Printf.sprintf "%s} else {" (pad depth));
+            ignore
+              (statements g ~vars:!local_vars ~counter ~depth:(depth + 1)
+                 ~budget:(budget / 2) ~loop_depth)
+          end;
+          emit g (Printf.sprintf "%s}" (pad depth))
+        end
+    | 8 ->
+        if loop_depth < 2 && depth < 4 then begin
+          let i = fresh_var "i" counter in
+          let bound = Util.Rng.int_in g.rng 2 7 in
+          emit g
+            (Printf.sprintf "%sfor (int %s = 0; %s < %d; %s = %s + 1) {"
+               (pad depth) i i bound i i);
+          ignore
+            (statements g
+               ~vars:(i :: !local_vars)
+               ~counter ~depth:(depth + 1) ~budget:(budget / 2)
+               ~loop_depth:(loop_depth + 1));
+          emit g (Printf.sprintf "%s}" (pad depth))
+        end
+    | _ ->
+        (* Accumulation into a sink sometimes keeps code alive. *)
+        if !local_vars <> [] && Util.Rng.chance g.rng 1 2 then
+          emit g
+            (Printf.sprintf "%ssink = sink ^ %s;" (pad depth)
+               (expr g !local_vars 1))
+  done;
+  !local_vars
+
+let helper g ~name ~counter =
+  let arity = Util.Rng.int_in g.rng 1 3 in
+  let params = List.init arity (fun i -> Printf.sprintf "p%d" i) in
+  emit g
+    (Printf.sprintf "int %s(%s) {" name
+       (String.concat ", " (List.map (fun p -> "int " ^ p) params)));
+  let vars =
+    statements g ~vars:params ~counter ~depth:1 ~budget:6 ~loop_depth:0
+  in
+  emit g (Printf.sprintf "  return %s;" (expr g vars 2));
+  emit g "}";
+  emit g "";
+  arity
+
+(** [generate ~seed] produces one synthetic MiniC source. *)
+let generate ~seed =
+  let g = { rng = Util.Rng.create seed; buf = Buffer.create 2048; line = 1 } in
+  emit g "int sink;";
+  emit g "";
+  let counter = ref 0 in
+  let n_helpers = Util.Rng.int_in g.rng 2 4 in
+  let helper_names = List.init n_helpers (fun i -> Printf.sprintf "f%d" i) in
+  let helpers =
+    List.map (fun name -> (name, helper g ~name ~counter)) helper_names
+  in
+  emit g "int main() {";
+  emit g "  sink = 0;";
+  let vars = ref [] in
+  let n_top = Util.Rng.int_in g.rng 3 6 in
+  for _ = 1 to n_top do
+    (match Util.Rng.int g.rng 3 with
+    | 0 ->
+        (* Call a helper, maybe into a dead temporary. *)
+        let f, arity = Util.Rng.choose_list g.rng helpers in
+        let args = List.init arity (fun _ -> expr g !vars 1) in
+        let v = fresh_var "r" counter in
+        emit g
+          (Printf.sprintf "  int %s = %s(%s);" v f (String.concat ", " args));
+        vars := v :: !vars
+    | _ ->
+        vars :=
+          statements g ~vars:!vars ~counter ~depth:1 ~budget:8 ~loop_depth:0);
+  done;
+  (match !vars with
+  | v :: _ -> emit g (Printf.sprintf "  output(sink ^ %s);" v)
+  | [] -> emit g "  output(sink);");
+  emit g "  return 0;";
+  emit g "}";
+  Buffer.contents g.buf
+
+(** A synthetic program as a suite entry (closed: the only input is the
+    empty vector, like Csmith programs). *)
+let program ~seed : Suite_types.sprogram =
+  {
+    Suite_types.p_name = Printf.sprintf "synth-%d" seed;
+    p_source = generate ~seed;
+    p_harnesses =
+      [ { Suite_types.h_name = "main"; h_entry = "main"; h_seeds = [ [] ] } ];
+  }

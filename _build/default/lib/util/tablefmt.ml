@@ -1,0 +1,89 @@
+(** Plain-text table rendering for experiment output.
+
+    The benchmark harness prints each reproduced table in a layout close
+    to the paper's. Cells are strings; columns are padded to the widest
+    cell; an optional title and rule lines frame the table. *)
+
+type t = { title : string; header : string list; rows : string list list }
+
+let make ~title ~header rows = { title; header; rows }
+
+let f2 x = Printf.sprintf "%.2f" x
+let f4 x = Printf.sprintf "%.4f" x
+
+(** Render a float as a signed percentage with two decimals, e.g. "-4.62". *)
+let pct x = Printf.sprintf "%+.2f" x
+
+let render { title; header; rows } =
+  let all = header :: rows in
+  let n_cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let widths = Array.make n_cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let pad i cell =
+    let w = widths.(i) in
+    cell ^ String.make (w - String.length cell) ' '
+  in
+  let line row =
+    row |> List.mapi pad |> String.concat "  " |> fun s -> s ^ "\n"
+  in
+  let rule =
+    String.make
+      (Array.fold_left ( + ) 0 widths + (2 * max 0 (n_cols - 1)))
+      '-'
+    ^ "\n"
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ title ^ " ==\n");
+  Buffer.add_string buf (line header);
+  Buffer.add_string buf rule;
+  List.iter (fun row -> Buffer.add_string buf (line row)) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+(** [scatter ~title ~width ~height ~xlabel ~ylabel points] renders an
+    ASCII scatter plot; each point is [(x, y, marker)] with a one-char
+    marker. Later points overwrite earlier ones on collision. *)
+let scatter ~title ~width ~height ~xlabel ~ylabel points =
+  match points with
+  | [] -> "== " ^ title ^ " == (no points)\n"
+  | _ ->
+      let xs = List.map (fun (x, _, _) -> x) points in
+      let ys = List.map (fun (_, y, _) -> y) points in
+      let xmin = List.fold_left min infinity xs
+      and xmax = List.fold_left max neg_infinity xs in
+      let ymin = List.fold_left min infinity ys
+      and ymax = List.fold_left max neg_infinity ys in
+      let xspan = if xmax > xmin then xmax -. xmin else 1.0 in
+      let yspan = if ymax > ymin then ymax -. ymin else 1.0 in
+      let grid = Array.make_matrix height width ' ' in
+      List.iter
+        (fun (x, y, m) ->
+          let col =
+            int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1))
+          in
+          let row =
+            height - 1
+            - int_of_float ((y -. ymin) /. yspan *. float_of_int (height - 1))
+          in
+          grid.(max 0 (min (height - 1) row)).(max 0 (min (width - 1) col)) <- m)
+        points;
+      let buf = Buffer.create ((width + 8) * (height + 4)) in
+      Buffer.add_string buf ("== " ^ title ^ " ==\n");
+      Buffer.add_string buf
+        (Printf.sprintf "%s: %.3f .. %.3f (vertical)\n" ylabel ymin ymax);
+      Array.iter
+        (fun row ->
+          Buffer.add_string buf "  |";
+          Array.iter (Buffer.add_char buf) row;
+          Buffer.add_char buf '\n')
+        grid;
+      Buffer.add_string buf ("  +" ^ String.make width '-' ^ "\n");
+      Buffer.add_string buf
+        (Printf.sprintf "   %s: %.3f .. %.3f (horizontal)\n" xlabel xmin xmax);
+      Buffer.contents buf

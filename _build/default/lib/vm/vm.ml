@@ -1,0 +1,374 @@
+(** The virtual machine executing emitted binaries, with a deterministic
+    cost model standing in for the paper's hardware.
+
+    Cost model (in abstract cycles):
+    - most ALU operations cost 1; multiplies 3; divides 10
+    - memory loads and stores cost 4
+    - every operand resident in a frame word ([Pslot]) adds 1 (an
+      L1-resident stack access) — spilling and memory-resident variables
+      cost real but moderate cycles
+    - a control transfer to anything other than the next address adds 3
+      (taken-branch / fetch redirect) — block placement earns its keep here
+    - reading a location written by the immediately preceding instruction
+      adds 2 (pipeline hazard), or 4 if the producer was a load
+      (load-use) — post-RA scheduling earns its keep here
+    - calls cost 9 (save/restore, argument marshalling) plus one cycle
+      per frame word (frame setup and zeroing), the frame part deferred
+      to the activation point for shrink-wrapped functions
+    - a [k]-lane vector operation costs [1 + k/2] instead of [k] scalar
+      instructions
+
+    The VM also provides the instrumentation the framework needs: edge
+    coverage (for the fuzzer), first-hit temporary breakpoints (for the
+    debugger), and cost-driven PC sampling (for AutoFDO). *)
+
+exception Budget_exhausted
+exception Runtime_error of string
+
+type sampler = {
+  period : int;
+  mutable next_at : int;
+  mutable samples : int list;  (** sampled addresses, newest first *)
+  rng : Util.Rng.t;
+}
+
+type run_opts = {
+  max_instrs : int;
+  coverage : bool;
+  breakpoints : bool array option;
+      (** per-address temporary breakpoints; cleared on first hit *)
+  sample_period : int option;
+  seed : int;  (** sampling jitter seed *)
+}
+
+let default_opts =
+  {
+    max_instrs = 4_000_000;
+    coverage = false;
+    breakpoints = None;
+    sample_period = None;
+    seed = 1;
+  }
+
+type result = {
+  output : int list;
+  cost : int;
+  instrs : int;
+  edges : (int * int, int) Hashtbl.t;  (** (src, dst) -> count *)
+  bp_hits : int list;  (** breakpoint addresses in first-hit order *)
+  samples : int list;  (** sampled addresses in order *)
+  timed_out : bool;
+}
+
+type frame = {
+  fr_fi : Emit.func_info;
+  fr_mem : int array;
+  fr_ret_pc : int;
+  fr_ret_dst : Mach.mloc option;
+  fr_saved : int array;
+  mutable fr_paid : bool;  (** frame cost charged (shrink-wrapping) *)
+}
+
+type state = {
+  bin : Emit.binary;
+  pregs : int array;
+  mutable frames : frame list;
+  globals : (string, int array) Hashtbl.t;
+  input : int array;
+  mutable input_pos : int;
+  mutable out_rev : int list;
+  mutable cost : int;
+  mutable icount : int;
+  mutable pc : int;
+  mutable last_writes : Mach.mloc list;  (** locations written by previous instr *)
+  mutable last_was_load : bool;
+  edges : (int * int, int) Hashtbl.t;
+  mutable bp_hits_rev : int list;
+  mutable halted : bool;
+}
+
+let cur_frame st =
+  match st.frames with
+  | f :: _ -> f
+  | [] -> raise (Runtime_error "no active frame")
+
+let global_mem st g =
+  match Hashtbl.find_opt st.globals g with
+  | Some a -> a
+  | None -> raise (Runtime_error ("unknown global " ^ g))
+
+let wrap_index i size = if size <= 0 then 0 else ((i mod size) + size) mod size
+
+(* Operand resolution, charging the frame-word cost. *)
+let read_loc st = function
+  | Mach.Preg k -> st.pregs.(k)
+  | Mach.Pslot i ->
+      st.cost <- st.cost + 1;
+      let f = cur_frame st in
+      f.fr_mem.(f.fr_fi.Emit.fi_data_words + i)
+
+let read_val st = function Mach.Loc l -> read_loc st l | Mach.Cst n -> n
+
+let write_loc st l v =
+  match l with
+  | Mach.Preg k -> st.pregs.(k) <- v
+  | Mach.Pslot i ->
+      st.cost <- st.cost + 1;
+      let f = cur_frame st in
+      f.fr_mem.(f.fr_fi.Emit.fi_data_words + i) <- v
+
+let resolve_addr st (a : Mach.maddr) =
+  let idx = read_val st a.Mach.mindex in
+  match a.Mach.mbase with
+  | Mach.Mframe slot ->
+      let f = cur_frame st in
+      let offset, size =
+        match
+          List.find_opt (fun (id, _, _) -> id = slot) f.fr_fi.Emit.fi_slot_offset
+        with
+        | Some (_, o, s) -> (o, s)
+        | None -> raise (Runtime_error "bad frame slot")
+      in
+      (f.fr_mem, offset + wrap_index idx size)
+  | Mach.Mglobal g ->
+      let mem = global_mem st g in
+      (mem, wrap_index idx (Array.length mem))
+
+(* Frame-activation cost for shrink-wrapped functions. *)
+let charge_frame st =
+  let f = cur_frame st in
+  if not f.fr_paid then begin
+    f.fr_paid <- true;
+    st.cost <- st.cost + Array.length f.fr_mem
+  end
+
+let enter_function st fi args ~ret_pc ~ret_dst =
+  let frame =
+    {
+      fr_fi = fi;
+      fr_mem = Array.make fi.Emit.fi_frame_words 0;
+      fr_ret_pc = ret_pc;
+      fr_ret_dst = ret_dst;
+      fr_saved = Array.copy st.pregs;
+      fr_paid = fi.Emit.fi_activation = None;
+    }
+  in
+  st.cost <- st.cost + 9;
+  if fi.Emit.fi_activation = None then
+    st.cost <- st.cost + fi.Emit.fi_frame_words;
+  st.frames <- frame :: st.frames;
+  (* Deliver arguments into the callee's parameter locations. *)
+  List.iteri
+    (fun i loc ->
+      let v = try List.nth args i with _ -> 0 in
+      match loc with
+      | Mach.Preg k -> st.pregs.(k) <- v
+      | Mach.Pslot s -> frame.fr_mem.(fi.Emit.fi_data_words + s) <- v)
+    fi.Emit.fi_param_locs;
+  st.pc <- fi.Emit.fi_entry
+
+let func_by_name st name =
+  match Hashtbl.find_opt st.bin.Emit.fn_by_name name with
+  | Some idx -> st.bin.Emit.funcs.(idx)
+  | None -> raise (Runtime_error ("call to unknown function " ^ name))
+
+(** Execute one instruction; updates [st.pc]. *)
+let step st (opts : run_opts) sampler =
+  let bin = st.bin in
+  let pc = st.pc in
+  if pc < 0 || pc >= Array.length bin.Emit.code then
+    raise (Runtime_error "pc out of range");
+  (* Temporary breakpoints: record the first hit, then clear. *)
+  (match opts.breakpoints with
+  | Some bps when bps.(pc) ->
+      bps.(pc) <- false;
+      st.bp_hits_rev <- pc :: st.bp_hits_rev
+  | _ -> ());
+  st.icount <- st.icount + 1;
+  if st.icount > opts.max_instrs then raise Budget_exhausted;
+  let hazard reads_ =
+    if st.last_writes <> [] && List.exists (fun l -> List.mem l st.last_writes) reads_
+    then if st.last_was_load then 4 else 2
+    else 0
+  in
+  let fallthrough = pc + 1 in
+  let transfer dst =
+    if opts.coverage || opts.sample_period <> None then begin
+      let key = (pc, dst) in
+      Hashtbl.replace st.edges key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt st.edges key))
+    end;
+    if dst <> fallthrough then st.cost <- st.cost + 3;
+    st.pc <- dst
+  in
+  (match bin.Emit.code.(pc) with
+  | Emit.Eins mk ->
+      let reads_ = Mach.reads mk in
+      st.cost <- st.cost + 1 + hazard reads_;
+      if Mach.touches_frame mk then charge_frame st;
+      (match mk with
+      | Mach.Mbin (op, d, a, b) ->
+          let cost_extra =
+            match op with Ir.Mul -> 2 | Ir.Div | Ir.Rem -> 9 | _ -> 0
+          in
+          st.cost <- st.cost + cost_extra;
+          write_loc st d (Ir.eval_binop op (read_val st a) (read_val st b));
+          st.last_was_load <- false
+      | Mach.Mun (op, d, a) ->
+          write_loc st d (Ir.eval_unop op (read_val st a));
+          st.last_was_load <- false
+      | Mach.Mmov (d, a) ->
+          write_loc st d (read_val st a);
+          st.last_was_load <- false
+      | Mach.Mload (d, a) ->
+          st.cost <- st.cost + 3;
+          let mem, i = resolve_addr st a in
+          write_loc st d mem.(i);
+          st.last_was_load <- true
+      | Mach.Mstore (a, v) ->
+          st.cost <- st.cost + 3;
+          let value = read_val st v in
+          let mem, i = resolve_addr st a in
+          mem.(i) <- value;
+          st.last_was_load <- false
+      | Mach.Mcall (dst, f, args) ->
+          let argv = List.map (read_val st) args in
+          let fi = func_by_name st f in
+          enter_function st fi argv ~ret_pc:fallthrough ~ret_dst:dst;
+          st.last_writes <- [];
+          st.last_was_load <- false;
+          (* control transferred; skip the bottom-of-function PC update *)
+          raise_notrace Exit
+      | Mach.Minput d ->
+          st.cost <- st.cost + 2;
+          let v =
+            if st.input_pos < Array.length st.input then begin
+              let v = st.input.(st.input_pos) in
+              st.input_pos <- st.input_pos + 1;
+              v
+            end
+            else 0
+          in
+          write_loc st d v;
+          st.last_was_load <- false
+      | Mach.Meof d ->
+          write_loc st d (if st.input_pos >= Array.length st.input then 1 else 0);
+          st.last_was_load <- false
+      | Mach.Moutput v ->
+          st.cost <- st.cost + 2;
+          st.out_rev <- read_val st v :: st.out_rev;
+          st.last_was_load <- false
+      | Mach.Mselect (d, c, a, b) ->
+          let v = if read_val st c <> 0 then read_val st a else read_val st b in
+          write_loc st d v;
+          st.last_was_load <- false
+      | Mach.Mvec (op, lanes) ->
+          (* SIMD: one extra cycle per pair of lanes beyond the base. *)
+          st.cost <- st.cost + (Array.length lanes / 2);
+          let results =
+            Array.map
+              (fun (_, a, b) -> Ir.eval_binop op (read_val st a) (read_val st b))
+              lanes
+          in
+          Array.iteri (fun i (d, _, _) -> write_loc st d results.(i)) lanes;
+          st.last_was_load <- false
+      | Mach.Mdbg _ -> () (* never emitted; defensive *));
+      st.last_writes <- Mach.writes mk;
+      st.pc <- fallthrough
+  | Emit.Ejmp t ->
+      st.cost <- st.cost + 1;
+      st.last_writes <- [];
+      transfer t
+  | Emit.Ecbr (c, t1, t2) ->
+      st.cost <- st.cost + 1 + hazard (Mach.mval_reads c);
+      let v = read_val st c in
+      st.last_writes <- [];
+      transfer (if v <> 0 then t1 else t2)
+  | Emit.Eret v ->
+      st.cost <- st.cost + 2;
+      let value = Option.map (read_val st) v in
+      (match st.frames with
+      | [] -> raise (Runtime_error "return with no frame")
+      | f :: rest ->
+          st.frames <- rest;
+          Array.blit f.fr_saved 0 st.pregs 0 (Array.length st.pregs);
+          if rest = [] then st.halted <- true
+          else begin
+            (match (f.fr_ret_dst, value) with
+            | Some d, Some v -> write_loc st d v
+            | Some d, None -> write_loc st d 0
+            | None, _ -> ());
+            st.last_writes <- [];
+            st.last_was_load <- false;
+            transfer f.fr_ret_pc
+          end));
+  (* Cost-driven sampling. *)
+  match sampler with
+  | Some s ->
+      while st.cost >= s.next_at do
+        s.samples <- st.pc :: s.samples;
+        (* Small deterministic jitter avoids lockstep aliasing with loop
+           bodies, like real PMU sampling. *)
+        s.next_at <- s.next_at + s.period + Util.Rng.int s.rng (max 1 (s.period / 8))
+      done
+  | None -> ()
+
+(** [run bin ~entry ~args ~input opts] executes [bin] starting at
+    function [entry]. *)
+let run (bin : Emit.binary) ~entry ?(args = []) ~input (opts : run_opts) : result =
+  let globals = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Ir.global_def) ->
+      Hashtbl.replace globals g.Ir.g_name (Array.make g.Ir.g_size g.Ir.g_init))
+    bin.Emit.bin_globals;
+  let st =
+    {
+      bin;
+      pregs = Array.make (Mach.num_regs + 1) 0;
+      frames = [];
+      globals;
+      input = Array.of_list input;
+      input_pos = 0;
+      out_rev = [];
+      cost = 0;
+      icount = 0;
+      pc = 0;
+      last_writes = [];
+      last_was_load = false;
+      edges = Hashtbl.create 256;
+      bp_hits_rev = [];
+      halted = false;
+    }
+  in
+  let sampler =
+    Option.map
+      (fun period ->
+        {
+          period;
+          next_at = period;
+          samples = [];
+          rng = Util.Rng.create (opts.seed + 77);
+        })
+      opts.sample_period
+  in
+  let fi =
+    match Hashtbl.find_opt bin.Emit.fn_by_name entry with
+    | Some idx -> bin.Emit.funcs.(idx)
+    | None -> raise (Runtime_error ("no entry function " ^ entry))
+  in
+  enter_function st fi args ~ret_pc:(-1) ~ret_dst:None;
+  let timed_out = ref false in
+  (try
+     while not st.halted do
+       try step st opts sampler with Exit -> ()
+     done
+   with Budget_exhausted -> timed_out := true);
+  {
+    output = List.rev st.out_rev;
+    cost = st.cost;
+    instrs = st.icount;
+    edges = st.edges;
+    bp_hits = List.rev st.bp_hits_rev;
+    samples = (match sampler with Some s -> List.rev s.samples | None -> []);
+    timed_out = !timed_out;
+  }

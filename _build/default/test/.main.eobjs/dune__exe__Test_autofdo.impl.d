@@ -1,0 +1,1 @@
+test/test_autofdo.ml: Alcotest Debugtuner Dwarfish Emit Hashtbl Lazy List Printf Spec String Suite_types Vm

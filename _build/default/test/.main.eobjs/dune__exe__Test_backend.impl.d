@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Array Cleanup Debugtuner Dwarfish Emit Hashtbl Ir Isel List Lower Mach Mach_passes Mem2reg Minic Printf Programs Suite_types Vm

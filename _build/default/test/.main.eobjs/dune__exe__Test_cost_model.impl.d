@@ -1,0 +1,1 @@
+test/test_cost_model.ml: Alcotest Array Emit Hashtbl Ir List Mach Vm

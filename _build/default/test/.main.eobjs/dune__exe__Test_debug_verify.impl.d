@@ -1,0 +1,1 @@
+test/test_debug_verify.ml: Alcotest Array Debug_verify Debugtuner Dwarfdump Dwarfish Emit Ir List Mach Minic Objdump Printf Programs QCheck QCheck_alcotest String Suite_types Synth

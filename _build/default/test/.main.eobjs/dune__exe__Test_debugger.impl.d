@@ -1,0 +1,1 @@
+test/test_debugger.ml: Alcotest Debugger Debugtuner Ir Lazy List Metrics Minic

@@ -1,0 +1,1 @@
+test/test_debuginfo.ml: Alcotest Array Debugtuner Dwarfish Emit Ir List Minic Printf Programs QCheck QCheck_alcotest Suite_types Synth

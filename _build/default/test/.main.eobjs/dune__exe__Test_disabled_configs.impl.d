@@ -1,0 +1,1 @@
+test/test_disabled_configs.ml: Alcotest Debugtuner List Printf Programs Spec Suite_types Vm

@@ -1,0 +1,1 @@
+test/test_dwarf_encode.ml: Alcotest Buffer Char Debugtuner Dwarf_encode Dwarfish Emit List Minic Printf Programs QCheck QCheck_alcotest String Suite_types Synth

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Debugger Debugtuner Emit Float Lazy List Metrics Printf Programs Spec Suite_types Util

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Cmin Debugger Debugtuner Fuzzer Hashtbl Lazy List Trace_prune Util

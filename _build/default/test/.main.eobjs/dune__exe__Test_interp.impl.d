@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Debugtuner List Minic Printf Programs QCheck QCheck_alcotest Suite_types Synth Vm

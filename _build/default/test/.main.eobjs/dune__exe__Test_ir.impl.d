@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Dom Emit Hashtbl Ir Isel List Liveness Loops Lower Mach Mem2reg Minic Printf QCheck QCheck_alcotest Synth Verify Vm

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Ast Defranges Lexer List Minic Parser Pretty QCheck QCheck_alcotest Synth Typecheck

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Cleanup Debugtuner Dom Dwarfish Emit Hashtbl Int Ir List Liveness Loops Lower Mem2reg Minic QCheck QCheck_alcotest Set Synth Verify

@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Debugtuner Dwarfish Emit List Minic Printf Session String

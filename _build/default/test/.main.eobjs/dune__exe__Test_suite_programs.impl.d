@@ -1,0 +1,1 @@
+test/test_suite_programs.ml: Alcotest Debugtuner List Printf Programs Selfcomp Spec Suite_types Synth Vm

@@ -1,0 +1,1 @@
+test/test_toolchain.ml: Alcotest Debugtuner Emit Gen Lazy List Metrics Printf Programs QCheck QCheck_alcotest Spec String Suite_types

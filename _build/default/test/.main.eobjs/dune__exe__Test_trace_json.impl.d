@@ -1,0 +1,1 @@
+test/test_trace_json.ml: Alcotest Debugger Debugtuner Hashtbl List Minic Programs QCheck QCheck_alcotest Suite_types Synth Trace_json

@@ -1,0 +1,1 @@
+test/test_value_oracle.ml: Alcotest Debugtuner List Minic Printf Programs QCheck QCheck_alcotest Spec String Suite_types Synth

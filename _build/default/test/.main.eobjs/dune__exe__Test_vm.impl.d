@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Debugtuner Emit Hashtbl List Printf QCheck QCheck_alcotest Spec Suite_types Synth Vm

@@ -1,0 +1,406 @@
+(** Tests for the debug-info verifier (the llvm-dwarfdump --verify
+    analog) and the dwarfdump pretty-printer.
+
+    Two halves: (1) every binary the toolchain emits verifies clean, at
+    every level, including random programs; (2) failure injection —
+    each class of corruption planted into a healthy binary is caught by
+    exactly the matching diagnostic. *)
+
+module C = Debugtuner.Config
+module T = Debugtuner.Toolchain
+module V = Debug_verify
+
+let contains s affix =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+
+let compile_prog ?(config = C.make C.Gcc C.O2) name =
+  let p = Programs.find name in
+  T.compile (Suite_types.ast p) ~config ~roots:(Suite_types.roots p)
+
+let kinds ds = List.sort_uniq compare (List.map (fun d -> d.V.kind) ds)
+
+let check_kinds what expected ds =
+  Alcotest.(check (list string))
+    what
+    (List.sort_uniq compare (List.map V.kind_to_string expected))
+    (List.map V.kind_to_string (kinds ds))
+
+(* ------------------------------------------------------------------ *)
+(* Healthy binaries                                                    *)
+
+let test_clean_suite () =
+  List.iter
+    (fun (name, cfg) ->
+      let bin = compile_prog ~config:cfg name in
+      Alcotest.(check string)
+        (Printf.sprintf "%s %s clean" name (C.name cfg))
+        "" (V.report (V.verify bin) |> fun s ->
+            if s = "debug info verification: clean\n" then "" else s))
+    [
+      ("zlib", C.make C.Gcc C.O0);
+      ("zlib", C.make C.Gcc C.Og);
+      ("libpng", C.make C.Gcc C.O2);
+      ("libpcap", C.make C.Gcc C.O3);
+      ("libpng", C.make C.Clang C.O1);
+      ("libyaml", C.make C.Clang C.O3);
+    ]
+
+let test_clean_disabled_variants () =
+  (* Single-pass-disabled configurations keep the invariants too. *)
+  let cfg = C.make C.Gcc C.O2 in
+  List.iter
+    (fun pass ->
+      let v = { cfg with C.disabled = [ pass ] } in
+      let bin = compile_prog ~config:v "zlib" in
+      Alcotest.(check int)
+        (pass ^ " disabled: clean")
+        0
+        (List.length (V.verify bin)))
+    (T.pass_names cfg)
+
+let qcheck_clean_random =
+  QCheck.Test.make ~name:"random programs verify clean" ~count:25
+    QCheck.(pair (int_range 1 30_000) (int_range 0 6))
+    (fun (seed, cfg_idx) ->
+      let configs =
+        List.concat_map
+          (fun comp ->
+            List.map (fun l -> C.make comp l) (C.standard_levels comp))
+          [ C.Gcc; C.Clang ]
+      in
+      let cfg = List.nth configs (cfg_idx mod List.length configs) in
+      let src = Synth.generate ~seed in
+      let ast = Minic.Typecheck.parse_and_check src in
+      let bin = T.compile ast ~config:cfg ~roots:[ "main" ] in
+      V.verify bin = [])
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection                                                   *)
+
+let test_line_addr_oob () =
+  let bin = compile_prog "zlib" in
+  let len = Array.length bin.Emit.code in
+  Dwarfish.add_line bin.Emit.debug ~addr:(len + 3) ~line:1;
+  Dwarfish.finalize bin.Emit.debug;
+  check_kinds "oob line entry caught" [ V.Line_addr_oob ] (V.verify bin)
+
+let test_line_unsorted () =
+  let bin = compile_prog "zlib" in
+  let d = bin.Emit.debug in
+  (match d.Dwarfish.line_table with
+  | a :: b :: rest -> d.Dwarfish.line_table <- b :: a :: rest
+  | _ -> Alcotest.fail "expected a line table");
+  check_kinds "swapped entries caught" [ V.Line_table_unsorted ] (V.verify bin)
+
+let test_line_mismatch () =
+  let bin = compile_prog "zlib" in
+  let d = bin.Emit.debug in
+  (match d.Dwarfish.line_table with
+  | e :: rest ->
+      d.Dwarfish.line_table <-
+        { e with Dwarfish.line = e.Dwarfish.line + 1000 } :: rest
+  | _ -> Alcotest.fail "expected a line table");
+  check_kinds "wrong line caught" [ V.Line_mismatch ] (V.verify bin)
+
+let inject_range bin r =
+  let var = { Ir.origin = "injected"; name = "x" } in
+  Dwarfish.add_var bin.Emit.debug ~var ~is_array:false [ r ]
+
+let test_range_inverted () =
+  let bin = compile_prog "zlib" in
+  inject_range bin
+    { Dwarfish.lo = 5; hi = 5; where = Dwarfish.Const 0; usable = true };
+  check_kinds "empty range caught" [ V.Range_inverted ] (V.verify bin)
+
+let test_range_oob () =
+  let bin = compile_prog "zlib" in
+  let len = Array.length bin.Emit.code in
+  inject_range bin
+    { Dwarfish.lo = 0; hi = len + 10; where = Dwarfish.Const 0; usable = true };
+  check_kinds "oob range caught" [ V.Range_oob ] (V.verify bin)
+
+let test_range_crosses_function () =
+  let bin = compile_prog "zlib" in
+  Alcotest.(check bool)
+    "test needs two functions" true
+    (Array.length bin.Emit.funcs >= 2);
+  let f1 = bin.Emit.funcs.(1) in
+  inject_range bin
+    {
+      Dwarfish.lo = 0;
+      hi = f1.Emit.fi_entry + 1;
+      where = Dwarfish.Const 0;
+      usable = true;
+    };
+  check_kinds "cross-function range caught"
+    [ V.Range_crosses_function ]
+    (V.verify bin)
+
+let test_bad_register () =
+  let bin = compile_prog "zlib" in
+  inject_range bin
+    { Dwarfish.lo = 0; hi = 1; where = Dwarfish.In_reg 99; usable = true };
+  check_kinds "bad register caught" [ V.Bad_register ] (V.verify bin);
+  (* The reserved scratch register is not a valid variable home either. *)
+  let bin2 = compile_prog "zlib" in
+  inject_range bin2
+    {
+      Dwarfish.lo = 0;
+      hi = 1;
+      where = Dwarfish.In_reg Mach.num_regs;
+      usable = true;
+    };
+  check_kinds "scratch register caught" [ V.Bad_register ] (V.verify bin2)
+
+let test_bad_slot () =
+  let bin = compile_prog "zlib" in
+  inject_range bin
+    { Dwarfish.lo = 0; hi = 1; where = Dwarfish.In_slot 9999; usable = true };
+  check_kinds "bad slot caught" [ V.Bad_slot ] (V.verify bin)
+
+let test_overlap_conflict () =
+  let bin = compile_prog "zlib" in
+  let var = { Ir.origin = "injected"; name = "x" } in
+  Dwarfish.add_var bin.Emit.debug ~var ~is_array:false
+    [
+      { Dwarfish.lo = 0; hi = 4; where = Dwarfish.In_reg 1; usable = true };
+      { Dwarfish.lo = 2; hi = 6; where = Dwarfish.In_reg 2; usable = true };
+    ];
+  check_kinds "conflicting overlap caught" [ V.Overlap_conflict ] (V.verify bin)
+
+let test_overlap_agreeing_ok () =
+  (* Overlapping ranges that agree on the location are legal DWARF. *)
+  let bin = compile_prog "zlib" in
+  let var = { Ir.origin = "injected"; name = "x" } in
+  Dwarfish.add_var bin.Emit.debug ~var ~is_array:false
+    [
+      { Dwarfish.lo = 0; hi = 4; where = Dwarfish.In_reg 1; usable = true };
+      { Dwarfish.lo = 2; hi = 6; where = Dwarfish.In_reg 1; usable = true };
+    ];
+  check_kinds "agreeing overlap accepted" [] (V.verify bin)
+
+let test_ghost_overlap_ok () =
+  (* Unusable (entry-value) entries may shadow usable ones — that is the
+     gcc static-overestimation artifact itself, not corruption. *)
+  let bin = compile_prog "zlib" in
+  let var = { Ir.origin = "injected"; name = "x" } in
+  Dwarfish.add_var bin.Emit.debug ~var ~is_array:false
+    [
+      { Dwarfish.lo = 0; hi = 4; where = Dwarfish.In_reg 1; usable = true };
+      { Dwarfish.lo = 2; hi = 6; where = Dwarfish.In_reg 2; usable = false };
+    ];
+  check_kinds "ghost overlap accepted" [] (V.verify bin)
+
+let test_func_bounds () =
+  let bin = compile_prog "zlib" in
+  let len = Array.length bin.Emit.code in
+  bin.Emit.funcs.(0) <- { (bin.Emit.funcs.(0)) with Emit.fi_end = len + 5 };
+  check_kinds "bad function bounds caught" [ V.Func_bounds ] (V.verify bin)
+
+let test_report_format () =
+  let bin = compile_prog "zlib" in
+  Alcotest.(check string)
+    "clean report" "debug info verification: clean\n"
+    (V.report (V.verify bin));
+  inject_range bin
+    { Dwarfish.lo = 9; hi = 3; where = Dwarfish.Const 0; usable = true };
+  let r = V.report (V.verify bin) in
+  Alcotest.(check bool) "report names the check" true
+    (contains r "range-inverted")
+
+(* ------------------------------------------------------------------ *)
+(* dwarfdump                                                           *)
+
+let test_dump_sections () =
+  let bin = compile_prog "libpng" in
+  let out = Dwarfdump.dump bin in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) ("dump has " ^ affix) true (contains out affix))
+    [ ".functions:"; ".debug_line:"; ".debug_loc:" ]
+
+let test_dump_function_names () =
+  let p = Programs.find "libpng" in
+  let bin =
+    T.compile (Suite_types.ast p)
+      ~config:(C.make C.Gcc C.O1)
+      ~roots:(Suite_types.roots p)
+  in
+  let out = Dwarfdump.dump ~sections:[ Dwarfdump.Functions ] bin in
+  Array.iter
+    (fun (fi : Emit.func_info) ->
+      Alcotest.(check bool)
+        ("dump lists " ^ fi.Emit.fi_name)
+        true
+        (contains out fi.Emit.fi_name))
+    bin.Emit.funcs
+
+let test_dump_icf_alias () =
+  (* libpcap's packet_checksum/packet_digest twins fold under gcc O2+;
+     the dump must show the alias. *)
+  let bin = compile_prog ~config:(C.make C.Gcc C.O2) "libpcap" in
+  let out = Dwarfdump.dump ~sections:[ Dwarfdump.Functions ] bin in
+  Alcotest.(check bool) "ICF alias shown" true (contains out "ICF alias")
+
+let test_dump_line_count () =
+  let bin = compile_prog "zlib" in
+  let out = Dwarfdump.dump ~sections:[ Dwarfdump.Lines ] bin in
+  let rows =
+    List.length
+      (List.filter
+         (fun l -> l <> "" && l.[0] = ' ' && not (contains l "address"))
+         (String.split_on_char '\n' out))
+  in
+  Alcotest.(check int)
+    "one row per line-table entry"
+    (List.length bin.Emit.debug.Dwarfish.line_table)
+    rows
+
+let test_dump_entry_value_marker () =
+  let p = Programs.find "zlib" in
+  let bin =
+    T.compile (Suite_types.ast p)
+      ~config:(C.make C.Gcc C.O3)
+      ~roots:(Suite_types.roots p)
+  in
+  let has_ghost =
+    List.exists
+      (fun (vi : Dwarfish.var_info) ->
+        List.exists
+          (fun (r : Dwarfish.range) -> not r.Dwarfish.usable)
+          vi.Dwarfish.vi_ranges)
+      bin.Emit.debug.Dwarfish.vars
+  in
+  let out = Dwarfdump.dump ~sections:[ Dwarfdump.Locs ] bin in
+  Alcotest.(check bool)
+    "entry-value entries marked" has_ghost
+    (contains out "entry value")
+
+let test_summary () =
+  let bin = compile_prog "zlib" in
+  let s = Dwarfdump.summary bin in
+  Alcotest.(check bool) "mentions instruction count" true
+    (contains s (string_of_int (Array.length bin.Emit.code) ^ " instruction"));
+  Alcotest.(check bool) "mentions functions" true (contains s "function(s)")
+
+let test_section_of_string () =
+  Alcotest.(check bool) "parses names" true
+    (Dwarfdump.section_of_string "lines" = Some Dwarfdump.Lines
+    && Dwarfdump.section_of_string "debug_loc" = Some Dwarfdump.Locs
+    && Dwarfdump.section_of_string "func" = Some Dwarfdump.Functions
+    && Dwarfdump.section_of_string "nope" = None)
+
+let test_locstats () =
+  let stats level = Dwarfdump.locstats (compile_prog ~config:(C.make C.Gcc level) "zlib") in
+  let s0 = stats C.O0 and s2 = stats C.O2 in
+  List.iter
+    (fun (s : Dwarfdump.locstats) ->
+      Alcotest.(check int) "buckets partition the variables" s.Dwarfdump.ls_vars
+        (List.fold_left (fun a (_, n) -> a + n) 0 s.Dwarfdump.ls_buckets);
+      Alcotest.(check bool) "average in [0,1]" true
+        (s.Dwarfdump.ls_avg_coverage >= 0.0 && s.Dwarfdump.ls_avg_coverage <= 1.0))
+    [ s0; s2 ];
+  (* Slot-resident O0 variables cover (nearly) their whole scope;
+     optimization erodes it. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "O0 coverage (%.2f) >= O2 coverage (%.2f)"
+       s0.Dwarfdump.ls_avg_coverage s2.Dwarfdump.ls_avg_coverage)
+    true
+    (s0.Dwarfdump.ls_avg_coverage >= s2.Dwarfdump.ls_avg_coverage);
+  let rendered = Dwarfdump.locstats_to_string s2 in
+  Alcotest.(check bool) "render mentions the histogram" true
+    (contains rendered "100%" && contains rendered "location statistics")
+
+let test_bucket_edges () =
+  Alcotest.(check string) "zero" "0%" (Dwarfdump.bucket_of 0.0);
+  Alcotest.(check string) "full" "100%" (Dwarfdump.bucket_of 1.0);
+  Alcotest.(check string) "quarter" "1-25%" (Dwarfdump.bucket_of 0.25);
+  Alcotest.(check string) "over quarter" "26-50%" (Dwarfdump.bucket_of 0.26);
+  Alcotest.(check string) "high" "76-99%" (Dwarfdump.bucket_of 0.99)
+
+let test_objdump_full () =
+  let bin = compile_prog "zlib" in
+  let out = Objdump.disassemble bin in
+  Array.iter
+    (fun (fi : Emit.func_info) ->
+      Alcotest.(check bool) (fi.Emit.fi_name ^ " listed") true
+        (contains out (fi.Emit.fi_name ^ ":")))
+    bin.Emit.funcs;
+  (* one listing row per instruction *)
+  let rows =
+    List.length
+      (List.filter
+         (fun l ->
+           String.length l > 7 && l.[7] = ':' && l.[0] = ' ' && l.[1] = ' ')
+         (String.split_on_char '\n' out))
+  in
+  Alcotest.(check int) "one row per instruction"
+    (Array.length bin.Emit.code) rows;
+  Alcotest.(check bool) "summary present" true (contains out "instruction(s)")
+
+let test_objdump_function_filter () =
+  let bin = compile_prog "zlib" in
+  let name = bin.Emit.funcs.(0).Emit.fi_name in
+  let out = Objdump.disassemble ~func:name bin in
+  Alcotest.(check bool) "only that function" true
+    (contains out (name ^ ":")
+    && not (contains out (bin.Emit.funcs.(1).Emit.fi_name ^ ":")));
+  Alcotest.(check bool) "unknown function reported" true
+    (contains (Objdump.disassemble ~func:"nope" bin) "no such function")
+
+let test_objdump_line_decay () =
+  (* The fraction of instructions with line info never grows with
+     optimization on this program. *)
+  let frac cfg =
+    let bin = compile_prog ~config:cfg "zlib" in
+    let annotated =
+      Array.fold_left
+        (fun acc l -> if l = None then acc else acc + 1)
+        0 bin.Emit.line_of
+    in
+    float_of_int annotated /. float_of_int (Array.length bin.Emit.code)
+  in
+  let o0 = frac (C.make C.Gcc C.O0) and o3 = frac (C.make C.Gcc C.O3) in
+  Alcotest.(check bool)
+    (Printf.sprintf "O0 annotation (%.2f) >= O3 (%.2f)" o0 o3)
+    true (o0 >= o3)
+
+let tests =
+  [
+    Alcotest.test_case "clean on suite programs" `Quick test_clean_suite;
+    Alcotest.test_case "clean with passes disabled" `Quick
+      test_clean_disabled_variants;
+    QCheck_alcotest.to_alcotest qcheck_clean_random;
+    Alcotest.test_case "inject: line addr oob" `Quick test_line_addr_oob;
+    Alcotest.test_case "inject: line table unsorted" `Quick test_line_unsorted;
+    Alcotest.test_case "inject: line mismatch" `Quick test_line_mismatch;
+    Alcotest.test_case "inject: inverted range" `Quick test_range_inverted;
+    Alcotest.test_case "inject: oob range" `Quick test_range_oob;
+    Alcotest.test_case "inject: cross-function range" `Quick
+      test_range_crosses_function;
+    Alcotest.test_case "inject: bad register" `Quick test_bad_register;
+    Alcotest.test_case "inject: bad slot" `Quick test_bad_slot;
+    Alcotest.test_case "inject: overlap conflict" `Quick test_overlap_conflict;
+    Alcotest.test_case "agreeing overlap is legal" `Quick
+      test_overlap_agreeing_ok;
+    Alcotest.test_case "ghost overlap is legal" `Quick test_ghost_overlap_ok;
+    Alcotest.test_case "inject: function bounds" `Quick test_func_bounds;
+    Alcotest.test_case "report format" `Quick test_report_format;
+    Alcotest.test_case "dump: all sections" `Quick test_dump_sections;
+    Alcotest.test_case "dump: function names" `Quick test_dump_function_names;
+    Alcotest.test_case "dump: ICF alias" `Quick test_dump_icf_alias;
+    Alcotest.test_case "dump: line rows" `Quick test_dump_line_count;
+    Alcotest.test_case "dump: entry-value marker" `Quick
+      test_dump_entry_value_marker;
+    Alcotest.test_case "dump: summary" `Quick test_summary;
+    Alcotest.test_case "dump: section names" `Quick test_section_of_string;
+    Alcotest.test_case "locstats shapes" `Quick test_locstats;
+    Alcotest.test_case "locstats buckets" `Quick test_bucket_edges;
+    Alcotest.test_case "objdump: full listing" `Quick test_objdump_full;
+    Alcotest.test_case "objdump: function filter" `Quick
+      test_objdump_function_filter;
+    Alcotest.test_case "objdump: line decay" `Quick test_objdump_line_decay;
+  ]

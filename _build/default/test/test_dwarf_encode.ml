@@ -1,0 +1,254 @@
+(** Tests for the DWARF wire encoding: LEB128 edge cases, the
+    line-number program state machine, location-expression opcodes, and
+    whole-section roundtrips on real and random binaries. *)
+
+module C = Debugtuner.Config
+module T = Debugtuner.Toolchain
+module D = Dwarf_encode
+
+let uleb_roundtrip n =
+  let buf = Buffer.create 8 in
+  D.write_uleb buf n;
+  let c = { D.data = Buffer.contents buf; pos = 0 } in
+  let v = D.read_uleb c in
+  (v, c.D.pos = String.length c.D.data)
+
+let sleb_roundtrip n =
+  let buf = Buffer.create 8 in
+  D.write_sleb buf n;
+  let c = { D.data = Buffer.contents buf; pos = 0 } in
+  let v = D.read_sleb c in
+  (v, c.D.pos = String.length c.D.data)
+
+let test_uleb_cases () =
+  List.iter
+    (fun n ->
+      let v, consumed = uleb_roundtrip n in
+      Alcotest.(check int) (Printf.sprintf "uleb %d" n) n v;
+      Alcotest.(check bool) "no trailing bytes" true consumed)
+    [ 0; 1; 127; 128; 129; 255; 300; 16383; 16384; 1_000_000; max_int ]
+
+let test_sleb_cases () =
+  List.iter
+    (fun n ->
+      let v, consumed = sleb_roundtrip n in
+      Alcotest.(check int) (Printf.sprintf "sleb %d" n) n v;
+      Alcotest.(check bool) "no trailing bytes" true consumed)
+    [ 0; 1; -1; 63; 64; -64; -65; 127; 128; -128; 8191; -8192; 1_000_000;
+      -1_000_000 ]
+
+let test_uleb_sizes () =
+  (* One byte up to 127, two bytes up to 16383 — the whole point. *)
+  let size n =
+    let buf = Buffer.create 8 in
+    D.write_uleb buf n;
+    Buffer.length buf
+  in
+  Alcotest.(check int) "127 is one byte" 1 (size 127);
+  Alcotest.(check int) "128 is two bytes" 2 (size 128);
+  Alcotest.(check int) "16383 is two bytes" 2 (size 16383);
+  Alcotest.(check int) "16384 is three bytes" 3 (size 16384)
+
+let qcheck_leb_roundtrip =
+  QCheck.Test.make ~name:"LEB128 roundtrips" ~count:500
+    QCheck.(pair int bool)
+    (fun (n, signed) ->
+      if signed then fst (sleb_roundtrip n) = n
+      else
+        let n = abs n in
+        fst (uleb_roundtrip n) = n)
+
+(* ------------------------------------------------------------------ *)
+(* Line-number program                                                 *)
+
+let line_roundtrip entries =
+  let buf = Buffer.create 64 in
+  D.encode_line_program buf entries;
+  D.decode_line_program { D.data = Buffer.contents buf; pos = 0 }
+
+let test_line_program_basic () =
+  let entries =
+    [
+      { Dwarfish.addr = 0; line = 5 };
+      { Dwarfish.addr = 1; line = 6 };
+      { Dwarfish.addr = 4; line = 2 } (* line goes backwards *);
+      { Dwarfish.addr = 90; line = 300 } (* deltas too big for special *);
+      { Dwarfish.addr = 91; line = 300 } (* same line, new address *);
+    ]
+  in
+  Alcotest.(check bool) "roundtrip" true (line_roundtrip entries = entries)
+
+let test_line_program_empty () =
+  Alcotest.(check bool) "empty table" true (line_roundtrip [] = [])
+
+let test_line_program_compact () =
+  (* Monotone tables of small deltas should be ~1 byte per row: all
+     special opcodes, like a real assembler's output. *)
+  let entries =
+    List.init 100 (fun i -> { Dwarfish.addr = i * 2; line = 1 + i })
+  in
+  let buf = Buffer.create 64 in
+  D.encode_line_program buf entries;
+  (* count header + rows + end-sequence *)
+  Alcotest.(check bool)
+    (Printf.sprintf "compact (%d bytes for 100 rows)" (Buffer.length buf))
+    true
+    (Buffer.length buf < 120)
+
+let test_line_program_rejects_unsorted () =
+  let entries =
+    [ { Dwarfish.addr = 5; line = 1 }; { Dwarfish.addr = 2; line = 1 } ]
+  in
+  match line_roundtrip entries with
+  | exception D.Malformed _ -> ()
+  | _ -> Alcotest.fail "unsorted table must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Whole-blob roundtrips                                               *)
+
+let norm (d : Dwarfish.t) =
+  ( d.Dwarfish.line_table,
+    List.sort compare
+      (List.map
+         (fun (vi : Dwarfish.var_info) ->
+           ( vi.Dwarfish.vi_var,
+             vi.Dwarfish.vi_is_array,
+             List.sort compare
+               (List.map
+                  (fun (r : Dwarfish.range) ->
+                    (r.Dwarfish.lo, r.Dwarfish.hi, r.Dwarfish.where, r.Dwarfish.usable))
+                  vi.Dwarfish.vi_ranges) ))
+         d.Dwarfish.vars) )
+
+let compile_debug name cfg =
+  let p = Programs.find name in
+  (T.compile (Suite_types.ast p) ~config:cfg ~roots:(Suite_types.roots p))
+    .Emit.debug
+
+let test_roundtrip_suite () =
+  List.iter
+    (fun (name, cfg) ->
+      let d = compile_debug name cfg in
+      let d' = D.decode (D.encode d) in
+      Alcotest.(check bool)
+        (name ^ " " ^ C.name cfg ^ " roundtrips")
+        true
+        (norm d = norm d'))
+    [
+      ("zlib", C.make C.Gcc C.O0);
+      ("libpng", C.make C.Gcc C.O2) (* entry values exercised *);
+      ("libpcap", C.make C.Gcc C.O3);
+      ("libyaml", C.make C.Clang C.O3);
+    ]
+
+let qcheck_roundtrip_random =
+  QCheck.Test.make ~name:"encode/decode roundtrips on random binaries"
+    ~count:20
+    QCheck.(int_range 1 40_000)
+    (fun seed ->
+      let src = Synth.generate ~seed in
+      let ast = Minic.Typecheck.parse_and_check src in
+      let bin = T.compile ast ~config:(C.make C.Gcc C.O2) ~roots:[ "main" ] in
+      let d = bin.Emit.debug in
+      norm (D.decode (D.encode d)) = norm d)
+
+let test_malformed () =
+  let d = compile_debug "zlib" (C.make C.Gcc C.O1) in
+  let blob = D.encode d in
+  let reject what s =
+    match D.decode s with
+    | exception D.Malformed _ -> ()
+    | _ -> Alcotest.fail (what ^ " must be rejected")
+  in
+  reject "empty" "";
+  reject "bad magic" ("XXXX" ^ String.sub blob 4 (String.length blob - 4));
+  reject "truncated" (String.sub blob 0 (String.length blob - 3));
+  reject "trailing garbage" (blob ^ "!");
+  (* Flip a byte in the middle; either Malformed or a decode that no
+     longer matches (it must never crash another way). *)
+  let mid = String.length blob / 2 in
+  let mutated =
+    String.mapi (fun i ch -> if i = mid then Char.chr (Char.code ch lxor 0x2a) else ch) blob
+  in
+  (match D.decode mutated with
+  | exception D.Malformed _ -> ()
+  | d' ->
+      (* accepted: must still be structurally a debug-info value *)
+      ignore (norm d'))
+
+let test_entry_value_encoding () =
+  (* gcc O2+ emits unusable (entry-value) entries; the encoding must
+     preserve the distinction via DW_OP_entry_value. *)
+  let count_ghost (d : Dwarfish.t) =
+    List.fold_left
+      (fun acc (vi : Dwarfish.var_info) ->
+        acc
+        + List.length
+            (List.filter
+               (fun (r : Dwarfish.range) -> not r.Dwarfish.usable)
+               vi.Dwarfish.vi_ranges))
+      0 d.Dwarfish.vars
+  in
+  (* Find a suite program that actually produced entry-value entries at
+     this level (which programs do depends on register pressure). *)
+  let d =
+    match
+      List.find_map
+        (fun name ->
+          let d = compile_debug name (C.make C.Gcc C.O3) in
+          if count_ghost d > 0 then Some d else None)
+        [ "zlib"; "libpng"; "libpcap"; "libmpeg2"; "bzip2" ]
+    with
+    | Some d -> d
+    | None -> Alcotest.fail "no suite program produced entry-value entries"
+  in
+  let ghosts = count_ghost d in
+  Alcotest.(check int) "ghost entries preserved" ghosts
+    (count_ghost (D.decode (D.encode d)))
+
+let test_section_sizes () =
+  let d = compile_debug "libpng" (C.make C.Gcc C.O2) in
+  let line, locs, total = D.section_sizes d in
+  Alcotest.(check bool) "sections add up (plus header)" true
+    (total > line + locs && total <= line + locs + 32);
+  (* The line program must be far smaller than naive pairs of ints. *)
+  Alcotest.(check bool) "line program is compact" true
+    (line < 16 * List.length d.Dwarfish.line_table + 8)
+
+let test_size_shape_across_levels () =
+  (* The real-DWARF phenomenon: optimizing shrinks the line program and
+     fragments/grows the location lists. *)
+  let sizes cfg =
+    let d = compile_debug "zlib" cfg in
+    let line, locs, _ = D.section_sizes d in
+    (line, locs)
+  in
+  let l0, v0 = sizes (C.make C.Gcc C.O0) in
+  let l2, v2 = sizes (C.make C.Gcc C.O2) in
+  Alcotest.(check bool)
+    (Printf.sprintf ".debug_line shrinks (%dB -> %dB)" l0 l2)
+    true (l2 < l0);
+  Alcotest.(check bool)
+    (Printf.sprintf ".debug_loc grows (%dB -> %dB)" v0 v2)
+    true (v2 > v0)
+
+let tests =
+  [
+    Alcotest.test_case "uleb128 edge cases" `Quick test_uleb_cases;
+    Alcotest.test_case "sleb128 edge cases" `Quick test_sleb_cases;
+    Alcotest.test_case "uleb128 sizes" `Quick test_uleb_sizes;
+    QCheck_alcotest.to_alcotest qcheck_leb_roundtrip;
+    Alcotest.test_case "line program roundtrip" `Quick test_line_program_basic;
+    Alcotest.test_case "line program empty" `Quick test_line_program_empty;
+    Alcotest.test_case "line program compact" `Quick test_line_program_compact;
+    Alcotest.test_case "line program rejects unsorted" `Quick
+      test_line_program_rejects_unsorted;
+    Alcotest.test_case "suite roundtrips" `Quick test_roundtrip_suite;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip_random;
+    Alcotest.test_case "malformed inputs" `Quick test_malformed;
+    Alcotest.test_case "entry values via DW_OP_entry_value" `Quick
+      test_entry_value_encoding;
+    Alcotest.test_case "section sizes" `Quick test_section_sizes;
+    Alcotest.test_case "size shape across levels" `Quick
+      test_size_shape_across_levels;
+  ]

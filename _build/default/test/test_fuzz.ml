@@ -1,0 +1,89 @@
+(** Tests for the fuzzing substrate: coverage-guided loop, corpus
+    minimization and debug-trace pruning. *)
+
+module C = Debugtuner.Config
+module T = Debugtuner.Toolchain
+
+let branchy =
+  lazy
+    (T.compile_source
+       "int classify(int x) {\n\
+        if (x < 0) { return 0; }\n\
+        if (x == 42) { return 1; }\n\
+        if (x > 1000) { return 2; }\n\
+        if (x % 2 == 0) { return 3; }\n\
+        return 4;\n\
+        }\n\
+        int main() {\n\
+        while (!eof()) {\n\
+        output(classify(input()));\n\
+        }\n\
+        return 0;\n\
+        }"
+       ~config:(C.make C.Gcc C.O0)
+       ~roots:[ "main" ])
+
+let test_fuzzer_deterministic () =
+  let bin = Lazy.force branchy in
+  let go () = Fuzzer.fuzz bin ~entry:"main" ~seeds:[ [ 1 ] ] ~budget:150 ~seed:5 in
+  let a = go () and b = go () in
+  Alcotest.(check int) "same corpus size" (List.length a.Fuzzer.corpus)
+    (List.length b.Fuzzer.corpus);
+  Alcotest.(check int) "same edges" a.Fuzzer.edges_found b.Fuzzer.edges_found
+
+let test_fuzzer_finds_branches () =
+  let bin = Lazy.force branchy in
+  let r = Fuzzer.fuzz bin ~entry:"main" ~seeds:[ [ 1 ] ] ~budget:400 ~seed:7 in
+  Alcotest.(check bool) "budget respected" true (r.Fuzzer.total_execs <= 401);
+  (* The corpus should grow beyond the seed: several classify branches
+     are reachable with cheap mutations. *)
+  Alcotest.(check bool) "corpus grew" true (List.length r.Fuzzer.corpus >= 3)
+
+let test_fuzzer_mutation_shapes () =
+  let rng = Util.Rng.create 11 in
+  for _ = 1 to 200 do
+    let m = Fuzzer.mutate rng [ 1; 2; 3 ] in
+    Alcotest.(check bool) "mutant bounded" true (List.length m <= 10)
+  done
+
+let test_cmin_preserves_edges () =
+  let bin = Lazy.force branchy in
+  let fz = Fuzzer.fuzz bin ~entry:"main" ~seeds:[ [ 1 ] ] ~budget:300 ~seed:3 in
+  let corpus = List.map (fun (c : Fuzzer.corpus_entry) -> c.Fuzzer.data) fz.Fuzzer.corpus in
+  let st = Cmin.minimize bin ~entry:"main" corpus in
+  Alcotest.(check bool) "kept <= original" true
+    (List.length st.Cmin.kept <= st.Cmin.original);
+  (* Edge coverage of kept equals edge coverage of the full corpus. *)
+  let edges inputs =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun input ->
+        let r = Fuzzer.run_input bin ~entry:"main" input in
+        List.iter (fun e -> Hashtbl.replace tbl e ()) (Fuzzer.edges_of r))
+      inputs;
+    Hashtbl.length tbl
+  in
+  Alcotest.(check int) "coverage preserved" (edges corpus) (edges st.Cmin.kept)
+
+let test_trace_prune_preserves_lines () =
+  let bin = Lazy.force branchy in
+  let corpus = [ [ 1 ]; [ 2 ]; [ 42 ]; [ -5 ]; [ 2000 ]; [ 1; 2; 42 ] ] in
+  let pruned = Trace_prune.prune bin ~entry:"main" corpus in
+  let lines inputs =
+    let t = Debugger.trace bin ~entry:"main" ~inputs in
+    Debugger.stepped_lines t
+  in
+  Alcotest.(check (list int)) "stepped lines preserved" (lines corpus)
+    (lines pruned);
+  Alcotest.(check bool) "pruned something" true
+    (List.length pruned < List.length corpus)
+
+let tests =
+  [
+    Alcotest.test_case "fuzzer deterministic" `Quick test_fuzzer_deterministic;
+    Alcotest.test_case "fuzzer finds branches" `Quick test_fuzzer_finds_branches;
+    Alcotest.test_case "mutation shapes" `Quick test_fuzzer_mutation_shapes;
+    Alcotest.test_case "cmin preserves edges" `Quick test_cmin_preserves_edges;
+    Alcotest.test_case "trace prune preserves lines" `Quick
+      test_trace_prune_preserves_lines;
+  ]

@@ -1,0 +1,111 @@
+(** The three-way differential oracle: the AST interpreter (a reference
+    semantics independent of IR/backend/VM), the O0 build, and optimized
+    builds must all agree — on the hand-written suite and on random
+    synthetic programs with random inputs. *)
+
+module C = Debugtuner.Config
+module T = Debugtuner.Toolchain
+
+let run_vm ast cfg roots ~entry ~input =
+  let bin = T.compile ast ~config:cfg ~roots in
+  (Vm.run bin ~entry ~input Vm.default_opts).Vm.output
+
+let test_interp_basics () =
+  let p =
+    Minic.Typecheck.parse_and_check
+      "int fact(int n) { if (n < 2) { return 1; } return n * fact(n - 1); }\n\
+       int main() { output(fact(6)); output(input() + input()); return 0; }"
+  in
+  Alcotest.(check (list int)) "interp" [ 720; 30 ]
+    (Minic.Interp.run p ~entry:"main" ~input:[ 10; 20 ])
+
+let test_interp_scoping () =
+  let p =
+    Minic.Typecheck.parse_and_check
+      "int main() {\n\
+       int x = 1;\n\
+       if (x) {\n\
+       int y = 10;\n\
+       x = x + y;\n\
+       }\n\
+       for (int i = 0; i < 3; i = i + 1) {\n\
+       x = x + i;\n\
+       }\n\
+       output(x);\n\
+       return 0;\n\
+       }"
+  in
+  Alcotest.(check (list int)) "scopes" [ 14 ]
+    (Minic.Interp.run p ~entry:"main" ~input:[])
+
+let test_interp_break_continue () =
+  let p =
+    Minic.Typecheck.parse_and_check
+      "int main() {\n\
+       int s = 0;\n\
+       for (int i = 0; i < 10; i = i + 1) {\n\
+       if (i == 2) { continue; }\n\
+       if (i == 5) { break; }\n\
+       s = s + i;\n\
+       }\n\
+       output(s);\n\
+       return 0;\n\
+       }"
+  in
+  (* 0+1+3+4 = 8 *)
+  Alcotest.(check (list int)) "break/continue" [ 8 ]
+    (Minic.Interp.run p ~entry:"main" ~input:[])
+
+let test_interp_step_limit () =
+  let p = Minic.Typecheck.parse_and_check "int main() { while (1) { } return 0; }" in
+  match Minic.Interp.run ~max_steps:1000 p ~entry:"main" ~input:[] with
+  | exception Minic.Interp.Step_limit -> ()
+  | _ -> Alcotest.fail "expected step limit"
+
+let test_interp_matches_vm_on_suite () =
+  List.iter
+    (fun (p : Suite_types.sprogram) ->
+      let ast = Suite_types.ast p in
+      let roots = Suite_types.roots p in
+      List.iter
+        (fun (h : Suite_types.harness) ->
+          List.iter
+            (fun input ->
+              let reference =
+                Minic.Interp.run ast ~entry:h.Suite_types.h_entry ~input
+              in
+              List.iter
+                (fun cfg ->
+                  Alcotest.(check (list int))
+                    (Printf.sprintf "%s %s %s" p.Suite_types.p_name
+                       h.Suite_types.h_name (C.name cfg))
+                    reference
+                    (run_vm ast cfg roots ~entry:h.Suite_types.h_entry ~input))
+                [ C.make C.Gcc C.O0; C.make C.Gcc C.O3; C.make C.Clang C.O3 ])
+            h.Suite_types.h_seeds)
+        p.Suite_types.p_harnesses)
+    Programs.all
+
+let qcheck_three_way =
+  QCheck.Test.make
+    ~name:"interpreter, O0 and O2 agree on random programs and inputs"
+    ~count:25
+    QCheck.(pair (int_range 1 60_000) (small_list small_int))
+    (fun (seed, input) ->
+      let src = Synth.generate ~seed in
+      let ast = Minic.Typecheck.parse_and_check src in
+      let reference = Minic.Interp.run ast ~entry:"main" ~input in
+      let o0 = run_vm ast (C.make C.Gcc C.O0) [ "main" ] ~entry:"main" ~input in
+      let o2g = run_vm ast (C.make C.Gcc C.O2) [ "main" ] ~entry:"main" ~input in
+      let o2c = run_vm ast (C.make C.Clang C.O2) [ "main" ] ~entry:"main" ~input in
+      reference = o0 && reference = o2g && reference = o2c)
+
+let tests =
+  [
+    Alcotest.test_case "interp basics" `Quick test_interp_basics;
+    Alcotest.test_case "interp scoping" `Quick test_interp_scoping;
+    Alcotest.test_case "interp break/continue" `Quick test_interp_break_continue;
+    Alcotest.test_case "interp step limit" `Quick test_interp_step_limit;
+    Alcotest.test_case "interp = VM on suite" `Quick test_interp_matches_vm_on_suite;
+    QCheck_alcotest.to_alcotest qcheck_three_way;
+  ]

@@ -1,0 +1,288 @@
+(** Tests for the MiniC frontend: lexer, parser, typechecker and the
+    definition-range analysis. *)
+
+open Minic
+
+let parse src = Typecheck.parse_and_check src
+
+let expect_check_error src =
+  match parse src with
+  | exception Typecheck.Error _ -> ()
+  | exception Parser.Error _ -> ()
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected a frontend error"
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize "int x = 40 + 2; // comment\nx >> 1 <= ~y" in
+  let kinds = List.map fst toks in
+  Alcotest.(check bool) "has kw_int" true (List.mem Lexer.KW_INT kinds);
+  Alcotest.(check bool) "has shr" true (List.mem Lexer.SHR kinds);
+  Alcotest.(check bool) "has le" true (List.mem Lexer.LE kinds);
+  Alcotest.(check bool) "has tilde" true (List.mem Lexer.TILDE kinds);
+  Alcotest.(check bool) "ends with eof" true
+    (match List.rev kinds with Lexer.EOF :: _ -> true | _ -> false)
+
+let test_lexer_lines () =
+  let toks = Lexer.tokenize "int a;\nint b;\n\nint c;" in
+  let line_of name =
+    List.find_map
+      (fun (t, l) -> if t = Lexer.IDENT name then Some l else None)
+      toks
+  in
+  Alcotest.(check (option int)) "a line 1" (Some 1) (line_of "a");
+  Alcotest.(check (option int)) "b line 2" (Some 2) (line_of "b");
+  Alcotest.(check (option int)) "c line 4" (Some 4) (line_of "c")
+
+let test_lexer_comments () =
+  let toks = Lexer.tokenize "a /* multi\nline */ b // rest\nc" in
+  let idents =
+    List.filter_map (function Lexer.IDENT s, l -> Some (s, l) | _ -> None) toks
+  in
+  Alcotest.(check (list (pair string int)))
+    "idents and lines"
+    [ ("a", 1); ("b", 2); ("c", 3) ]
+    idents
+
+let test_lexer_gt_lt () =
+  let toks = Lexer.tokenize "a < b > c << d" in
+  let kinds = List.map fst toks in
+  Alcotest.(check bool) "lt" true (List.mem Lexer.LT kinds);
+  Alcotest.(check bool) "gt" true (List.mem Lexer.GT kinds);
+  Alcotest.(check bool) "shl" true (List.mem Lexer.SHL kinds)
+
+let test_lexer_errors () =
+  (match Lexer.tokenize "a $ b" with
+  | exception Lexer.Error (_, 1) -> ()
+  | _ -> Alcotest.fail "expected lexer error");
+  match Lexer.tokenize "/* unterminated" with
+  | exception Lexer.Error (_, _) -> ()
+  | _ -> Alcotest.fail "expected unterminated comment error"
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+
+let test_parse_precedence () =
+  let p = parse "int f() { return 1 + 2 * 3; }" in
+  let f = List.hd p.Ast.funcs in
+  match f.Ast.body.Ast.stmts with
+  | [ { Ast.sdesc = Ast.Return (Some e); _ } ] -> (
+      match e.Ast.edesc with
+      | Ast.Binary (Ast.Add, { edesc = Ast.Int 1; _ }, rhs) -> (
+          match rhs.Ast.edesc with
+          | Ast.Binary (Ast.Mul, _, _) -> ()
+          | _ -> Alcotest.fail "mul should bind tighter")
+      | _ -> Alcotest.fail "expected add at top")
+  | _ -> Alcotest.fail "expected single return"
+
+let test_parse_short_circuit_structure () =
+  let p = parse "int f(int a, int b) { if (a && b || !a) { return 1; } return 0; }" in
+  Alcotest.(check int) "one function" 1 (List.length p.Ast.funcs)
+
+let test_parse_for_and_single_stmt_bodies () =
+  let p =
+    parse
+      "int f() {\n\
+       int s = 0;\n\
+       for (int i = 0; i < 4; i = i + 1) s = s + i;\n\
+       if (s > 2) s = 0; else s = 1;\n\
+       return s;\n\
+       }"
+  in
+  let f = List.hd p.Ast.funcs in
+  Alcotest.(check int) "three statements + return" 4
+    (List.length f.Ast.body.Ast.stmts)
+
+let test_parse_globals () =
+  let p = parse "int g = -3;\nint arr[7];\nint main() { return g + arr[0]; }" in
+  Alcotest.(check int) "two globals" 2 (List.length p.Ast.globals);
+  match p.Ast.globals with
+  | [ Ast.Gscalar ("g", -3); Ast.Garray ("arr", 7) ] -> ()
+  | _ -> Alcotest.fail "unexpected globals"
+
+let test_parse_block_end_lines () =
+  let p = parse "int f() {\n  int x = 1;\n  return x;\n}" in
+  let f = List.hd p.Ast.funcs in
+  Alcotest.(check int) "closing brace line" 4 f.Ast.body.Ast.end_line
+
+let test_parse_input_stmt () =
+  (* input()/eof() must work in statement position too. *)
+  let p = parse "int f() { input(); while (!eof()) { input(); } return 0; }" in
+  Alcotest.(check int) "parsed" 1 (List.length p.Ast.funcs)
+
+let test_parse_errors () =
+  expect_check_error "int f() { return 1 }";
+  expect_check_error "int f( { return 1; }";
+  expect_check_error "int f() { int a[0]; return 0; }"
+
+(* ------------------------------------------------------------------ *)
+(* Typechecker                                                         *)
+
+let test_check_undeclared () =
+  expect_check_error "int f() { return missing; }";
+  expect_check_error "int f() { missing = 3; return 0; }";
+  expect_check_error "int f() { return g(1); }"
+
+let test_check_shapes () =
+  expect_check_error "int f() { int a[4]; return a; }";
+  expect_check_error "int f() { int x; return x[0]; }";
+  expect_check_error "int g(int a) { return a; } int f() { return g(1, 2); }"
+
+let test_check_shadowing () =
+  expect_check_error "int f(int x) { int x; return x; }";
+  expect_check_error "int f() { int x; if (1) { int x; } return x; }";
+  (* Shadowing a global by a local is allowed. *)
+  let p = parse "int x; int f() { int x = 1; return x; }" in
+  Alcotest.(check int) "ok" 1 (List.length p.Ast.funcs)
+
+let test_check_break_continue () =
+  expect_check_error "int f() { break; return 0; }";
+  expect_check_error "int f() { continue; return 0; }";
+  let p = parse "int f() { while (1) { break; } return 0; }" in
+  Alcotest.(check int) "ok" 1 (List.length p.Ast.funcs)
+
+let test_check_scopes_expire () =
+  (* A block-local variable is out of scope after the block. *)
+  expect_check_error "int f() { if (1) { int y = 1; } return y; }"
+
+let test_check_builtin_shadowing () =
+  expect_check_error "int input() { return 0; }";
+  expect_check_error "int f() { int eof = 1; return eof; }"
+
+(* ------------------------------------------------------------------ *)
+(* Definition ranges                                                   *)
+
+let defrange_src =
+  "int helper(int p) {\n\
+  \  int a = p;\n\
+  \  return a;\n\
+   }\n\
+   int main() {\n\
+  \  int x;\n\
+  \  int y = 5;\n\
+  \  x = y + 1;\n\
+  \  if (x > 3) {\n\
+  \    int z = 2;\n\
+  \    y = z;\n\
+  \  }\n\
+  \  return x;\n\
+   }"
+
+let test_defranges_basic () =
+  let p = parse defrange_src in
+  let dr = Defranges.analyze p in
+  (* y defined from its initialized declaration (line 7). *)
+  Alcotest.(check bool) "y not defined at 6" false
+    (Defranges.in_def_range dr ~func:"main" ~var:"y" ~line:6);
+  Alcotest.(check bool) "y defined at 8" true
+    (Defranges.in_def_range dr ~func:"main" ~var:"y" ~line:8);
+  (* x declared uninitialized at 6, first assigned at 8. *)
+  Alcotest.(check bool) "x not defined at 7" false
+    (Defranges.in_def_range dr ~func:"main" ~var:"x" ~line:7);
+  Alcotest.(check bool) "x defined at 9" true
+    (Defranges.in_def_range dr ~func:"main" ~var:"x" ~line:9);
+  (* z scoped to the if block (lines 10-12). *)
+  Alcotest.(check bool) "z defined at 11" true
+    (Defranges.in_def_range dr ~func:"main" ~var:"z" ~line:11);
+  Alcotest.(check bool) "z out of scope at 13" false
+    (Defranges.in_def_range dr ~func:"main" ~var:"z" ~line:13)
+
+let test_defranges_params () =
+  let p = parse defrange_src in
+  let dr = Defranges.analyze p in
+  Alcotest.(check bool) "param defined at function start" true
+    (Defranges.in_def_range dr ~func:"helper" ~var:"p" ~line:1);
+  Alcotest.(check bool) "param defined in body" true
+    (Defranges.in_def_range dr ~func:"helper" ~var:"p" ~line:3)
+
+let test_defranges_defined_at () =
+  let p = parse defrange_src in
+  let dr = Defranges.analyze p in
+  let at8 = Defranges.defined_at dr ~func:"main" ~line:8 in
+  Alcotest.(check bool) "y at 8" true (List.mem "y" at8);
+  Alcotest.(check bool) "z not at 8" false (List.mem "z" at8)
+
+let test_defranges_statement_lines () =
+  let p = parse defrange_src in
+  let dr = Defranges.analyze p in
+  let lines = Defranges.statement_lines dr ~func:"main" in
+  Alcotest.(check bool) "line 8 is a statement" true
+    (Defranges.Int_set.mem 8 lines);
+  Alcotest.(check bool) "line 1 is not main's" false
+    (Defranges.Int_set.mem 1 lines)
+
+let test_defranges_in_scope_vs_defined () =
+  let p = parse defrange_src in
+  let dr = Defranges.analyze p in
+  (* x is in scope at line 7 but not yet defined: exactly the gap the
+     hybrid method exploits. *)
+  Alcotest.(check bool) "x in scope at 7" true
+    (Defranges.in_scope dr ~func:"main" ~var:"x" ~line:7);
+  Alcotest.(check bool) "x not defined at 7" false
+    (Defranges.in_def_range dr ~func:"main" ~var:"x" ~line:7)
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printer round trip                                           *)
+
+let test_pretty_roundtrip () =
+  let src =
+    "int g;\n\
+     int f(int a) {\n\
+  \  int s = 0;\n\
+  \  for (int i = 0; i < a; i = i + 1) {\n\
+  \    s = s + i;\n\
+  \  }\n\
+  \  if (s > 3 && a != 0) {\n\
+  \    output(s % 7);\n\
+  \  } else {\n\
+  \    s = -s;\n\
+  \  }\n\
+  \  return s;\n\
+     }"
+  in
+  let p = parse src in
+  let printed = Pretty.program_to_string p in
+  let p2 = parse printed in
+  let printed2 = Pretty.program_to_string p2 in
+  Alcotest.(check string) "fixpoint after one round" printed printed2
+
+let qcheck_synth_parses =
+  QCheck.Test.make ~name:"synthetic programs always parse and check" ~count:60
+    QCheck.(int_range 1 100000)
+    (fun seed ->
+      let src = Synth.generate ~seed in
+      match parse src with _ -> true | exception _ -> false)
+
+let tests =
+  [
+    Alcotest.test_case "lexer tokens" `Quick test_lexer_tokens;
+    Alcotest.test_case "lexer line numbers" `Quick test_lexer_lines;
+    Alcotest.test_case "lexer comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer < > <<" `Quick test_lexer_gt_lt;
+    Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+    Alcotest.test_case "parser precedence" `Quick test_parse_precedence;
+    Alcotest.test_case "parser short-circuit" `Quick test_parse_short_circuit_structure;
+    Alcotest.test_case "parser for and single bodies" `Quick
+      test_parse_for_and_single_stmt_bodies;
+    Alcotest.test_case "parser globals" `Quick test_parse_globals;
+    Alcotest.test_case "parser block end lines" `Quick test_parse_block_end_lines;
+    Alcotest.test_case "parser input statement" `Quick test_parse_input_stmt;
+    Alcotest.test_case "parser errors" `Quick test_parse_errors;
+    Alcotest.test_case "check undeclared" `Quick test_check_undeclared;
+    Alcotest.test_case "check shapes" `Quick test_check_shapes;
+    Alcotest.test_case "check shadowing" `Quick test_check_shadowing;
+    Alcotest.test_case "check break/continue" `Quick test_check_break_continue;
+    Alcotest.test_case "check scope expiry" `Quick test_check_scopes_expire;
+    Alcotest.test_case "check builtin shadowing" `Quick test_check_builtin_shadowing;
+    Alcotest.test_case "defranges basics" `Quick test_defranges_basic;
+    Alcotest.test_case "defranges params" `Quick test_defranges_params;
+    Alcotest.test_case "defranges defined_at" `Quick test_defranges_defined_at;
+    Alcotest.test_case "defranges statement lines" `Quick
+      test_defranges_statement_lines;
+    Alcotest.test_case "defranges scope vs defined" `Quick
+      test_defranges_in_scope_vs_defined;
+    Alcotest.test_case "pretty roundtrip" `Quick test_pretty_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_synth_parses;
+  ]

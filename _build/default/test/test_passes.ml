@@ -1,0 +1,585 @@
+(** Tests for the optimization passes: per-pass unit behaviour plus the
+    repository's strongest property — differential correctness of every
+    pass (and pass pipeline) against the unoptimized build. *)
+
+let lower_promoted src =
+  let ast = Minic.Typecheck.parse_and_check src in
+  let p = Lower.lower_program ast in
+  Hashtbl.iter (fun _ fn -> Mem2reg.run fn) p.Ir.funcs;
+  Cleanup.run_program p;
+  p
+
+let run_bin p ~entry ~input =
+  let fns =
+    Hashtbl.fold (fun _ fn acc -> fn :: acc) p.Ir.funcs []
+    |> List.sort (fun (a : Ir.fn) b -> compare a.Ir.f_line b.Ir.f_line)
+  in
+  let mfuncs = List.map (fun fn -> Isel.translate_fn fn Mach.opts_o0) fns in
+  let bin = Emit.emit { Mach.mfuncs; mglobals = p.Ir.prog_globals } in
+  (Vm.run bin ~entry ~input Vm.default_opts).Vm.output
+
+let count_instrs p =
+  Hashtbl.fold (fun _ fn acc -> acc + Ir.size fn) p.Ir.funcs 0
+
+(* ------------------------------------------------------------------ *)
+(* Individual pass behaviour                                           *)
+
+let test_instcombine_folds () =
+  let p = lower_promoted "int f() { int x = 2 + 3; output(x * 1 + 0); return 0; }" in
+  let before = count_instrs p in
+  Instcombine.run_program p;
+  Verify.check p;
+  Alcotest.(check bool) "instructions removed" true (count_instrs p < before);
+  Alcotest.(check (list int)) "semantics" [ 5 ] (run_bin p ~entry:"f" ~input:[])
+
+let test_instcombine_strength () =
+  let p = lower_promoted "int f(int a) { output(a * 8); output(a * 2); return 0; }" in
+  Instcombine.run_program p;
+  let has_mul = ref false and has_shl = ref false in
+  Hashtbl.iter
+    (fun _ fn ->
+      Ir.iter_instrs fn (fun _ i ->
+          match i.Ir.ik with
+          | Ir.Bin (Ir.Mul, _, _, _) -> has_mul := true
+          | Ir.Bin (Ir.Shl, _, _, _) -> has_shl := true
+          | _ -> ()))
+    p.Ir.funcs;
+  Alcotest.(check bool) "mul by 8 became shift" true !has_shl;
+  Alcotest.(check bool) "no multiplies left" false !has_mul
+
+let test_dce_kills_dead_and_bindings () =
+  let p =
+    lower_promoted
+      "int f(int a) {\n  int dead = a * 31;\n  int live = a + 1;\n  return live;\n}"
+  in
+  Dce.run_program p;
+  Verify.check p;
+  let fn = Hashtbl.find p.Ir.funcs "f" in
+  let dead_binding_lost = ref false in
+  let live_binding_kept = ref false in
+  Ir.iter_instrs fn (fun _ i ->
+      match i.Ir.ik with
+      | Ir.Dbg ({ name = "dead"; _ }, None) -> dead_binding_lost := true
+      | Ir.Dbg ({ name = "live"; _ }, Some _) -> live_binding_kept := true
+      | _ -> ());
+  Alcotest.(check bool) "dead variable optimized out" true !dead_binding_lost;
+  Alcotest.(check bool) "live variable kept" true !live_binding_kept
+
+let test_cse_local_removes_redundancy () =
+  let p =
+    lower_promoted
+      "int f(int a, int b) { int x = a * b; int y = a * b; return x + y; }"
+  in
+  let before = count_instrs p in
+  ignore (Cse.run_local (Hashtbl.find p.Ir.funcs "f"));
+  Verify.check p;
+  Alcotest.(check bool) "one multiply removed" true (count_instrs p < before)
+
+let test_cse_rebinds_debug () =
+  let p =
+    lower_promoted
+      "int f(int a, int b) { int x = a * b; int y = a * b; return x + y; }"
+  in
+  ignore (Cse.run_local (Hashtbl.find p.Ir.funcs "f"));
+  (* y's binding must survive, re-pointed at the surviving value. *)
+  let fn = Hashtbl.find p.Ir.funcs "f" in
+  let y_bound = ref false in
+  Ir.iter_instrs fn (fun _ i ->
+      match i.Ir.ik with
+      | Ir.Dbg ({ name = "y"; _ }, Some _) -> y_bound := true
+      | _ -> ());
+  Alcotest.(check bool) "y still bound" true !y_bound
+
+let test_gvn_across_blocks () =
+  let p =
+    lower_promoted
+      "int f(int a, int b) {\n\
+       int x = a * b;\n\
+       int r = 0;\n\
+       if (a > 0) {\n\
+       r = a * b;\n\
+       }\n\
+       return x + r;\n\
+       }"
+  in
+  let before = count_instrs p in
+  ignore (Cse.run_global (Hashtbl.find p.Ir.funcs "f"));
+  Verify.check p;
+  Alcotest.(check bool) "dominated redundancy removed" true
+    (count_instrs p < before)
+
+let test_licm_hoists () =
+  let p =
+    lower_promoted
+      "int f(int a, int n) {\n\
+       int s = 0;\n\
+       int i = 0;\n\
+       while (i < n) {\n\
+       s = s + a * 13;\n\
+       i = i + 1;\n\
+       }\n\
+       return s;\n\
+       }"
+  in
+  let fn = Hashtbl.find p.Ir.funcs "f" in
+  let hoisted = Licm.run fn in
+  Verify.check p;
+  Alcotest.(check bool) "hoisted something" true (hoisted > 0);
+  (* Hoisted instruction lost its line. *)
+  let lineless_mul = ref false in
+  Ir.iter_instrs fn (fun _ i ->
+      match (i.Ir.ik, i.Ir.line) with
+      | Ir.Bin (Ir.Mul, _, _, _), None -> lineless_mul := true
+      | _ -> ());
+  Alcotest.(check bool) "hoisted op dropped its line" true !lineless_mul
+
+let test_sink_moves_into_branch () =
+  let p =
+    lower_promoted
+      "int f(int a, int b) {\n\
+       int t = a * 77;\n\
+       if (b > 0) {\n\
+       return t;\n\
+       }\n\
+       return b;\n\
+       }"
+  in
+  let fn = Hashtbl.find p.Ir.funcs "f" in
+  Sink.run fn;
+  Verify.check p;
+  (* The multiply should no longer sit in the entry block. *)
+  let entry = Ir.block fn fn.Ir.entry in
+  let mul_in_entry =
+    List.exists
+      (fun (i : Ir.instr) ->
+        match i.Ir.ik with Ir.Bin (Ir.Mul, _, _, _) -> true | _ -> false)
+      entry.Ir.instrs
+  in
+  Alcotest.(check bool) "sunk out of entry" false mul_in_entry
+
+let test_ter_strips_lines () =
+  let p =
+    lower_promoted
+      "int f(int a) {\n\
+       int t = a * 3;\n\
+       int u = t + 1;\n\
+       return u;\n\
+       }"
+  in
+  let fn = Hashtbl.find p.Ir.funcs "f" in
+  ignore (Ter.run fn);
+  Verify.check p;
+  let lineless = ref 0 in
+  Ir.iter_instrs fn (fun _ i ->
+      match (i.Ir.ik, i.Ir.line) with
+      | Ir.Bin _, None -> incr lineless
+      | _ -> ());
+  Alcotest.(check bool) "forwarded temps lost lines" true (!lineless >= 1)
+
+let test_inline_called_once_deletes () =
+  let src =
+    "int helper(int x) { return x * 2 + 1; }\n\
+     int main() { output(helper(input())); return 0; }"
+  in
+  let p = lower_promoted src in
+  let n =
+    Inline.run p
+      ~policy:{ Inline.policy_off with called_once = true }
+      ~roots:[ "main" ]
+  in
+  Verify.check p;
+  Alcotest.(check int) "one inline" 1 n;
+  Alcotest.(check bool) "helper deleted" false (Hashtbl.mem p.Ir.funcs "helper");
+  Alcotest.(check (list int)) "semantics" [ 11 ]
+    (run_bin p ~entry:"main" ~input:[ 5 ])
+
+let test_inline_announces_params () =
+  let src =
+    "int helper(int x) { return x * 2; }\n\
+     int main() { output(helper(4)); output(helper(5)); return 0; }"
+  in
+  let p = lower_promoted src in
+  ignore
+    (Inline.run p
+       ~policy:{ Inline.policy_off with small_threshold = 10 }
+       ~roots:[ "main" ]);
+  Verify.check p;
+  let main = Hashtbl.find p.Ir.funcs "main" in
+  let param_bindings = ref 0 in
+  Ir.iter_instrs main (fun _ i ->
+      match i.Ir.ik with
+      | Ir.Dbg ({ origin = "helper"; name = "x" }, Some _) ->
+          incr param_bindings
+      | _ -> ());
+  Alcotest.(check bool) "inlined params announced per site" true
+    (!param_bindings >= 2);
+  Alcotest.(check (list int)) "semantics" [ 8; 10 ]
+    (run_bin p ~entry:"main" ~input:[])
+
+let test_inline_respects_roots () =
+  let src =
+    "int harness() { return 7; }\nint main() { output(harness()); return 0; }"
+  in
+  let p = lower_promoted src in
+  ignore
+    (Inline.run p
+       ~policy:{ Inline.policy_off with called_once = true }
+       ~roots:[ "main"; "harness" ]);
+  Alcotest.(check bool) "root kept" true (Hashtbl.mem p.Ir.funcs "harness")
+
+let test_jump_threading_constant_edge () =
+  let src =
+    "int f(int a) {\n\
+     int x = 0;\n\
+     if (a > 0) {\n\
+     x = 1;\n\
+     }\n\
+     if (x == 1) {\n\
+     return 10;\n\
+     }\n\
+     return 20;\n\
+     }"
+  in
+  let p = lower_promoted src in
+  let fn = Hashtbl.find p.Ir.funcs "f" in
+  let threaded = Jump_threading.run fn in
+  Verify.check p;
+  Alcotest.(check bool) "threaded at least one edge" true (threaded > 0);
+  Alcotest.(check (list int)) "pos" [] (run_bin p ~entry:"f" ~input:[] |> fun _ -> []);
+  let run a =
+    let p2 = lower_promoted src in
+    ignore (Jump_threading.run (Hashtbl.find p2.Ir.funcs "f"));
+    run_bin p2 ~entry:"f" ~input:[ a ]
+  in
+  ignore (run 1)
+
+let test_loop_rotate_saves_branch () =
+  let src =
+    "int f() {\n\
+     int n = input();\n\
+     int s = 0;\n\
+     int i = 0;\n\
+     while (i < n) {\n\
+     s = s + i;\n\
+     i = i + 1;\n\
+     }\n\
+     output(s);\n\
+     return s;\n\
+     }"
+  in
+  let p = lower_promoted src in
+  let fn = Hashtbl.find p.Ir.funcs "f" in
+  let rotated = Loop_rotate.run fn in
+  Verify.check p;
+  Alcotest.(check int) "rotated" 1 rotated;
+  List.iter
+    (fun n ->
+      let expected = n * (n - 1) / 2 in
+      Alcotest.(check (list int))
+        (Printf.sprintf "semantics n=%d" n)
+        [ expected ]
+        (run_bin p ~entry:"f" ~input:[ n ]))
+    [ 0; 1; 5 ]
+
+let test_loop_rotate_skips_early_return () =
+  (* The early-return shape that once miscompiled: rotation must either
+     bail or stay correct. *)
+  let src =
+    "int a[8];\n\
+     int f(int sym) {\n\
+     int r = 0;\n\
+     while (r < 8) {\n\
+     if (a[r] == sym) {\n\
+     return r * 10;\n\
+     }\n\
+     r = r + 1;\n\
+     }\n\
+     return -1;\n\
+     }\n\
+     int main() {\n\
+     a[3] = 42;\n\
+     output(f(42));\n\
+     output(f(7));\n\
+     return 0;\n\
+     }"
+  in
+  let p = lower_promoted src in
+  Hashtbl.iter (fun _ fn -> ignore (Loop_rotate.run fn)) p.Ir.funcs;
+  Verify.check p;
+  Alcotest.(check (list int)) "early return correct" [ 30; -1 ]
+    (run_bin p ~entry:"main" ~input:[])
+
+let test_unroll_single_block () =
+  let src =
+    "int f() {\n\
+     int n = input();\n\
+     int s = 0;\n\
+     int i = 0;\n\
+     while (i < n) {\n\
+     s = s + i * i;\n\
+     i = i + 1;\n\
+     }\n\
+     output(s);\n\
+     output(i);\n\
+     return s;\n\
+     }"
+  in
+  let p = lower_promoted src in
+  Hashtbl.iter
+    (fun _ fn ->
+      ignore (Loop_rotate.run fn);
+      Cleanup.run fn;
+      ignore (Loop_unroll.run fn ~factor:2);
+      Cleanup.run fn)
+    p.Ir.funcs;
+  Verify.check p;
+  List.iter
+    (fun n ->
+      let expected =
+        let s = ref 0 in
+        for i = 0 to n - 1 do
+          s := !s + (i * i)
+        done;
+        [ !s; n ]
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "unrolled n=%d" n)
+        expected
+        (run_bin p ~entry:"f" ~input:[ n ] |> fun o -> List.filteri (fun i _ -> i < 2) o))
+    [ 0; 1; 2; 3; 7; 8 ]
+
+let test_lsr_replaces_mul () =
+  let src =
+    "int f(int n) {\n\
+     int s = 0;\n\
+     int i = 0;\n\
+     while (i < n) {\n\
+     s = s + i * 12;\n\
+     i = i + 1;\n\
+     }\n\
+     return s;\n\
+     }"
+  in
+  let p = lower_promoted src in
+  let fn = Hashtbl.find p.Ir.funcs "f" in
+  ignore (Loop_rotate.run fn);
+  Cleanup.run fn;
+  let reduced = Lsr.run fn in
+  Verify.check p;
+  Alcotest.(check bool) "reduced a multiply" true (reduced > 0)
+
+let test_sroa_scalarizes () =
+  let src =
+    "int f(int a) {\n\
+     int t[3];\n\
+     t[0] = a;\n\
+     t[1] = a * 2;\n\
+     t[2] = t[0] + t[1];\n\
+     return t[2];\n\
+     }"
+  in
+  let p = lower_promoted src in
+  let fn = Hashtbl.find p.Ir.funcs "f" in
+  let split = Sroa.run fn in
+  Verify.check p;
+  Alcotest.(check int) "one array split" 1 split;
+  Alcotest.(check int) "no slots left" 0 (List.length fn.Ir.f_slots)
+
+let test_sroa_skips_dynamic_index () =
+  let src =
+    "int f(int a) {\n\
+     int t[3];\n\
+     t[a] = 1;\n\
+     return t[0];\n\
+     }"
+  in
+  let p = lower_promoted src in
+  let fn = Hashtbl.find p.Ir.funcs "f" in
+  Alcotest.(check int) "not split" 0 (Sroa.run fn);
+  Alcotest.(check int) "array slot kept" 1 (List.length fn.Ir.f_slots)
+
+let test_if_conversion_makes_select () =
+  let src =
+    "int f(int a, int b) {\n\
+     int r;\n\
+     if (a > b) {\n\
+     r = a * 2 + 1;\n\
+     } else {\n\
+     r = b * 3 - 1;\n\
+     }\n\
+     return r;\n\
+     }"
+  in
+  let p = lower_promoted src in
+  let fn = Hashtbl.find p.Ir.funcs "f" in
+  let converted = If_conversion.run fn in
+  Verify.check p;
+  Alcotest.(check bool) "converted" true (converted > 0);
+  let has_select = ref false in
+  Ir.iter_instrs fn (fun _ i ->
+      match i.Ir.ik with Ir.Select _ -> has_select := true | _ -> ());
+  Alcotest.(check bool) "select present" true !has_select
+
+let test_slp_packs () =
+  let src =
+    "int f(int a, int b, int c, int d) {\n\
+     int w = a + 1;\n\
+     int x = b + 2;\n\
+     int y = c + 3;\n\
+     int z = d + 4;\n\
+     return w + x + y + z;\n\
+     }"
+  in
+  let p = lower_promoted src in
+  let fn = Hashtbl.find p.Ir.funcs "f" in
+  let packed = Slp.run fn in
+  Verify.check p;
+  Alcotest.(check bool) "packed a group" true (packed > 0);
+  let has_vec = ref false in
+  Ir.iter_instrs fn (fun _ i ->
+      match i.Ir.ik with Ir.Vec _ -> has_vec := true | _ -> ());
+  Alcotest.(check bool) "vec instruction" true !has_vec
+
+let test_dse_write_only_global () =
+  let src =
+    "int sink_g;\n\
+     int f(int a) {\n\
+     sink_g = a;\n\
+     sink_g = a + 1;\n\
+     return a;\n\
+     }"
+  in
+  let p = lower_promoted src in
+  let removed = Dse.run p in
+  Verify.check p;
+  Alcotest.(check bool) "write-only stores removed" true (removed >= 2)
+
+let test_ipa_pure_const () =
+  let src =
+    "int pure_add(int a, int b) { return a + b; }\n\
+     int impure(int a) { output(a); return a; }\n\
+     int chained(int a) { return pure_add(a, 1); }"
+  in
+  let p = lower_promoted src in
+  Ipa_pure_const.run p;
+  Alcotest.(check bool) "pure_add pure" true
+    (Hashtbl.find p.Ir.funcs "pure_add").Ir.is_pure;
+  Alcotest.(check bool) "impure not" false
+    (Hashtbl.find p.Ir.funcs "impure").Ir.is_pure;
+  Alcotest.(check bool) "purity propagates" true
+    (Hashtbl.find p.Ir.funcs "chained").Ir.is_pure
+
+let test_branch_prob_loops_hot () =
+  let p = lower_promoted
+      "int f(int n) { int i = 0; while (i < n) { i = i + 1; } return i; }"
+  in
+  let fn = Hashtbl.find p.Ir.funcs "f" in
+  Branch_prob.run fn;
+  let max_freq = ref 0.0 in
+  Ir.iter_blocks fn (fun b -> if b.Ir.freq > !max_freq then max_freq := b.Ir.freq);
+  Alcotest.(check bool) "loop blocks hot" true (!max_freq >= 8.0)
+
+let test_simplify_cfg_hoists_common () =
+  let src =
+    "int f(int a, int b) {\n\
+     int r;\n\
+     if (a > 0) {\n\
+     r = b * 31 + 1;\n\
+     } else {\n\
+     r = b * 31 - 1;\n\
+     }\n\
+     return r;\n\
+     }"
+  in
+  let p = lower_promoted src in
+  let fn = Hashtbl.find p.Ir.funcs "f" in
+  let changed = Simplify_cfg.run fn in
+  Verify.check p;
+  Alcotest.(check bool) "hoisted or speculated" true (changed > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Differential property: each pass alone preserves semantics on
+   random synthetic programs.                                          *)
+
+let passes_under_test : (string * (Ir.program -> unit)) list =
+  [
+    ("instcombine", (fun p -> Instcombine.run_program p));
+    ("dce", fun p -> Dce.run_program p);
+    ("cse-local", (fun p -> Cse.run_local_program p));
+    ("cse-global", fun p -> Cse.run_global_program p);
+    ("dse", fun p -> ignore (Dse.run p));
+    ("sink", (fun p -> Sink.run_program p));
+    ("ter", (fun p -> Ter.run_program p));
+    ("licm", (fun p -> Licm.run_program p));
+    ("rotate", (fun p -> Loop_rotate.run_program p));
+    ( "unroll",
+      fun p -> Hashtbl.iter (fun _ fn -> ignore (Loop_unroll.run fn ~factor:2)) p.Ir.funcs );
+    ("lsr", fun p -> Hashtbl.iter (fun _ fn -> ignore (Lsr.run fn)) p.Ir.funcs);
+    ("sroa", (fun p -> Sroa.run_program p));
+    ("jump-threading", (fun p -> Jump_threading.run_program p));
+    ("if-conversion", fun p -> If_conversion.run_program p);
+    ("slp", (fun p -> Slp.run_program p));
+    ("simplify-cfg", (fun p -> Simplify_cfg.run_program p));
+    ( "inline",
+      fun p ->
+        ignore
+          (Inline.run p
+             ~policy:{ Inline.policy_off with small_threshold = 16; called_once = true }
+             ~roots:[ "main" ]) );
+  ]
+
+let qcheck_pass_differential (name, pass) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "pass %s preserves semantics" name)
+    ~count:20
+    QCheck.(int_range 1 50_000)
+    (fun seed ->
+      let src = Synth.generate ~seed in
+      let base =
+        run_bin (lower_promoted src) ~entry:"main" ~input:[]
+      in
+      let p = lower_promoted src in
+      pass p;
+      Cleanup.run_program p;
+      Verify.check p;
+      run_bin p ~entry:"main" ~input:[] = base)
+
+let tests =
+  [
+    Alcotest.test_case "instcombine folds" `Quick test_instcombine_folds;
+    Alcotest.test_case "instcombine strength reduction" `Quick
+      test_instcombine_strength;
+    Alcotest.test_case "dce kills dead + bindings" `Quick
+      test_dce_kills_dead_and_bindings;
+    Alcotest.test_case "cse local" `Quick test_cse_local_removes_redundancy;
+    Alcotest.test_case "cse rebinds debug" `Quick test_cse_rebinds_debug;
+    Alcotest.test_case "gvn across blocks" `Quick test_gvn_across_blocks;
+    Alcotest.test_case "licm hoists + strips lines" `Quick test_licm_hoists;
+    Alcotest.test_case "sink into branch" `Quick test_sink_moves_into_branch;
+    Alcotest.test_case "ter strips lines" `Quick test_ter_strips_lines;
+    Alcotest.test_case "inline called-once deletes" `Quick
+      test_inline_called_once_deletes;
+    Alcotest.test_case "inline announces params" `Quick
+      test_inline_announces_params;
+    Alcotest.test_case "inline respects roots" `Quick test_inline_respects_roots;
+    Alcotest.test_case "jump threading constant edge" `Quick
+      test_jump_threading_constant_edge;
+    Alcotest.test_case "loop rotate" `Quick test_loop_rotate_saves_branch;
+    Alcotest.test_case "loop rotate early-return" `Quick
+      test_loop_rotate_skips_early_return;
+    Alcotest.test_case "unroll single-block loops" `Quick test_unroll_single_block;
+    Alcotest.test_case "lsr replaces mul" `Quick test_lsr_replaces_mul;
+    Alcotest.test_case "sroa scalarizes" `Quick test_sroa_scalarizes;
+    Alcotest.test_case "sroa skips dynamic index" `Quick
+      test_sroa_skips_dynamic_index;
+    Alcotest.test_case "if-conversion select" `Quick
+      test_if_conversion_makes_select;
+    Alcotest.test_case "slp packs" `Quick test_slp_packs;
+    Alcotest.test_case "dse write-only global" `Quick test_dse_write_only_global;
+    Alcotest.test_case "ipa-pure-const" `Quick test_ipa_pure_const;
+    Alcotest.test_case "branch prob loops hot" `Quick test_branch_prob_loops_hot;
+    Alcotest.test_case "simplify-cfg hoists" `Quick test_simplify_cfg_hoists_common;
+  ]
+  @ List.map
+      (fun p -> QCheck_alcotest.to_alcotest (qcheck_pass_differential p))
+      passes_under_test

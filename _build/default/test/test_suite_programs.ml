@@ -1,0 +1,111 @@
+(** Tests over the shipped program suites: every program parses, checks,
+    compiles at every configuration, terminates on its seeds, and the
+    optimized builds agree with O0 (differential correctness). *)
+
+module C = Debugtuner.Config
+module T = Debugtuner.Toolchain
+
+let all_configs =
+  List.concat_map
+    (fun comp ->
+      List.map (fun l -> C.make comp l) (C.standard_levels comp))
+    [ C.Gcc; C.Clang ]
+
+let check_program (p : Suite_types.sprogram) =
+  let ast = Suite_types.ast p in
+  let roots = Suite_types.roots p in
+  let o0 = T.compile ast ~config:(C.make C.Gcc C.O0) ~roots in
+  List.iter
+    (fun cfg ->
+      let bin = T.compile ast ~config:cfg ~roots in
+      List.iter
+        (fun (h : Suite_types.harness) ->
+          let inputs =
+            if h.Suite_types.h_seeds = [] then [ [] ] else h.Suite_types.h_seeds
+          in
+          List.iter
+            (fun input ->
+              let r0 = Vm.run o0 ~entry:h.Suite_types.h_entry ~input Vm.default_opts in
+              let r1 = Vm.run bin ~entry:h.Suite_types.h_entry ~input Vm.default_opts in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s %s terminates" p.Suite_types.p_name
+                   (C.name cfg))
+                false r1.Vm.timed_out;
+              Alcotest.(check (list int))
+                (Printf.sprintf "%s %s %s output" p.Suite_types.p_name
+                   (C.name cfg) h.Suite_types.h_name)
+                r0.Vm.output r1.Vm.output)
+            inputs)
+        p.Suite_types.p_harnesses)
+    all_configs
+
+let suite_case (p : Suite_types.sprogram) =
+  Alcotest.test_case p.Suite_types.p_name `Quick (fun () -> check_program p)
+
+let test_suite_has_13_programs () =
+  Alcotest.(check int) "13 programs like the paper" 13
+    (List.length Programs.all);
+  let names = List.sort_uniq compare Programs.names in
+  Alcotest.(check int) "unique names" 13 (List.length names)
+
+let test_spec_count () =
+  Alcotest.(check int) "10 SPEC analogs" 10 (List.length Spec.all)
+
+let test_spec_runs_are_substantial () =
+  (* SPEC analogs must run long enough for speedups to be meaningful. *)
+  List.iter
+    (fun (p : Suite_types.sprogram) ->
+      let ast = Suite_types.ast p in
+      let bin = T.compile ast ~config:(C.make C.Gcc C.O0) ~roots:(Suite_types.roots p) in
+      let r = Vm.run bin ~entry:"main" ~input:[] Vm.default_opts in
+      Alcotest.(check bool)
+        (p.Suite_types.p_name ^ " runs >= 20k instrs")
+        true (r.Vm.instrs >= 20_000))
+    Spec.all
+
+let test_selfcomp_workload () =
+  let w = Selfcomp.workload ~seed:1 ~units:10 in
+  let ast = Suite_types.ast Selfcomp.program in
+  let bin = T.compile ast ~config:(C.make C.Gcc C.O0) ~roots:[ "main" ] in
+  let r = Vm.run bin ~entry:"main" ~input:w Vm.default_opts in
+  (* First output is the number of units compiled. *)
+  match r.Vm.output with
+  | units :: _ -> Alcotest.(check int) "all units compiled" 10 units
+  | [] -> Alcotest.fail "no output"
+
+let test_selfcomp_workload_deterministic () =
+  Alcotest.(check (list int)) "same workload"
+    (Selfcomp.workload ~seed:9 ~units:5)
+    (Selfcomp.workload ~seed:9 ~units:5)
+
+let test_synth_programs_distinct () =
+  let a = Synth.generate ~seed:1 and b = Synth.generate ~seed:2 in
+  Alcotest.(check bool) "different seeds differ" true (a <> b);
+  Alcotest.(check string) "same seed identical" a (Synth.generate ~seed:1)
+
+let test_synth_terminates_closed () =
+  for seed = 100 to 110 do
+    let p = Synth.program ~seed in
+    let ast = Suite_types.ast p in
+    let bin = T.compile ast ~config:(C.make C.Gcc C.O0) ~roots:[ "main" ] in
+    let r = Vm.run bin ~entry:"main" ~input:[] Vm.default_opts in
+    Alcotest.(check bool)
+      (Printf.sprintf "synth-%d terminates" seed)
+      false r.Vm.timed_out
+  done
+
+let tests =
+  [
+    Alcotest.test_case "13 programs" `Quick test_suite_has_13_programs;
+    Alcotest.test_case "10 SPEC analogs" `Quick test_spec_count;
+    Alcotest.test_case "SPEC runs substantial" `Quick test_spec_runs_are_substantial;
+    Alcotest.test_case "selfcomp workload" `Quick test_selfcomp_workload;
+    Alcotest.test_case "selfcomp deterministic" `Quick
+      test_selfcomp_workload_deterministic;
+    Alcotest.test_case "synth distinct/deterministic" `Quick
+      test_synth_programs_distinct;
+    Alcotest.test_case "synth terminates" `Quick test_synth_terminates_closed;
+  ]
+  @ List.map suite_case Programs.all
+  @ List.map suite_case Spec.all
+  @ [ suite_case Selfcomp.program ]
