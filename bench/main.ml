@@ -6,15 +6,24 @@
      dune exec bench/main.exe -- --only table5 fig3
      dune exec bench/main.exe -- --micro -- also run micro-benchmarks
      dune exec bench/main.exe -- --synth 120  -- more Table I programs
+     dune exec bench/main.exe -- --stats      -- engine cache counters
+     dune exec bench/main.exe -- --json out.json  -- machine-readable
+                                   timings + cache stats
+     dune exec bench/main.exe -- --jobs 4     -- engine worker pool
 
-   Output is deterministic for a given --synth value. *)
+   Output is deterministic for a given --synth value, including under
+   --jobs > 1 (the engine's parallel reduction is ordered). *)
 
 module E = Debugtuner.Experiments
+
+let timings : (string * float) list ref = ref []
 
 let timed name f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  Printf.printf "[%s: %.1fs]\n\n%!" name (Unix.gettimeofday () -. t0);
+  let dt = Unix.gettimeofday () -. t0 in
+  timings := (name, dt) :: !timings;
+  Printf.printf "[%s: %.1fs]\n\n%!" name dt;
   r
 
 let experiments ctx : (string * (unit -> Util.Tablefmt.t list)) list =
@@ -59,11 +68,12 @@ let experiments ctx : (string * (unit -> Util.Tablefmt.t list)) list =
     ( "ablations",
       fun () ->
         let cfg = Debugtuner.Config.make Debugtuner.Config.Gcc Debugtuner.Config.O2 in
+        let suite = E.suite ctx in
         [
-          Debugtuner.Ablations.breakpoint_policy ctx.Debugtuner.Experiments.suite cfg;
-          Debugtuner.Ablations.entry_values ctx.Debugtuner.Experiments.suite cfg;
-          Debugtuner.Ablations.ranking_metric ctx.Debugtuner.Experiments.suite cfg;
-          Debugtuner.Ablations.scheduler_lines ctx.Debugtuner.Experiments.suite cfg;
+          Debugtuner.Ablations.breakpoint_policy suite cfg;
+          Debugtuner.Ablations.entry_values suite cfg;
+          Debugtuner.Ablations.ranking_metric suite cfg;
+          Debugtuner.Ablations.scheduler_lines suite cfg;
         ] );
     ("clang-og", fun () -> [ E.clang_og_table ctx ]);
     ("per-program", fun () -> [ E.per_program_table ctx ]);
@@ -135,11 +145,63 @@ let run_micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Engine cache statistics and machine-readable output                 *)
+
+let stats_lines ctx =
+  List.filter_map
+    (fun (name, (c : Engine.Stats.counter)) ->
+      if c.Engine.Stats.hits + c.Engine.Stats.misses + c.Engine.Stats.dedups = 0
+      then None
+      else
+        Some
+          (Printf.sprintf "%-14s hits=%-6d misses=%-6d dedups=%d" name
+             c.Engine.Stats.hits c.Engine.Stats.misses c.Engine.Stats.dedups))
+    (E.engine_stats ctx)
+
+let print_stats ctx =
+  print_endline "== Engine cache statistics (hit = cache tier served the job;";
+  print_endline "   dedup = fresh compile discarded against an identical binary) ==";
+  List.iter print_endline (stats_lines ctx);
+  print_newline ()
+
+(* Hand-rolled JSON: flat structure, only strings / numbers, no
+   dependency. *)
+let write_json file ctx ~synth ~workers =
+  let b = Buffer.create 1024 in
+  let timing_fields =
+    List.rev_map
+      (fun (name, dt) -> Printf.sprintf "    {\"name\": %S, \"seconds\": %.3f}" name dt)
+      !timings
+  in
+  let stat_fields =
+    List.map
+      (fun (name, (c : Engine.Stats.counter)) ->
+        Printf.sprintf
+          "    {\"cache\": %S, \"hits\": %d, \"misses\": %d, \"dedups\": %d}"
+          name c.Engine.Stats.hits c.Engine.Stats.misses c.Engine.Stats.dedups)
+      (E.engine_stats ctx)
+  in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"synth\": %d,\n" synth);
+  Buffer.add_string b (Printf.sprintf "  \"workers\": %d,\n" workers);
+  Buffer.add_string b
+    (Printf.sprintf "  \"total_seconds\": %.3f,\n"
+       (List.fold_left (fun a (_, dt) -> a +. dt) 0.0 !timings));
+  Buffer.add_string b "  \"timings\": [\n";
+  Buffer.add_string b (String.concat ",\n" timing_fields);
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b "  \"engine\": [\n";
+  Buffer.add_string b (String.concat ",\n" stat_fields);
+  Buffer.add_string b "\n  ]\n}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "[timings + engine stats written to %s]\n%!" file
 
 let () =
   let args = Array.to_list Sys.argv in
-  let rec parse only micro synth = function
-    | [] -> (only, micro, synth)
+  let rec parse only micro synth stats json jobs = function
+    | [] -> (only, micro, synth, stats, json, jobs)
     | "--only" :: rest ->
         let names, rest' =
           let rec take acc = function
@@ -149,15 +211,26 @@ let () =
           in
           take [] rest
         in
-        parse (only @ names) micro synth rest'
-    | "--micro" :: rest -> parse only true synth rest
-    | "--synth" :: n :: rest -> parse only micro (int_of_string n) rest
-    | _ :: rest -> parse only micro synth rest
+        parse (only @ names) micro synth stats json jobs rest'
+    | "--micro" :: rest -> parse only true synth stats json jobs rest
+    | "--synth" :: n :: rest ->
+        parse only micro (int_of_string n) stats json jobs rest
+    | "--stats" :: rest -> parse only micro synth true json jobs rest
+    | "--json" :: file :: rest ->
+        parse only micro synth stats (Some file) jobs rest
+    | "--jobs" :: n :: rest ->
+        parse only micro synth stats json (int_of_string n) rest
+    | _ :: rest -> parse only micro synth stats json jobs rest
   in
-  let only, micro, synth = parse [] false 40 (List.tl args) in
-  Printf.printf "DebugTuner benchmark harness (deterministic; synth=%d)\n\n%!"
-    synth;
-  let ctx = timed "prepare suite" (fun () -> E.create ~synth_count:synth ()) in
+  let only, micro, synth, stats, json, jobs =
+    parse [] false 40 false None 1 (List.tl args)
+  in
+  Printf.printf
+    "DebugTuner benchmark harness (deterministic; synth=%d; jobs=%d)\n\n%!"
+    synth jobs;
+  let ctx =
+    timed "prepare suite" (fun () -> E.create ~synth_count:synth ~workers:jobs ())
+  in
   let selected =
     match only with
     | [] -> experiments ctx
@@ -172,4 +245,8 @@ let () =
           print_newline ())
         tables)
     selected;
-  if micro then run_micro ()
+  if micro then run_micro ();
+  if stats then print_stats ctx;
+  match json with
+  | Some file -> write_json file ctx ~synth ~workers:jobs
+  | None -> ()

@@ -158,7 +158,8 @@ let measure_cmd =
     let p = find_program program in
     let cfg = config compiler level disabled in
     let prepared = Debugtuner.Evaluation.prepare p in
-    let m, _ = Debugtuner.Evaluation.measure prepared cfg in
+    let engine = Debugtuner.Measure_engine.default () in
+    let m, _ = Debugtuner.Measure_engine.measure engine prepared cfg in
     Printf.printf "%s at %s (vs the O0 baseline)\n" p.Suite_types.p_name
       (Debugtuner.Config.name cfg);
     let show name (s : Metrics.score) =

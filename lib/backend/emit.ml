@@ -38,6 +38,13 @@ type binary = {
   bin_globals : Ir.global_def list;
   debug : Dwarfish.t;
   text_digest : string;
+  full_digest : string;
+      (** content address of the whole binary — machine code, line
+          attributions and debug sections. Two binaries sharing it are
+          interchangeable for *any* measurement, including debug-quality
+          metrics; [text_digest] alone only licenses sharing
+          code-dependent results (execution cost), since identical
+          .text can carry different debug info. *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -444,6 +451,7 @@ let emit ?(icf = false) ?(entry_values = false) (prog : Mach.mprogram) : binary 
   let funcs =
     Array.of_list (List.sort (fun a b -> compare a.fi_index b.fi_index) (List.rev !funcs))
   in
+  let digest v = Digest.to_hex (Digest.string (Marshal.to_string v [])) in
   {
     code;
     line_of;
@@ -452,5 +460,6 @@ let emit ?(icf = false) ?(entry_values = false) (prog : Mach.mprogram) : binary 
     fn_of_addr;
     bin_globals = prog.Mach.mglobals;
     debug;
-    text_digest = Digest.to_hex (Digest.string (Marshal.to_string code []));
+    text_digest = digest code;
+    full_digest = digest (code, line_of, funcs, prog.Mach.mglobals, debug);
   }

@@ -23,13 +23,41 @@ let level_name = function
   | O2 -> "O2"
   | O3 -> "O3"
 
+(** Canonical form: [disabled] sorted and deduplicated. Two values that
+    agree up to order and duplication of [disabled] denote the same
+    semantic configuration ({!enabled} is a set-membership test), so
+    every derived identity below goes through this. *)
+let canonical c =
+  { c with disabled = List.sort_uniq String.compare c.disabled }
+
 let name c =
   let base = Printf.sprintf "%s-%s" (compiler_name c.compiler) (level_name c.level) in
-  match c.disabled with
+  match (canonical c).disabled with
   | [] -> base
   | ds -> Printf.sprintf "%s-d%d" base (List.length ds)
 
-let make ?(disabled = []) compiler level = { compiler; level; disabled }
+let make ?(disabled = []) compiler level =
+  canonical { compiler; level; disabled }
+
+let level_index = function O0 -> 0 | Og -> 1 | O1 -> 2 | O2 -> 3 | O3 -> 4
+
+let compare a b =
+  let a = canonical a and b = canonical b in
+  let c = Stdlib.compare a.compiler b.compiler in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare (level_index a.level) (level_index b.level) in
+    if c <> 0 then c
+    else Stdlib.compare a.disabled b.disabled
+
+let equal a b = compare a b = 0
+
+let hash c = Hashtbl.hash (canonical c)
+
+let fingerprint c =
+  let c = canonical c in
+  Printf.sprintf "%s:%s:%s" (compiler_name c.compiler) (level_name c.level)
+    (String.concat "," c.disabled)
 
 (** Standard levels of a compiler (clang has no Og, as in the paper). *)
 let standard_levels = function

@@ -19,9 +19,35 @@ val compiler_name : compiler -> string
 val level_name : level -> string
 
 val name : t -> string
-(** E.g. ["gcc-O2"] or ["clang-O1-d5"]. *)
+(** E.g. ["gcc-O2"] or ["clang-O1-d5"]. Computed on the {!canonical}
+    form, so permuted or duplicated [disabled] lists print the same
+    name. *)
 
 val make : ?disabled:string list -> compiler -> level -> t
+(** Returns the {!canonical} form. *)
+
+val canonical : t -> t
+(** [disabled] sorted and deduplicated. [disabled] is semantically a
+    set ({!enabled} is a membership test), so configurations that agree
+    up to order and duplication are interchangeable; [canonical] is the
+    chosen representative. *)
+
+val fingerprint : t -> string
+(** A stable, injective-on-canonical-forms content address, e.g.
+    ["gcc:O2:dce,inline"] — the cache key of the measurement engine.
+    Invariant: [fingerprint a = fingerprint b] iff [equal a b]. *)
+
+val compare : t -> t -> int
+(** Total order on canonical forms; consistent with {!equal} and
+    suitable for [Map.Make]. *)
+
+val equal : t -> t -> bool
+(** Semantic equality: insensitive to order and duplication of
+    [disabled] (unlike polymorphic equality, whose use as a cache key
+    this function replaces). *)
+
+val hash : t -> int
+(** Compatible with {!equal}; suitable for [Hashtbl.Make]. *)
 
 val standard_levels : compiler -> level list
 (** [Og; O1; O2; O3] for gcc, [O1; O2; O3] for clang (which has no Og,

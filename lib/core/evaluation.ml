@@ -23,6 +23,13 @@ type prepared = {
   corpora : harness_corpus list;
   o0_bin : Emit.binary;
   o0_trace : Debugger.trace;
+  ast_digest : string;
+      (** content address of the compile inputs (AST + roots); tier-1
+          engine cache key component *)
+  content_digest : string;
+      (** content address of everything measurement depends on (AST +
+          roots + minimized corpora); tier-2 engine cache key
+          component *)
 }
 
 (* Merge traces of several harness sessions into one program-level
@@ -90,33 +97,55 @@ let prepare ?(fuzz_budget = 700) ?(seed = 42) (program : Suite_types.sprogram) :
       program.Suite_types.p_harnesses
   in
   let o0_trace = trace_with_corpora corpora o0_bin in
-  { program; ast; roots; defranges; corpora; o0_bin; o0_trace }
+  let digest_of v = Digest.to_hex (Digest.string (Marshal.to_string v [])) in
+  let ast_digest = digest_of (ast, roots) in
+  let content_digest =
+    digest_of
+      ( ast_digest,
+        List.map
+          (fun hc -> (hc.hc_harness.Suite_types.h_entry, hc.hc_inputs))
+          corpora )
+  in
+  {
+    program;
+    ast;
+    roots;
+    defranges;
+    corpora;
+    o0_bin;
+    o0_trace;
+    ast_digest;
+    content_digest;
+  }
 
 (** [compile prepared config] — the program under a configuration. *)
 let compile (prepared : prepared) (config : Config.t) =
   Toolchain.compile prepared.ast ~config ~roots:prepared.roots
 
-(** [measure prepared config] — all four metric methods for [config].
-    [reuse] short-circuits tracing when the binary's .text digest matches
-    a previously measured binary (the discard optimization). *)
+(** [metrics_of_trace prepared bin opt_trace] — the four metric methods
+    given an already-collected trace (the engine's metrics primitive). *)
+let metrics_of_trace (prepared : prepared) (bin : Emit.binary)
+    (opt_trace : Debugger.trace) : Metrics.all_methods =
+  Metrics.all
+    {
+      Metrics.defranges = prepared.defranges;
+      unopt_trace = prepared.o0_trace;
+      opt_trace;
+      unopt_bin = prepared.o0_bin;
+      opt_bin = bin;
+    }
+
+(** [measure prepared config] — all four metric methods for [config],
+    uncached (the engine's job primitive; cached measurement lives in
+    {!Measure_engine}). [reuse] short-circuits tracing when the binary's
+    .text digest matches a previously measured binary (the discard
+    optimization; kept for engine-less callers). *)
 let measure ?reuse (prepared : prepared) (config : Config.t) :
     Metrics.all_methods * Emit.binary =
   let bin = compile prepared config in
   match reuse with
   | Some (digest, cached) when digest = bin.Emit.text_digest -> (cached, bin)
-  | _ ->
-      let opt_trace = trace_config_bin prepared bin in
-      let m =
-        Metrics.all
-          {
-            Metrics.defranges = prepared.defranges;
-            unopt_trace = prepared.o0_trace;
-            opt_trace;
-            unopt_bin = prepared.o0_bin;
-            opt_bin = bin;
-          }
-      in
-      (m, bin)
+  | _ -> (metrics_of_trace prepared bin (trace_config_bin prepared bin), bin)
 
 (** The paper's headline number for a configuration. *)
 let product (prepared : prepared) (config : Config.t) =

@@ -1,0 +1,81 @@
+(** Per-program debug-information evaluation (the left half of Figure 1):
+    corpus construction, trace extraction for the O0 baseline and for any
+    configuration, and metric computation.
+
+    Each suite program is "prepared" once — fuzzing-derived corpus,
+    minimization, trace pruning, O0 baseline trace — and then arbitrary
+    configurations are measured against that baseline. The functions
+    here are the engine's uncached primitives; repeated measurement
+    should go through {!Measure_engine}, which caches them
+    content-addressed (the prepared digests below are its keys). *)
+
+type harness_corpus = {
+  hc_harness : Suite_types.harness;
+  hc_inputs : int list list;  (** post-minimization, post-pruning *)
+  hc_raw_count : int;  (** corpus size before minimization *)
+  hc_edges : int;
+}
+
+type prepared = {
+  program : Suite_types.sprogram;
+  ast : Minic.Ast.program;
+  roots : string list;
+  defranges : Minic.Defranges.t;
+  corpora : harness_corpus list;
+  o0_bin : Emit.binary;
+  o0_trace : Debugger.trace;
+  ast_digest : string;
+      (** content address of the compile inputs (AST + roots); tier-1
+          engine cache key component *)
+  content_digest : string;
+      (** content address of everything measurement depends on (AST +
+          roots + minimized corpora); tier-2 engine cache key
+          component *)
+}
+
+val merge_traces : Debugger.trace list -> Debugger.trace
+(** Merge traces of several harness sessions into one program-level
+    trace (first binding of a line wins, like one long session). *)
+
+val trace_with_corpora : harness_corpus list -> Emit.binary -> Debugger.trace
+
+val trace_config_bin : prepared -> Emit.binary -> Debugger.trace
+(** Trace a configuration's binary over the prepared corpora (the
+    engine's trace primitive). *)
+
+val prepare : ?fuzz_budget:int -> ?seed:int -> Suite_types.sprogram -> prepared
+(** Build the corpus (fuzz + afl-cmin analog + debug-trace pruning) and
+    the O0 baseline. *)
+
+val compile : prepared -> Config.t -> Emit.binary
+(** The program under a configuration, uncached. *)
+
+val metrics_of_trace :
+  prepared -> Emit.binary -> Debugger.trace -> Metrics.all_methods
+(** All four metric methods given an already-collected trace (the
+    engine's metrics primitive). *)
+
+val measure :
+  ?reuse:string * Metrics.all_methods ->
+  prepared ->
+  Config.t ->
+  Metrics.all_methods * Emit.binary
+(** All four metric methods for a configuration, uncached. [reuse]
+    short-circuits tracing when the binary's .text digest matches a
+    previously measured binary (the discard optimization; kept for
+    engine-less callers). *)
+
+val product : prepared -> Config.t -> float
+(** The paper's headline number for a configuration, uncached. *)
+
+type suite_stats = {
+  ss_program : string;
+  ss_inputs : int;  (** average per harness, post-minimization *)
+  ss_reduction_pct : float;
+  ss_steppable : int;
+  ss_stepped : int;
+  ss_debug_coverage_pct : float;
+}
+
+val stats : prepared -> suite_stats
+(** Table III statistics. *)

@@ -11,22 +11,32 @@ type ctx = {
   o0_costs : (string * int) list;
   synth_count : int;
   mutable synth : Evaluation.prepared list option;
-  mutable rankings : (Config.t * Ranking.level_ranking) list;
-  mutable points : (Config.t * Tuning.config_point) list;
-  mutable speedup_cache : (Config.t * Tuning.speedup_row list) list;
+  engine : Measure_engine.t;
+      (** the shared measurement engine: every compile / trace / measure
+          / bench job of every table goes through its two-tier cache *)
+  rankings : Ranking.level_ranking Engine.Memo.t;
+      (** derived results, keyed by {!Config.fingerprint} *)
+  points : Tuning.config_point Engine.Memo.t;
+  speedup_rows : Tuning.speedup_row list Engine.Memo.t;
 }
 
-let create ?(synth_count = 40) () =
+let create ?(synth_count = 40) ?workers () =
+  let engine = Measure_engine.create ?workers () in
   {
     suite = List.map Evaluation.prepare Programs.all;
     spec = Spec.all;
-    o0_costs = Tuning.o0_costs Spec.all;
+    o0_costs = Tuning.o0_costs ~engine Spec.all;
     synth_count;
     synth = None;
-    rankings = [];
-    points = [];
-    speedup_cache = [];
+    engine;
+    rankings = Measure_engine.memo engine ~name:"ranking" ();
+    points = Measure_engine.memo engine ~name:"point" ();
+    speedup_rows = Measure_engine.memo engine ~name:"speedup" ();
   }
+
+let suite ctx = ctx.suite
+let engine ctx = ctx.engine
+let engine_stats ctx = Engine.Stats.snapshot (Measure_engine.stats ctx.engine)
 
 let synth_programs ctx =
   match ctx.synth with
@@ -39,23 +49,16 @@ let synth_programs ctx =
       ctx.synth <- Some s;
       s
 
+let measure ctx prepared config = Measure_engine.measure ctx.engine prepared config
+
 let ranking ctx config =
-  match List.assoc_opt config ctx.rankings with
-  | Some r -> r
-  | None ->
-      let r = Ranking.rank ctx.suite config in
-      ctx.rankings <- (config, r) :: ctx.rankings;
-      r
+  Engine.Memo.find_or_add ctx.rankings (Config.fingerprint config) (fun () ->
+      Ranking.rank ~engine:ctx.engine ctx.suite config)
 
 let point ctx config =
-  match List.assoc_opt config ctx.points with
-  | Some p -> p
-  | None ->
-      let p =
-        Tuning.measure_point ctx.suite ~o0_costs:ctx.o0_costs ctx.spec config
-      in
-      ctx.points <- (config, p) :: ctx.points;
-      p
+  Engine.Memo.find_or_add ctx.points (Config.fingerprint config) (fun () ->
+      Tuning.measure_point ~engine:ctx.engine ctx.suite ~o0_costs:ctx.o0_costs
+        ctx.spec config)
 
 let all_standard_configs =
   List.concat_map
@@ -80,7 +83,7 @@ let table1 ctx =
     List.map
       (fun config ->
         let per_program =
-          List.map (fun p -> fst (Evaluation.measure p config)) programs
+          List.map (fun p -> fst (measure ctx p config)) programs
         in
         let geo f = Util.Stats.geomean (List.map f per_program) in
         let avail m = (m : Metrics.all_methods) in
@@ -111,7 +114,7 @@ let table1 ctx =
         (fun config ->
           List.map
             (fun p ->
-              (fst (Evaluation.measure p config)).Metrics.m_hybrid.Metrics.product)
+              (fst (measure ctx p config)).Metrics.m_hybrid.Metrics.product)
             programs)
         all_standard_configs
     in
@@ -143,7 +146,7 @@ let table2 ctx =
   let rows =
     List.map
       (fun config ->
-        let m, _ = Evaluation.measure libpng config in
+        let m, _ = measure ctx libpng config in
         let h = m.Metrics.m_hybrid in
         [
           Config.compiler_name config.Config.compiler;
@@ -202,7 +205,7 @@ let suite_products ctx config =
   List.map
     (fun (p : Evaluation.prepared) ->
       ( p.Evaluation.program.Suite_types.p_name,
-        Evaluation.product p config ))
+        Measure_engine.product ctx.engine p config ))
     ctx.suite
 
 let table4 ctx =
@@ -274,7 +277,7 @@ let top10_table ctx comp title =
     List.map
       (fun l ->
         let lr = ranking ctx (Config.make comp l) in
-        let in10, in20 = Ranking.stability ~k:10 ctx.suite lr in
+        let in10, in20 = Ranking.stability ~engine:ctx.engine ~k:10 ctx.suite lr in
         Printf.sprintf "%s: %.1f/10 in per-program top-10, %.1f in top-20"
           (Config.level_name l) in10 in20)
       levels
@@ -527,12 +530,11 @@ let table10 ctx =
 (* Tables XI / XII: SPEC speedups                                      *)
 
 let spec_speedup_rows ctx config =
-  match List.assoc_opt config ctx.speedup_cache with
-  | Some rows -> rows
-  | None ->
-      let rows = fst (Tuning.speedups_cached ~o0_costs:ctx.o0_costs ctx.spec config) in
-      ctx.speedup_cache <- (config, rows) :: ctx.speedup_cache;
-      rows
+  Engine.Memo.find_or_add ctx.speedup_rows (Config.fingerprint config)
+    (fun () ->
+      fst
+        (Tuning.speedups_cached ~engine:ctx.engine ~o0_costs:ctx.o0_costs
+           ctx.spec config))
 
 let table11 ctx =
   let rows =
@@ -809,10 +811,7 @@ let dwarf_sizes_table ctx =
         let entries = ref 0 and code = ref 0 in
         List.iter
           (fun (p : Evaluation.prepared) ->
-            let bin =
-              Toolchain.compile p.Evaluation.ast ~config:cfg
-                ~roots:p.Evaluation.roots
-            in
+            let bin = Measure_engine.compile ctx.engine p cfg in
             let line, locs, _ = Dwarf_encode.section_sizes bin.Emit.debug in
             line_total := !line_total + line;
             loc_total := !loc_total + locs;

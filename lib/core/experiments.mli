@@ -1,0 +1,65 @@
+(** The paper's evaluation, one constructor per table/figure. Each
+    function renders a {!Util.Tablefmt.t} (printed by [bench/main.exe])
+    from shared measurement state. All randomness is seeded and all
+    reductions are ordered, so every run prints identical tables — for
+    any engine worker count.
+
+    The context owns a private measurement engine: every compile /
+    trace / measure / benchmark job of every table goes through its
+    two-tier content-addressed cache, and derived results (rankings,
+    trade-off points, speedup rows) are memoized on
+    {!Config.fingerprint} keys. The mutable cache state is hidden
+    behind this interface; inspect it with {!engine_stats}. *)
+
+type ctx
+
+val create : ?synth_count:int -> ?workers:int -> unit -> ctx
+(** Prepare the 13-program suite and the SPEC-analog baselines.
+    [synth_count] sizes Table I's synthetic-program set (default 40);
+    [workers] sizes the engine's worker pool (default 1 =
+    sequential). *)
+
+val suite : ctx -> Evaluation.prepared list
+val engine : ctx -> Measure_engine.t
+
+val engine_stats : ctx -> (string * Engine.Stats.counter) list
+(** Per-cache hit / miss / dedup counters of the context's engine,
+    sorted by cache name. *)
+
+val synth_programs : ctx -> Evaluation.prepared list
+
+val ranking : ctx -> Config.t -> Ranking.level_ranking
+(** Fingerprint-memoized {!Ranking.rank} over the suite. *)
+
+val point : ctx -> Config.t -> Tuning.config_point
+(** Fingerprint-memoized {!Tuning.measure_point}. *)
+
+val all_standard_configs : Config.t list
+val dy_values : int list
+
+(** {1 Tables and figures} *)
+
+val table1 : ctx -> Util.Tablefmt.t
+val table2 : ctx -> Util.Tablefmt.t
+val table3 : ctx -> Util.Tablefmt.t
+val table4 : ctx -> Util.Tablefmt.t
+val table5 : ctx -> Util.Tablefmt.t
+val table6 : ctx -> Util.Tablefmt.t
+val table7 : ctx -> Util.Tablefmt.t
+val fig2_scatter : ctx -> string
+val fig2 : ctx -> Util.Tablefmt.t
+val table8 : ctx -> Util.Tablefmt.t * Util.Tablefmt.t
+val table9 : ctx -> Util.Tablefmt.t
+val table10 : ctx -> Util.Tablefmt.t
+val table11 : ctx -> Util.Tablefmt.t
+val table12 : ctx -> Util.Tablefmt.t
+val table13_14 : ctx -> Util.Tablefmt.t * Util.Tablefmt.t
+val fig3_table15 : ctx -> Util.Tablefmt.t * Util.Tablefmt.t
+val fig4 : ctx -> Util.Tablefmt.t
+
+(** {1 Extensions beyond the paper} *)
+
+val clang_og_table : ctx -> Util.Tablefmt.t
+val per_program_table : ctx -> Util.Tablefmt.t
+val dwarf_sizes_table : ctx -> Util.Tablefmt.t
+val autofdo_rounds_table : ctx -> Util.Tablefmt.t

@@ -1,0 +1,79 @@
+(** The repository's measurement engine: {!Engine.Make} instantiated
+    over the DebugTuner toolchain. This is the single entry point for
+    all measurement — [Ranking], [Tuning], [Experiments], the bench
+    harness and the CLI all issue their compile / trace / measure /
+    benchmark jobs here, sharing one two-tier content-addressed cache:
+
+    - tier 1, keyed by (AST digest, {!Config.fingerprint}): compiled
+      binaries — a configuration is compiled once per program no matter
+      how many tables ask for it;
+    - tier 2, keyed by (subject digest, binary digest): traces, metric
+      records and benchmark costs — two configurations whose binaries
+      have identical content share one measurement, generalizing the
+      paper's Section III-A discard optimization engine-wide. Metric
+      and trace results key on {!Emit.binary.full_digest} (identical
+      [.text] can still carry different debug info, and the metrics see
+      it); benchmark costs key on the coarser
+      {!Emit.binary.text_digest}, since execution cost depends on the
+      machine code alone. *)
+
+module Domain_impl = struct
+  type config = Config.t
+  type subject = Evaluation.prepared
+  type bench_subject = Suite_types.sprogram
+  type binary = Emit.binary
+  type trace = Debugger.trace
+  type metrics = Metrics.all_methods
+
+  let config_key = Config.fingerprint
+  let subject_ast_key (p : Evaluation.prepared) = p.Evaluation.ast_digest
+  let subject_key (p : Evaluation.prepared) = p.Evaluation.content_digest
+
+  (* Benchmark programs carry no corpus; their content address is the
+     source plus the harness list (entries and seed workloads). *)
+  let bench_subject_key (p : Suite_types.sprogram) =
+    Digest.to_hex
+      (Digest.string
+         (Marshal.to_string (p.Suite_types.p_source, p.Suite_types.p_harnesses) []))
+
+  let binary_key (b : Emit.binary) = b.Emit.full_digest
+  let binary_cost_key (b : Emit.binary) = b.Emit.text_digest
+  let compile = Evaluation.compile
+  let trace (p : Evaluation.prepared) bin = Evaluation.trace_config_bin p bin
+  let metrics = Evaluation.metrics_of_trace
+
+  let bench_compile (p : Suite_types.sprogram) config =
+    Toolchain.compile (Suite_types.ast p) ~config ~roots:(Suite_types.roots p)
+
+  (** Total VM cost of every harness seed (the paper's SPEC timing; the
+      median-of-three degenerates to one deterministic run). *)
+  let bench_run (p : Suite_types.sprogram) (bin : Emit.binary) =
+    List.fold_left
+      (fun acc (h : Suite_types.harness) ->
+        let inputs =
+          if h.Suite_types.h_seeds = [] then [ [] ] else h.Suite_types.h_seeds
+        in
+        List.fold_left
+          (fun acc input ->
+            let r =
+              Vm.run bin ~entry:h.Suite_types.h_entry ~input Vm.default_opts
+            in
+            if r.Vm.timed_out then
+              invalid_arg ("bench timed out: " ^ p.Suite_types.p_name);
+            acc + r.Vm.cost)
+          acc inputs)
+      0 p.Suite_types.p_harnesses
+end
+
+include Engine.Make (Domain_impl)
+
+let default_instance = lazy (create ())
+
+(** The process-wide shared engine, for callers that do not thread an
+    instance (CLI one-shots, tests). Experiment contexts create their
+    own so cache statistics are per-run. *)
+let default () = Lazy.force default_instance
+
+(** The paper's headline number for a configuration, engine-cached. *)
+let product t prepared config =
+  (fst (measure t prepared config)).Metrics.m_hybrid.Metrics.product

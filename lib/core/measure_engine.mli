@@ -1,0 +1,66 @@
+(** The repository's measurement engine — the single entry point for
+    compiling, tracing, measuring and benchmarking (program,
+    configuration) pairs, with a two-tier content-addressed cache and an
+    optional [Domain] worker pool (see [lib/engine] for the substrate
+    and DESIGN.md "Measurement engine" for the design).
+
+    Tier 1 is keyed by (AST digest, {!Config.fingerprint}) and caches
+    compiled binaries; tier 2 is keyed by (subject digest, [.text]
+    digest) and caches traces, metrics and benchmark costs — two
+    configurations whose binaries share machine code share one
+    measurement (the engine-wide generalization of the paper's
+    Section III-A discard optimization). *)
+
+type t
+
+type job =
+  | Compile of Evaluation.prepared * Config.t
+  | Trace of Evaluation.prepared * Config.t
+  | Measure of Evaluation.prepared * Config.t
+  | BenchCost of Suite_types.sprogram * Config.t
+
+type result =
+  | Binary of Emit.binary
+  | Traced of Debugger.trace * Emit.binary
+  | Measured of Metrics.all_methods * Emit.binary
+  | Cost of int
+
+val create : ?workers:int -> unit -> t
+(** Fresh caches, zeroed counters. [workers] sizes the pool behind
+    {!map} (default 1 = sequential; parallel runs reduce in input order
+    and stay byte-identical). *)
+
+val default : unit -> t
+(** The process-wide shared engine, for callers that do not thread an
+    instance. *)
+
+val run : t -> job -> result
+
+val compile : t -> Evaluation.prepared -> Config.t -> Emit.binary
+(** Tier-1 cached compilation. *)
+
+val trace : t -> Evaluation.prepared -> Config.t -> Debugger.trace * Emit.binary
+(** Tier-2 cached trace extraction. *)
+
+val measure :
+  t -> Evaluation.prepared -> Config.t -> Metrics.all_methods * Emit.binary
+(** Tier-2 cached measurement: the cached replacement for
+    {!Evaluation.measure}. *)
+
+val product : t -> Evaluation.prepared -> Config.t -> float
+(** The paper's headline number (hybrid product), engine-cached. *)
+
+val bench_cost : t -> Suite_types.sprogram -> Config.t -> int
+(** Tier-2 cached benchmark cost: same [.text], same cost, no re-run. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Deterministic ordered parallel map on the engine's pool; [f] may
+    issue engine jobs (the caches are domain-safe). *)
+
+val workers : t -> int
+val stats : t -> Engine.Stats.t
+
+val memo : t -> name:string -> (unit -> 'a Engine.Memo.t)
+(** A fresh memo table wired to this engine's counters, for derived
+    results keyed by {!Config.fingerprint} (rankings, trade-off points,
+    speedup rows). *)

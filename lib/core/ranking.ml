@@ -26,20 +26,36 @@ let hybrid_product (m : Metrics.all_methods) = m.Metrics.m_hybrid.Metrics.produc
 let dynamic_product (m : Metrics.all_methods) = m.Metrics.m_dynamic.Metrics.product
 
 (* Relative increments per program for one level. Returns, per program,
-   an association pass -> increment, plus the baseline product. *)
-let per_program_increments ?(metric = hybrid_product)
+   an association pass -> increment, plus the baseline product. All
+   measurement goes through the engine. A disabled pass whose binary
+   has the same .text as the baseline scores exactly the baseline
+   without re-tracing — the paper's Section III-A discard optimization.
+   The discard is scoped to the baseline on purpose: it is the paper's
+   definition of "the pass did nothing", whereas the engine's own
+   tier-2 sharing demands full binary identity (identical .text can
+   still carry different debug info). Discards show up in the engine's
+   statistics under "rank-discard". *)
+let per_program_increments ?engine ?(metric = hybrid_product)
     (prepared : Evaluation.prepared) (config : Config.t) =
-  let baseline_m, baseline_bin = Evaluation.measure prepared config in
+  let eng =
+    match engine with Some e -> e | None -> Measure_engine.default ()
+  in
+  let baseline_m, baseline_bin = Measure_engine.measure eng prepared config in
   let baseline = metric baseline_m in
-  let reuse = (baseline_bin.Emit.text_digest, baseline_m) in
   let passes = Toolchain.pass_names config in
   let increments =
     List.map
       (fun pass ->
         let cfg = { config with Config.disabled = [ pass ] } in
-        (* The .text-identical discard: a disabled pass that changes no
-           code scores exactly the baseline without re-tracing. *)
-        let m, _ = Evaluation.measure ~reuse prepared cfg in
+        let bin = Measure_engine.compile eng prepared cfg in
+        let m =
+          if String.equal bin.Emit.text_digest baseline_bin.Emit.text_digest
+          then begin
+            Engine.Stats.bump (Measure_engine.stats eng) "rank-discard" `Dedup;
+            baseline_m
+          end
+          else fst (Measure_engine.measure eng prepared cfg)
+        in
         let v = metric m in
         let inc = if baseline > 0.0 then (v -. baseline) /. baseline else 0.0 in
         (pass, inc))
@@ -61,11 +77,18 @@ let rank_positions increments =
       rest
 
 (** [rank prepared_programs config] — the full cross-program ranking for
-    one level. *)
-let rank ?metric (prepared_programs : Evaluation.prepared list)
+    one level. Programs are measured on the engine's worker pool (one
+    job per program; sequential on a one-worker engine) and reduced in
+    suite order, so the ranking is identical for any worker count. *)
+let rank ?engine ?metric (prepared_programs : Evaluation.prepared list)
     (config : Config.t) : level_ranking =
+  let eng =
+    match engine with Some e -> e | None -> Measure_engine.default ()
+  in
   let per_program =
-    List.map (fun p -> per_program_increments ?metric p config) prepared_programs
+    Measure_engine.map eng
+      (fun p -> per_program_increments ~engine:eng ?metric p config)
+      prepared_programs
   in
   let positions = List.map (fun (_, incs) -> rank_positions incs) per_program in
   let all_passes = Toolchain.pass_names config in
@@ -127,8 +150,8 @@ let top_passes ?(k = 10) (lr : level_ranking) =
 (** The paper's stability check (Section V-A): how many of the
     cross-program top-[k] passes also sit in each program's own top-[k]
     (and top-[2k]) ranking. Returns the averages over programs. *)
-let stability ?metric ?(k = 10) (prepared_programs : Evaluation.prepared list)
-    (lr : level_ranking) =
+let stability ?engine ?metric ?(k = 10)
+    (prepared_programs : Evaluation.prepared list) (lr : level_ranking) =
   let global_top =
     List.filteri (fun i _ -> i < k) lr.lr_effects
     |> List.map (fun e -> e.pe_pass)
@@ -136,7 +159,7 @@ let stability ?metric ?(k = 10) (prepared_programs : Evaluation.prepared list)
   let per_program_hits =
     List.map
       (fun p ->
-        let _, incs = per_program_increments ?metric p lr.lr_config in
+        let _, incs = per_program_increments ?engine ?metric p lr.lr_config in
         let ranked =
           rank_positions incs
           |> List.sort (fun (_, a) (_, b) -> compare a b)

@@ -25,23 +25,17 @@ let dy_config (lr : Ranking.level_ranking) ~y : Config.t =
 
 type bench_run = { br_name : string; br_cost : int }
 
-(** Total VM cost of one benchmark under a configuration. The SPEC
-    analogs are closed programs; the median-of-three of the paper
-    degenerates to a single deterministic run here. *)
-let bench_cost (p : Suite_types.sprogram) (config : Config.t) =
-  let ast = Suite_types.ast p in
-  let roots = Suite_types.roots p in
-  let bin = Toolchain.compile ast ~config ~roots in
-  List.fold_left
-    (fun acc (h : Suite_types.harness) ->
-      let inputs = if h.Suite_types.h_seeds = [] then [ [] ] else h.Suite_types.h_seeds in
-      List.fold_left
-        (fun acc input ->
-          let r = Vm.run bin ~entry:h.Suite_types.h_entry ~input Vm.default_opts in
-          if r.Vm.timed_out then invalid_arg ("bench timed out: " ^ p.Suite_types.p_name);
-          acc + r.Vm.cost)
-        acc inputs)
-    0 p.Suite_types.p_harnesses
+(** Total VM cost of one benchmark under a configuration, cached on the
+    measurement engine ([BenchCost] jobs: the compile hits tier 1, the
+    VM run hits the .text-digest tier — two configurations producing
+    identical machine code never re-run the benchmark). The SPEC analogs
+    are closed programs; the median-of-three of the paper degenerates to
+    a single deterministic run here. *)
+let bench_cost ?engine (p : Suite_types.sprogram) (config : Config.t) =
+  let eng =
+    match engine with Some e -> e | None -> Measure_engine.default ()
+  in
+  Measure_engine.bench_cost eng p config
 
 type speedup_row = {
   sp_bench : string;
@@ -51,14 +45,14 @@ type speedup_row = {
 (** [speedups benches config] — per-benchmark speedup over O0 plus the
     geometric mean. O0 costs are computed on the fly; callers measuring
     many configurations should use {!speedups_cached}. *)
-let speedups_cached ~(o0_costs : (string * int) list)
+let speedups_cached ?engine ~(o0_costs : (string * int) list)
     (benches : Suite_types.sprogram list) (config : Config.t) =
   let rows =
     List.map
       (fun p ->
         let name = p.Suite_types.p_name in
         let base = List.assoc name o0_costs in
-        let c = bench_cost p config in
+        let c = bench_cost ?engine p config in
         {
           sp_bench = name;
           sp_speedup = float_of_int base /. float_of_int (max 1 c);
@@ -68,14 +62,15 @@ let speedups_cached ~(o0_costs : (string * int) list)
   let geo = Util.Stats.geomean (List.map (fun r -> r.sp_speedup) rows) in
   (rows, geo)
 
-let o0_costs (benches : Suite_types.sprogram list) =
+let o0_costs ?engine (benches : Suite_types.sprogram list) =
   List.map
     (fun p ->
-      (p.Suite_types.p_name, bench_cost p (Config.make Config.Gcc Config.O0)))
+      ( p.Suite_types.p_name,
+        bench_cost ?engine p (Config.make Config.Gcc Config.O0) ))
     benches
 
-let speedups benches config =
-  speedups_cached ~o0_costs:(o0_costs benches) benches config
+let speedups ?engine benches config =
+  speedups_cached ?engine ~o0_costs:(o0_costs ?engine benches) benches config
 
 (* -------------------------------------------------------------- *)
 (* Joint debug + performance measurement of a configuration         *)
@@ -87,17 +82,20 @@ type config_point = {
   cp_per_program : (string * float) list;
 }
 
-let measure_point (prepared_suite : Evaluation.prepared list)
+let measure_point ?engine (prepared_suite : Evaluation.prepared list)
     ~(o0_costs : (string * int) list) (benches : Suite_types.sprogram list)
     (config : Config.t) : config_point =
+  let eng =
+    match engine with Some e -> e | None -> Measure_engine.default ()
+  in
   let per_program =
     List.map
       (fun (p : Evaluation.prepared) ->
         ( p.Evaluation.program.Suite_types.p_name,
-          Evaluation.product p config ))
+          Measure_engine.product eng p config ))
       prepared_suite
   in
-  let _, geo = speedups_cached ~o0_costs benches config in
+  let _, geo = speedups_cached ~engine:eng ~o0_costs benches config in
   {
     cp_config = config;
     cp_debug = Util.Stats.mean (List.map snd per_program);

@@ -1,0 +1,293 @@
+(* Measurement-engine substrate: content-addressed memo tables with
+   observable counters, a deterministic Domain worker pool, and the
+   two-tier cached job API (see engine.mli for the contract). *)
+
+module Stats = struct
+  type counter = { hits : int; misses : int; dedups : int }
+
+  type cell = {
+    mutable c_hits : int;
+    mutable c_misses : int;
+    mutable c_dedups : int;
+  }
+
+  type event = [ `Hit | `Miss | `Dedup ]
+
+  type t = { mutex : Mutex.t; cells : (string, cell) Hashtbl.t }
+
+  let create () = { mutex = Mutex.create (); cells = Hashtbl.create 8 }
+
+  let locked t f =
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+  let cell t name =
+    match Hashtbl.find_opt t.cells name with
+    | Some c -> c
+    | None ->
+        let c = { c_hits = 0; c_misses = 0; c_dedups = 0 } in
+        Hashtbl.replace t.cells name c;
+        c
+
+  let bump t name (event : event) =
+    locked t (fun () ->
+        let c = cell t name in
+        match event with
+        | `Hit -> c.c_hits <- c.c_hits + 1
+        | `Miss -> c.c_misses <- c.c_misses + 1
+        | `Dedup -> c.c_dedups <- c.c_dedups + 1)
+
+  let snapshot t =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun name c acc ->
+            (name, { hits = c.c_hits; misses = c.c_misses; dedups = c.c_dedups })
+            :: acc)
+          t.cells []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+  let total t =
+    List.fold_left
+      (fun acc (_, c) ->
+        {
+          hits = acc.hits + c.hits;
+          misses = acc.misses + c.misses;
+          dedups = acc.dedups + c.dedups;
+        })
+      { hits = 0; misses = 0; dedups = 0 }
+      (snapshot t)
+end
+
+module Memo = struct
+  type 'a t = {
+    mutex : Mutex.t;
+    table : (string, 'a) Hashtbl.t;
+    stats : Stats.t option;
+    name : string;
+  }
+
+  let create ?stats ~name () =
+    { mutex = Mutex.create (); table = Hashtbl.create 64; stats; name }
+
+  let locked t f =
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+  let bump t event =
+    match t.stats with None -> () | Some s -> Stats.bump s t.name event
+
+  let find_opt t key = locked t (fun () -> Hashtbl.find_opt t.table key)
+
+  let add t key v =
+    locked t (fun () ->
+        if not (Hashtbl.mem t.table key) then Hashtbl.replace t.table key v)
+
+  (* The producer runs outside the lock so other domains can use the
+     table meanwhile; a concurrent duplicate computation of the same key
+     is harmless because producers are deterministic and [add] keeps the
+     first value. *)
+  let find_or_add t key produce =
+    match find_opt t key with
+    | Some v ->
+        bump t `Hit;
+        v
+    | None ->
+        bump t `Miss;
+        let v = produce () in
+        add t key v;
+        v
+
+  let length t = locked t (fun () -> Hashtbl.length t.table)
+end
+
+module Pool = struct
+  type t = { workers : int }
+
+  let recommended_workers () = min 16 (Domain.recommended_domain_count ())
+
+  let create ?(workers = 1) () = { workers = max 1 workers }
+
+  let workers t = t.workers
+
+  let map t f xs =
+    let n = List.length xs in
+    if t.workers <= 1 || n <= 1 then List.map f xs
+    else begin
+      let items = Array.of_list xs in
+      (* Each slot is written by exactly one domain (the one that claimed
+         its index) and read only after every join — no data race. *)
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (results.(i) <-
+               Some (try Ok (f items.(i)) with e -> Error e));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let domains =
+        List.init (min t.workers n) (fun _ -> Domain.spawn worker)
+      in
+      List.iter Domain.join domains;
+      (* Ordered reduction: walk the slots in input order, so the output
+         (and any table built from it) is identical to the sequential
+         run; the earliest input's exception wins, as List.map's would. *)
+      Array.to_list results
+      |> List.map (function
+           | Some (Ok r) -> r
+           | Some (Error e) -> raise e
+           | None -> assert false)
+    end
+end
+
+module type DOMAIN = sig
+  type config
+  type subject
+  type bench_subject
+  type binary
+  type trace
+  type metrics
+
+  val config_key : config -> string
+  val subject_ast_key : subject -> string
+  val subject_key : subject -> string
+  val bench_subject_key : bench_subject -> string
+  val binary_key : binary -> string
+  val binary_cost_key : binary -> string
+
+  val compile : subject -> config -> binary
+  val trace : subject -> binary -> trace
+  val metrics : subject -> binary -> trace -> metrics
+  val bench_compile : bench_subject -> config -> binary
+  val bench_run : bench_subject -> binary -> int
+end
+
+module Make (D : DOMAIN) = struct
+  type t = {
+    pool : Pool.t;
+    stats : Stats.t;
+    binaries : D.binary Memo.t;  (** tier 1: (AST digest, fingerprint) *)
+    bench_binaries : D.binary Memo.t;  (** tier 1 for benchmarks *)
+    traces : D.trace Memo.t;  (** tier 2: (subject digest, binary digest) *)
+    measures : D.metrics Memo.t;  (** tier 2 *)
+    costs : int Memo.t;  (** tier 2, keyed by the coarser cost key *)
+  }
+
+  type job =
+    | Compile of D.subject * D.config
+    | Trace of D.subject * D.config
+    | Measure of D.subject * D.config
+    | BenchCost of D.bench_subject * D.config
+
+  type result =
+    | Binary of D.binary
+    | Traced of D.trace * D.binary
+    | Measured of D.metrics * D.binary
+    | Cost of int
+
+  let create ?workers () =
+    let stats = Stats.create () in
+    {
+      pool = Pool.create ?workers ();
+      stats;
+      binaries = Memo.create ~stats ~name:"compile" ();
+      bench_binaries = Memo.create ~stats ~name:"bench-compile" ();
+      traces = Memo.create ~stats ~name:"trace" ();
+      measures = Memo.create ~stats ~name:"measure" ();
+      costs = Memo.create ~stats ~name:"bench-cost" ();
+    }
+
+  let tier1_key ast_key config = ast_key ^ "/" ^ D.config_key config
+
+  (* Tier-1 lookup that also reports whether the binary was freshly
+     compiled — a fresh compile whose binary digest already sits in a
+     tier-2 table is a *dedup* (the discard optimization firing), while
+     a tier-1 hit followed by a tier-2 hit is a plain cache hit. *)
+  let compile_tracked t subject config =
+    let key = tier1_key (D.subject_ast_key subject) config in
+    let fresh = ref false in
+    let bin =
+      Memo.find_or_add t.binaries key (fun () ->
+          fresh := true;
+          D.compile subject config)
+    in
+    (bin, !fresh)
+
+  let compile t subject config = fst (compile_tracked t subject config)
+
+  (* Tier-2 generic lookup with hit/dedup classification. [bin_key]
+     picks which binary digest keys the tier (full for debug-quality
+     results, code-only for execution cost). *)
+  let tier2 t (memo : _ Memo.t) ~subject_key ~bin_key ~bin ~fresh produce =
+    let key = subject_key ^ "@" ^ bin_key bin in
+    match Memo.find_opt memo key with
+    | Some v ->
+        Stats.bump t.stats memo.Memo.name (if fresh then `Dedup else `Hit);
+        v
+    | None ->
+        Stats.bump t.stats memo.Memo.name `Miss;
+        let v = produce () in
+        Memo.add memo key v;
+        v
+
+  let trace t subject config =
+    let bin, fresh = compile_tracked t subject config in
+    let tr =
+      tier2 t t.traces ~subject_key:(D.subject_key subject)
+        ~bin_key:D.binary_key ~bin ~fresh (fun () -> D.trace subject bin)
+    in
+    (tr, bin)
+
+  let measure t subject config =
+    let bin, fresh = compile_tracked t subject config in
+    let m =
+      tier2 t t.measures ~subject_key:(D.subject_key subject)
+        ~bin_key:D.binary_key ~bin ~fresh (fun () ->
+          (* The trace is transient: only its metrics are retained, so a
+             full-evaluation run holds one metrics record per distinct
+             binary, not one trace (traces are orders of magnitude
+             larger). Explicit [Trace] jobs do populate the trace
+             tier. *)
+          let tr =
+            match
+              Memo.find_opt t.traces
+                (D.subject_key subject ^ "@" ^ D.binary_key bin)
+            with
+            | Some tr -> tr
+            | None -> D.trace subject bin
+          in
+          D.metrics subject bin tr)
+    in
+    (m, bin)
+
+  let bench_cost t bench config =
+    let key = tier1_key (D.bench_subject_key bench) config in
+    let fresh = ref false in
+    let bin =
+      Memo.find_or_add t.bench_binaries key (fun () ->
+          fresh := true;
+          D.bench_compile bench config)
+    in
+    tier2 t t.costs ~subject_key:(D.bench_subject_key bench)
+      ~bin_key:D.binary_cost_key ~bin ~fresh:!fresh (fun () ->
+        D.bench_run bench bin)
+
+  let run t = function
+    | Compile (s, c) -> Binary (compile t s c)
+    | Trace (s, c) ->
+        let tr, bin = trace t s c in
+        Traced (tr, bin)
+    | Measure (s, c) ->
+        let m, bin = measure t s c in
+        Measured (m, bin)
+    | BenchCost (b, c) -> Cost (bench_cost t b c)
+
+  let map t f xs = Pool.map t.pool f xs
+  let workers t = Pool.workers t.pool
+  let stats t = t.stats
+  let memo t ~name () = Memo.create ~stats:t.stats ~name ()
+end

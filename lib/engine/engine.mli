@@ -1,0 +1,205 @@
+(** The measurement engine: content-addressed caching and deterministic
+    parallel execution for "measure (program, configuration)" jobs.
+
+    Every table of the paper's evaluation is assembled from the same
+    primitive — compile a program under a configuration, trace it, and
+    compute metrics — and the experiment drivers re-request identical
+    jobs thousands of times. This library is the shared substrate those
+    drivers run on:
+
+    - {!Stats}: named hit / miss / dedup counters, so the caching is
+      observable (surfaced by [bench/main.exe --stats]);
+    - {!Memo}: a mutex-protected content-addressed memo table (string
+      key -> value) with per-table counters;
+    - {!Pool}: an optional [Domain]-based worker pool with a
+      deterministic ordered reduction — results come back in input
+      order, so parallel runs print byte-identical tables;
+    - {!Make}: a functor turning domain operations (compile, trace,
+      metrics, benchmark) into a typed job API with a two-tier
+      content-addressed cache. Tier 1 is keyed by (subject content
+      digest, canonical configuration fingerprint) and stores compiled
+      binaries; tier 2 is keyed by a binary content digest and stores
+      traces / metrics / benchmark costs, generalizing the paper's
+      Section III-A ".text-identical discard" to every measurement in
+      the repository. The domain supplies two binary keys: a full one
+      for debug-quality results (identical .text can carry different
+      debug info, so metrics need the whole binary to agree) and a
+      possibly coarser one for execution cost (which depends on the
+      machine code alone).
+
+    The library is deliberately ignorant of the compiler model: it
+    depends on nothing but the standard library, and the concrete
+    instantiation lives in [Debugtuner.Measure_engine]. *)
+
+(** {1 Cache statistics} *)
+
+module Stats : sig
+  type t
+
+  type counter = {
+    hits : int;  (** result served from a cache tier *)
+    misses : int;  (** job actually executed *)
+    dedups : int;
+        (** tier-2 content collisions: a fresh compile whose binary
+            digest was already measured, served without re-tracing /
+            re-running *)
+  }
+
+  type event = [ `Hit | `Miss | `Dedup ]
+
+  val create : unit -> t
+
+  val bump : t -> string -> event -> unit
+  (** [bump t cache event] increments [event]'s counter of the named
+      cache. Domain-safe. *)
+
+  val snapshot : t -> (string * counter) list
+  (** Per-cache counters, sorted by cache name. *)
+
+  val total : t -> counter
+  (** Sum over every cache. *)
+end
+
+(** {1 Content-addressed memo tables} *)
+
+module Memo : sig
+  type 'a t
+
+  val create : ?stats:Stats.t -> name:string -> unit -> 'a t
+  (** A fresh table. When [stats] is given, lookups bump the counters
+      under [name]. *)
+
+  val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+  (** [find_or_add t key produce] returns the cached value for [key],
+      running [produce] (outside the table lock) on a miss. [produce]
+      must be deterministic in [key]: under parallel execution two
+      domains may race on the same key and the first inserted value
+      wins. *)
+
+  val find_opt : 'a t -> string -> 'a option
+  val add : 'a t -> string -> 'a -> unit
+  val length : 'a t -> int
+end
+
+(** {1 Deterministic worker pool} *)
+
+module Pool : sig
+  type t
+
+  val create : ?workers:int -> unit -> t
+  (** [workers <= 1] (the default) is the sequential fallback: [map] is
+      exactly [List.map]. *)
+
+  val recommended_workers : unit -> int
+  (** [Domain.recommended_domain_count], capped to a sane bound. *)
+
+  val workers : t -> int
+
+  val map : t -> ('a -> 'b) -> 'a list -> 'b list
+  (** Ordered parallel map: the result list matches the input order
+      element-for-element regardless of worker count or scheduling, so
+      any reduction over it is deterministic. Exceptions raised by [f]
+      are re-raised (the one attached to the earliest input wins). *)
+end
+
+(** {1 The typed job API} *)
+
+(** Domain operations the engine caches. All functions must be pure
+    (deterministic, no shared mutable state) — the repository's
+    compiler, tracer and VM qualify — and every [*_key] must be a
+    content address: equal keys imply interchangeable results. *)
+module type DOMAIN = sig
+  type config
+  type subject  (** a prepared test-suite program *)
+
+  type bench_subject  (** a benchmark program (no corpus needed) *)
+
+  type binary
+  type trace
+  type metrics
+
+  val config_key : config -> string
+  (** Canonical configuration fingerprint (order- and
+      duplicate-insensitive over disabled passes). *)
+
+  val subject_ast_key : subject -> string
+  (** Content digest of the compile inputs (AST + roots); tier-1 key
+      component. *)
+
+  val subject_key : subject -> string
+  (** Content digest of everything measurement depends on (AST + corpus
+      + baseline); tier-2 key component. *)
+
+  val bench_subject_key : bench_subject -> string
+
+  val binary_key : binary -> string
+  (** Content digest of the *whole* binary (machine code and debug
+      sections): the key of the trace and metrics tiers. Two binaries
+      sharing it must be interchangeable for any measurement. *)
+
+  val binary_cost_key : binary -> string
+  (** Key of the benchmark-cost tier. Execution cost depends on the
+      machine code alone, so this may be the (coarser) .text digest —
+      sharing costs between binaries that differ only in debug info. *)
+
+  val compile : subject -> config -> binary
+  val trace : subject -> binary -> trace
+  val metrics : subject -> binary -> trace -> metrics
+  val bench_compile : bench_subject -> config -> binary
+  val bench_run : bench_subject -> binary -> int
+end
+
+module Make (D : DOMAIN) : sig
+  type t
+
+  (** The four job kinds of the measurement engine. *)
+  type job =
+    | Compile of D.subject * D.config
+    | Trace of D.subject * D.config
+    | Measure of D.subject * D.config
+    | BenchCost of D.bench_subject * D.config
+
+  type result =
+    | Binary of D.binary
+    | Traced of D.trace * D.binary
+    | Measured of D.metrics * D.binary
+    | Cost of int
+
+  val create : ?workers:int -> unit -> t
+  (** A fresh engine: empty caches, zeroed counters, and a worker pool
+      of the given size (default 1 = sequential). *)
+
+  val run : t -> job -> result
+
+  (** Typed wrappers over {!run}: *)
+
+  val compile : t -> D.subject -> D.config -> D.binary
+  (** Tier-1 cached: keyed by (subject AST digest, config
+      fingerprint). *)
+
+  val trace : t -> D.subject -> D.config -> D.trace * D.binary
+  (** Tier-2 cached: keyed by (subject digest, binary digest). *)
+
+  val measure : t -> D.subject -> D.config -> D.metrics * D.binary
+  (** Tier-2 cached. Two configurations of the same subject whose
+      binaries share a content digest share one metrics object — the
+      engine-wide generalization of the paper's discard optimization. *)
+
+  val bench_cost : t -> D.bench_subject -> D.config -> int
+  (** Tier-1 cached compile, tier-2 cached cost keyed by
+      {!DOMAIN.binary_cost_key} (same .text, same cost — the benchmark
+      never re-runs). *)
+
+  val map : t -> ('a -> 'b) -> 'a list -> 'b list
+  (** The engine's pool, see {!Pool.map}. Caches are domain-safe, so
+      [f] may issue engine jobs. *)
+
+  val workers : t -> int
+  val stats : t -> Stats.t
+
+  val memo : t -> name:string -> (unit -> 'a Memo.t)
+  (** [memo t ~name ()] is a fresh memo table wired to this engine's
+      counters — for derived results (rankings, trade-off points,
+      speedup rows) that are keyed by configuration fingerprint but
+      computed outside the four core job kinds. *)
+end

@@ -13,6 +13,7 @@ let () =
       ("fuzz", Test_fuzz.tests);
       ("suite", Test_suite_programs.tests);
       ("toolchain", Test_toolchain.tests);
+      ("engine", Test_engine.tests);
       ("autofdo", Test_autofdo.tests);
       ("extensions", Test_extensions.tests);
       ("sweep", Test_disabled_configs.tests);
