@@ -7,6 +7,9 @@
      dune exec bench/main.exe -- --micro -- also run micro-benchmarks
      dune exec bench/main.exe -- --synth 120  -- more Table I programs
      dune exec bench/main.exe -- --stats      -- engine cache counters
+     dune exec bench/main.exe -- --sanitize   -- pass-boundary sanitizer
+                                   on for every compile (counters show
+                                   under --stats as sanitize:<pass>)
      dune exec bench/main.exe -- --json out.json  -- machine-readable
                                    timings + cache stats
      dune exec bench/main.exe -- --jobs 4     -- engine worker pool
@@ -216,6 +219,9 @@ let () =
     | "--synth" :: n :: rest ->
         parse only micro (int_of_string n) stats json jobs rest
     | "--stats" :: rest -> parse only micro synth true json jobs rest
+    | "--sanitize" :: rest ->
+        Sanitize.enabled := true;
+        parse only micro synth stats json jobs rest
     | "--json" :: file :: rest ->
         parse only micro synth stats (Some file) jobs rest
     | "--jobs" :: n :: rest ->

@@ -647,6 +647,88 @@ let debug_cmd =
       $ entry_arg $ script_arg $ commands_arg)
 
 (* ------------------------------------------------------------------ *)
+(* check: pipeline sanitizer + differential oracle                      *)
+
+let check_cmd =
+  let fuzz_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "fuzz" ] ~docv:"N"
+          ~doc:
+            "Also run $(docv) synthetic programs through the differential \
+             matrix (in addition to the suite).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "s"; "seed" ] ~docv:"SEED"
+          ~doc:"First seed for the synthetic programs.")
+  in
+  let suite_arg =
+    Arg.(
+      value & flag
+      & info [ "no-suite" ]
+          ~doc:"Skip the built-in suite; only run the --fuzz programs.")
+  in
+  let one_program_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "p"; "program" ] ~docv:"PROGRAM"
+          ~doc:"Check only this program (name or MiniC file path).")
+  in
+  let run program fuzz seed no_suite =
+    let reports = ref [] in
+    (match program with
+    | Some name ->
+        let p = find_program name in
+        Printf.printf "checking %s across O0-O3 x {gcc, clang}...\n%!"
+          p.Suite_types.p_name;
+        let failures, (runs, skipped) = Diff_oracle.check_program p in
+        reports :=
+          [
+            {
+              Diff_oracle.r_programs = 1;
+              r_configs = List.length (Diff_oracle.configs ());
+              r_runs = runs;
+              r_skipped = skipped;
+              r_failures = failures;
+            };
+          ]
+    | None ->
+        if not no_suite then begin
+          Printf.printf
+            "checking the suite across O0-O3 x {gcc, clang} (sanitizer \
+             on)...\n%!";
+          reports := [ Diff_oracle.check_suite () ]
+        end);
+    if fuzz > 0 then begin
+      Printf.printf "fuzzing %d synthetic program(s) from seed %d...\n%!" fuzz
+        seed;
+      reports := !reports @ [ Diff_oracle.fuzz ~count:fuzz ~seed ]
+    end;
+    List.iter (fun r -> print_endline (Diff_oracle.report_to_string r)) !reports;
+    (match Sanitize.counters () with
+    | [] -> ()
+    | cs ->
+        Printf.printf "sanitizer boundaries validated:\n";
+        List.iter
+          (fun (pass, checks, failures) ->
+            Printf.printf "  %-26s %7d checked %s\n" pass checks
+              (if failures = 0 then ""
+               else Printf.sprintf "%d FAILED" failures))
+          cs);
+    if not (List.for_all Diff_oracle.clean !reports) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the pipeline sanitizer and the differential oracle: every \
+          program is interpreted (ground truth) and executed at O0-O3 under \
+          both pipelines with per-pass checking on; failing synthetic \
+          programs are shrunk before reporting. Exits 1 on any failure.")
+    Term.(const run $ one_program_arg $ fuzz_arg $ seed_arg $ suite_arg)
+
+(* ------------------------------------------------------------------ *)
 (* passes / suite / run                                                *)
 
 let passes_cmd =
@@ -721,4 +803,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; measure_cmd; rank_cmd; tune_cmd; passes_cmd; suite_cmd; run_cmd; trace_cmd; dump_cmd; verify_cmd; debug_cmd; dwarf_size_cmd; disasm_cmd; profile_cmd; pass_trace_cmd; value_check_cmd ]))
+          [ compile_cmd; measure_cmd; rank_cmd; tune_cmd; passes_cmd; suite_cmd; run_cmd; trace_cmd; dump_cmd; verify_cmd; debug_cmd; dwarf_size_cmd; disasm_cmd; profile_cmd; pass_trace_cmd; value_check_cmd; check_cmd ]))

@@ -1,0 +1,20 @@
+#!/bin/sh
+# CI entry point: build, run the tier-1 test suite, then smoke the
+# pipeline with the differential oracle — 100 synthetic programs at a
+# fixed seed, compiled at O0-O3 under both pipelines with the
+# pass-boundary sanitizer on, executed on the VM and diffed against the
+# source interpreter. Fully deterministic: two runs produce identical
+# output.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== differential fuzz smoke (100 programs, seed 1) =="
+dune exec bin/debugtuner_cli.exe -- check --fuzz 100 --seed 1
+
+echo "== ci green =="

@@ -429,10 +429,32 @@ let shrink_wrap (m : Mach.mfn) =
 
 (* ------------------------------------------------------------------ *)
 
-(** Apply the machine passes selected in [opts]. *)
-let run (m : Mach.mfn) (opts : Mach.opts) =
-  if opts.Mach.sink then sink m;
-  if opts.Mach.schedule then schedule ~keep_lines:opts.Mach.sched_keep_lines m;
-  if opts.Mach.tail_merge then tail_merge_all m;
-  if opts.Mach.place_blocks then place_blocks m;
-  if opts.Mach.shrink_wrap then shrink_wrap m
+(** The machine passes selected in [opts], in execution order, as
+    [(name, pass)] pairs — the names match what a sanitizer or tracer
+    wants to report. *)
+let passes (opts : Mach.opts) : (string * (Mach.mfn -> unit)) list =
+  List.concat
+    [
+      (if opts.Mach.sink then [ ("mach-sink", sink) ] else []);
+      (if opts.Mach.schedule then
+         [
+           ( "mach-schedule",
+             schedule ~keep_lines:opts.Mach.sched_keep_lines );
+         ]
+       else []);
+      (if opts.Mach.tail_merge then [ ("mach-tail-merge", tail_merge_all) ]
+       else []);
+      (if opts.Mach.place_blocks then [ ("mach-place-blocks", place_blocks) ]
+       else []);
+      (if opts.Mach.shrink_wrap then [ ("mach-shrink-wrap", shrink_wrap) ]
+       else []);
+    ]
+
+(** Apply the machine passes selected in [opts]. [on_pass name m] is
+    invoked after each executed pass (sanitizer hook). *)
+let run ?(on_pass = fun _ _ -> ()) (m : Mach.mfn) (opts : Mach.opts) =
+  List.iter
+    (fun (name, pass) ->
+      pass m;
+      on_pass name m)
+    (passes opts)

@@ -36,7 +36,9 @@ let create ?(synth_count = 40) ?workers () =
 
 let suite ctx = ctx.suite
 let engine ctx = ctx.engine
-let engine_stats ctx = Engine.Stats.snapshot (Measure_engine.stats ctx.engine)
+let engine_stats ctx =
+  Engine.Stats.snapshot (Measure_engine.stats ctx.engine)
+  @ Measure_engine.sanitizer_stats ()
 
 let synth_programs ctx =
   match ctx.synth with

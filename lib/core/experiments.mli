@@ -24,7 +24,8 @@ val engine : ctx -> Measure_engine.t
 
 val engine_stats : ctx -> (string * Engine.Stats.counter) list
 (** Per-cache hit / miss / dedup counters of the context's engine,
-    sorted by cache name. *)
+    sorted by cache name, followed by the per-pass sanitizer counters
+    ([sanitize:<pass>]) when compiles ran with the sanitizer on. *)
 
 val synth_programs : ctx -> Evaluation.prepared list
 

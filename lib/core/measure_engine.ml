@@ -77,3 +77,10 @@ let default () = Lazy.force default_instance
 (** The paper's headline number for a configuration, engine-cached. *)
 let product t prepared config =
   (fst (measure t prepared config)).Metrics.m_hybrid.Metrics.product
+
+let sanitizer_stats () =
+  List.map
+    (fun (pass, checks, failures) ->
+      ( "sanitize:" ^ pass,
+        { Engine.Stats.hits = checks; misses = failures; dedups = 0 } ))
+    (Sanitize.counters ())

@@ -60,6 +60,13 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 val workers : t -> int
 val stats : t -> Engine.Stats.t
 
+val sanitizer_stats : unit -> (string * Engine.Stats.counter) list
+(** Per-pass sanitizer counters ({!Sanitize.counters}) in the engine's
+    counter shape — [hits] = boundaries validated, [misses] = invariant
+    failures — named ["sanitize:<pass>"] so they interleave with the
+    cache counters in [bench --stats] output. Empty unless compiles ran
+    with the sanitizer on ([--sanitize] / [~sanitize:true]). *)
+
 val memo : t -> name:string -> (unit -> 'a Engine.Memo.t)
 (** A fresh memo table wired to this engine's counters, for derived
     results keyed by {!Config.fingerprint} (rankings, trade-off points,

@@ -330,9 +330,16 @@ let pass_names (c : Config.t) =
 (** [compile ?profile src_program ~config ~roots] produces a binary.
     [roots] lists entry functions that must survive (harness entries).
     [entry_values] and [sched_keep_lines] override the compiler-family
-    defaults (ablation hooks). *)
-let compile ?profile ?entry_values ?sched_keep_lines
+    defaults (ablation hooks).
+
+    [sanitize] (default: the global [Sanitize.enabled] gate) revalidates
+    the program at every pass boundary — CFG/SSA structure, dominance
+    and liveness consistency, debug-info monotonicity, and finally the
+    emitted binary's debug records. A violation raises
+    [Sanitize.Check_failed] naming the offending pass. *)
+let compile ?profile ?entry_values ?sched_keep_lines ?sanitize
     (src : Minic.Ast.program) ~(config : Config.t) ~roots : Emit.binary =
+  let sanitize = Option.value ~default:!Sanitize.enabled sanitize in
   let prog = Lower.lower_program src in
   let env =
     {
@@ -344,10 +351,21 @@ let compile ?profile ?entry_values ?sched_keep_lines
     }
   in
   let mach_opts = ref Mach.opts_o0 in
+  (* The sanitizer threads a debug-info snapshot from boundary to
+     boundary so a pass that *grows* the line/variable sets is caught.
+     The freshly lowered program routes merges through slots, so the
+     dominance check only starts after SSA construction. *)
+  let ir_snap = ref None in
+  let sanitize_ir ?ssa pass =
+    if sanitize then
+      ir_snap := Some (Sanitize.check_ir ?prev:!ir_snap ?ssa ~pass prog)
+  in
+  sanitize_ir ~ssa:false "lower";
   if config.Config.level <> Config.O0 then begin
     (* into-ssa: neither compiler lets you opt out of SSA construction. *)
     Hashtbl.iter (fun _ fn -> Mem2reg.run fn) prog.Ir.funcs;
     Cleanup.run_program prog;
+    sanitize_ir "mem2reg";
     (* clang's register allocator always coalesces and shares stack
        slots and shrink-wraps; gcc exposes these as flags. *)
     (if config.Config.compiler = Config.Clang then
@@ -365,7 +383,8 @@ let compile ?profile ?entry_values ?sched_keep_lines
         match e with
         | Ir_pass (name, f) when Config.enabled config name ->
             f env;
-            Cleanup.run_program prog
+            Cleanup.run_program prog;
+            sanitize_ir name
         | Backend_flag (name, f) when Config.enabled config name ->
             mach_opts := f !mach_opts
         | Ir_pass _ | Backend_flag _ -> ())
@@ -388,7 +407,12 @@ let compile ?profile ?entry_values ?sched_keep_lines
     List.map
       (fun fn ->
         let m = Isel.translate_fn fn !mach_opts in
-        Mach_passes.run m !mach_opts;
+        if sanitize then begin
+          let snap = ref (Sanitize.check_mach ~pass:"isel" m) in
+          Mach_passes.run m !mach_opts ~on_pass:(fun pass m ->
+              snap := Sanitize.check_mach ~prev:!snap ~pass m)
+        end
+        else Mach_passes.run m !mach_opts;
         m)
       fns
   in
@@ -398,8 +422,12 @@ let compile ?profile ?entry_values ?sched_keep_lines
     | None ->
         config.Config.compiler = Config.Gcc && config.Config.level <> Config.O0
   in
-  Emit.emit ~icf:!mach_opts.Mach.icf ~entry_values
-    { Mach.mfuncs; mglobals = prog.Ir.prog_globals }
+  let bin =
+    Emit.emit ~icf:!mach_opts.Mach.icf ~entry_values
+      { Mach.mfuncs; mglobals = prog.Ir.prog_globals }
+  in
+  if sanitize then Sanitize.check_binary ~pass:"emit" bin;
+  bin
 
 (* ------------------------------------------------------------------ *)
 (* Pipeline tracing                                                    *)

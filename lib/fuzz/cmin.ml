@@ -5,6 +5,44 @@
     covered by the kept set. The kept subset covers exactly the same
     edges as the full corpus. *)
 
+(* ------------------------------------------------------------------ *)
+(* Generic delta-debugging list reduction                              *)
+
+(** [shrink_list ~still_interesting items] greedily reduces [items] to a
+    smaller list for which [still_interesting] holds — classic
+    ddmin-style chunk removal with halving granularity, used by the
+    differential oracle to shrink a failing synthetic program to a
+    reportable reproducer. [still_interesting items] must be true on
+    entry; the result also satisfies it. Deterministic: no randomness,
+    chunks are tried front to back. *)
+let shrink_list ~(still_interesting : 'a list -> bool) (items : 'a list) :
+    'a list =
+  let remove_chunk l ~start ~len =
+    List.filteri (fun i _ -> i < start || i >= start + len) l
+  in
+  let rec at_granularity cur chunk =
+    if chunk < 1 then cur
+    else begin
+      let n = List.length cur in
+      let rec sweep cur start shrunk =
+        if start >= List.length cur then (cur, shrunk)
+        else
+          let cand = remove_chunk cur ~start ~len:chunk in
+          if List.length cand < List.length cur && still_interesting cand then
+            sweep cand start true
+          else sweep cur (start + chunk) shrunk
+      in
+      let cur, shrunk = sweep cur 0 false in
+      if shrunk && chunk <= n then at_granularity cur chunk
+      else at_granularity cur (chunk / 2)
+    end
+  in
+  let n = List.length items in
+  if n = 0 then items else at_granularity items (max 1 (n / 2))
+
+(* ------------------------------------------------------------------ *)
+(* Coverage-preserving corpus minimization                             *)
+
 type stats = { kept : int list list; original : int; reduction_pct : float }
 
 let minimize (bin : Emit.binary) ~entry (corpus : int list list) : stats =

@@ -31,8 +31,12 @@ let run_input bin ~entry input =
   Vm.run bin ~entry ~input
     { Vm.default_opts with coverage = true; max_instrs = 300_000 }
 
+(* Sorted: Hashtbl.fold order depends on the table's internal layout
+   (insertion order, resizes, and the hash seed under randomized
+   hashing), which would make corpus growth — and so every downstream
+   fuzz verdict — run-dependent. *)
 let edges_of (res : Vm.result) =
-  Hashtbl.fold (fun e _ acc -> e :: acc) res.Vm.edges []
+  List.sort compare (Hashtbl.fold (fun e _ acc -> e :: acc) res.Vm.edges [])
 
 let mutate rng (data : int list) =
   let arr = Array.of_list data in

@@ -238,6 +238,36 @@ let run (fn : Ir.fn) =
                            carry only one phi value; bail if a repair
                            would need two. *)
                         && (not (already_edge0 && escaped <> []))
+                        (* A repair phi's argument for a target pred
+                           other than the new edge is the escaped value
+                           itself, defined in [l] — only valid if [l]
+                           dominates that pred. The new edge
+                           pred->target can itself break that dominance
+                           (a path now bypasses [l]), so probe the CFG
+                           as it will be after retargeting. *)
+                        && (escaped = []
+                           || begin
+                                let pb = Ir.block fn pred in
+                                let saved = pb.Ir.term in
+                                let redirect x = if x = l then target else x in
+                                pb.Ir.term <-
+                                  (match saved with
+                                  | Ir.Br x -> Ir.Br (redirect x)
+                                  | Ir.Cbr (c, x, y) ->
+                                      Ir.Cbr (c, redirect x, redirect y)
+                                  | Ir.Ret _ as t -> t);
+                                Ir.recompute_preds fn;
+                                let dom2 = Dom.compute fn in
+                                let ok =
+                                  List.for_all
+                                    (fun tp ->
+                                      tp = pred || Dom.dominates dom2 l tp)
+                                    (Ir.block fn target).Ir.preds
+                                in
+                                pb.Ir.term <- saved;
+                                Ir.recompute_preds fn;
+                                ok
+                              end)
                         && List.for_all
                              (fun (p : Ir.phi) ->
                                classify_uses fn dom ~b_label:l ~target

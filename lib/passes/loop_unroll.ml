@@ -21,6 +21,79 @@ let unroll_block (fn : Ir.fn) (l : Ir.label) =
       in
       if body_size > 30 then false
       else begin
+        (* ---- escape analysis, before any mutation ----
+           Loop definitions used outside need a merge phi in the exit
+           block, and that phi must cover EVERY exit-block predecessor:
+           - the loop and its copy carry the two iterations' values;
+           - a pred on a cycle through the exit (e.g. a sibling inner
+             loop) carries the previous merge — the phi's own value —
+             which is valid SSA only if the exit dominates that pred;
+           - an entry-side pred (a loop guard's bypass edge) can never
+             carry an observable value (any path from it to a use must
+             re-enter this loop and re-cross the exit), so it gets a
+             dead 0.
+           Bail out entirely when the self-referential case would break
+           dominance. *)
+        let loop_defs =
+          List.map (fun (p : Ir.phi) -> p.Ir.p_dst) b.Ir.phis
+          @ List.concat_map
+              (fun (i : Ir.instr) -> Ir.def_of_ikind i.Ir.ik)
+              b.Ir.instrs
+        in
+        let used_outside_loop d =
+          let found = ref false in
+          Ir.iter_blocks fn (fun ob ->
+              if ob.Ir.b_label <> l then begin
+                let check r = if r = d then found := true in
+                List.iter
+                  (fun (q : Ir.phi) ->
+                    List.iter
+                      (fun (pl, o) ->
+                        if pl <> l then List.iter check (Ir.operand_uses o))
+                      q.Ir.p_args)
+                  ob.Ir.phis;
+                List.iter
+                  (fun (i : Ir.instr) ->
+                    List.iter check (Ir.uses_of_ikind i.Ir.ik))
+                  ob.Ir.instrs;
+                List.iter check (Ir.term_uses ob.Ir.term)
+              end);
+          !found
+        in
+        let escaping = List.filter used_outside_loop loop_defs in
+        let exit_extra_preds =
+          Hashtbl.fold
+            (fun pl (pb : Ir.block) acc ->
+              if pl <> l && List.mem exit_l (Ir.succs pb.Ir.term) then
+                pl :: acc
+              else acc)
+            fn.Ir.blocks []
+          |> List.sort compare
+        in
+        let reach_exit = Hashtbl.create 16 in
+        let rec mark x =
+          if not (Hashtbl.mem reach_exit x) then begin
+            Hashtbl.replace reach_exit x ();
+            match Hashtbl.find_opt fn.Ir.blocks x with
+            | Some xb -> List.iter mark (Ir.succs xb.Ir.term)
+            | None -> ()
+          end
+        in
+        mark exit_l;
+        let escape_plan_ok =
+          escaping = [] || exit_extra_preds = []
+          || begin
+               Ir.recompute_preds fn;
+               let dom = Dom.compute fn in
+               List.for_all
+                 (fun p ->
+                   (not (Hashtbl.mem reach_exit p))
+                   || Dom.dominates dom exit_l p)
+                 exit_extra_preds
+             end
+        in
+        if not escape_plan_ok then false
+        else begin
         let map : (Ir.reg, Ir.operand) Hashtbl.t = Hashtbl.create 16 in
         (* Iteration-1 values of the phis are their back-edge arguments. *)
         List.iter
@@ -76,56 +149,35 @@ let unroll_block (fn : Ir.fn) (l : Ir.label) =
                   @ [ (l2.Ir.b_label, Ir.subst_operand (Hashtbl.find_opt map) v) ]
             | None -> ())
           (Ir.block fn exit_l).Ir.phis;
-        (* Loop definitions used outside the loop by dominance (no phi in
-           the exit) must now merge the two iterations' values there: the
-           single-block loop's only exit edge targets [exit_l], so the
-           exit dominates every external use. *)
-        let loop_defs =
-          List.map (fun (p : Ir.phi) -> p.Ir.p_dst) b.Ir.phis
-          @ List.concat_map
-              (fun (i : Ir.instr) -> Ir.def_of_ikind i.Ir.ik)
-              b.Ir.instrs
-        in
+        (* Merge the two iterations' values of every escaping definition
+           in the exit block, per the pre-mutation escape plan. *)
         let escape_subst = Hashtbl.create 4 in
         let outside_block ob =
           ob.Ir.b_label <> l && ob.Ir.b_label <> l2.Ir.b_label
         in
         List.iter
           (fun d ->
-            let used_outside = ref false in
-            Ir.iter_blocks fn (fun ob ->
-                if outside_block ob then begin
-                  let check r = if r = d then used_outside := true in
-                  List.iter
-                    (fun (q : Ir.phi) ->
-                      List.iter
-                        (fun (pl, o) ->
-                          if pl <> l && pl <> l2.Ir.b_label then
-                            List.iter check (Ir.operand_uses o))
-                        q.Ir.p_args)
-                    ob.Ir.phis;
-                  List.iter
-                    (fun (i : Ir.instr) ->
-                      List.iter check (Ir.uses_of_ikind i.Ir.ik))
-                    ob.Ir.instrs;
-                  List.iter check (Ir.term_uses ob.Ir.term)
-                end);
-            if !used_outside then begin
-              let merged = Ir.fresh_reg fn in
-              let from_copy =
-                Ir.subst_operand (Hashtbl.find_opt map) (Ir.Reg d)
-              in
-              (Ir.block fn exit_l).Ir.phis <-
-                (Ir.block fn exit_l).Ir.phis
-                @ [
-                    {
-                      Ir.p_dst = merged;
-                      p_args = [ (l, Ir.Reg d); (l2.Ir.b_label, from_copy) ];
-                    };
-                  ];
-              Hashtbl.replace escape_subst d (Ir.Reg merged)
-            end)
-          loop_defs;
+            let merged = Ir.fresh_reg fn in
+            let from_copy =
+              Ir.subst_operand (Hashtbl.find_opt map) (Ir.Reg d)
+            in
+            (Ir.block fn exit_l).Ir.phis <-
+              (Ir.block fn exit_l).Ir.phis
+              @ [
+                  {
+                    Ir.p_dst = merged;
+                    p_args =
+                      [ (l, Ir.Reg d); (l2.Ir.b_label, from_copy) ]
+                      @ List.map
+                          (fun pl ->
+                            ( pl,
+                              if Hashtbl.mem reach_exit pl then Ir.Reg merged
+                              else Ir.Imm 0 ))
+                          exit_extra_preds;
+                  };
+                ];
+            Hashtbl.replace escape_subst d (Ir.Reg merged))
+          escaping;
         if Hashtbl.length escape_subst > 0 then
           Ir.iter_blocks fn (fun ob ->
               if outside_block ob then begin
@@ -157,6 +209,7 @@ let unroll_block (fn : Ir.fn) (l : Ir.label) =
             fn.Ir.layout;
         Ir.recompute_preds fn;
         true
+        end
       end
   | _ -> false
 

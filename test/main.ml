@@ -26,4 +26,6 @@ let () =
       ("properties", Test_properties.tests);
       ("dwarf-encode", Test_dwarf_encode.tests);
       ("value-oracle", Test_value_oracle.tests);
+      ("sanitizer", Test_check.tests);
+      ("differential", Test_differential.tests);
     ]

@@ -78,9 +78,53 @@ let test_trace_prune_preserves_lines () =
   Alcotest.(check bool) "pruned something" true
     (List.length pruned < List.length corpus)
 
+let test_edges_sorted () =
+  (* Regression: edges_of folded a Hashtbl directly, so the edge list —
+     and everything keyed off it — depended on the table's layout.
+     It must come back sorted, and byte-identically across runs. *)
+  let bin = Lazy.force branchy in
+  let r = Fuzzer.run_input bin ~entry:"main" [ 1; 2; 42; 2000; -5 ] in
+  let e = Fuzzer.edges_of r in
+  Alcotest.(check bool) "non-empty" true (e <> []);
+  Alcotest.(check bool) "sorted" true (List.sort compare e = e);
+  let r2 = Fuzzer.run_input bin ~entry:"main" [ 1; 2; 42; 2000; -5 ] in
+  Alcotest.(check bool) "reproducible" true (Fuzzer.edges_of r2 = e)
+
+let test_fuzz_byte_reproducible () =
+  (* Stronger than test_fuzzer_deterministic: the corpora must match
+     entry for entry, not just in size. *)
+  let bin = Lazy.force branchy in
+  let go () =
+    Fuzzer.fuzz bin ~entry:"main" ~seeds:[ [ 1 ] ] ~budget:200 ~seed:9
+  in
+  let data r =
+    List.map (fun (c : Fuzzer.corpus_entry) -> c.Fuzzer.data) r.Fuzzer.corpus
+  in
+  Alcotest.(check (list (list int))) "identical corpora" (data (go ()))
+    (data (go ()))
+
+let test_shrink_list () =
+  (* ddmin over a list: keep only what the predicate needs. *)
+  let calls = ref 0 in
+  let needs l = incr calls; List.mem 7 l && List.mem 13 l in
+  let items = List.init 30 (fun i -> i) in
+  let out = Cmin.shrink_list ~still_interesting:needs items in
+  Alcotest.(check (list int)) "1-minimal" [ 7; 13 ] out;
+  let c1 = !calls in
+  calls := 0;
+  let out2 = Cmin.shrink_list ~still_interesting:needs items in
+  Alcotest.(check (list int)) "deterministic" out out2;
+  Alcotest.(check int) "same call count" c1 !calls;
+  Alcotest.(check (list int)) "empty ok" []
+    (Cmin.shrink_list ~still_interesting:(fun _ -> true) [])
+
 let tests =
   [
     Alcotest.test_case "fuzzer deterministic" `Quick test_fuzzer_deterministic;
+    Alcotest.test_case "edges_of sorted + reproducible" `Quick test_edges_sorted;
+    Alcotest.test_case "fuzz corpus byte-reproducible" `Quick
+      test_fuzz_byte_reproducible;
+    Alcotest.test_case "shrink_list ddmin" `Quick test_shrink_list;
     Alcotest.test_case "fuzzer finds branches" `Quick test_fuzzer_finds_branches;
     Alcotest.test_case "mutation shapes" `Quick test_fuzzer_mutation_shapes;
     Alcotest.test_case "cmin preserves edges" `Quick test_cmin_preserves_edges;
