@@ -6,16 +6,23 @@
      dune exec bench/main.exe -- --only table5 fig3
      dune exec bench/main.exe -- --micro -- also run micro-benchmarks
      dune exec bench/main.exe -- --synth 120  -- more Table I programs
-     dune exec bench/main.exe -- --stats      -- engine cache counters
+     dune exec bench/main.exe -- --stats      -- unified counter table
+                                   (engine caches + sanitizer + obs)
      dune exec bench/main.exe -- --sanitize   -- pass-boundary sanitizer
                                    on for every compile (counters show
-                                   under --stats as sanitize:<pass>)
+                                   under --stats as sanitize/<pass>/...)
      dune exec bench/main.exe -- --json out.json  -- machine-readable
-                                   timings + cache stats
+                                   timings + counter table
      dune exec bench/main.exe -- --jobs 4     -- engine worker pool
+     dune exec bench/main.exe -- --trace out.json -- Chrome trace_event
+                                   JSON of every span (chrome://tracing)
+     dune exec bench/main.exe -- --profile    -- sorted self-time report
 
-   Output is deterministic for a given --synth value, including under
-   --jobs > 1 (the engine's parallel reduction is ordered). *)
+   The shared switches (--stats/--json/--jobs/--sanitize/--trace/
+   --profile) are declared once in Util.Cliopts and mean the same thing
+   under `debugtuner_cli`. Output is deterministic for a given --synth
+   value, including under --jobs > 1 (the engine's parallel reduction
+   is ordered). *)
 
 module E = Debugtuner.Experiments
 
@@ -148,23 +155,17 @@ let run_micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
-(* Engine cache statistics and machine-readable output                 *)
+(* Unified counter table and machine-readable output                   *)
 
-let stats_lines ctx =
-  List.filter_map
-    (fun (name, (c : Engine.Stats.counter)) ->
-      if c.Engine.Stats.hits + c.Engine.Stats.misses + c.Engine.Stats.dedups = 0
-      then None
-      else
-        Some
-          (Printf.sprintf "%-14s hits=%-6d misses=%-6d dedups=%d" name
-             c.Engine.Stats.hits c.Engine.Stats.misses c.Engine.Stats.dedups))
-    (E.engine_stats ctx)
+(* One stats path: engine caches, sanitizer boundaries and obs counters
+   all flow through Measure_engine.stats_table and render with the
+   shared Util.Cliopts key/value formatters, text and JSON alike. *)
+let counter_table ctx =
+  Debugtuner.Measure_engine.stats_table (E.engine ctx)
 
 let print_stats ctx =
-  print_endline "== Engine cache statistics (hit = cache tier served the job;";
-  print_endline "   dedup = fresh compile discarded against an identical binary) ==";
-  List.iter print_endline (stats_lines ctx);
+  print_endline "== Counters (engine caches / sanitizer / obs) ==";
+  List.iter print_endline (Util.Cliopts.kv_lines (counter_table ctx));
   print_newline ()
 
 (* Hand-rolled JSON: flat structure, only strings / numbers, no
@@ -177,12 +178,8 @@ let write_json file ctx ~synth ~workers =
       !timings
   in
   let stat_fields =
-    List.map
-      (fun (name, (c : Engine.Stats.counter)) ->
-        Printf.sprintf
-          "    {\"cache\": %S, \"hits\": %d, \"misses\": %d, \"dedups\": %d}"
-          name c.Engine.Stats.hits c.Engine.Stats.misses c.Engine.Stats.dedups)
-      (E.engine_stats ctx)
+    List.map (fun row -> "    " ^ row)
+      (Util.Cliopts.kv_json_rows (counter_table ctx))
   in
   Buffer.add_string b "{\n";
   Buffer.add_string b (Printf.sprintf "  \"synth\": %d,\n" synth);
@@ -193,18 +190,19 @@ let write_json file ctx ~synth ~workers =
   Buffer.add_string b "  \"timings\": [\n";
   Buffer.add_string b (String.concat ",\n" timing_fields);
   Buffer.add_string b "\n  ],\n";
-  Buffer.add_string b "  \"engine\": [\n";
+  Buffer.add_string b "  \"stats\": [\n";
   Buffer.add_string b (String.concat ",\n" stat_fields);
   Buffer.add_string b "\n  ]\n}\n";
   let oc = open_out file in
   output_string oc (Buffer.contents b);
   close_out oc;
-  Printf.printf "[timings + engine stats written to %s]\n%!" file
+  Printf.printf "[timings + counter table written to %s]\n%!" file
 
 let () =
-  let args = Array.to_list Sys.argv in
-  let rec parse only micro synth stats json jobs = function
-    | [] -> (only, micro, synth, stats, json, jobs)
+  let common = Util.Cliopts.defaults () in
+  let rest = Util.Cliopts.parse common (List.tl (Array.to_list Sys.argv)) in
+  let rec parse only micro synth = function
+    | [] -> (only, micro, synth)
     | "--only" :: rest ->
         let names, rest' =
           let rec take acc = function
@@ -214,23 +212,16 @@ let () =
           in
           take [] rest
         in
-        parse (only @ names) micro synth stats json jobs rest'
-    | "--micro" :: rest -> parse only true synth stats json jobs rest
-    | "--synth" :: n :: rest ->
-        parse only micro (int_of_string n) stats json jobs rest
-    | "--stats" :: rest -> parse only micro synth true json jobs rest
-    | "--sanitize" :: rest ->
-        Sanitize.enabled := true;
-        parse only micro synth stats json jobs rest
-    | "--json" :: file :: rest ->
-        parse only micro synth stats (Some file) jobs rest
-    | "--jobs" :: n :: rest ->
-        parse only micro synth stats json (int_of_string n) rest
-    | _ :: rest -> parse only micro synth stats json jobs rest
+        parse (only @ names) micro synth rest'
+    | "--micro" :: rest -> parse only true synth rest
+    | "--synth" :: n :: rest -> parse only micro (int_of_string n) rest
+    | _ :: rest -> parse only micro synth rest
   in
-  let only, micro, synth, stats, json, jobs =
-    parse [] false 40 false None 1 (List.tl args)
-  in
+  let only, micro, synth = parse [] false 40 rest in
+  let jobs = common.Util.Cliopts.c_jobs in
+  if common.Util.Cliopts.c_sanitize then Sanitize.enabled := true;
+  if common.Util.Cliopts.c_trace <> None || common.Util.Cliopts.c_profile then
+    Obs.start ();
   Printf.printf
     "DebugTuner benchmark harness (deterministic; synth=%d; jobs=%d)\n\n%!"
     synth jobs;
@@ -252,7 +243,20 @@ let () =
         tables)
     selected;
   if micro then run_micro ();
-  if stats then print_stats ctx;
-  match json with
+  if common.Util.Cliopts.c_stats then print_stats ctx;
+  (match common.Util.Cliopts.c_json with
   | Some file -> write_json file ctx ~synth ~workers:jobs
+  | None -> ());
+  match Obs.stop () with
   | None -> ()
+  | Some session ->
+      if common.Util.Cliopts.c_profile then
+        print_string (Obs.self_time_report session);
+      (match common.Util.Cliopts.c_trace with
+      | Some file ->
+          let oc = open_out file in
+          output_string oc (Obs.to_chrome_json session);
+          close_out oc;
+          Printf.printf "[trace written to %s (%d events)]\n%!" file
+            (List.length (Obs.events session))
+      | None -> ())

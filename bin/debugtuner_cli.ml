@@ -13,7 +13,8 @@
      debugtuner verify      -p zlib -l O3
      debugtuner disasm      -p zlib -l O2 [-f func]
      debugtuner dwarf-size  -p zlib -c gcc
-     debugtuner profile     -p 505.mcf -l O2 [-o mcf.prof]
+     debugtuner sample      -p 505.mcf -l O2 [-o mcf.prof]
+     debugtuner profile     -p zlib -O2 --pipeline gcc [--trace out.json]
      debugtuner pass-trace  -p zlib -l O2
      debugtuner value-check -p zlib -l Og
 
@@ -105,6 +106,21 @@ let find_program name : Suite_types.sprogram =
 let config compiler level disabled =
   Debugtuner.Config.make ~disabled compiler level
 
+(* Adapters from the shared option declarations (Util.Cliopts — one
+   source of truth with the bench harness) to cmdliner terms. *)
+let cliopt_name (s : Util.Cliopts.spec) =
+  String.sub s.Util.Cliopts.o_name 2 (String.length s.Util.Cliopts.o_name - 2)
+
+let cliopt_flag (s : Util.Cliopts.spec) =
+  Arg.(value & flag & info [ cliopt_name s ] ~doc:s.Util.Cliopts.o_doc)
+
+let cliopt_file (s : Util.Cliopts.spec) =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ cliopt_name s ]
+        ?docv:s.Util.Cliopts.o_docv ~doc:s.Util.Cliopts.o_doc)
+
 (* ------------------------------------------------------------------ *)
 (* compile: show binary statistics                                     *)
 
@@ -113,7 +129,7 @@ let compile_cmd =
     Arg.(
       value & opt (some string) None
       & info [ "profile" ] ~docv:"FILE"
-          ~doc:"AutoFDO text profile to optimize with (see $(b,profile)).")
+          ~doc:"AutoFDO text profile to optimize with (see $(b,sample)).")
   in
   let run program compiler level disabled profile_file =
     let p = find_program program in
@@ -130,8 +146,9 @@ let compile_cmd =
         profile_file
     in
     let bin =
-      Debugtuner.Toolchain.compile ?profile ast ~config:cfg
-        ~roots:(Suite_types.roots p)
+      Debugtuner.Toolchain.compile
+        ~options:(Debugtuner.Toolchain.Options.make ?profile ())
+        ast ~config:cfg ~roots:(Suite_types.roots p)
     in
     Printf.printf "%s at %s\n" p.Suite_types.p_name (Debugtuner.Config.name cfg);
     Printf.printf "  code: %d instructions, %d functions\n"
@@ -479,7 +496,7 @@ let pass_trace_cmd =
 (* ------------------------------------------------------------------ *)
 (* profile: collect an AutoFDO profile and write the text format       *)
 
-let profile_cmd =
+let sample_cmd =
   let entry_arg =
     Arg.(
       value & opt (some string) None
@@ -529,12 +546,156 @@ let profile_cmd =
     | None -> print_string text
   in
   Cmd.v
-    (Cmd.info "profile"
+    (Cmd.info "sample"
        ~doc:
          "Run a binary under PC sampling and emit the AutoFDO text profile           (the perf + create_llvm_prof analog). Feed it back with           $(b,compile --profile).")
     Term.(
       const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg
       $ entry_arg $ period_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* profile: per-pass self-time of one compilation (the observability
+   layer's front door)                                                 *)
+
+let profile_cmd =
+  let pipeline_arg =
+    Arg.(
+      value
+      & opt compiler_conv Debugtuner.Config.Gcc
+      & info [ "pipeline" ] ~docv:"FAMILY"
+          ~doc:"Pipeline family to profile: gcc or clang.")
+  in
+  let o_arg =
+    (* Short-only so `-O2` parses as the glued value "2" of option -O,
+       matching compiler-driver muscle memory; the conv therefore
+       accepts both the bare suffix ("2", "g") and the full spelling
+       ("O2", "Og"). *)
+    let olevel_conv =
+      Arg.conv
+        ( (fun s ->
+            match String.uppercase_ascii s with
+            | "0" | "O0" -> Ok Debugtuner.Config.O0
+            | "G" | "OG" -> Ok Debugtuner.Config.Og
+            | "1" | "O1" -> Ok Debugtuner.Config.O1
+            | "2" | "O2" -> Ok Debugtuner.Config.O2
+            | "3" | "O3" -> Ok Debugtuner.Config.O3
+            | _ -> Error (`Msg "level must be 0, g, 1, 2 or 3")),
+          fun ppf l ->
+            Format.pp_print_string ppf (Debugtuner.Config.level_name l) )
+    in
+    Arg.(
+      value
+      & opt olevel_conv Debugtuner.Config.O2
+      & info [ "O" ] ~docv:"LEVEL"
+          ~doc:"Optimization level: -O0, -Og, -O1, -O2, -O3.")
+  in
+  let run program pipeline level disabled trace sanitize stats =
+    let p = find_program program in
+    let cfg = Debugtuner.Config.make ~disabled pipeline level in
+    let ast = Suite_types.ast p in
+    Obs.start ();
+    let bin =
+      Debugtuner.Toolchain.compile ast ~config:cfg
+        ~roots:(Suite_types.roots p)
+        ~options:(Debugtuner.Toolchain.Options.make ~sanitize ())
+    in
+    (* Snapshot the unified counter table while the session is live (the
+       obs/* rows read the active session). *)
+    let counter_rows =
+      if stats then
+        Debugtuner.Measure_engine.stats_table
+          (Debugtuner.Measure_engine.default ())
+      else []
+    in
+    let session =
+      match Obs.stop () with Some s -> s | None -> assert false
+    in
+    let profs = Obs.profiles session in
+    let total_ns =
+      List.fold_left (fun a pr -> Int64.add a pr.Obs.pr_ns) 0L profs
+    in
+    Printf.printf "%s at %s: %d pass executions, %.3f ms in passes\n\n"
+      p.Suite_types.p_name
+      (Debugtuner.Config.name cfg)
+      (List.fold_left (fun a pr -> a + pr.Obs.pr_calls) 0 profs)
+      (Int64.to_float total_ns /. 1e6);
+    let pct ns =
+      if total_ns = 0L then "-"
+      else
+        Printf.sprintf "%.1f"
+          (100.0 *. Int64.to_float ns /. Int64.to_float total_ns)
+    in
+    let rows =
+      List.map
+        (fun pr ->
+          [
+            pr.Obs.pr_pass;
+            string_of_int pr.Obs.pr_calls;
+            Printf.sprintf "%.3f" (Int64.to_float pr.Obs.pr_ns /. 1e6);
+            pct pr.Obs.pr_ns;
+            string_of_int pr.Obs.pr_delta.Instrument.c_instrs;
+            string_of_int pr.Obs.pr_delta.Instrument.c_lines;
+            string_of_int pr.Obs.pr_delta.Instrument.c_vars;
+          ])
+        (List.sort
+           (fun a b -> Int64.compare b.Obs.pr_ns a.Obs.pr_ns)
+           profs)
+    in
+    Util.Tablefmt.print
+      (Util.Tablefmt.make ~title:"Per-pass self time (sorted)"
+         ~header:
+           [ "pass"; "calls"; "ms"; "self%"; "d-instrs"; "d-lines"; "d-vars" ]
+         rows);
+    print_newline ();
+    if stats then begin
+      print_endline "== Counters (engine caches / sanitizer / obs) ==";
+      List.iter print_endline (Util.Cliopts.kv_lines counter_rows);
+      print_newline ()
+    end;
+    Printf.printf "binary: %d instructions, text digest %s\n"
+      (Array.length bin.Emit.code) bin.Emit.text_digest;
+    match trace with
+    | None -> ()
+    | Some file -> (
+        let js = Obs.to_chrome_json session in
+        let oc = open_out file in
+        output_string oc js;
+        close_out oc;
+        (* Self-check the artifact: parse what we wrote, require balanced
+           spans and at least one span per profiled pass. *)
+        match Obs.validate_chrome js with
+        | Error msg ->
+            Printf.eprintf "trace validation FAILED: %s\n" msg;
+            exit 1
+        | Ok v ->
+            let missing =
+              List.filter
+                (fun pr ->
+                  match List.assoc_opt pr.Obs.pr_pass v.Obs.v_spans with
+                  | Some n when n >= 1 -> false
+                  | _ -> true)
+                profs
+            in
+            if missing <> [] then begin
+              Printf.eprintf "trace validation FAILED: no span for: %s\n"
+                (String.concat ", "
+                   (List.map (fun pr -> pr.Obs.pr_pass) missing));
+              exit 1
+            end;
+            Printf.printf
+              "trace written to %s (%d events, %d named spans, validated)\n"
+              file v.Obs.v_events
+              (List.length v.Obs.v_spans))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Compile once with the observability layer on and print the           per-pass self-time table (wall time and IR size / debug-info           deltas per pass). With $(b,--trace), also write and validate a           Chrome trace_event JSON of the whole compilation.")
+    Term.(
+      const run $ program_arg $ pipeline_arg $ o_arg $ disabled_arg
+      $ cliopt_file Util.Cliopts.trace
+      $ cliopt_flag Util.Cliopts.sanitize
+      $ cliopt_flag Util.Cliopts.stats)
 
 (* ------------------------------------------------------------------ *)
 (* disasm: objdump -dl analog                                          *)
@@ -803,4 +964,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; measure_cmd; rank_cmd; tune_cmd; passes_cmd; suite_cmd; run_cmd; trace_cmd; dump_cmd; verify_cmd; debug_cmd; dwarf_size_cmd; disasm_cmd; profile_cmd; pass_trace_cmd; value_check_cmd; check_cmd ]))
+          [ compile_cmd; measure_cmd; rank_cmd; tune_cmd; passes_cmd; suite_cmd; run_cmd; trace_cmd; dump_cmd; verify_cmd; debug_cmd; dwarf_size_cmd; disasm_cmd; sample_cmd; profile_cmd; pass_trace_cmd; value_check_cmd; check_cmd ]))

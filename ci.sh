@@ -17,4 +17,12 @@ dune runtest
 echo "== differential fuzz smoke (100 programs, seed 1) =="
 dune exec bin/debugtuner_cli.exe -- check --fuzz 100 --seed 1
 
+echo "== observability smoke (profile zlib at O2, validate trace) =="
+# `profile --trace` self-validates the written document (balanced B/E
+# nesting, >= 1 span per executed pass) and exits non-zero on failure.
+trace_out="$(mktemp /tmp/debugtuner-ci-trace.XXXXXX.json)"
+dune exec bin/debugtuner_cli.exe -- profile -p zlib -O2 --pipeline gcc \
+  --trace "$trace_out"
+rm -f "$trace_out"
+
 echo "== ci green =="

@@ -36,7 +36,11 @@ let () =
       (100.0
       *. float_of_int coll.A.samples_lost
       /. float_of_int (max 1 coll.A.samples_taken));
-    let final = T.compile ~profile:coll.A.profile ast ~config:o2 ~roots in
+    let final =
+      T.compile
+        ~options:(T.Options.make ~profile:coll.A.profile ())
+        ast ~config:o2 ~roots
+    in
     let cost = (Vm.run final ~entry:"main" ~input:[] Vm.default_opts).Vm.cost in
     Printf.printf "%-8s AutoFDO-optimized binary cost: %d cycles\n\n" tag cost;
     cost

@@ -450,11 +450,8 @@ let passes (opts : Mach.opts) : (string * (Mach.mfn -> unit)) list =
        else []);
     ]
 
-(** Apply the machine passes selected in [opts]. [on_pass name m] is
-    invoked after each executed pass (sanitizer hook). *)
-let run ?(on_pass = fun _ _ -> ()) (m : Mach.mfn) (opts : Mach.opts) =
-  List.iter
-    (fun (name, pass) ->
-      pass m;
-      on_pass name m)
-    (passes opts)
+(** Apply the machine passes selected in [opts]. Callers that want a
+    boundary hook iterate {!passes} themselves (the toolchain driver
+    does, firing its [Instrument.t] after each pass). *)
+let run (m : Mach.mfn) (opts : Mach.opts) =
+  List.iter (fun (_, pass) -> pass m) (passes opts)

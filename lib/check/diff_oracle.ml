@@ -89,7 +89,11 @@ let reference ast ~entry ~input =
     on) and executes one configuration against the interpreter's
     [expected] output. [None] = agreement. *)
 let run_one ast ~roots ~entry ~input (cfg : C.t) ~expected =
-  match T.compile ast ~config:cfg ~roots ~sanitize:true with
+  Obs.count "oracle/runs";
+  match
+    T.compile ast ~config:cfg ~roots
+      ~options:(T.Options.make ~sanitize:true ())
+  with
   | exception Sanitize.Check_failed { pass; invariant = _; detail } ->
       Some (Sanitizer { pass; detail })
   | exception e -> Some (Compile_error (Printexc.to_string e))
@@ -110,6 +114,8 @@ let run_one ast ~roots ~entry ~input (cfg : C.t) ~expected =
     harness and seed input of a suite program. Returns failures (empty =
     clean) and the number of (runs, skipped-for-no-ground-truth). *)
 let check_program (p : Suite_types.sprogram) : failure list * (int * int) =
+  Obs.Span.wrap "oracle:program" ~args:[ ("program", p.Suite_types.p_name) ]
+  @@ fun () ->
   let ast = Suite_types.ast p in
   let roots = Suite_types.roots p in
   let runs = ref 0 and skipped = ref 0 in
@@ -200,6 +206,7 @@ let shrink_source source (cfg : C.t) ~input =
     shrinking any failure before reporting it. *)
 let check_synth ~seed : failure list * (int * int) =
   let name = Printf.sprintf "synth-%d" seed in
+  Obs.Span.wrap "oracle:synth" ~args:[ ("program", name) ] @@ fun () ->
   let source = Synth.generate ~seed in
   let ast = Minic.Typecheck.parse_and_check source in
   let runs = ref 0 and skipped = ref 0 in

@@ -465,3 +465,31 @@ let check_binary ~pass (bin : Emit.binary) =
   with Check_failed _ as e ->
     bump_failures pass;
     raise e
+
+(* ------------------------------------------------------------------ *)
+(* The sanitizer as a pipeline instrument                              *)
+
+(** [instrument ()] is the sanitizer's view of one compilation, in the
+    toolchain's {!Instrument.t} shape. The closure threads the
+    debug-info snapshots from boundary to boundary: IR boundaries chain
+    through {!check_ir} (the pre-SSA ["lower"] boundary skips the
+    dominance check), machine boundaries chain through {!check_mach}
+    with the baseline reset at each function's ["isel"], and the
+    ["emit"] boundary runs {!check_binary}. Create one per compile. *)
+let instrument () =
+  let ir_snap = ref None in
+  let mach_snap = ref None in
+  {
+    Instrument.on_phase_start = (fun _ -> ());
+    on_phase_end = (fun _ -> ());
+    on_pass =
+      (fun pass scope ->
+        match scope with
+        | Instrument.Ir_program prog ->
+            let ssa = pass <> "lower" in
+            ir_snap := Some (check_ir ?prev:!ir_snap ~ssa ~pass prog)
+        | Instrument.Mach_fn m ->
+            let prev = if pass = "isel" then None else !mach_snap in
+            mach_snap := Some (check_mach ?prev ~pass m)
+        | Instrument.Binary bin -> check_binary ~pass bin);
+  }

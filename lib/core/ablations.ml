@@ -76,8 +76,9 @@ let entry_values (prepared : Evaluation.prepared list) (config : Config.t) =
       (fun (p : Evaluation.prepared) ->
         let measure entry_values =
           let bin =
-            Toolchain.compile ~entry_values p.Evaluation.ast ~config
-              ~roots:p.Evaluation.roots
+            Toolchain.compile
+              ~options:(Toolchain.Options.make ~entry_values ())
+              p.Evaluation.ast ~config ~roots:p.Evaluation.roots
           in
           let opt_trace = Evaluation.trace_config_bin p bin in
           Metrics.static_dbg
@@ -158,8 +159,9 @@ let scheduler_lines (prepared : Evaluation.prepared list) (config : Config.t) =
       (fun (p : Evaluation.prepared) ->
         let coverage keep =
           let bin =
-            Toolchain.compile ~sched_keep_lines:keep p.Evaluation.ast ~config
-              ~roots:p.Evaluation.roots
+            Toolchain.compile
+              ~options:(Toolchain.Options.make ~sched_keep_lines:keep ())
+              p.Evaluation.ast ~config ~roots:p.Evaluation.roots
           in
           let opt_trace = Evaluation.trace_config_bin p bin in
           Metrics.line_coverage_of_traces p.Evaluation.o0_trace opt_trace

@@ -70,7 +70,9 @@ let run_autofdo (src : Minic.Ast.program) ~roots ~entry ~workloads
   let profiling_bin = Toolchain.compile src ~config:profiling_config ~roots in
   let coll = collect profiling_bin ~entry ~workloads ~period ~seed in
   let final_bin =
-    Toolchain.compile ~profile:coll.profile src ~config:final_config ~roots
+    Toolchain.compile
+      ~options:(Toolchain.Options.make ~profile:coll.profile ())
+      src ~config:final_config ~roots
   in
   let total_cost =
     List.fold_left

@@ -96,11 +96,16 @@ let iterative_autofdo (src : Minic.Ast.program) ~roots ~entry ~workloads
       let bin =
         match profile with
         | None -> Toolchain.compile src ~config ~roots
-        | Some p -> Toolchain.compile ~profile:p src ~config ~roots
+        | Some p ->
+            Toolchain.compile
+              ~options:(Toolchain.Options.make ~profile:p ())
+              src ~config ~roots
       in
       let coll = Autofdo.collect bin ~entry ~workloads ~period ~seed:(seed + i) in
       let optimized =
-        Toolchain.compile ~profile:coll.Autofdo.profile src ~config ~roots
+        Toolchain.compile
+          ~options:(Toolchain.Options.make ~profile:coll.Autofdo.profile ())
+          src ~config ~roots
       in
       let cost =
         List.fold_left

@@ -38,16 +38,39 @@ module Domain_impl = struct
 
   let binary_key (b : Emit.binary) = b.Emit.full_digest
   let binary_cost_key (b : Emit.binary) = b.Emit.text_digest
-  let compile = Evaluation.compile
-  let trace (p : Evaluation.prepared) bin = Evaluation.trace_config_bin p bin
-  let metrics = Evaluation.metrics_of_trace
+
+  (* Each worker function below runs only on a cache miss, so its span
+     measures actual work (hits never reach it). The [Obs.enabled]
+     guard keeps the disabled path allocation-free. *)
+  let span name subject f =
+    if not (Obs.enabled ()) then f ()
+    else begin
+      Obs.count ("engine/" ^ name);
+      Obs.Span.wrap ("engine:" ^ name) ~args:[ ("subject", subject) ] f
+    end
+
+  let pname (p : Evaluation.prepared) =
+    p.Evaluation.program.Suite_types.p_name
+
+  let compile p config =
+    span "compile" (pname p) (fun () -> Evaluation.compile p config)
+
+  let trace (p : Evaluation.prepared) bin =
+    span "trace" (pname p) (fun () -> Evaluation.trace_config_bin p bin)
+
+  let metrics p bin tr =
+    span "metrics" (pname p) (fun () ->
+        Evaluation.metrics_of_trace p bin tr)
 
   let bench_compile (p : Suite_types.sprogram) config =
-    Toolchain.compile (Suite_types.ast p) ~config ~roots:(Suite_types.roots p)
+    span "bench_compile" p.Suite_types.p_name (fun () ->
+        Toolchain.compile (Suite_types.ast p) ~config
+          ~roots:(Suite_types.roots p))
 
   (** Total VM cost of every harness seed (the paper's SPEC timing; the
       median-of-three degenerates to one deterministic run). *)
   let bench_run (p : Suite_types.sprogram) (bin : Emit.binary) =
+    span "bench_run" p.Suite_types.p_name @@ fun () ->
     List.fold_left
       (fun acc (h : Suite_types.harness) ->
         let inputs =
@@ -84,3 +107,34 @@ let sanitizer_stats () =
       ( "sanitize:" ^ pass,
         { Engine.Stats.hits = checks; misses = failures; dedups = 0 } ))
     (Sanitize.counters ())
+
+(** One flat [(name, value)] table merging every counter source — the
+    engine caches ([engine/<cache>/hits|misses|dedups], zero rows
+    dropped), the sanitizer ([sanitize/<pass>/checked|failures]) and
+    any live [Obs] counters ([obs/<name>]) — so [bench --stats] and the
+    CLI render one table through one code path, text or JSON alike. *)
+let stats_table t : (string * int) list =
+  let engine_rows =
+    List.concat_map
+      (fun (name, { Engine.Stats.hits; misses; dedups }) ->
+        List.filter
+          (fun (_, v) -> v <> 0)
+          [
+            ("engine/" ^ name ^ "/hits", hits);
+            ("engine/" ^ name ^ "/misses", misses);
+            ("engine/" ^ name ^ "/dedups", dedups);
+          ])
+      (Engine.Stats.snapshot (stats t))
+  in
+  let sanitize_rows =
+    List.concat_map
+      (fun (pass, checks, failures) ->
+        ("sanitize/" ^ pass ^ "/checked", checks)
+        :: (if failures <> 0 then [ ("sanitize/" ^ pass ^ "/failures", failures) ]
+            else []))
+      (Sanitize.counters ())
+  in
+  let obs_rows =
+    List.map (fun (n, v) -> ("obs/" ^ n, v)) (Obs.current_counters ())
+  in
+  List.sort compare (engine_rows @ sanitize_rows @ obs_rows)

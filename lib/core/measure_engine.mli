@@ -67,6 +67,14 @@ val sanitizer_stats : unit -> (string * Engine.Stats.counter) list
     cache counters in [bench --stats] output. Empty unless compiles ran
     with the sanitizer on ([--sanitize] / [~sanitize:true]). *)
 
+val stats_table : t -> (string * int) list
+(** One flat, sorted [(name, value)] table merging every counter
+    source: engine cache activity ([engine/<cache>/hits|misses|dedups],
+    zero rows dropped), sanitizer boundaries
+    ([sanitize/<pass>/checked|failures]) and live [Obs] counters
+    ([obs/<name>]). The single stats path behind [bench --stats] and the
+    CLI, in both text and JSON renderings. *)
+
 val memo : t -> name:string -> (unit -> 'a Engine.Memo.t)
 (** A fresh memo table wired to this engine's counters, for derived
     results keyed by {!Config.fingerprint} (rankings, trade-off points,

@@ -327,107 +327,139 @@ let pass_names (c : Config.t) =
 (* ------------------------------------------------------------------ *)
 (* Compilation                                                         *)
 
-(** [compile ?profile src_program ~config ~roots] produces a binary.
-    [roots] lists entry functions that must survive (harness entries).
-    [entry_values] and [sched_keep_lines] override the compiler-family
-    defaults (ablation hooks).
+module Options = struct
+  (** Everything [compile] accepts beyond the program itself, as one
+      record (ablation hooks and the sanitizer gate included) — the
+      replacement for the optional arguments that used to accrete on
+      [compile]. [None] fields mean "compiler-family default" (or, for
+      [sanitize], the global [Sanitize.enabled] gate). *)
+  type t = {
+    profile : profile option;  (** AutoFDO profile (Section V-C setup) *)
+    entry_values : bool option;
+        (** override entry-value emission (ablation hook) *)
+    sched_keep_lines : bool option;
+        (** override the scheduler's line retention (ablation hook) *)
+    sanitize : bool option;
+        (** validate every pass boundary; default: [!Sanitize.enabled] *)
+  }
 
-    [sanitize] (default: the global [Sanitize.enabled] gate) revalidates
-    the program at every pass boundary — CFG/SSA structure, dominance
-    and liveness consistency, debug-info monotonicity, and finally the
-    emitted binary's debug records. A violation raises
+  let default =
+    { profile = None; entry_values = None; sched_keep_lines = None; sanitize = None }
+
+  let make ?profile ?entry_values ?sched_keep_lines ?sanitize () =
+    { profile; entry_values; sched_keep_lines; sanitize }
+end
+
+(** [compile ?options ?instrument src ~config ~roots] produces a binary.
+    [roots] lists entry functions that must survive (harness entries).
+
+    All observers run through the single {!Instrument.t} seam: the
+    driver composes (in order) the sanitizer (when
+    [options.sanitize] / the global gate asks for it), the {!Obs} tracer
+    (when a recording session is active), and the caller's [instrument].
+    Instruments are purely observational — the artifact is byte-for-byte
+    identical whatever is attached. A sanitizer violation raises
     [Sanitize.Check_failed] naming the offending pass. *)
-let compile ?profile ?entry_values ?sched_keep_lines ?sanitize
+let compile ?(options = Options.default) ?(instrument = Instrument.nop)
     (src : Minic.Ast.program) ~(config : Config.t) ~roots : Emit.binary =
-  let sanitize = Option.value ~default:!Sanitize.enabled sanitize in
-  let prog = Lower.lower_program src in
-  let env =
-    {
-      prog;
-      roots;
-      pure = (fun _ -> false);
-      profile;
-      enabled = Config.enabled config;
-    }
+  let sanitize =
+    Option.value ~default:!Sanitize.enabled options.Options.sanitize
+  in
+  let inst =
+    Instrument.combine
+      ((if sanitize then [ Sanitize.instrument () ] else [])
+      @ (match Obs.pipeline_instrument () with Some i -> [ i ] | None -> [])
+      @ if instrument == Instrument.nop then [] else [ instrument ])
   in
   let mach_opts = ref Mach.opts_o0 in
-  (* The sanitizer threads a debug-info snapshot from boundary to
-     boundary so a pass that *grows* the line/variable sets is caught.
-     The freshly lowered program routes merges through slots, so the
-     dominance check only starts after SSA construction. *)
-  let ir_snap = ref None in
-  let sanitize_ir ?ssa pass =
-    if sanitize then
-      ir_snap := Some (Sanitize.check_ir ?prev:!ir_snap ?ssa ~pass prog)
+  let prog =
+    Instrument.phase inst "ir" (fun () ->
+        let prog = Lower.lower_program src in
+        let env =
+          {
+            prog;
+            roots;
+            pure = (fun _ -> false);
+            profile = options.Options.profile;
+            enabled = Config.enabled config;
+          }
+        in
+        (* The freshly lowered program routes merges through slots; the
+           sanitizer's "lower" boundary skips the dominance check. *)
+        inst.Instrument.on_pass "lower" (Instrument.Ir_program prog);
+        if config.Config.level <> Config.O0 then begin
+          (* into-ssa: neither compiler lets you opt out of SSA
+             construction. *)
+          Hashtbl.iter (fun _ fn -> Mem2reg.run fn) prog.Ir.funcs;
+          Cleanup.run_program prog;
+          inst.Instrument.on_pass "mem2reg" (Instrument.Ir_program prog);
+          (* clang's register allocator always coalesces and shares
+             stack slots and shrink-wraps; gcc exposes these as flags. *)
+          (if config.Config.compiler = Config.Clang then
+             mach_opts :=
+               {
+                 !mach_opts with
+                 Mach.coalesce = true;
+                 share_spill_slots = true;
+                 shrink_wrap = true;
+                 sched_keep_lines = true;
+               });
+          apply_profile env;
+          List.iter
+            (fun e ->
+              match e with
+              | Ir_pass (name, f) when Config.enabled config name ->
+                  f env;
+                  Cleanup.run_program prog;
+                  inst.Instrument.on_pass name (Instrument.Ir_program prog)
+              | Backend_flag (name, f) when Config.enabled config name ->
+                  mach_opts := f !mach_opts
+              | Ir_pass _ | Backend_flag _ -> ())
+            (pipeline config);
+          apply_profile env
+        end;
+        prog)
   in
-  sanitize_ir ~ssa:false "lower";
-  if config.Config.level <> Config.O0 then begin
-    (* into-ssa: neither compiler lets you opt out of SSA construction. *)
-    Hashtbl.iter (fun _ fn -> Mem2reg.run fn) prog.Ir.funcs;
-    Cleanup.run_program prog;
-    sanitize_ir "mem2reg";
-    (* clang's register allocator always coalesces and shares stack
-       slots and shrink-wraps; gcc exposes these as flags. *)
-    (if config.Config.compiler = Config.Clang then
-       mach_opts :=
-         {
-           !mach_opts with
-           Mach.coalesce = true;
-           share_spill_slots = true;
-           shrink_wrap = true;
-           sched_keep_lines = true;
-         });
-    apply_profile env;
-    List.iter
-      (fun e ->
-        match e with
-        | Ir_pass (name, f) when Config.enabled config name ->
-            f env;
-            Cleanup.run_program prog;
-            sanitize_ir name
-        | Backend_flag (name, f) when Config.enabled config name ->
-            mach_opts := f !mach_opts
-        | Ir_pass _ | Backend_flag _ -> ())
-      (pipeline config);
-    apply_profile env
-  end;
-  (* Emission order: source order (our toplevel-reorder only gates ICF,
-     which the emitter applies when the flag is on). *)
-  let fns =
-    Hashtbl.fold (fun _ fn acc -> fn :: acc) prog.Ir.funcs []
-    |> List.sort (fun (a : Ir.fn) b -> compare (a.Ir.f_line, a.Ir.f_name) (b.Ir.f_line, b.Ir.f_name))
-  in
-  (* Ablation hook: force the scheduler's line-retention behaviour
-     (gcc's scheduler strips displaced lines, clang's keeps them)
-     independently of the compiler family. *)
-  (match sched_keep_lines with
-  | Some v -> mach_opts := { !mach_opts with Mach.sched_keep_lines = v }
-  | None -> ());
   let mfuncs =
-    List.map
-      (fun fn ->
-        let m = Isel.translate_fn fn !mach_opts in
-        if sanitize then begin
-          let snap = ref (Sanitize.check_mach ~pass:"isel" m) in
-          Mach_passes.run m !mach_opts ~on_pass:(fun pass m ->
-              snap := Sanitize.check_mach ~prev:!snap ~pass m)
-        end
-        else Mach_passes.run m !mach_opts;
-        m)
-      fns
+    Instrument.phase inst "backend" (fun () ->
+        (* Emission order: source order (our toplevel-reorder only gates
+           ICF, which the emitter applies when the flag is on). *)
+        let fns =
+          Hashtbl.fold (fun _ fn acc -> fn :: acc) prog.Ir.funcs []
+          |> List.sort (fun (a : Ir.fn) b ->
+                 compare (a.Ir.f_line, a.Ir.f_name) (b.Ir.f_line, b.Ir.f_name))
+        in
+        (* Ablation hook: force the scheduler's line-retention behaviour
+           (gcc's scheduler strips displaced lines, clang's keeps them)
+           independently of the compiler family. *)
+        (match options.Options.sched_keep_lines with
+        | Some v -> mach_opts := { !mach_opts with Mach.sched_keep_lines = v }
+        | None -> ());
+        List.map
+          (fun fn ->
+            let m = Isel.translate_fn fn !mach_opts in
+            inst.Instrument.on_pass "isel" (Instrument.Mach_fn m);
+            List.iter
+              (fun (name, pass) ->
+                pass m;
+                inst.Instrument.on_pass name (Instrument.Mach_fn m))
+              (Mach_passes.passes !mach_opts);
+            m)
+          fns)
   in
   let entry_values =
-    match entry_values with
+    match options.Options.entry_values with
     | Some v -> v
     | None ->
         config.Config.compiler = Config.Gcc && config.Config.level <> Config.O0
   in
-  let bin =
-    Emit.emit ~icf:!mach_opts.Mach.icf ~entry_values
-      { Mach.mfuncs; mglobals = prog.Ir.prog_globals }
-  in
-  if sanitize then Sanitize.check_binary ~pass:"emit" bin;
-  bin
+  Instrument.phase inst "emit" (fun () ->
+      let bin =
+        Emit.emit ~icf:!mach_opts.Mach.icf ~entry_values
+          { Mach.mfuncs; mglobals = prog.Ir.prog_globals }
+      in
+      inst.Instrument.on_pass "emit" (Instrument.Binary bin);
+      bin)
 
 (* ------------------------------------------------------------------ *)
 (* Pipeline tracing                                                    *)
@@ -510,7 +542,10 @@ let pipeline_trace (src : Minic.Ast.program) ~(config : Config.t) ~roots :
   end;
   List.rev !steps
 
-(** Convenience: parse, check and compile a source string. *)
-let compile_source ?profile source ~config ~roots =
-  let ast = Minic.Typecheck.parse_and_check source in
-  compile ?profile ast ~config ~roots
+(** Convenience: parse, check and compile a source string. The
+    front-end gets its own span when tracing is on. *)
+let compile_source ?options ?instrument source ~config ~roots =
+  let ast =
+    Obs.Span.wrap "frontend" (fun () -> Minic.Typecheck.parse_and_check source)
+  in
+  compile ?options ?instrument ast ~config ~roots

@@ -1,0 +1,117 @@
+(** The toolchain driver: MiniC source + configuration -> binary.
+
+    This interface is the sanctioned surface: one options record, one
+    instrument argument. Every observer of a compilation — the
+    pass-boundary sanitizer, the [Obs] tracer, ad-hoc clients — runs
+    through the same [Instrument.t] callback seam; there is no second
+    hook path. *)
+
+type profile = { line_counts : (int, int) Hashtbl.t; total_samples : int }
+(** An AutoFDO profile: source-line -> sample count. Overrides the
+    static branch-probability estimates and feeds callsite hotness
+    (the paper's Section V-C setup). *)
+
+module Options : sig
+  (** Everything {!compile} accepts beyond the program itself. [None]
+      fields mean "compiler-family default" (or, for [sanitize], the
+      global [Sanitize.enabled] gate). *)
+  type t = {
+    profile : profile option;  (** AutoFDO profile *)
+    entry_values : bool option;
+        (** override entry-value emission (ablation hook) *)
+    sched_keep_lines : bool option;
+        (** override the scheduler's line retention (ablation hook) *)
+    sanitize : bool option;
+        (** validate every pass boundary; default: [!Sanitize.enabled] *)
+  }
+
+  val default : t
+  val make :
+    ?profile:profile ->
+    ?entry_values:bool ->
+    ?sched_keep_lines:bool ->
+    ?sanitize:bool ->
+    unit ->
+    t
+end
+
+val compile :
+  ?options:Options.t ->
+  ?instrument:Instrument.t ->
+  Minic.Ast.program ->
+  config:Config.t ->
+  roots:string list ->
+  Emit.binary
+(** [compile ?options ?instrument src ~config ~roots] produces a binary;
+    [roots] lists entry functions that must survive (harness entries).
+    The driver composes the sanitizer (when [options.sanitize] or the
+    global gate asks for it), the [Obs] tracer (when a recording session
+    is active) and the caller's [instrument] into one event stream:
+    [on_phase_start]/[on_phase_end] bracket the ["ir"], ["backend"] and
+    ["emit"] phases, and [on_pass] fires after lowering ("lower"), SSA
+    construction ("mem2reg"), every enabled IR pass, each function's
+    instruction selection ("isel") and machine passes, and emission
+    ("emit"). Instruments are purely observational: the artifact is
+    byte-for-byte identical whatever is attached. A sanitizer violation
+    raises [Sanitize.Check_failed] naming the offending pass. *)
+
+val compile_source :
+  ?options:Options.t ->
+  ?instrument:Instrument.t ->
+  string ->
+  config:Config.t ->
+  roots:string list ->
+  Emit.binary
+(** Parse, typecheck and {!compile} a source string (the front-end gets
+    its own [Obs] span when tracing is on). *)
+
+(** {1 Pipeline inspection}
+
+    The pass-table internals below are exposed for white-box clients
+    (property tests replay the IR phase on hand-built environments).
+    They are observers of pipeline {e structure}; driving a compilation
+    still goes through {!compile}. *)
+
+type env = {
+  prog : Ir.program;
+  roots : string list;
+  mutable pure : string -> bool;
+  profile : profile option;
+  enabled : string -> bool;  (** pass-toggle lookup (master gates) *)
+}
+(** The mutable state an IR pass sees. *)
+
+type entry =
+  | Ir_pass of string * (env -> unit)
+  | Backend_flag of string * (Mach.opts -> Mach.opts)
+
+val entry_name : entry -> string
+
+val pipeline : Config.t -> entry list
+(** The level's pass table in execution order (both families). *)
+
+val pass_names : Config.t -> string list
+(** Names of the toggleable passes of a configuration's level, in
+    pipeline order, deduplicated — the sweep set of Section V. *)
+
+type ir_stats = {
+  st_instrs : int;  (** real (non-debug) instructions *)
+  st_blocks : int;
+  st_bindings : int;  (** Dbg bindings with a live operand *)
+  st_optimized_out : int;  (** Dbg bindings already lost *)
+  st_lines : int;  (** distinct source lines still on instructions *)
+}
+
+val ir_stats_of : Ir.program -> ir_stats
+
+val pipeline_trace :
+  Minic.Ast.program ->
+  config:Config.t ->
+  roots:string list ->
+  (string * ir_stats) list
+(** Replay the IR phase of {!compile} and record the statistics after
+    every executed pass — the [-fdump-tree-all] analog. The first row
+    ("lower") is the freshly lowered program; "mem2reg" follows SSA
+    construction; later rows carry the pipeline's pass names. Backend
+    flags do not run at the IR level and are reported with unchanged
+    statistics as ["<name> (backend)"] rows. *)

@@ -1,0 +1,156 @@
+(** Command-line options shared by the bench harness and the CLI.
+
+    Both front-ends expose the same measurement/observability switches
+    (--stats, --json, --jobs, --sanitize, --trace, --profile); each
+    option's name, metavariable and help string live here exactly once.
+    The bench harness consumes them through {!parse}; the cmdliner-based
+    CLI builds its [Arg.info]s from the same {!spec}s, so the two always
+    agree on spelling and semantics. This module must stay free of
+    cmdliner (util underpins every library in the repo). *)
+
+type spec = {
+  o_name : string;  (** long option, with the leading "--" *)
+  o_docv : string option;  (** argument metavariable; [None] = flag *)
+  o_doc : string;  (** help string (cmdliner markup-free) *)
+}
+
+let stats =
+  {
+    o_name = "--stats";
+    o_docv = None;
+    o_doc =
+      "print the unified counter table (engine caches, sanitizer \
+       boundaries, observability counters) after the run";
+  }
+
+let json =
+  {
+    o_name = "--json";
+    o_docv = Some "FILE";
+    o_doc = "write machine-readable timings and the counter table to FILE";
+  }
+
+let jobs =
+  {
+    o_name = "--jobs";
+    o_docv = Some "N";
+    o_doc = "size of the measurement engine's worker pool (default 1)";
+  }
+
+let sanitize =
+  {
+    o_name = "--sanitize";
+    o_docv = None;
+    o_doc = "validate every pass boundary during compilation";
+  }
+
+let trace =
+  {
+    o_name = "--trace";
+    o_docv = Some "FILE";
+    o_doc =
+      "record an execution trace and write it to FILE as Chrome \
+       trace_event JSON (load in chrome://tracing or Perfetto)";
+  }
+
+let profile =
+  {
+    o_name = "--profile";
+    o_docv = None;
+    o_doc = "print a sorted self-time report of the traced spans";
+  }
+
+let shared = [ stats; json; jobs; sanitize; trace; profile ]
+
+type common = {
+  mutable c_stats : bool;
+  mutable c_json : string option;
+  mutable c_jobs : int;
+  mutable c_sanitize : bool;
+  mutable c_trace : string option;
+  mutable c_profile : bool;
+}
+
+let defaults () =
+  {
+    c_stats = false;
+    c_json = None;
+    c_jobs = 1;
+    c_sanitize = false;
+    c_trace = None;
+    c_profile = false;
+  }
+
+let value name = function
+  | v :: rest -> (v, rest)
+  | [] -> invalid_arg (name ^ " requires an argument")
+
+let int_value name rest =
+  let v, rest = value name rest in
+  match int_of_string_opt v with
+  | Some n -> (n, rest)
+  | None -> invalid_arg (Printf.sprintf "%s: not an integer: %s" name v)
+
+(** [parse c argv] consumes every shared option from [argv] into [c] and
+    returns the arguments it did not recognize, in their original
+    order. Raises [Invalid_argument] on a missing or malformed option
+    argument. *)
+let parse (c : common) (argv : string list) : string list =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | a :: rest when a = stats.o_name ->
+        c.c_stats <- true;
+        go acc rest
+    | a :: rest when a = json.o_name ->
+        let v, rest = value a rest in
+        c.c_json <- Some v;
+        go acc rest
+    | a :: rest when a = jobs.o_name ->
+        let n, rest = int_value a rest in
+        c.c_jobs <- n;
+        go acc rest
+    | a :: rest when a = sanitize.o_name ->
+        c.c_sanitize <- true;
+        go acc rest
+    | a :: rest when a = trace.o_name ->
+        let v, rest = value a rest in
+        c.c_trace <- Some v;
+        go acc rest
+    | a :: rest when a = profile.o_name ->
+        c.c_profile <- true;
+        go acc rest
+    | a :: rest -> go (a :: acc) rest
+  in
+  go [] argv
+
+(* ------------------------------------------------------------------ *)
+(* Unified (name, value) counter table renderers — the single stats
+   path: whatever counters a front-end collects, they print through
+   these two functions, as text or as JSON. *)
+
+let kv_lines (rows : (string * int) list) : string list =
+  let w =
+    List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 rows
+  in
+  List.map (fun (n, v) -> Printf.sprintf "%-*s %d" w n v) rows
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let kv_json_rows (rows : (string * int) list) : string list =
+  List.map
+    (fun (n, v) ->
+      Printf.sprintf "{\"name\": \"%s\", \"value\": %d}" (json_escape n) v)
+    rows

@@ -1,0 +1,45 @@
+(** Command-line options shared by the bench harness and the CLI: each
+    switch's name, metavariable and help string declared exactly once.
+    The bench harness consumes them via {!parse}; the cmdliner CLI
+    builds its [Arg.info]s from the same {!spec}s. Keep this module
+    free of cmdliner — util underpins every library in the repo. *)
+
+type spec = {
+  o_name : string;  (** long option, with the leading "--" *)
+  o_docv : string option;  (** argument metavariable; [None] = flag *)
+  o_doc : string;  (** help string *)
+}
+
+val stats : spec
+val json : spec
+val jobs : spec
+val sanitize : spec
+val trace : spec
+val profile : spec
+
+val shared : spec list
+(** All of the above, in help order. *)
+
+type common = {
+  mutable c_stats : bool;
+  mutable c_json : string option;
+  mutable c_jobs : int;
+  mutable c_sanitize : bool;
+  mutable c_trace : string option;
+  mutable c_profile : bool;
+}
+
+val defaults : unit -> common
+
+val parse : common -> string list -> string list
+(** [parse c argv] consumes every shared option from [argv] into [c]
+    and returns the unrecognized arguments in their original order.
+    Raises [Invalid_argument] on a missing or malformed option
+    argument. *)
+
+val kv_lines : (string * int) list -> string list
+(** A unified counter table as aligned ["name   value"] text lines. *)
+
+val kv_json_rows : (string * int) list -> string list
+(** The same table as one JSON object per row
+    ([{"name": ..., "value": ...}]); the caller joins and indents. *)

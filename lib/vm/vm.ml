@@ -315,7 +315,8 @@ let step st (opts : run_opts) sampler =
 
 (** [run bin ~entry ~args ~input opts] executes [bin] starting at
     function [entry]. *)
-let run (bin : Emit.binary) ~entry ?(args = []) ~input (opts : run_opts) : result =
+let run_unobserved (bin : Emit.binary) ~entry ?(args = []) ~input
+    (opts : run_opts) : result =
   let globals = Hashtbl.create 16 in
   List.iter
     (fun (g : Ir.global_def) ->
@@ -372,3 +373,18 @@ let run (bin : Emit.binary) ~entry ?(args = []) ~input (opts : run_opts) : resul
     samples = (match sampler with Some s -> List.rev s.samples | None -> []);
     timed_out = !timed_out;
   }
+
+(* The [Obs.enabled] guard keeps the disabled path free of the span
+   machinery (and of the args-list allocation) — executions dominate
+   every experiment's inner loop. *)
+let run bin ~entry ?(args = []) ~input opts : result =
+  if not (Obs.enabled ()) then run_unobserved bin ~entry ~args ~input opts
+  else
+    Obs.Span.wrap "vm:run"
+      ~args:[ ("entry", entry) ]
+      (fun () ->
+        let r = run_unobserved bin ~entry ~args ~input opts in
+        Obs.count "vm/runs";
+        Obs.count ~n:r.instrs "vm/instrs";
+        Obs.count ~n:r.cost "vm/cost";
+        r)

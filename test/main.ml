@@ -27,5 +27,6 @@ let () =
       ("dwarf-encode", Test_dwarf_encode.tests);
       ("value-oracle", Test_value_oracle.tests);
       ("sanitizer", Test_check.tests);
+      ("obs", Test_obs.tests);
       ("differential", Test_differential.tests);
     ]

@@ -50,7 +50,11 @@ let test_profile_guided_build_valid () =
   let bin2 = T.compile ast ~config:cfg ~roots:[ "main" ] in
   ignore bin2;
   let coll = A.collect plain ~entry:"main" ~workloads:[ [] ] ~period:211 ~seed:7 in
-  let fdo = T.compile ~profile:coll.A.profile ast ~config:cfg ~roots:[ "main" ] in
+  let fdo =
+    T.compile
+      ~options:(T.Options.make ~profile:coll.A.profile ())
+      ast ~config:cfg ~roots:[ "main" ]
+  in
   let r_fdo = Vm.run fdo ~entry:"main" ~input:[] Vm.default_opts in
   Alcotest.(check (list int)) "semantics preserved under profile" r_plain.Vm.output
     r_fdo.Vm.output
@@ -88,7 +92,9 @@ let test_profile_text_roundtrip () =
   Alcotest.(check string) "canonical text" text (A.profile_to_string prof');
   (* The parsed profile must drive compilation identically. *)
   let dig profile =
-    (T.compile ~profile ast ~config:(C.make C.Clang C.O2) ~roots:[ "main" ])
+    (T.compile
+       ~options:(T.Options.make ~profile ())
+       ast ~config:(C.make C.Clang C.O2) ~roots:[ "main" ])
       .Emit.text_digest
   in
   Alcotest.(check string) "same optimized binary" (dig prof) (dig prof')

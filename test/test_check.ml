@@ -33,7 +33,9 @@ let qcheck_sanitizer_accepts =
       let source = Synth.generate ~seed in
       let config = all_configs.(seed mod Array.length all_configs) in
       let ast = Minic.Typecheck.parse_and_check source in
-      ignore (T.compile ast ~config ~roots:[ "main" ] ~sanitize:true);
+      ignore
+        (T.compile ast ~config ~roots:[ "main" ]
+           ~options:(T.Options.make ~sanitize:true ()));
       true)
 
 (* ------------------------------------------------------------------ *)

@@ -68,7 +68,11 @@ let test_profile_guided_configs () =
     Debugtuner.Autofdo.collect bin ~entry:"main" ~workloads:[ [] ] ~period:211
       ~seed:3
   in
-  let fdo = T.compile ~profile:coll.Debugtuner.Autofdo.profile ast ~config:cfg ~roots in
+  let fdo =
+    T.compile
+      ~options:(T.Options.make ~profile:coll.Debugtuner.Autofdo.profile ())
+      ast ~config:cfg ~roots
+  in
   let r0 = Vm.run bin ~entry:"main" ~input:[] Vm.default_opts in
   let r1 = Vm.run fdo ~entry:"main" ~input:[] Vm.default_opts in
   Alcotest.(check (list int)) "profile-guided output identical" r0.Vm.output

@@ -80,8 +80,9 @@ let test_entry_values_ablation () =
   let cfg = C.make C.Gcc C.O2 in
   let avail entry_values =
     let bin =
-      Debugtuner.Toolchain.compile ~entry_values p.E.ast ~config:cfg
-        ~roots:p.E.roots
+      Debugtuner.Toolchain.compile
+        ~options:(Debugtuner.Toolchain.Options.make ~entry_values ())
+        p.E.ast ~config:cfg ~roots:p.E.roots
     in
     let opt_trace = E.trace_config_bin p bin in
     (Metrics.static_dbg
@@ -113,8 +114,9 @@ let test_scheduler_lines_ablation () =
   let cfg = C.make C.Gcc C.O2 in
   let coverage keep =
     let bin =
-      Debugtuner.Toolchain.compile ~sched_keep_lines:keep p.E.ast ~config:cfg
-        ~roots:p.E.roots
+      Debugtuner.Toolchain.compile
+        ~options:(Debugtuner.Toolchain.Options.make ~sched_keep_lines:keep ())
+        p.E.ast ~config:cfg ~roots:p.E.roots
     in
     Metrics.line_coverage_of_traces p.E.o0_trace (E.trace_config_bin p bin)
   in
@@ -128,8 +130,9 @@ let test_scheduler_lines_ablation () =
     Debugtuner.Toolchain.compile p.E.ast ~config:clang ~roots:p.E.roots
   in
   let bin_keep =
-    Debugtuner.Toolchain.compile ~sched_keep_lines:true p.E.ast ~config:clang
-      ~roots:p.E.roots
+    Debugtuner.Toolchain.compile
+      ~options:(Debugtuner.Toolchain.Options.make ~sched_keep_lines:true ())
+      p.E.ast ~config:clang ~roots:p.E.roots
   in
   Alcotest.(check string) "clang default already keeps lines"
     bin_def.Emit.text_digest bin_keep.Emit.text_digest

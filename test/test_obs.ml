@@ -1,0 +1,256 @@
+(** Tests for the observability layer ([Obs] + [Instrument]): span
+    nesting and self-time attribution, the zero-cost disabled path
+    (no observable allocation, byte-identical artifacts), Chrome
+    trace_event export round-tripping through the validator, and the
+    per-pass profile deltas telescoping to the whole-compile deltas
+    reported by [Toolchain.pipeline_trace]. *)
+
+module C = Debugtuner.Config
+module T = Debugtuner.Toolchain
+
+(* Every test installs and tears down its own session; a leaked session
+   would poison the digest-identity test, so bracket defensively. *)
+let with_session f =
+  ignore (Obs.stop ());
+  Obs.start ();
+  Fun.protect ~finally:(fun () -> ignore (Obs.stop ())) f
+
+let stop_exn () =
+  match Obs.stop () with
+  | Some s -> s
+  | None -> Alcotest.fail "expected an active session"
+
+let spin () =
+  (* Busy loop long enough to register on the monotonic clock. *)
+  let t0 = Obs.Clock.now_ns () in
+  while Int64.sub (Obs.Clock.now_ns ()) t0 < 100_000L do
+    ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Span nesting and self time                                          *)
+
+let test_span_nesting () =
+  ignore (Obs.stop ());
+  Obs.start ();
+  Obs.Span.wrap "outer" (fun () ->
+      spin ();
+      Obs.Span.wrap "inner" (fun () -> spin ()));
+  Obs.Span.start "bracketed";
+  spin ();
+  Obs.Span.finish "bracketed";
+  let s = stop_exn () in
+  let evs = Obs.events s in
+  Alcotest.(check int) "four events" 4 (List.length evs);
+  let names = List.map (fun e -> e.Obs.ev_name) evs in
+  (* wrap records at completion: inner closes before outer. *)
+  Alcotest.(check (list string))
+    "emission order" [ "inner"; "outer"; "bracketed"; "bracketed" ] names;
+  (* Timestamps are monotone relative to session start. *)
+  List.iter
+    (fun e -> Alcotest.(check bool) "ts >= 0" true (e.Obs.ev_ts >= 0L))
+    evs;
+  let rows = Obs.self_times s in
+  let find n = List.find (fun r -> r.Obs.sr_name = n) rows in
+  let outer = find "outer" and inner = find "inner" in
+  Alcotest.(check bool) "inner nested inside outer" true
+    (outer.Obs.sr_total_ns >= inner.Obs.sr_total_ns);
+  (* Self time excludes the nested span but never goes negative. *)
+  Alcotest.(check bool) "outer self = total - inner" true
+    (outer.Obs.sr_self_ns
+    <= Int64.sub outer.Obs.sr_total_ns inner.Obs.sr_total_ns);
+  Alcotest.(check bool) "self non-negative" true
+    (List.for_all (fun r -> r.Obs.sr_self_ns >= 0L) rows)
+
+let test_span_wrap_reraises () =
+  ignore (Obs.stop ());
+  Obs.start ();
+  (try Obs.Span.wrap "boom" (fun () -> failwith "boom") with Failure _ -> ());
+  let s = stop_exn () in
+  (* The span is still recorded, and the document still validates. *)
+  Alcotest.(check int) "span recorded despite raise" 1
+    (List.length (Obs.events s));
+  match Obs.validate_chrome (Obs.to_chrome_json s) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m
+
+let test_counters () =
+  ignore (Obs.stop ());
+  (* Disabled: counting is a no-op, not an error. *)
+  Obs.count "never";
+  Obs.start ();
+  Obs.count "a";
+  Obs.count ~n:41 "a";
+  Obs.count "b";
+  Alcotest.(check (list (pair string int)))
+    "live counters" [ ("a", 42); ("b", 1) ] (Obs.current_counters ());
+  let s = stop_exn () in
+  Alcotest.(check (list (pair string int)))
+    "stopped counters" [ ("a", 42); ("b", 1) ] (Obs.counters s);
+  Alcotest.(check (list (pair string int)))
+    "no live counters after stop" [] (Obs.current_counters ())
+
+(* ------------------------------------------------------------------ *)
+(* The disabled path                                                   *)
+
+let test_disabled_allocates_nothing () =
+  ignore (Obs.stop ());
+  let f = fun () -> 17 in
+  (* Warm up so any one-time setup is out of the measurement. *)
+  ignore (Obs.Span.wrap "warm" f);
+  Obs.count "warm";
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    ignore (Obs.Span.wrap "off" f);
+    Obs.count "off";
+    ignore (Obs.enabled ())
+  done;
+  let words = Gc.minor_words () -. before in
+  (* 30k API entries: allow a few words of slack (Gc.minor_words itself
+     boxes its float result) but nothing per-call. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "disabled path allocated %.0f words" words)
+    true (words < 256.0)
+
+let test_disabled_binaries_byte_identical () =
+  let p = Programs.find "zlib" in
+  let ast = Suite_types.ast p in
+  let roots = Suite_types.roots p in
+  let cfg = C.make C.Gcc C.O2 in
+  ignore (Obs.stop ());
+  let plain = T.compile ast ~config:cfg ~roots in
+  let traced =
+    with_session (fun () -> T.compile ast ~config:cfg ~roots)
+  in
+  Alcotest.(check string) "same machine code" plain.Emit.text_digest
+    traced.Emit.text_digest;
+  Alcotest.(check string) "same full artifact (debug info included)"
+    plain.Emit.full_digest traced.Emit.full_digest
+
+(* ------------------------------------------------------------------ *)
+(* Chrome export and validation                                        *)
+
+let compile_session () =
+  let p = Programs.find "zlib" in
+  let ast = Suite_types.ast p in
+  ignore (Obs.stop ());
+  Obs.start ();
+  ignore (T.compile ast ~config:(C.make C.Gcc C.O2) ~roots:(Suite_types.roots p));
+  stop_exn ()
+
+let test_chrome_roundtrip () =
+  let s = compile_session () in
+  let js = Obs.to_chrome_json s in
+  match Obs.validate_chrome js with
+  | Error m -> Alcotest.fail m
+  | Ok v ->
+      Alcotest.(check bool) "events checked" true (v.Obs.v_events > 0);
+      (* Every profiled pass shows up as at least one named span. *)
+      List.iter
+        (fun pr ->
+          match List.assoc_opt pr.Obs.pr_pass v.Obs.v_spans with
+          | Some n when n >= 1 -> ()
+          | _ -> Alcotest.failf "no span for pass %s" pr.Obs.pr_pass)
+        (Obs.profiles s);
+      (* Phases bracket as B/E pairs and survive validation too. *)
+      List.iter
+        (fun phase ->
+          match List.assoc_opt ("phase:" ^ phase) v.Obs.v_spans with
+          | Some n when n >= 1 -> ()
+          | _ -> Alcotest.failf "no span for phase %s" phase)
+        [ "ir"; "backend"; "emit" ]
+
+let test_chrome_rejects_corruption () =
+  let s = compile_session () in
+  let js = Obs.to_chrome_json s in
+  let corrupt =
+    (* Break the first ph marker: "ph":"X" -> "ph":"Q". *)
+    let needle = {|"ph":"X"|} in
+    let rec find i =
+      if i + String.length needle > String.length js then
+        Alcotest.fail "no X event to corrupt"
+      else if String.sub js i (String.length needle) = needle then i
+      else find (i + 1)
+    in
+    let i = find 0 in
+    String.sub js 0 i ^ {|"ph":"Q"|}
+    ^ String.sub js
+        (i + String.length needle)
+        (String.length js - i - String.length needle)
+  in
+  (match Obs.validate_chrome corrupt with
+  | Ok _ -> Alcotest.fail "validator accepted a bad ph"
+  | Error _ -> ());
+  match Obs.validate_chrome (String.sub js 0 (String.length js / 2)) with
+  | Ok _ -> Alcotest.fail "validator accepted truncated JSON"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Per-pass deltas telescope to the whole-compile deltas               *)
+
+let test_deltas_telescope () =
+  let p = Programs.find "zlib" in
+  let ast = Suite_types.ast p in
+  let roots = Suite_types.roots p in
+  let cfg = C.make C.Gcc C.O2 in
+  ignore (Obs.stop ());
+  Obs.start ();
+  ignore (T.compile ast ~config:cfg ~roots);
+  let s = stop_exn () in
+  let trace = T.pipeline_trace ast ~config:cfg ~roots in
+  let ir_names =
+    List.filter_map
+      (fun (name, _) ->
+        if Filename.check_suffix name " (backend)" then None else Some name)
+      trace
+  in
+  let sum f =
+    List.fold_left
+      (fun acc pr ->
+        if List.mem pr.Obs.pr_pass ir_names then acc + f pr.Obs.pr_delta
+        else acc)
+      0 (Obs.profiles s)
+  in
+  let first = snd (List.hd trace) in
+  let last = snd (List.nth trace (List.length trace - 1)) in
+  Alcotest.(check int) "instr deltas telescope"
+    (last.T.st_instrs - first.T.st_instrs)
+    (sum (fun d -> d.Instrument.c_instrs));
+  Alcotest.(check int) "line deltas telescope"
+    (last.T.st_lines - first.T.st_lines)
+    (sum (fun d -> d.Instrument.c_lines))
+
+let test_vm_counters () =
+  let p = Programs.find "zlib" in
+  let ast = Suite_types.ast p in
+  let bin = T.compile ast ~config:(C.make C.Gcc C.O0) ~roots:(Suite_types.roots p) in
+  let h = List.hd p.Suite_types.p_harnesses in
+  ignore (Obs.stop ());
+  Obs.start ();
+  let r = Vm.run bin ~entry:h.Suite_types.h_entry ~input:[ 1; 2; 3 ] Vm.default_opts in
+  let s = stop_exn () in
+  let ctrs = Obs.counters s in
+  Alcotest.(check (option int)) "one run" (Some 1) (List.assoc_opt "vm/runs" ctrs);
+  Alcotest.(check (option int)) "instr counter matches result"
+    (Some r.Vm.instrs)
+    (List.assoc_opt "vm/instrs" ctrs);
+  Alcotest.(check bool) "vm span recorded" true
+    (List.exists (fun e -> e.Obs.ev_name = "vm:run") (Obs.events s))
+
+let tests =
+  [
+    Alcotest.test_case "span nesting and self time" `Quick test_span_nesting;
+    Alcotest.test_case "wrap records on raise" `Quick test_span_wrap_reraises;
+    Alcotest.test_case "counters" `Quick test_counters;
+    Alcotest.test_case "disabled path allocates nothing" `Quick
+      test_disabled_allocates_nothing;
+    Alcotest.test_case "disabled tracing is byte-identical" `Quick
+      test_disabled_binaries_byte_identical;
+    Alcotest.test_case "chrome JSON round-trips the validator" `Quick
+      test_chrome_roundtrip;
+    Alcotest.test_case "validator rejects corruption" `Quick
+      test_chrome_rejects_corruption;
+    Alcotest.test_case "per-pass deltas telescope" `Quick
+      test_deltas_telescope;
+    Alcotest.test_case "vm counters" `Quick test_vm_counters;
+  ]
