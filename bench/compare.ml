@@ -1,0 +1,158 @@
+(* Benchmark-regression gate for ci.sh and the CI workflow.
+
+     compare.exe BASELINE.json COLD.json WARM.json
+
+   All three files are `bench --json` outputs on the same workload.
+   The gate fails (exit 1) when any of these hold:
+
+     - the cold run's total wall time regressed more than
+       DEBUGTUNER_BENCH_TOLERANCE (default 0.20 = +20%) over the
+       committed baseline;
+     - the warm (populated cache) run is not at least
+       DEBUGTUNER_WARM_FLOOR (default 3.0) times faster than the cold
+       run;
+     - the warm run's disk-store hit rate (sum of store/<x>/hits over
+       hits + misses) is below DEBUGTUNER_HIT_FLOOR (default 0.9), or
+       the warm run recorded no store activity at all.
+
+   Volatile numbers (absolute seconds, ratios) are printed on lines
+   starting with '#', so CI determinism diffs can drop them; the
+   PASS/FAIL verdict lines are stable. No dependencies beyond the
+   stdlib: the JSON is the harness's own flat output, scanned with
+   substring matching rather than a parser. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let find_sub text needle from =
+  let nl = String.length needle and tl = String.length text in
+  let rec go i =
+    if i + nl > tl then raise Not_found
+    else if String.sub text i nl = needle then i
+    else go (i + 1)
+  in
+  go from
+
+let is_num_char = function
+  | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+  | _ -> false
+
+let number_after text pos =
+  let n = String.length text in
+  let j = ref pos in
+  while !j < n && (text.[!j] = ' ' || text.[!j] = '\t') do
+    incr j
+  done;
+  let k = ref !j in
+  while !k < n && is_num_char text.[!k] do
+    incr k
+  done;
+  if !k > !j then float_of_string_opt (String.sub text !j (!k - !j)) else None
+
+(** The first ["key": <number>] in [text]. *)
+let scan_float text key =
+  let needle = "\"" ^ key ^ "\":" in
+  match find_sub text needle 0 with
+  | exception Not_found -> None
+  | i -> number_after text (i + String.length needle)
+
+(** Every [{"name": "<name>", "value": <int>}] row of the stats table. *)
+let counter_rows text =
+  let rows = ref [] in
+  let pos = ref 0 in
+  (try
+     while true do
+       let i = find_sub text "{\"name\": \"" !pos in
+       let name_start = i + String.length "{\"name\": \"" in
+       let name_end = String.index_from text name_start '"' in
+       let name = String.sub text name_start (name_end - name_start) in
+       let v = find_sub text "\"value\":" name_end in
+       (match number_after text (v + String.length "\"value\":") with
+       | Some f -> rows := (name, int_of_float f) :: !rows
+       | None -> ());
+       pos := v
+     done
+   with Not_found -> ());
+  List.rev !rows
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let has_suffix suf s =
+  let n = String.length s and m = String.length suf in
+  n >= m && String.sub s (n - m) m = suf
+
+let sum_store rows ~suffix =
+  List.fold_left
+    (fun acc (name, v) ->
+      if has_prefix "store/" name && has_suffix suffix name then acc + v
+      else acc)
+    0 rows
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match float_of_string_opt s with Some f -> f | None -> default)
+  | None -> default
+
+let () =
+  (match Sys.argv with
+  | [| _; _; _; _ |] -> ()
+  | _ ->
+      prerr_endline "usage: compare.exe BASELINE.json COLD.json WARM.json";
+      exit 2);
+  let baseline = read_file Sys.argv.(1)
+  and cold = read_file Sys.argv.(2)
+  and warm = read_file Sys.argv.(3) in
+  let tolerance = env_float "DEBUGTUNER_BENCH_TOLERANCE" 0.20 in
+  let warm_floor = env_float "DEBUGTUNER_WARM_FLOOR" 3.0 in
+  let hit_floor = env_float "DEBUGTUNER_HIT_FLOOR" 0.9 in
+  let total name text =
+    match scan_float text "total_seconds" with
+    | Some s -> s
+    | None ->
+        Printf.eprintf "%s: no total_seconds field\n" name;
+        exit 2
+  in
+  let base_s = total "baseline" baseline
+  and cold_s = total "cold" cold
+  and warm_s = total "warm" warm in
+  let failures = ref 0 in
+  let verdict ok what detail =
+    if ok then Printf.printf "PASS %s\n" what
+    else begin
+      incr failures;
+      Printf.printf "FAIL %s\n" what
+    end;
+    Printf.printf "# %s\n" detail
+  in
+  let bound = base_s *. (1.0 +. tolerance) in
+  verdict (cold_s <= bound)
+    (Printf.sprintf "cold wall time within +%.0f%% of baseline"
+       (tolerance *. 100.0))
+    (Printf.sprintf "baseline %.3fs, cold %.3fs, bound %.3fs" base_s cold_s
+       bound);
+  let speedup = if warm_s > 0.0 then cold_s /. warm_s else infinity in
+  verdict (speedup >= warm_floor)
+    (Printf.sprintf "warm run at least %.1fx faster than cold" warm_floor)
+    (Printf.sprintf "cold %.3fs, warm %.3fs, speedup %.2fx" cold_s warm_s
+       speedup);
+  let rows = counter_rows warm in
+  let hits = sum_store rows ~suffix:"/hits"
+  and misses = sum_store rows ~suffix:"/misses" in
+  let rate =
+    if hits + misses = 0 then 0.0
+    else float_of_int hits /. float_of_int (hits + misses)
+  in
+  verdict
+    (hits + misses > 0 && rate >= hit_floor)
+    (Printf.sprintf "warm store hit rate at least %.0f%%" (hit_floor *. 100.0))
+    (Printf.sprintf "hits %d, misses %d, rate %.3f" hits misses rate);
+  if !failures > 0 then begin
+    Printf.printf "bench-compare: %d check(s) FAILED\n" !failures;
+    exit 1
+  end;
+  print_endline "bench-compare: all checks passed"

@@ -17,12 +17,18 @@
      dune exec bench/main.exe -- --trace out.json -- Chrome trace_event
                                    JSON of every span (chrome://tracing)
      dune exec bench/main.exe -- --profile    -- sorted self-time report
+     dune exec bench/main.exe -- --cache-dir D -- persistent artifact
+                                   store at D (default _cache/ or
+                                   $DEBUGTUNER_CACHE); warm re-runs are
+                                   near-instant and byte-identical
+     dune exec bench/main.exe -- --no-cache   -- disable the store
 
    The shared switches (--stats/--json/--jobs/--sanitize/--trace/
-   --profile) are declared once in Util.Cliopts and mean the same thing
-   under `debugtuner_cli`. Output is deterministic for a given --synth
-   value, including under --jobs > 1 (the engine's parallel reduction
-   is ordered). *)
+   --profile/--cache-dir/--no-cache) are declared once in Util.Cliopts
+   and mean the same thing under `debugtuner_cli`. Output is
+   deterministic for a given --synth value, including under --jobs > 1
+   (the engine's parallel reduction is ordered) and across cold/warm
+   cache runs (only the bracketed timing lines vary). *)
 
 module E = Debugtuner.Experiments
 
@@ -222,11 +228,23 @@ let () =
   if common.Util.Cliopts.c_sanitize then Sanitize.enabled := true;
   if common.Util.Cliopts.c_trace <> None || common.Util.Cliopts.c_profile then
     Obs.start ();
+  (* The persistent artifact store is on by default (default _cache/, or
+     $DEBUGTUNER_CACHE, or --cache-dir): a warm re-run serves compiles,
+     traces, metrics and even suite preparation from disk and stays
+     byte-identical to a cold one. --no-cache opts out. *)
+  let store =
+    if common.Util.Cliopts.c_no_cache then None
+    else
+      Some
+        (Debugtuner.Measure_engine.open_store
+           ?dir:common.Util.Cliopts.c_cache_dir ())
+  in
   Printf.printf
     "DebugTuner benchmark harness (deterministic; synth=%d; jobs=%d)\n\n%!"
     synth jobs;
   let ctx =
-    timed "prepare suite" (fun () -> E.create ~synth_count:synth ~workers:jobs ())
+    timed "prepare suite" (fun () ->
+        E.create ~synth_count:synth ~workers:jobs ?store ())
   in
   let selected =
     match only with

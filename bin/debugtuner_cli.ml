@@ -837,14 +837,26 @@ let check_cmd =
       & info [ "p"; "program" ] ~docv:"PROGRAM"
           ~doc:"Check only this program (name or MiniC file path).")
   in
-  let run program fuzz seed no_suite =
+  let run program fuzz seed no_suite cache_dir no_cache json =
+    (* The oracle's persistent verdict cache is opt-in: only an explicit
+       --cache-dir (and no --no-cache) turns it on, so plain [check]
+       stays stateless. Warm hits replay the cached sanitizer-counter
+       deltas, keeping stdout byte-identical to a cold run. *)
+    let oracle_store =
+      match cache_dir with
+      | Some dir when not no_cache ->
+          Some (Debugtuner.Measure_engine.open_store ~dir ())
+      | _ -> None
+    in
     let reports = ref [] in
     (match program with
     | Some name ->
         let p = find_program name in
         Printf.printf "checking %s across O0-O3 x {gcc, clang}...\n%!"
           p.Suite_types.p_name;
-        let failures, (runs, skipped) = Diff_oracle.check_program p in
+        let failures, (runs, skipped) =
+          Diff_oracle.check_program ?store:oracle_store p
+        in
         reports :=
           [
             {
@@ -860,12 +872,13 @@ let check_cmd =
           Printf.printf
             "checking the suite across O0-O3 x {gcc, clang} (sanitizer \
              on)...\n%!";
-          reports := [ Diff_oracle.check_suite () ]
+          reports := [ Diff_oracle.check_suite ?store:oracle_store () ]
         end);
     if fuzz > 0 then begin
       Printf.printf "fuzzing %d synthetic program(s) from seed %d...\n%!" fuzz
         seed;
-      reports := !reports @ [ Diff_oracle.fuzz ~count:fuzz ~seed ]
+      reports :=
+        !reports @ [ Diff_oracle.fuzz ?store:oracle_store ~count:fuzz ~seed () ]
     end;
     List.iter (fun r -> print_endline (Diff_oracle.report_to_string r)) !reports;
     (match Sanitize.counters () with
@@ -878,6 +891,33 @@ let check_cmd =
               (if failures = 0 then ""
                else Printf.sprintf "%d FAILED" failures))
           cs);
+    (match json with
+    | None -> ()
+    | Some file ->
+        (* Counters to a side file — store activity is run-dependent
+           (cold vs warm), so it must never reach the byte-stable
+           stdout. *)
+        let rows =
+          (match oracle_store with
+          | None -> []
+          | Some s ->
+              List.filter_map
+                (fun (n, v) -> if v = 0 then None else Some ("store/" ^ n, v))
+                (Engine.Disk_store.counters s))
+          @ List.concat_map
+              (fun (pass, checks, failures) ->
+                ("sanitize/" ^ pass ^ "/checked", checks)
+                :: (if failures <> 0 then
+                      [ ("sanitize/" ^ pass ^ "/failures", failures) ]
+                    else []))
+              (Sanitize.counters ())
+        in
+        let oc = open_out file in
+        output_string oc "[\n  ";
+        output_string oc
+          (String.concat ",\n  " (Util.Cliopts.kv_json_rows rows));
+        output_string oc "\n]\n";
+        close_out oc);
     if not (List.for_all Diff_oracle.clean !reports) then exit 1
   in
   Cmd.v
@@ -886,8 +926,71 @@ let check_cmd =
          "Run the pipeline sanitizer and the differential oracle: every \
           program is interpreted (ground truth) and executed at O0-O3 under \
           both pipelines with per-pass checking on; failing synthetic \
-          programs are shrunk before reporting. Exits 1 on any failure.")
-    Term.(const run $ one_program_arg $ fuzz_arg $ seed_arg $ suite_arg)
+          programs are shrunk before reporting. Exits 1 on any failure. With \
+          --cache-dir, verdicts persist across runs (warm runs are \
+          near-instant and byte-identical).")
+    Term.(
+      const run $ one_program_arg $ fuzz_arg $ seed_arg $ suite_arg
+      $ cliopt_file Util.Cliopts.cache_dir
+      $ cliopt_flag Util.Cliopts.no_cache
+      $ cliopt_file Util.Cliopts.json)
+
+(* ------------------------------------------------------------------ *)
+(* cache: inspect and maintain the persistent artifact store            *)
+
+let cache_cmd =
+  let action_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("stats", `Stats); ("clear", `Clear); ("gc", `Gc) ]))
+          None
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "$(docv) is one of: $(b,stats) (entry/byte counts per cache), \
+             $(b,clear) (remove every entry), $(b,gc) (drop stale/corrupt \
+             entries, enforce the size bound, remove abandoned temp files).")
+  in
+  let run action cache_dir =
+    let store = Debugtuner.Measure_engine.open_store ?dir:cache_dir () in
+    match action with
+    | `Stats ->
+        Printf.printf "cache %s (format v%d)\n"
+          (Engine.Disk_store.dir store)
+          Engine.Disk_store.format_version;
+        let summary = Engine.Disk_store.summary store in
+        if summary = [] then print_endline "  (empty)"
+        else
+          List.iter
+            (fun (cache, entries, bytes) ->
+              Printf.printf "  %-14s %6d entries %10d bytes\n" cache entries
+                bytes)
+            summary;
+        Printf.printf "  %-14s %6d entries %10d bytes\n" "total"
+          (Engine.Disk_store.entry_count store)
+          (Engine.Disk_store.size_bytes store)
+    | `Clear ->
+        let n = Engine.Disk_store.clear store in
+        Printf.printf "cache %s: removed %d entr%s\n"
+          (Engine.Disk_store.dir store)
+          n
+          (if n = 1 then "y" else "ies")
+    | `Gc ->
+        let n = Engine.Disk_store.gc store in
+        Printf.printf
+          "cache %s: dropped %d stale/corrupt entr%s, %d entries (%d bytes) \
+           kept\n"
+          (Engine.Disk_store.dir store)
+          n
+          (if n = 1 then "y" else "ies")
+          (Engine.Disk_store.entry_count store)
+          (Engine.Disk_store.size_bytes store)
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect or maintain the persistent artifact cache (default _cache, \
+          or $(b,DEBUGTUNER_CACHE), or --cache-dir).")
+    Term.(const run $ action_arg $ cliopt_file Util.Cliopts.cache_dir)
 
 (* ------------------------------------------------------------------ *)
 (* passes / suite / run                                                *)
@@ -964,4 +1067,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; measure_cmd; rank_cmd; tune_cmd; passes_cmd; suite_cmd; run_cmd; trace_cmd; dump_cmd; verify_cmd; debug_cmd; dwarf_size_cmd; disasm_cmd; sample_cmd; profile_cmd; pass_trace_cmd; value_check_cmd; check_cmd ]))
+          [ compile_cmd; measure_cmd; rank_cmd; tune_cmd; passes_cmd; suite_cmd; run_cmd; trace_cmd; dump_cmd; verify_cmd; debug_cmd; dwarf_size_cmd; disasm_cmd; sample_cmd; profile_cmd; pass_trace_cmd; value_check_cmd; check_cmd; cache_cmd ]))

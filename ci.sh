@@ -3,10 +3,19 @@
 # pipeline with the differential oracle — 100 synthetic programs at a
 # fixed seed, compiled at O0-O3 under both pipelines with the
 # pass-boundary sanitizer on, executed on the VM and diffed against the
-# source interpreter. Fully deterministic: two runs produce identical
-# output.
+# source interpreter — then exercise the persistent artifact cache
+# (cold/warm byte-identity, disk hits, clear) and run the
+# benchmark-regression gate against the committed BENCH_baseline.json.
+#
+# Deterministic up to timing: lines bracketed [like this] carry wall
+# times and lines starting with '#' carry volatile measurements; the CI
+# determinism leg strips those (plus /tmp paths) and diffs the rest of
+# two runs byte-for-byte.
 set -eu
 cd "$(dirname "$0")"
+
+scratch="$(mktemp -d /tmp/debugtuner-ci.XXXXXX)"
+trap 'rm -rf "$scratch"' EXIT INT TERM
 
 echo "== dune build =="
 dune build
@@ -20,9 +29,52 @@ dune exec bin/debugtuner_cli.exe -- check --fuzz 100 --seed 1
 echo "== observability smoke (profile zlib at O2, validate trace) =="
 # `profile --trace` self-validates the written document (balanced B/E
 # nesting, >= 1 span per executed pass) and exits non-zero on failure.
-trace_out="$(mktemp /tmp/debugtuner-ci-trace.XXXXXX.json)"
+# Its stdout is a wall-time table (inherently run-dependent), so it
+# goes to the scratch dir, keeping this script's output diffable.
 dune exec bin/debugtuner_cli.exe -- profile -p zlib -O2 --pipeline gcc \
-  --trace "$trace_out"
-rm -f "$trace_out"
+  --trace "$scratch/trace.json" > "$scratch/profile.out"
+
+echo "== cache smoke (check twice on one fresh cache dir) =="
+# A cold run populates the store; the warm run must serve every oracle
+# verdict from disk with byte-identical stdout. Then `cache clear`
+# must leave the directory with no entries.
+mkdir "$scratch/cache"
+dune exec bin/debugtuner_cli.exe -- check --fuzz 100 --seed 1 \
+  --cache-dir "$scratch/cache" --json "$scratch/check-cold.json" \
+  > "$scratch/check-cold.out"
+dune exec bin/debugtuner_cli.exe -- check --fuzz 100 --seed 1 \
+  --cache-dir "$scratch/cache" --json "$scratch/check-warm.json" \
+  > "$scratch/check-warm.out"
+diff "$scratch/check-cold.out" "$scratch/check-warm.out"
+cat "$scratch/check-cold.out"
+grep -q '"name": "store/oracle/hits", "value": [1-9]' "$scratch/check-warm.json" || {
+  echo "cache smoke: warm run reported no disk hits" >&2
+  exit 1
+}
+dune exec bin/debugtuner_cli.exe -- cache clear --cache-dir "$scratch/cache" \
+  | sed "s#$scratch#SCRATCH#g"
+remaining="$(find "$scratch/cache/objects" -type f 2>/dev/null | wc -l)"
+[ "$remaining" -eq 0 ] || {
+  echo "cache smoke: $remaining entr(ies) survived cache clear" >&2
+  exit 1
+}
+
+echo "== benchmark regression gate (table1 cold+warm vs BENCH_baseline.json) =="
+# Cold and warm runs share one fresh cache dir; the warm run must be
+# several times faster with a high disk hit rate, and the cold run must
+# not regress past the committed baseline (see bench/compare.ml; bounds
+# tunable via DEBUGTUNER_BENCH_TOLERANCE / _WARM_FLOOR / _HIT_FLOOR).
+mkdir "$scratch/bench-cache"
+dune exec bench/main.exe -- --only table1 --cache-dir "$scratch/bench-cache" \
+  --json "$scratch/bench-cold.json" > "$scratch/bench-cold.out"
+dune exec bench/main.exe -- --only table1 --cache-dir "$scratch/bench-cache" \
+  --json "$scratch/bench-warm.json" > "$scratch/bench-warm.out"
+# Warm tables must be byte-identical to cold ones (only the bracketed
+# timing lines may differ).
+grep -v '^\[' "$scratch/bench-cold.out" > "$scratch/bench-cold.flat"
+grep -v '^\[' "$scratch/bench-warm.out" > "$scratch/bench-warm.flat"
+diff "$scratch/bench-cold.flat" "$scratch/bench-warm.flat"
+dune exec bench/compare.exe -- BENCH_baseline.json \
+  "$scratch/bench-cold.json" "$scratch/bench-warm.json"
 
 echo "== ci green =="

@@ -108,12 +108,79 @@ let run_one ast ~roots ~entry ~input (cfg : C.t) ~expected =
         | false -> Some (Mismatch { expected; actual = res.Vm.output }))
 
 (* ------------------------------------------------------------------ *)
+(* Persistent verdict cache                                            *)
+
+(* With a store, each program's whole differential verdict — failures,
+   run counts and the sanitizer-counter delta its compiles produced — is
+   cached on a content address of everything the verdict depends on.
+   Warm hits replay the sanitizer delta ({!Sanitize.record}) so a warm
+   [check] prints byte-identical output, counters included. *)
+
+let counters_delta before after =
+  let find pass l =
+    match List.find_opt (fun (q, _, _) -> q = pass) l with
+    | Some (_, c, f) -> (c, f)
+    | None -> (0, 0)
+  in
+  List.filter_map
+    (fun (pass, c, f) ->
+      let bc, bf = find pass before in
+      if c = bc && f = bf then None else Some (pass, c - bc, f - bf))
+    after
+
+let verdict_key tag payload =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( tag,
+            payload,
+            interp_budget,
+            vm_budget,
+            List.map C.fingerprint (configs ()),
+            "oracle-v1" )
+          []))
+
+let cached store ~key (f : unit -> 'a) : 'a =
+  match store with
+  | None -> f ()
+  | Some s -> (
+      let fresh () =
+        let before = Sanitize.counters () in
+        let v = f () in
+        let delta = counters_delta before (Sanitize.counters ()) in
+        (try
+           Engine.Disk_store.put s ~cache:"oracle" ~key
+             (Marshal.to_string (v, delta) [])
+         with _ -> ());
+        v
+      in
+      match Engine.Disk_store.get s ~cache:"oracle" ~key with
+      | None -> fresh ()
+      | Some payload -> (
+          match
+            (Marshal.from_string payload 0 : 'a * (string * int * int) list)
+          with
+          | v, delta ->
+              Sanitize.record delta;
+              v
+          | exception _ ->
+              Engine.Disk_store.invalidate s ~cache:"oracle" ~key;
+              fresh ()))
+
+(* ------------------------------------------------------------------ *)
 (* Suite programs                                                      *)
 
 (** [check_program p] runs the whole differential matrix over every
     harness and seed input of a suite program. Returns failures (empty =
-    clean) and the number of (runs, skipped-for-no-ground-truth). *)
-let check_program (p : Suite_types.sprogram) : failure list * (int * int) =
+    clean) and the number of (runs, skipped-for-no-ground-truth). With
+    [store], the verdict is served from the persistent cache when the
+    program, inputs, configurations and budgets are unchanged. *)
+let check_program ?store (p : Suite_types.sprogram) :
+    failure list * (int * int) =
+  cached store
+    ~key:
+      (verdict_key "program" (p.Suite_types.p_source, p.Suite_types.p_harnesses))
+  @@ fun () ->
   Obs.Span.wrap "oracle:program" ~args:[ ("program", p.Suite_types.p_name) ]
   @@ fun () ->
   let ast = Suite_types.ast p in
@@ -152,12 +219,12 @@ let check_program (p : Suite_types.sprogram) : failure list * (int * int) =
   (List.rev !failures, (!runs, !skipped))
 
 (** [check_suite ()] sweeps every [Programs.all] program. *)
-let check_suite () : report =
+let check_suite ?store () : report =
   let runs = ref 0 and skipped = ref 0 in
   let failures = ref [] in
   List.iter
     (fun p ->
-      let fs, (r, s) = check_program p in
+      let fs, (r, s) = check_program ?store p in
       runs := !runs + r;
       skipped := !skipped + s;
       failures := !failures @ [ fs ])
@@ -204,10 +271,11 @@ let shrink_source source (cfg : C.t) ~input =
 
 (** [check_synth ~seed] runs one synthetic program through the matrix,
     shrinking any failure before reporting it. *)
-let check_synth ~seed : failure list * (int * int) =
+let check_synth ?store ~seed () : failure list * (int * int) =
   let name = Printf.sprintf "synth-%d" seed in
   Obs.Span.wrap "oracle:synth" ~args:[ ("program", name) ] @@ fun () ->
   let source = Synth.generate ~seed in
+  cached store ~key:(verdict_key "synth" (source, synth_inputs)) @@ fun () ->
   let ast = Minic.Typecheck.parse_and_check source in
   let runs = ref 0 and skipped = ref 0 in
   let failures = ref [] in
@@ -241,11 +309,11 @@ let check_synth ~seed : failure list * (int * int) =
 (** [fuzz ~count ~seed] runs [count] synthetic programs (seeds [seed] to
     [seed + count - 1]) through the full differential matrix.
     Deterministic for a given [(count, seed)]. *)
-let fuzz ~count ~seed : report =
+let fuzz ?store ~count ~seed () : report =
   let runs = ref 0 and skipped = ref 0 in
   let failures = ref [] in
   for s = seed to seed + count - 1 do
-    let fs, (r, sk) = check_synth ~seed:s in
+    let fs, (r, sk) = check_synth ?store ~seed:s () in
     runs := !runs + r;
     skipped := !skipped + sk;
     failures := !failures @ [ fs ]

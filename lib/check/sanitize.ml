@@ -127,6 +127,20 @@ let reset_counters () =
   Hashtbl.reset counters_tbl;
   Mutex.unlock counters_mu
 
+(** [record deltas] credits [(pass, checks, failures)] triples wholesale
+    — for callers replaying sanitizer activity captured on an earlier
+    run (e.g. a persistent-cache hit serving a compile that originally
+    ran with the sanitizer on), so warm output matches cold output. *)
+let record deltas =
+  Mutex.lock counters_mu;
+  List.iter
+    (fun (pass, checks, failures) ->
+      let c = counter_for pass in
+      c.checks <- c.checks + checks;
+      c.failures <- c.failures + failures)
+    deltas;
+  Mutex.unlock counters_mu
+
 (* ------------------------------------------------------------------ *)
 (* Debug-info snapshots: what a pass may shrink but never grow          *)
 

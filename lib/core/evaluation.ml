@@ -65,6 +65,22 @@ let trace_with_corpora (corpora : harness_corpus list) (bin : Emit.binary) =
 let trace_config_bin (prepared : prepared) (bin : Emit.binary) =
   trace_with_corpora prepared.corpora bin
 
+(** [prepare_key program] — content address of what {!prepare} would
+    build: the compile inputs plus every parameter the corpus depends
+    on. Equal keys imply interchangeable prepared subjects, so the
+    expensive preparation can be served from a persistent store. *)
+let prepare_key ?(fuzz_budget = 700) ?(seed = 42)
+    (program : Suite_types.sprogram) =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( program.Suite_types.p_source,
+            program.Suite_types.p_harnesses,
+            fuzz_budget,
+            seed,
+            "prepare-v1" )
+          []))
+
 (** [prepare ?fuzz_budget program] builds the corpus (fuzz + afl-cmin
     analog + debug-trace pruning) and the O0 baseline. *)
 let prepare ?(fuzz_budget = 700) ?(seed = 42) (program : Suite_types.sprogram) :

@@ -43,6 +43,12 @@ val trace_config_bin : prepared -> Emit.binary -> Debugger.trace
 (** Trace a configuration's binary over the prepared corpora (the
     engine's trace primitive). *)
 
+val prepare_key :
+  ?fuzz_budget:int -> ?seed:int -> Suite_types.sprogram -> string
+(** Content address of what {!prepare} would build (source, harnesses
+    and every corpus parameter): equal keys imply interchangeable
+    prepared subjects, so preparation can be memoized persistently. *)
+
 val prepare : ?fuzz_budget:int -> ?seed:int -> Suite_types.sprogram -> prepared
 (** Build the corpus (fuzz + afl-cmin analog + debug-trace pruning) and
     the O0 baseline. *)

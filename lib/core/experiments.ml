@@ -18,12 +18,22 @@ type ctx = {
       (** derived results, keyed by {!Config.fingerprint} *)
   points : Tuning.config_point Engine.Memo.t;
   speedup_rows : Tuning.speedup_row list Engine.Memo.t;
+  prepares : Evaluation.prepared Engine.Memo.t;
+      (** prepared subjects, keyed by {!Evaluation.prepare_key} — with a
+          persistent store this makes the expensive corpus construction
+          itself resumable *)
 }
 
-let create ?(synth_count = 40) ?workers () =
-  let engine = Measure_engine.create ?workers () in
+let prepare_via memo ?fuzz_budget ?seed p =
+  Engine.Memo.find_or_add memo
+    (Evaluation.prepare_key ?fuzz_budget ?seed p)
+    (fun () -> Evaluation.prepare ?fuzz_budget ?seed p)
+
+let create ?(synth_count = 40) ?workers ?store () =
+  let engine = Measure_engine.create ?workers ?store () in
+  let prepares = Measure_engine.memo engine ~name:"prepare" () in
   {
-    suite = List.map Evaluation.prepare Programs.all;
+    suite = List.map (prepare_via prepares) Programs.all;
     spec = Spec.all;
     o0_costs = Tuning.o0_costs ~engine Spec.all;
     synth_count;
@@ -32,6 +42,7 @@ let create ?(synth_count = 40) ?workers () =
     rankings = Measure_engine.memo engine ~name:"ranking" ();
     points = Measure_engine.memo engine ~name:"point" ();
     speedup_rows = Measure_engine.memo engine ~name:"speedup" ();
+    prepares;
   }
 
 let suite ctx = ctx.suite
@@ -46,7 +57,7 @@ let synth_programs ctx =
   | None ->
       let s =
         List.init ctx.synth_count (fun i ->
-            Evaluation.prepare ~fuzz_budget:8 (Synth.program ~seed:(i + 1)))
+            prepare_via ctx.prepares ~fuzz_budget:8 (Synth.program ~seed:(i + 1)))
       in
       ctx.synth <- Some s;
       s

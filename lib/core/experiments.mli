@@ -13,11 +13,15 @@
 
 type ctx
 
-val create : ?synth_count:int -> ?workers:int -> unit -> ctx
+val create :
+  ?synth_count:int -> ?workers:int -> ?store:Engine.Disk_store.t -> unit -> ctx
 (** Prepare the 13-program suite and the SPEC-analog baselines.
     [synth_count] sizes Table I's synthetic-program set (default 40);
-    [workers] sizes the engine's worker pool (default 1 =
-    sequential). *)
+    [workers] sizes the engine's worker pool (default 1 = sequential).
+    [store] backs the context's engine — and the expensive subject
+    preparation itself, memoized on {!Evaluation.prepare_key} — with a
+    persistent on-disk cache, making interrupted runs resumable and
+    warm re-runs near-instant while staying byte-identical. *)
 
 val suite : ctx -> Evaluation.prepared list
 val engine : ctx -> Measure_engine.t

@@ -90,6 +90,40 @@ end
 
 include Engine.Make (Domain_impl)
 
+(* Bracket every disk-store I/O with an [Obs] span + counter. Installed
+   at module init so the engine library itself never depends on
+   lib/obs; free when observability is off. *)
+let () =
+  Engine.Disk_store.set_io_wrap
+    (Some
+       {
+         Engine.Disk_store.wrap =
+           (fun name args f ->
+             if not (Obs.enabled ()) then f ()
+             else begin
+               Obs.count name;
+               Obs.Span.wrap name ~args f
+             end);
+       })
+
+(* The serialization schema stamp: [Marshal] is type-unsafe, so any
+   change to the marshalled value layouts (or the compiler that decides
+   them) must read as "stale entry, recompute". Bump the leading tag
+   whenever a persisted type changes shape. *)
+let cache_schema = "debugtuner-v1/" ^ Sys.ocaml_version
+
+let cache_dir_of ?dir () =
+  match dir with
+  | Some d -> d
+  | None -> (
+      match Sys.getenv_opt "DEBUGTUNER_CACHE" with
+      | Some d when d <> "" -> d
+      | _ -> "_cache")
+
+let open_store ?dir ?max_bytes () =
+  Engine.Disk_store.create ?max_bytes ~schema:cache_schema
+    ~dir:(cache_dir_of ?dir ()) ()
+
 let default_instance = lazy (create ())
 
 (** The process-wide shared engine, for callers that do not thread an
@@ -134,7 +168,15 @@ let stats_table t : (string * int) list =
             else []))
       (Sanitize.counters ())
   in
+  let store_rows =
+    match store t with
+    | None -> []
+    | Some s ->
+        List.filter_map
+          (fun (n, v) -> if v = 0 then None else Some ("store/" ^ n, v))
+          (Engine.Disk_store.counters s)
+  in
   let obs_rows =
     List.map (fun (n, v) -> ("obs/" ^ n, v)) (Obs.current_counters ())
   in
-  List.sort compare (engine_rows @ sanitize_rows @ obs_rows)
+  List.sort compare (engine_rows @ sanitize_rows @ store_rows @ obs_rows)

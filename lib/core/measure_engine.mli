@@ -25,10 +25,26 @@ type result =
   | Measured of Metrics.all_methods * Emit.binary
   | Cost of int
 
-val create : ?workers:int -> unit -> t
+val create : ?workers:int -> ?store:Engine.Disk_store.t -> unit -> t
 (** Fresh caches, zeroed counters. [workers] sizes the pool behind
     {!map} (default 1 = sequential; parallel runs reduce in input order
-    and stay byte-identical). *)
+    and stay byte-identical). [store] backs every cache tier with a
+    persistent on-disk store (see {!open_store}): results already on
+    disk are served without recomputing, fresh results are published
+    back, so runs are resumable and warm re-runs near-instant — still
+    byte-identical to cold ones. *)
+
+val cache_schema : string
+(** The serialization schema stamp written into every persistent cache
+    entry: ["debugtuner-v1/" ^ Sys.ocaml_version]. Entries written under
+    any other stamp are stale — evicted and recomputed, never decoded
+    ([Marshal] is type-unsafe). *)
+
+val open_store :
+  ?dir:string -> ?max_bytes:int -> unit -> Engine.Disk_store.t
+(** Open the repository's persistent artifact store. The directory is
+    [dir] if given, else [$DEBUGTUNER_CACHE] if set and non-empty, else
+    ["_cache"]. Always stamped with {!cache_schema}. *)
 
 val default : unit -> t
 (** The process-wide shared engine, for callers that do not thread an
@@ -60,6 +76,9 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 val workers : t -> int
 val stats : t -> Engine.Stats.t
 
+val store : t -> Engine.Disk_store.t option
+(** The persistent store this engine was created with, if any. *)
+
 val sanitizer_stats : unit -> (string * Engine.Stats.counter) list
 (** Per-pass sanitizer counters ({!Sanitize.counters}) in the engine's
     counter shape — [hits] = boundaries validated, [misses] = invariant
@@ -71,9 +90,11 @@ val stats_table : t -> (string * int) list
 (** One flat, sorted [(name, value)] table merging every counter
     source: engine cache activity ([engine/<cache>/hits|misses|dedups],
     zero rows dropped), sanitizer boundaries
-    ([sanitize/<pass>/checked|failures]) and live [Obs] counters
-    ([obs/<name>]). The single stats path behind [bench --stats] and the
-    CLI, in both text and JSON renderings. *)
+    ([sanitize/<pass>/checked|failures]), disk-store activity
+    ([store/<cache>/hits|misses|writes|corrupt|stale|evicted], zero rows
+    dropped, present only when the engine has a store) and live [Obs]
+    counters ([obs/<name>]). The single stats path behind
+    [bench --stats] and the CLI, in both text and JSON renderings. *)
 
 val memo : t -> name:string -> (unit -> 'a Engine.Memo.t)
 (** A fresh memo table wired to this engine's counters, for derived

@@ -27,8 +27,14 @@
       possibly coarser one for execution cost (which depends on the
       machine code alone).
 
+    - {!Disk_store}: a persistent content-addressed artifact store — a
+      versioned on-disk cache directory behind every memo table, so
+      measurement survives process restarts and long experiment runs
+      are resumable.
+
     The library is deliberately ignorant of the compiler model: it
-    depends on nothing but the standard library, and the concrete
+    depends on nothing but the standard library (plus [Unix], for the
+    disk store's atomic-rename publication and LRU clock); the concrete
     instantiation lives in [Debugtuner.Measure_engine]. *)
 
 (** {1 Cache statistics} *)
@@ -60,14 +66,93 @@ module Stats : sig
   (** Sum over every cache. *)
 end
 
+(** {1 Persistent content-addressed artifact store} *)
+
+(** A disk-backed second level behind the in-memory memo tables: a
+    cache directory of write-once entries, keyed by the same content
+    addresses, published with atomic write-then-rename so concurrent
+    writers (domains of one process, or separate processes sharing the
+    directory) can never expose a half-written entry under its final
+    name. Every entry carries a format-version + schema stamp and a
+    payload checksum: stale or damaged entries are detected on read,
+    evicted, counted, and recomputed — never trusted. The store is
+    size-bounded with LRU eviction (a read refreshes the entry's
+    mtime). All failures degrade to cache misses; the store can never
+    change a result or fail a run. *)
+module Disk_store : sig
+  type t
+
+  val format_version : int
+  (** Bumped whenever the on-disk entry layout changes; entries written
+      by any other version self-invalidate on read. *)
+
+  val create : ?max_bytes:int -> ?schema:string -> dir:string -> unit -> t
+  (** Open (creating if needed) the store rooted at [dir]. [schema] is
+      the caller's serialization-format stamp — entries written under a
+      different schema are treated as stale. [max_bytes] bounds the
+      total entry payload on disk (default 512 MiB); exceeding it
+      triggers LRU eviction. *)
+
+  val dir : t -> string
+
+  val get : t -> cache:string -> key:string -> string option
+  (** The stored bytes for [key] in the named cache, verifying the
+      version stamp and checksum. Stale and corrupt entries are evicted
+      and reported as misses. *)
+
+  val put : t -> cache:string -> key:string -> string -> unit
+  (** Publish an entry atomically (write to a temp file, then rename).
+      Failures are swallowed: the store degrades to a miss. *)
+
+  val invalidate : t -> cache:string -> key:string -> unit
+  (** Evict one entry and count it as corrupt — for callers whose
+      decoding failed after {!get} succeeded. *)
+
+  val clear : t -> int
+  (** Remove every entry (and abandoned temp files); returns how many
+      entries were removed. *)
+
+  val gc : t -> int
+  (** Maintenance sweep: drop stale/corrupt entries, enforce
+      [max_bytes] by LRU, remove abandoned temp files. Returns the
+      number of stale/corrupt entries removed. *)
+
+  val entry_count : t -> int
+  val size_bytes : t -> int
+
+  val summary : t -> (string * int * int) list
+  (** Per-cache [(name, entries, bytes)], sorted. *)
+
+  val counters : t -> (string * int) list
+  (** This handle's activity as flat rows —
+      [<cache>/hits|misses|writes|corrupt|stale|evicted] — sorted; zero
+      rows included (renderers filter). *)
+
+  (** {2 Observability seam} *)
+
+  type io_wrap = {
+    wrap : 'a. string -> (string * string) list -> (unit -> 'a) -> 'a;
+  }
+
+  val set_io_wrap : io_wrap option -> unit
+  (** Install a wrapper bracketing every store I/O ([store:get],
+      [store:put], [store:gc]) — the instantiation points this at [Obs]
+      spans/counters without this library depending on lib/obs. *)
+end
+
 (** {1 Content-addressed memo tables} *)
 
 module Memo : sig
   type 'a t
 
-  val create : ?stats:Stats.t -> name:string -> unit -> 'a t
+  val create :
+    ?stats:Stats.t -> ?store:Disk_store.t -> name:string -> unit -> 'a t
   (** A fresh table. When [stats] is given, lookups bump the counters
-      under [name]. *)
+      under [name]. When [store] is given, the table is read-through /
+      write-through persistent: misses consult the disk store (under
+      the cache named [name], values [Marshal]ed) and computed values
+      are published back. A disk payload that fails to decode is
+      evicted and recomputed. *)
 
   val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
   (** [find_or_add t key produce] returns the cached value for [key],
@@ -165,9 +250,14 @@ module Make (D : DOMAIN) : sig
     | Measured of D.metrics * D.binary
     | Cost of int
 
-  val create : ?workers:int -> unit -> t
+  val create : ?workers:int -> ?store:Disk_store.t -> unit -> t
   (** A fresh engine: empty caches, zeroed counters, and a worker pool
-      of the given size (default 1 = sequential). *)
+      of the given size (default 1 = sequential). When [store] is
+      given, every cache tier is backed by that persistent store: jobs
+      already on disk are served without executing (counted as hits),
+      and fresh results are published back — so a second run of the
+      same workload is warm, and an interrupted run resumes where it
+      stopped. *)
 
   val run : t -> job -> result
 
@@ -196,6 +286,9 @@ module Make (D : DOMAIN) : sig
 
   val workers : t -> int
   val stats : t -> Stats.t
+
+  val store : t -> Disk_store.t option
+  (** The persistent store this engine was created with, if any. *)
 
   val memo : t -> name:string -> (unit -> 'a Memo.t)
   (** [memo t ~name ()] is a fresh memo table wired to this engine's

@@ -60,7 +60,23 @@ let profile =
     o_doc = "print a sorted self-time report of the traced spans";
   }
 
-let shared = [ stats; json; jobs; sanitize; trace; profile ]
+let cache_dir =
+  {
+    o_name = "--cache-dir";
+    o_docv = Some "DIR";
+    o_doc =
+      "persistent artifact cache directory (default _cache, or \
+       $DEBUGTUNER_CACHE when set)";
+  }
+
+let no_cache =
+  {
+    o_name = "--no-cache";
+    o_docv = None;
+    o_doc = "disable the persistent artifact cache for this run";
+  }
+
+let shared = [ stats; json; jobs; sanitize; trace; profile; cache_dir; no_cache ]
 
 type common = {
   mutable c_stats : bool;
@@ -69,6 +85,8 @@ type common = {
   mutable c_sanitize : bool;
   mutable c_trace : string option;
   mutable c_profile : bool;
+  mutable c_cache_dir : string option;
+  mutable c_no_cache : bool;
 }
 
 let defaults () =
@@ -79,6 +97,8 @@ let defaults () =
     c_sanitize = false;
     c_trace = None;
     c_profile = false;
+    c_cache_dir = None;
+    c_no_cache = false;
   }
 
 let value name = function
@@ -118,6 +138,13 @@ let parse (c : common) (argv : string list) : string list =
         go acc rest
     | a :: rest when a = profile.o_name ->
         c.c_profile <- true;
+        go acc rest
+    | a :: rest when a = cache_dir.o_name ->
+        let v, rest = value a rest in
+        c.c_cache_dir <- Some v;
+        go acc rest
+    | a :: rest when a = no_cache.o_name ->
+        c.c_no_cache <- true;
         go acc rest
     | a :: rest -> go (a :: acc) rest
   in

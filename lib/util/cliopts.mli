@@ -16,6 +16,8 @@ val jobs : spec
 val sanitize : spec
 val trace : spec
 val profile : spec
+val cache_dir : spec
+val no_cache : spec
 
 val shared : spec list
 (** All of the above, in help order. *)
@@ -27,6 +29,8 @@ type common = {
   mutable c_sanitize : bool;
   mutable c_trace : string option;
   mutable c_profile : bool;
+  mutable c_cache_dir : string option;
+  mutable c_no_cache : bool;
 }
 
 val defaults : unit -> common

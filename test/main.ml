@@ -14,6 +14,7 @@ let () =
       ("suite", Test_suite_programs.tests);
       ("toolchain", Test_toolchain.tests);
       ("engine", Test_engine.tests);
+      ("disk-store", Test_disk_store.tests);
       ("autofdo", Test_autofdo.tests);
       ("extensions", Test_extensions.tests);
       ("sweep", Test_disabled_configs.tests);

@@ -18,13 +18,13 @@ let check_clean (p : Suite_types.sprogram) () =
 let test_synth_clean () =
   (* A couple of synthetic programs through the same matrix, with
      shrinking armed — the path `debugtuner_cli check --fuzz` takes. *)
-  let r = Diff_oracle.fuzz ~count:2 ~seed:101 in
+  let r = Diff_oracle.fuzz ~count:2 ~seed:101 () in
   Alcotest.(check bool) "ran" true (r.Diff_oracle.r_runs > 0);
   if not (Diff_oracle.clean r) then
     Alcotest.failf "synthetic divergence:\n%s" (Diff_oracle.report_to_string r)
 
 let test_report_shape () =
-  let r = Diff_oracle.fuzz ~count:1 ~seed:42 in
+  let r = Diff_oracle.fuzz ~count:1 ~seed:42 () in
   Alcotest.(check int) "programs" 1 r.Diff_oracle.r_programs;
   Alcotest.(check int) "configs" 8 r.Diff_oracle.r_configs;
   Alcotest.(check bool) "summary line" true
