@@ -13,7 +13,12 @@
        run;
      - the warm run's disk-store hit rate (sum of store/<x>/hits over
        hits + misses) is below DEBUGTUNER_HIT_FLOOR (default 0.9), or
-       the warm run recorded no store activity at all.
+       the warm run recorded no store activity at all;
+     - the cold run's pass-prefix planner recorded no sharing at all
+       (prefix/hits = 0), or its hit rate (prefix/hits over
+       hits + misses) is below DEBUGTUNER_PREFIX_FLOOR (default 0.5).
+       The cold run is the one that gates: a warm run peeks everything
+       out of the persistent store and plans nothing.
 
    Volatile numbers (absolute seconds, ratios) are printed on lines
    starting with '#', so CI determinism diffs can drop them; the
@@ -151,6 +156,24 @@ let () =
     (hits + misses > 0 && rate >= hit_floor)
     (Printf.sprintf "warm store hit rate at least %.0f%%" (hit_floor *. 100.0))
     (Printf.sprintf "hits %d, misses %d, rate %.3f" hits misses rate);
+  let prefix_floor = env_float "DEBUGTUNER_PREFIX_FLOOR" 0.5 in
+  let cold_rows = counter_rows cold in
+  let counter rows name =
+    match List.assoc_opt name rows with Some v -> v | None -> 0
+  in
+  let p_hits = counter cold_rows "prefix/hits"
+  and p_misses = counter cold_rows "prefix/misses" in
+  let p_rate =
+    if p_hits + p_misses = 0 then 0.0
+    else float_of_int p_hits /. float_of_int (p_hits + p_misses)
+  in
+  verdict
+    (p_hits > 0 && p_rate >= prefix_floor)
+    (Printf.sprintf "cold prefix-cache hit rate at least %.0f%%"
+       (prefix_floor *. 100.0))
+    (Printf.sprintf "prefix hits %d, misses %d, rate %.3f, merged %d" p_hits
+       p_misses p_rate
+       (counter cold_rows "prefix/merged"));
   if !failures > 0 then begin
     Printf.printf "bench-compare: %d check(s) FAILED\n" !failures;
     exit 1

@@ -22,9 +22,13 @@
                                    $DEBUGTUNER_CACHE); warm re-runs are
                                    near-instant and byte-identical
      dune exec bench/main.exe -- --no-cache   -- disable the store
+     dune exec bench/main.exe -- --no-prefix-cache -- compile sweeps
+                                   from scratch (disable pass-prefix
+                                   incremental compilation)
 
    The shared switches (--stats/--json/--jobs/--sanitize/--trace/
-   --profile/--cache-dir/--no-cache) are declared once in Util.Cliopts
+   --profile/--cache-dir/--no-cache/--no-prefix-cache) are declared
+   once in Util.Cliopts
    and mean the same thing under `debugtuner_cli`. Output is
    deterministic for a given --synth value, including under --jobs > 1
    (the engine's parallel reduction is ordered) and across cold/warm
@@ -90,6 +94,34 @@ let experiments ctx : (string * (unit -> Util.Tablefmt.t list)) list =
           Debugtuner.Ablations.entry_values suite cfg;
           Debugtuner.Ablations.ranking_metric suite cfg;
           Debugtuner.Ablations.scheduler_lines suite cfg;
+        ] );
+    ( "ranking",
+      (* The Section V pass sweep in isolation: one full Ranking.rank of
+         gcc-O2 over the suite — the cost driver the pass-prefix cache
+         targets (compare BENCH_baseline.json cold wall clock with
+         --no-prefix-cache). *)
+      fun () ->
+        let cfg =
+          Debugtuner.Config.make Debugtuner.Config.Gcc Debugtuner.Config.O2
+        in
+        let lr = E.ranking ctx cfg in
+        let rows =
+          List.mapi
+            (fun i (e : Debugtuner.Ranking.pass_effect) ->
+              [
+                string_of_int (i + 1);
+                e.Debugtuner.Ranking.pe_pass;
+                Printf.sprintf "%.2f" e.Debugtuner.Ranking.pe_avg_rank;
+                Printf.sprintf "%.2f"
+                  e.Debugtuner.Ranking.pe_geo_increment_pct;
+              ])
+            (Debugtuner.Ranking.top_passes lr)
+        in
+        [
+          Util.Tablefmt.make
+            ~title:"Ranking sweep: top-10 critical passes, gcc-O2"
+            ~header:[ "#"; "pass"; "avg rank"; "+%" ]
+            rows;
         ] );
     ("clang-og", fun () -> [ E.clang_og_table ctx ]);
     ("per-program", fun () -> [ E.per_program_table ctx ]);
@@ -226,6 +258,8 @@ let () =
   let only, micro, synth = parse [] false 40 rest in
   let jobs = common.Util.Cliopts.c_jobs in
   if common.Util.Cliopts.c_sanitize then Sanitize.enabled := true;
+  if common.Util.Cliopts.c_no_prefix_cache then
+    Debugtuner.Measure_engine.prefix_cache_enabled := false;
   if common.Util.Cliopts.c_trace <> None || common.Util.Cliopts.c_profile then
     Obs.start ();
   (* The persistent artifact store is on by default (default _cache/, or

@@ -200,7 +200,9 @@ let rank_cmd =
   let k_arg =
     Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Entries to print.")
   in
-  let run compiler level k =
+  let run compiler level k no_prefix_cache =
+    if no_prefix_cache then
+      Debugtuner.Measure_engine.prefix_cache_enabled := false;
     let cfg = Debugtuner.Config.make compiler level in
     Printf.printf "ranking %s passes on the 13-program suite...\n%!"
       (Debugtuner.Config.name cfg);
@@ -218,7 +220,9 @@ let rank_cmd =
   Cmd.v
     (Cmd.info "rank"
        ~doc:"Rank a level's passes by debug-information impact (Tables V/VI).")
-    Term.(const run $ compiler_arg $ level_arg $ k_arg)
+    Term.(
+      const run $ compiler_arg $ level_arg $ k_arg
+      $ cliopt_flag Util.Cliopts.no_prefix_cache)
 
 (* ------------------------------------------------------------------ *)
 (* tune: build and evaluate an Ox-dy configuration                     *)
@@ -227,7 +231,9 @@ let tune_cmd =
   let y_arg =
     Arg.(value & opt int 5 & info [ "y" ] ~docv:"Y" ~doc:"Passes to disable.")
   in
-  let run compiler level y =
+  let run compiler level y no_prefix_cache =
+    if no_prefix_cache then
+      Debugtuner.Measure_engine.prefix_cache_enabled := false;
     let base = Debugtuner.Config.make compiler level in
     Printf.printf "tuning %s (disabling top %d)...\n%!"
       (Debugtuner.Config.name base) y;
@@ -256,7 +262,9 @@ let tune_cmd =
   Cmd.v
     (Cmd.info "tune"
        ~doc:"Build an Ox-dy configuration and report its debug/perf trade.")
-    Term.(const run $ compiler_arg $ level_arg $ y_arg)
+    Term.(
+      const run $ compiler_arg $ level_arg $ y_arg
+      $ cliopt_flag Util.Cliopts.no_prefix_cache)
 
 (* ------------------------------------------------------------------ *)
 (* trace: JSON export + offline comparison                             *)
@@ -837,7 +845,9 @@ let check_cmd =
       & info [ "p"; "program" ] ~docv:"PROGRAM"
           ~doc:"Check only this program (name or MiniC file path).")
   in
-  let run program fuzz seed no_suite cache_dir no_cache json =
+  let run program fuzz seed no_suite cache_dir no_cache no_prefix_cache json =
+    if no_prefix_cache then
+      Debugtuner.Measure_engine.prefix_cache_enabled := false;
     (* The oracle's persistent verdict cache is opt-in: only an explicit
        --cache-dir (and no --no-cache) turns it on, so plain [check]
        stays stateless. Warm hits replay the cached sanitizer-counter
@@ -933,6 +943,7 @@ let check_cmd =
       const run $ one_program_arg $ fuzz_arg $ seed_arg $ suite_arg
       $ cliopt_file Util.Cliopts.cache_dir
       $ cliopt_flag Util.Cliopts.no_cache
+      $ cliopt_flag Util.Cliopts.no_prefix_cache
       $ cliopt_file Util.Cliopts.json)
 
 (* ------------------------------------------------------------------ *)

@@ -59,15 +59,28 @@ remaining="$(find "$scratch/cache/objects" -type f 2>/dev/null | wc -l)"
   exit 1
 }
 
-echo "== benchmark regression gate (table1 cold+warm vs BENCH_baseline.json) =="
+echo "== prefix-cache smoke (check --fuzz 50, planner on vs off) =="
+# Pass-prefix incremental compilation must be invisible everywhere but
+# wall clock: the same fuzz matrix with the planner disabled has to
+# produce byte-identical verdicts, sanitizer counters and stdout.
+dune exec bin/debugtuner_cli.exe -- check --fuzz 50 --seed 1 \
+  --json "$scratch/check-prefix-on.json" > "$scratch/check-prefix-on.out"
+dune exec bin/debugtuner_cli.exe -- check --fuzz 50 --seed 1 --no-prefix-cache \
+  --json "$scratch/check-prefix-off.json" > "$scratch/check-prefix-off.out"
+diff "$scratch/check-prefix-on.json" "$scratch/check-prefix-off.json"
+diff "$scratch/check-prefix-on.out" "$scratch/check-prefix-off.out"
+
+echo "== benchmark regression gate (table1+ranking cold+warm vs BENCH_baseline.json) =="
 # Cold and warm runs share one fresh cache dir; the warm run must be
-# several times faster with a high disk hit rate, and the cold run must
-# not regress past the committed baseline (see bench/compare.ml; bounds
-# tunable via DEBUGTUNER_BENCH_TOLERANCE / _WARM_FLOOR / _HIT_FLOOR).
+# several times faster with a high disk hit rate, the cold run must not
+# regress past the committed baseline, and the cold ranking sweep must
+# engage the pass-prefix planner (see bench/compare.ml; bounds tunable
+# via DEBUGTUNER_BENCH_TOLERANCE / _WARM_FLOOR / _HIT_FLOOR /
+# _PREFIX_FLOOR).
 mkdir "$scratch/bench-cache"
-dune exec bench/main.exe -- --only table1 --cache-dir "$scratch/bench-cache" \
+dune exec bench/main.exe -- --only table1 ranking --cache-dir "$scratch/bench-cache" \
   --json "$scratch/bench-cold.json" > "$scratch/bench-cold.out"
-dune exec bench/main.exe -- --only table1 --cache-dir "$scratch/bench-cache" \
+dune exec bench/main.exe -- --only table1 ranking --cache-dir "$scratch/bench-cache" \
   --json "$scratch/bench-warm.json" > "$scratch/bench-warm.out"
 # Warm tables must be byte-identical to cold ones (only the bracketed
 # timing lines may differ).

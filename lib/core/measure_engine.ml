@@ -135,6 +135,312 @@ let default () = Lazy.force default_instance
 let product t prepared config =
   (fst (measure t prepared config)).Metrics.m_hybrid.Metrics.product
 
+(* ------------------------------------------------------------------ *)
+(* Pass-prefix incremental compilation (DESIGN.md "Incremental
+   compilation"). A sweep's configurations mostly run the identical
+   pipeline prefix up to their first divergence; the planner below
+   groups a config set by shared prefix, executes each shared segment
+   once through [Toolchain.advance], and schedules only the divergent
+   suffixes ([Toolchain.resume]) on the Domain pool. Results are seeded
+   into the ordinary tier-1 table, so they are byte-identical and
+   indistinguishable from straight-line compiles to every consumer. *)
+
+let prefix_cache_enabled = ref true
+
+module Prefix_stats = struct
+  type t = {
+    mutable hits : int;  (** suffix compiles that skipped a prefix *)
+    mutable misses : int;  (** sweep compiles with nothing to share *)
+    mutable snapshot_bytes : int;
+    mutable passes_skipped : int;
+    mutable merged : int;
+        (** configs served a sibling's binary outright: every contested
+            entry between them was a no-op on this subject, so not even
+            the backend ran for them (see [plan_family]) *)
+  }
+
+  let state =
+    { hits = 0; misses = 0; snapshot_bytes = 0; passes_skipped = 0; merged = 0 }
+
+  let mutex = Mutex.create ()
+
+  let bump f =
+    Mutex.lock mutex;
+    f state;
+    Mutex.unlock mutex
+
+  let counters () =
+    Mutex.lock mutex;
+    let rows =
+      [
+        ("prefix/hits", state.hits);
+        ("prefix/misses", state.misses);
+        ("prefix/snapshot_bytes", state.snapshot_bytes);
+        ("prefix/passes_skipped", state.passes_skipped);
+        ("prefix/merged", state.merged);
+      ]
+    in
+    Mutex.unlock mutex;
+    rows
+
+  let reset () =
+    bump (fun s ->
+        s.hits <- 0;
+        s.misses <- 0;
+        s.snapshot_bytes <- 0;
+        s.passes_skipped <- 0;
+        s.merged <- 0)
+end
+
+let prefix_counters = Prefix_stats.counters
+let reset_prefix_counters = Prefix_stats.reset
+
+let prefix_span name args f =
+  if not (Obs.enabled ()) then f ()
+  else begin
+    Obs.count name;
+    Obs.Span.wrap name ~args f
+  end
+
+(* One unit of sweep work: a suffix compile forked from a shared
+   checkpoint, a group of configurations proven state-identical at the
+   end of the pipeline (one backend run serves them all), or a
+   configuration with no shareable prefix (singleton pipeline family),
+   compiled straight. *)
+type sweep_job =
+  | Suffix of Config.t * Toolchain.checkpoint
+  | Merged of Config.t list * Toolchain.checkpoint
+  | Straight of Config.t
+
+(* The prefix-sharing the divergence trie alone guarantees, as leaf
+   depths: purely structural (a function of the enabled-bit vectors,
+   never of pass behaviour). This is what the prefix/* counters report
+   — [passes_skipped] is exactly the sum of shared-prefix lengths, the
+   invariant the property tests pin down — while the execution walk in
+   [plan_family] is free to do strictly better via no-op merging,
+   surfaced separately as prefix/merged. *)
+let structural_depths n tagged =
+  let depths = ref [] in
+  let note idx (c, _) = depths := (c, idx) :: !depths in
+  let rec go idx tagged =
+    match tagged with
+    | [] -> ()
+    | [ single ] -> note idx single
+    | ((_, b0) :: rest) as all ->
+        let k = ref idx in
+        while
+          !k < n && List.for_all (fun (_, b) -> b.(!k) = b0.(!k)) rest
+        do
+          incr k
+        done;
+        let k = !k in
+        if k > idx then begin
+          if k >= n then List.iter (note k) all else go k all
+        end
+        else if idx >= n then
+          (* Identical bit vectors under distinct fingerprints (disabled
+             passes outside this pipeline; always the case at O0, where
+             the pipeline is empty). *)
+          List.iter (note idx) all
+        else begin
+          let yes, no = List.partition (fun (_, b) -> b.(idx)) all in
+          go idx yes;
+          go idx no
+        end
+  in
+  go 0 tagged;
+  !depths
+
+(* Divergence-tree construction for one pipeline family (all configs
+   share compiler + level, hence the same pass table). Trunk segments on
+   which every remaining config agrees are executed once via [advance];
+   at the first disagreeing entry the contested entry is probed: it runs
+   once on the enabled side, and if the state digest (and accumulated
+   backend options) did not change, the entry was a no-op on this
+   subject, the split is immaterial, and both sides continue together —
+   on real suite programs most disabled passes are no-ops, so most
+   sweep configurations merge all the way to the end of the pipeline
+   and share a single backend run ([Merged]). Only genuinely divergent
+   groups are partitioned and planned recursively; singletons run their
+   unique suffix as a leaf [resume]. Deterministic: configs keep their
+   input order, the enabled branch is planned first. *)
+let plan_family ~ast ~roots configs =
+  let rep = List.hd configs in
+  let entries = Array.of_list (Toolchain.pipeline rep) in
+  let n = Array.length entries in
+  (* Raw bits drive the structural counters (the shared-prefix model the
+     property tests pin down); effective bits — which fold in the gcc
+     gated inliners' master-"inline" read — drive the execution walk,
+     because only they determine an entry's behaviour. *)
+  let bits c =
+    Array.map (fun e -> Config.enabled c (Toolchain.entry_name e)) entries
+  in
+  let effective c = Array.map (fun e -> Toolchain.entry_effective c e) entries in
+  List.iter
+    (fun (_, depth) ->
+      Prefix_stats.bump (fun s ->
+          if depth > 0 then begin
+            s.hits <- s.hits + 1;
+            s.passes_skipped <- s.passes_skipped + depth
+          end
+          else s.misses <- s.misses + 1))
+    (structural_depths n (List.map (fun c -> (c, bits c)) configs));
+  let tagged = List.map (fun c -> (c, effective c)) configs in
+  let note_capture cp =
+    Prefix_stats.bump (fun s ->
+        s.snapshot_bytes <- s.snapshot_bytes + Toolchain.checkpoint_bytes cp)
+  in
+  let cp0 =
+    prefix_span "prefix:snapshot" [ ("upto", "0") ] (fun () ->
+        Toolchain.start ast ~config:rep ~roots)
+  in
+  note_capture cp0;
+  let jobs = ref [] in
+  let rec plan cp tagged =
+    let idx = Toolchain.checkpoint_index cp in
+    match tagged with
+    | [] -> ()
+    | [ (c, _) ] -> jobs := Suffix (c, cp) :: !jobs
+    | _ when idx >= n ->
+        (* Two or more configs state-identical at the end of the
+           pipeline: one backend run serves the whole group. *)
+        jobs := Merged (List.map fst tagged, cp) :: !jobs
+    | ((c0, b0) :: rest) as all ->
+        let j = ref idx in
+        while
+          !j < n && List.for_all (fun (_, b) -> b.(!j) = b0.(!j)) rest
+        do
+          incr j
+        done;
+        let j = !j in
+        if j > idx then begin
+          (* Agreed segment [idx, j): execute it once. When every entry
+             in it is disabled, [advance] shares the snapshot and there
+             is no new capture to account for. *)
+          let cp' =
+            prefix_span "prefix:snapshot"
+              [ ("upto", string_of_int j) ]
+              (fun () -> Toolchain.advance ~upto:j cp c0)
+          in
+          let executed = ref false in
+          for i = idx to j - 1 do
+            if b0.(i) then executed := true
+          done;
+          if !executed then note_capture cp';
+          plan cp' all
+        end
+        else begin
+          (* Contested entry [idx]: probe it on the enabled side. *)
+          let yes, no = List.partition (fun (_, b) -> b.(idx)) all in
+          let rep_yes = fst (List.hd yes) in
+          let cp_yes =
+            prefix_span "prefix:snapshot"
+              [ ("upto", string_of_int (idx + 1)) ]
+              (fun () -> Toolchain.advance ~upto:(idx + 1) cp rep_yes)
+          in
+          if
+            Toolchain.checkpoint_digest cp_yes = Toolchain.checkpoint_digest cp
+            && Toolchain.checkpoint_opts cp_yes = Toolchain.checkpoint_opts cp
+          then
+            (* The entry was a no-op on this subject: skipping it and
+               running it coincide, so the split is immaterial and
+               everyone continues from the post-entry state. *)
+            plan cp_yes all
+          else begin
+            note_capture cp_yes;
+            plan cp_yes yes;
+            plan cp no
+          end
+        end
+  in
+  plan cp0 tagged;
+  List.rev !jobs
+
+(* The generic sweep driver behind [compile_sweep] and
+   [bench_compile_sweep]. [peek]/[seed]/[straight] abstract over the
+   two tier-1 tables; [straight c] must be the exact producer the
+   engine's own compile path runs. *)
+let sweep t ~ast ~roots ~peek ~seed ~straight configs =
+  let seen = Hashtbl.create 16 in
+  let fresh c =
+    let fp = Config.fingerprint c in
+    if Hashtbl.mem seen fp then false
+    else begin
+      Hashtbl.add seen fp ();
+      true
+    end
+  in
+  let todo =
+    List.filter (fun c -> fresh c && Option.is_none (peek c)) configs
+  in
+  if todo = [] then ()
+  else if not !prefix_cache_enabled then
+    (* Escape hatch (--no-prefix-cache): same compiles, no snapshots;
+       still parallel, still seeded through the ordinary tier-1 path. *)
+    ignore
+      (map t (fun c -> seed c (fun () -> straight c)) todo : unit list)
+  else begin
+    (* Group by pipeline family, preserving input order. *)
+    let families = ref [] in
+    List.iter
+      (fun c ->
+        let key = (c.Config.compiler, c.Config.level) in
+        match List.assoc_opt key !families with
+        | Some cell -> cell := c :: !cell
+        | None -> families := !families @ [ (key, ref [ c ]) ])
+      todo;
+    let jobs =
+      List.concat_map
+        (fun (_, cell) ->
+          match List.rev !cell with
+          | [ c ] -> [ Straight c ]
+          | group -> plan_family ~ast ~roots group)
+        !families
+    in
+    ignore
+      (map t
+         (fun job ->
+           match job with
+           | Straight c ->
+               Prefix_stats.bump (fun s -> s.misses <- s.misses + 1);
+               seed c (fun () -> straight c)
+           | Suffix (c, cp) ->
+               seed c (fun () ->
+                   prefix_span "prefix:resume"
+                     [ ("config", Config.fingerprint c) ]
+                     (fun () -> Toolchain.resume ~from:cp c))
+           | Merged (cs, cp) ->
+               (* One backend run; every config in the group is seeded
+                  the same (byte-identical) binary. *)
+               let rep = List.hd cs in
+               let bin =
+                 lazy
+                   (prefix_span "prefix:resume"
+                      [ ("config", Config.fingerprint rep) ]
+                      (fun () -> Toolchain.resume ~from:cp rep))
+               in
+               Prefix_stats.bump (fun s ->
+                   s.merged <- s.merged + List.length cs - 1);
+               List.iter (fun c -> seed c (fun () -> Lazy.force bin)) cs)
+         jobs
+        : unit list)
+  end
+
+let compile_sweep t (p : Evaluation.prepared) configs =
+  sweep t ~ast:p.Evaluation.ast ~roots:p.Evaluation.roots
+    ~peek:(fun c -> peek_compile t p c)
+    ~seed:(fun c produce -> ignore (seed_compile t p c produce : Emit.binary))
+    ~straight:(fun c -> Domain_impl.compile p c)
+    configs
+
+let bench_compile_sweep t (sp : Suite_types.sprogram) configs =
+  sweep t ~ast:(Suite_types.ast sp) ~roots:(Suite_types.roots sp)
+    ~peek:(fun c -> peek_bench_compile t sp c)
+    ~seed:(fun c produce ->
+      ignore (seed_bench_compile t sp c produce : Emit.binary))
+    ~straight:(fun c -> Domain_impl.bench_compile sp c)
+    configs
+
 let sanitizer_stats () =
   List.map
     (fun (pass, checks, failures) ->
@@ -179,4 +485,8 @@ let stats_table t : (string * int) list =
   let obs_rows =
     List.map (fun (n, v) -> ("obs/" ^ n, v)) (Obs.current_counters ())
   in
-  List.sort compare (engine_rows @ sanitize_rows @ store_rows @ obs_rows)
+  let prefix_rows =
+    List.filter (fun (_, v) -> v <> 0) (Prefix_stats.counters ())
+  in
+  List.sort compare
+    (engine_rows @ sanitize_rows @ store_rows @ obs_rows @ prefix_rows)

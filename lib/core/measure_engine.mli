@@ -55,6 +55,25 @@ val run : t -> job -> result
 val compile : t -> Evaluation.prepared -> Config.t -> Emit.binary
 (** Tier-1 cached compilation. *)
 
+val peek_compile : t -> Evaluation.prepared -> Config.t -> Emit.binary option
+(** Side-effect-free tier-1 lookup (no compile, no counter bump). *)
+
+val seed_compile :
+  t -> Evaluation.prepared -> Config.t -> (unit -> Emit.binary) -> Emit.binary
+(** Publish a binary produced outside the engine under the ordinary
+    tier-1 key; [produce] must return exactly what a straight compile
+    would (see [Engine.Make.seed_compile]). *)
+
+val peek_bench_compile :
+  t -> Suite_types.sprogram -> Config.t -> Emit.binary option
+
+val seed_bench_compile :
+  t ->
+  Suite_types.sprogram ->
+  Config.t ->
+  (unit -> Emit.binary) ->
+  Emit.binary
+
 val trace : t -> Evaluation.prepared -> Config.t -> Debugger.trace * Emit.binary
 (** Tier-2 cached trace extraction. *)
 
@@ -72,6 +91,53 @@ val bench_cost : t -> Suite_types.sprogram -> Config.t -> int
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Deterministic ordered parallel map on the engine's pool; [f] may
     issue engine jobs (the caches are domain-safe). *)
+
+(** {1 Pass-prefix incremental compilation}
+
+    A sweep's configurations (Ranking's one-disabled-each set, Tuning's
+    search frontier) mostly run the identical pipeline prefix up to
+    their first divergence. The sweep planner groups a config set by
+    shared prefix, executes each shared segment once
+    ({!Toolchain.advance} over an {!Ir.Snapshot}-backed checkpoint),
+    and schedules only the divergent suffixes ({!Toolchain.resume}) on
+    the Domain pool. Contested entries are probed as they run: when an
+    entry leaves the state digest (and backend options) unchanged it
+    was a no-op on this subject, the divergence is immaterial, and both
+    sides keep sharing — configs merging all the way to the end of the
+    pipeline share a single backend run. Every produced binary is
+    byte-identical to a straight-line compile and is seeded into the
+    ordinary tier-1 table, so downstream consumers cannot tell the
+    difference — except in wall clock. See DESIGN.md "Incremental
+    compilation". *)
+
+val prefix_cache_enabled : bool ref
+(** Escape hatch ([--no-prefix-cache]): when [false] the sweep entry
+    points compile every configuration straight (still in parallel,
+    still cached) with no snapshotting. Default [true]. *)
+
+val compile_sweep : t -> Evaluation.prepared -> Config.t list -> unit
+(** Prewarm tier 1 for a sweep over one prepared program: compile every
+    not-yet-cached configuration, sharing pipeline prefixes. After the
+    call, {!compile}/{!trace}/{!measure} of any swept configuration is
+    a tier-1 hit. Duplicate fingerprints are planned once. *)
+
+val bench_compile_sweep : t -> Suite_types.sprogram -> Config.t list -> unit
+(** {!compile_sweep} for the benchmark tier ({!bench_cost}). *)
+
+val prefix_counters : unit -> (string * int) list
+(** Process-wide planner activity as flat rows:
+    [prefix/hits] (sweep compiles that skipped a shared prefix),
+    [prefix/misses] (sweep compiles with nothing to share),
+    [prefix/snapshot_bytes], [prefix/passes_skipped] (total pipeline
+    entries not re-executed), [prefix/merged] (configs served a
+    sibling's binary outright because every contested entry between
+    them was a no-op). [hits]/[misses]/[passes_skipped] report the
+    structural divergence trie — [passes_skipped] is exactly the sum of
+    shared-prefix lengths, independent of how much better no-op merging
+    did. Also merged into {!stats_table}. *)
+
+val reset_prefix_counters : unit -> unit
+(** Zero the planner counters (tests, bench scenario isolation). *)
 
 val workers : t -> int
 val stats : t -> Engine.Stats.t

@@ -40,9 +40,16 @@ let per_program_increments ?engine ?(metric = hybrid_product)
   let eng =
     match engine with Some e -> e | None -> Measure_engine.default ()
   in
+  let passes = Toolchain.pass_names config in
+  (* The whole sweep — baseline plus one config per disabled pass —
+     shares its pipeline prefix up to each divergence: compile it
+     incrementally up front, so the per-pass loop below only ever sees
+     tier-1 hits. *)
+  Measure_engine.compile_sweep eng prepared
+    (config
+    :: List.map (fun pass -> { config with Config.disabled = [ pass ] }) passes);
   let baseline_m, baseline_bin = Measure_engine.measure eng prepared config in
   let baseline = metric baseline_m in
-  let passes = Toolchain.pass_names config in
   let increments =
     List.map
       (fun pass ->

@@ -87,8 +87,13 @@ let inline_pass name policy =
         apply_profile env )
 
 (* gcc's specific inlining toggles are all gated by the master [inline]
-   switch (-fno-inline turns the inliner off wholesale). *)
+   switch (-fno-inline turns the inliner off wholesale). Every gated
+   name is recorded so that [entry_effective] can expose the full
+   behaviour-determining input of an entry to the sweep planner. *)
+let gated_names : (string, unit) Hashtbl.t = Hashtbl.create 8
+
 let gated_inline_pass name policy =
+  Hashtbl.replace gated_names name ();
   Ir_pass
     ( name,
       fun env ->
@@ -350,76 +355,106 @@ module Options = struct
     { profile; entry_values; sched_keep_lines; sanitize }
 end
 
-(** [compile ?options ?instrument src ~config ~roots] produces a binary.
-    [roots] lists entry functions that must survive (harness entries).
+(* ------------------------------------------------------------------ *)
+(* The single pipeline driver
 
-    All observers run through the single {!Instrument.t} seam: the
-    driver composes (in order) the sanitizer (when
-    [options.sanitize] / the global gate asks for it), the {!Obs} tracer
-    (when a recording session is active), and the caller's [instrument].
-    Instruments are purely observational — the artifact is byte-for-byte
-    identical whatever is attached. A sanitizer violation raises
-    [Sanitize.Check_failed] naming the offending pass. *)
-let compile ?(options = Options.default) ?(instrument = Instrument.nop)
-    (src : Minic.Ast.program) ~(config : Config.t) ~roots : Emit.binary =
-  let sanitize =
-    Option.value ~default:!Sanitize.enabled options.Options.sanitize
+   Every consumer of the IR phase — [compile], [pipeline_trace], and
+   the incremental [start]/[advance]/[resume] entry points — runs the
+   same prelude and the same entry fold below, observing progress
+   through one [notify] callback. There is deliberately no second copy
+   of the fold anywhere: a driver change is a change for all consumers
+   at once. *)
+
+(** What the driver just did at one pipeline position. *)
+type step =
+  | Ran_pass of string  (** an [Ir_pass] executed (cleanup included) *)
+  | Set_flag of string  (** a [Backend_flag] folded into the options *)
+  | Skipped of string  (** the entry was disabled by the configuration *)
+
+type ir_state = { st_env : env; mutable st_mach : Mach.opts }
+(** The complete mutable state of the IR phase between two pipeline
+    entries: the pass environment (program included) plus the backend
+    options accumulated so far. Everything a snapshot must capture. *)
+
+let compose_instruments ~sanitize instrument =
+  Instrument.combine
+    ((if sanitize then [ Sanitize.instrument () ] else [])
+    @ (match Obs.pipeline_instrument () with Some i -> [ i ] | None -> [])
+    @ if instrument == Instrument.nop then [] else [ instrument ])
+
+let sanitize_of (options : Options.t) =
+  Option.value ~default:!Sanitize.enabled options.Options.sanitize
+
+(* Run a slice of pipeline entries against the state, firing [notify]
+   once per entry (executed or skipped). *)
+let run_entries (state : ir_state) (config : Config.t)
+    ~(notify : Ir.program -> step -> unit) entries =
+  List.iter
+    (fun e ->
+      match e with
+      | Ir_pass (name, f) when Config.enabled config name ->
+          f state.st_env;
+          Cleanup.run_program state.st_env.prog;
+          notify state.st_env.prog (Ran_pass name)
+      | Backend_flag (name, f) when Config.enabled config name ->
+          state.st_mach <- f state.st_mach;
+          notify state.st_env.prog (Set_flag name)
+      | e -> notify state.st_env.prog (Skipped (entry_name e)))
+    entries
+
+(* Lowering and SSA construction — everything that runs before pipeline
+   entry 0, whatever the configuration's disabled set. *)
+let ir_prelude (options : Options.t) src ~(config : Config.t) ~roots ~notify =
+  let prog = Lower.lower_program src in
+  let env =
+    {
+      prog;
+      roots;
+      pure = (fun _ -> false);
+      profile = options.Options.profile;
+      enabled = Config.enabled config;
+    }
   in
-  let inst =
-    Instrument.combine
-      ((if sanitize then [ Sanitize.instrument () ] else [])
-      @ (match Obs.pipeline_instrument () with Some i -> [ i ] | None -> [])
-      @ if instrument == Instrument.nop then [] else [ instrument ])
-  in
-  let mach_opts = ref Mach.opts_o0 in
-  let prog =
-    Instrument.phase inst "ir" (fun () ->
-        let prog = Lower.lower_program src in
-        let env =
-          {
-            prog;
-            roots;
-            pure = (fun _ -> false);
-            profile = options.Options.profile;
-            enabled = Config.enabled config;
-          }
-        in
-        (* The freshly lowered program routes merges through slots; the
-           sanitizer's "lower" boundary skips the dominance check. *)
-        inst.Instrument.on_pass "lower" (Instrument.Ir_program prog);
-        if config.Config.level <> Config.O0 then begin
-          (* into-ssa: neither compiler lets you opt out of SSA
-             construction. *)
-          Hashtbl.iter (fun _ fn -> Mem2reg.run fn) prog.Ir.funcs;
-          Cleanup.run_program prog;
-          inst.Instrument.on_pass "mem2reg" (Instrument.Ir_program prog);
-          (* clang's register allocator always coalesces and shares
-             stack slots and shrink-wraps; gcc exposes these as flags. *)
-          (if config.Config.compiler = Config.Clang then
-             mach_opts :=
-               {
-                 !mach_opts with
-                 Mach.coalesce = true;
-                 share_spill_slots = true;
-                 shrink_wrap = true;
-                 sched_keep_lines = true;
-               });
-          apply_profile env;
-          List.iter
-            (fun e ->
-              match e with
-              | Ir_pass (name, f) when Config.enabled config name ->
-                  f env;
-                  Cleanup.run_program prog;
-                  inst.Instrument.on_pass name (Instrument.Ir_program prog)
-              | Backend_flag (name, f) when Config.enabled config name ->
-                  mach_opts := f !mach_opts
-              | Ir_pass _ | Backend_flag _ -> ())
-            (pipeline config);
-          apply_profile env
-        end;
-        prog)
-  in
+  (* The freshly lowered program routes merges through slots; the
+     sanitizer's "lower" boundary skips the dominance check. *)
+  notify prog (Ran_pass "lower");
+  let state = { st_env = env; st_mach = Mach.opts_o0 } in
+  if config.Config.level <> Config.O0 then begin
+    (* into-ssa: neither compiler lets you opt out of SSA
+       construction. *)
+    Hashtbl.iter (fun _ fn -> Mem2reg.run fn) prog.Ir.funcs;
+    Cleanup.run_program prog;
+    notify prog (Ran_pass "mem2reg");
+    (* clang's register allocator always coalesces and shares stack
+       slots and shrink-wraps; gcc exposes these as flags. *)
+    (if config.Config.compiler = Config.Clang then
+       state.st_mach <-
+         {
+           state.st_mach with
+           Mach.coalesce = true;
+           share_spill_slots = true;
+           shrink_wrap = true;
+           sched_keep_lines = true;
+         });
+    apply_profile env
+  end;
+  state
+
+(* The whole IR phase: prelude, every pipeline entry, final profile
+   re-annotation. *)
+let ir_phase (options : Options.t) src ~(config : Config.t) ~roots ~notify =
+  let state = ir_prelude options src ~config ~roots ~notify in
+  if config.Config.level <> Config.O0 then begin
+    run_entries state config ~notify (pipeline config);
+    apply_profile state.st_env
+  end;
+  state
+
+(* Instruction selection, machine passes and emission from a finished
+   IR-phase state. *)
+let backend_emit inst (options : Options.t) ~(config : Config.t)
+    (state : ir_state) : Emit.binary =
+  let prog = state.st_env.prog in
   let mfuncs =
     Instrument.phase inst "backend" (fun () ->
         (* Emission order: source order (our toplevel-reorder only gates
@@ -433,17 +468,17 @@ let compile ?(options = Options.default) ?(instrument = Instrument.nop)
            (gcc's scheduler strips displaced lines, clang's keeps them)
            independently of the compiler family. *)
         (match options.Options.sched_keep_lines with
-        | Some v -> mach_opts := { !mach_opts with Mach.sched_keep_lines = v }
+        | Some v -> state.st_mach <- { state.st_mach with Mach.sched_keep_lines = v }
         | None -> ());
         List.map
           (fun fn ->
-            let m = Isel.translate_fn fn !mach_opts in
+            let m = Isel.translate_fn fn state.st_mach in
             inst.Instrument.on_pass "isel" (Instrument.Mach_fn m);
             List.iter
               (fun (name, pass) ->
                 pass m;
                 inst.Instrument.on_pass name (Instrument.Mach_fn m))
-              (Mach_passes.passes !mach_opts);
+              (Mach_passes.passes state.st_mach);
             m)
           fns)
   in
@@ -455,11 +490,200 @@ let compile ?(options = Options.default) ?(instrument = Instrument.nop)
   in
   Instrument.phase inst "emit" (fun () ->
       let bin =
-        Emit.emit ~icf:!mach_opts.Mach.icf ~entry_values
+        Emit.emit ~icf:state.st_mach.Mach.icf ~entry_values
           { Mach.mfuncs; mglobals = prog.Ir.prog_globals }
       in
       inst.Instrument.on_pass "emit" (Instrument.Binary bin);
       bin)
+
+(* [notify] hook that forwards executed IR boundaries to an
+   instrument. *)
+let notify_on_pass inst prog = function
+  | Ran_pass name -> inst.Instrument.on_pass name (Instrument.Ir_program prog)
+  | Set_flag _ | Skipped _ -> ()
+
+(** [compile ?options ?instrument src ~config ~roots] produces a binary.
+    [roots] lists entry functions that must survive (harness entries).
+
+    All observers run through the single {!Instrument.t} seam: the
+    driver composes (in order) the sanitizer (when
+    [options.sanitize] / the global gate asks for it), the {!Obs} tracer
+    (when a recording session is active), and the caller's [instrument].
+    Instruments are purely observational — the artifact is byte-for-byte
+    identical whatever is attached. A sanitizer violation raises
+    [Sanitize.Check_failed] naming the offending pass. *)
+let compile ?(options = Options.default) ?(instrument = Instrument.nop)
+    (src : Minic.Ast.program) ~(config : Config.t) ~roots : Emit.binary =
+  let inst = compose_instruments ~sanitize:(sanitize_of options) instrument in
+  let state =
+    Instrument.phase inst "ir" (fun () ->
+        ir_phase options src ~config ~roots ~notify:(notify_on_pass inst))
+  in
+  backend_emit inst options ~config state
+
+(* ------------------------------------------------------------------ *)
+(* Incremental compilation: checkpoints of the IR phase
+
+   A checkpoint freezes the complete IR-phase state at a pipeline
+   index: a deep [Ir.Snapshot] of the program plus the accumulated
+   backend options. [resume] replays only the pipeline suffix — the
+   sanitizer and [Instrument.on_pass] still fire at every boundary it
+   executes — and must produce a binary byte-identical
+   ([Emit.binary.full_digest]) to a straight-line [compile] of the same
+   configuration; the unit and property tests gate exactly that.
+
+   Soundness of sharing one checkpoint between configurations: entry
+   [j]'s behaviour depends on the IR state, on [Config.enabled] of its
+   own name, and (for gcc's gated inliners) on [Config.enabled
+   "inline"] — whose entry always precedes the gated ones in the
+   pipeline list. So two configurations that agree on the enabled bits
+   of entries [0..k) run byte-identical prefixes, which is what
+   {!prefix_fingerprint} captures (see DESIGN.md "Incremental
+   compilation"). *)
+
+type checkpoint = {
+  cp_snapshot : Ir.Snapshot.t;
+  cp_index : int;  (** pipeline entries [0, cp_index) already executed *)
+  cp_mach : Mach.opts;
+  cp_compiler : Config.compiler;
+  cp_level : Config.level;
+  cp_roots : string list;
+}
+
+let checkpoint_index cp = cp.cp_index
+let checkpoint_bytes cp = Ir.Snapshot.size_bytes cp.cp_snapshot
+let checkpoint_digest cp = Ir.Snapshot.digest cp.cp_snapshot
+let checkpoint_opts cp = cp.cp_mach
+
+let pipeline_length (config : Config.t) = List.length (pipeline config)
+
+(** Content address of the execution prefix [0, k) of [config]'s
+    pipeline: compiler, level, and the enabled bit of each of the first
+    [k] entries. Two configurations with equal prefix fingerprints run
+    byte-identical pipeline prefixes, so a checkpoint captured under one
+    is valid for the other. Sound because {!Config.canonical} makes
+    [Config.enabled] a pure set-membership test and because no pass
+    closure reads any other configuration state (the one cross-entry
+    read, gcc's master "inline" gate, always precedes its dependents —
+    enforced by [test_prefix]). *)
+let prefix_fingerprint (config : Config.t) (k : int) =
+  let bits =
+    List.filteri (fun i _ -> i < k) (pipeline config)
+    |> List.map (fun e ->
+           let n = entry_name e in
+           if Config.enabled config n then n else "!" ^ n)
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat ";"
+          (Config.compiler_name config.Config.compiler
+          :: Config.level_name config.Config.level
+          :: bits)))
+
+(** The full behaviour-determining input of entry [e] under [config]:
+    its own enabled bit and, for gcc's gated inliners, the master
+    "inline" bit their closures read ([gated_names]). Two same-family
+    configurations agreeing on [entry_effective] of an entry execute it
+    identically from identical state — the planner's merge walk keys on
+    this, not on the raw bit, so it never shares across the one
+    cross-entry dependency. *)
+let entry_effective (config : Config.t) e =
+  let name = entry_name e in
+  Config.enabled config name
+  && ((not (Hashtbl.mem gated_names name)) || Config.enabled config "inline")
+
+let capture_checkpoint index (state : ir_state) ~(config : Config.t) ~roots =
+  {
+    cp_snapshot = Ir.Snapshot.capture state.st_env.prog;
+    cp_index = index;
+    cp_mach = state.st_mach;
+    cp_compiler = config.Config.compiler;
+    cp_level = config.Config.level;
+    cp_roots = roots;
+  }
+
+let check_family (cp : checkpoint) (config : Config.t) what =
+  if cp.cp_compiler <> config.Config.compiler || cp.cp_level <> config.Config.level
+  then invalid_arg (what ^ ": checkpoint belongs to another pipeline family")
+
+(* Rebuild a live IR-phase state from a checkpoint. The purity
+   predicate is reconstructed from the restored program itself:
+   [Ipa_pure_const.pure_predicate] reads the [is_pure] flags, which are
+   snapshot state — before the purity pass ever ran they are all false,
+   which is exactly the initial predicate. *)
+let restore_state (options : Options.t) (cp : checkpoint) ~(config : Config.t) =
+  let prog = Ir.Snapshot.restore cp.cp_snapshot in
+  let env =
+    {
+      prog;
+      roots = cp.cp_roots;
+      pure = Ipa_pure_const.pure_predicate prog;
+      profile = options.Options.profile;
+      enabled = Config.enabled config;
+    }
+  in
+  { st_env = env; st_mach = cp.cp_mach }
+
+let entries_slice (config : Config.t) lo hi =
+  List.filteri (fun i _ -> i >= lo && i < hi) (pipeline config)
+
+(** [start src config] runs lowering and SSA construction and freezes
+    the state before pipeline entry 0 — the root checkpoint every
+    prefix of [config]'s family shares. *)
+let start ?(options = Options.default) ?(instrument = Instrument.nop)
+    (src : Minic.Ast.program) ~(config : Config.t) ~roots : checkpoint =
+  let inst = compose_instruments ~sanitize:(sanitize_of options) instrument in
+  let state =
+    Instrument.phase inst "ir" (fun () ->
+        ir_prelude options src ~config ~roots ~notify:(notify_on_pass inst))
+  in
+  capture_checkpoint 0 state ~config ~roots
+
+(** [advance ~upto cp config] forks the checkpoint, executes pipeline
+    entries [cp.index, upto) under [config]'s gates, and freezes the
+    result. The input checkpoint is not consumed: advancing is how the
+    sweep planner grows a trunk while keeping every divergence point
+    alive. *)
+let advance ?(options = Options.default) ?(instrument = Instrument.nop)
+    ~(upto : int) (cp : checkpoint) (config : Config.t) : checkpoint =
+  check_family cp config "Toolchain.advance";
+  if upto < cp.cp_index then
+    invalid_arg "Toolchain.advance: upto precedes the checkpoint";
+  let entries = entries_slice config cp.cp_index upto in
+  if
+    not
+      (List.exists (fun e -> Config.enabled config (entry_name e)) entries)
+  then
+    (* Every entry in the slice is disabled: nothing would execute, so
+       the state is unchanged — share the snapshot instead of paying a
+       restore + capture round trip just to bump the index. *)
+    { cp with cp_index = upto }
+  else begin
+    let inst = compose_instruments ~sanitize:(sanitize_of options) instrument in
+    let state = restore_state options cp ~config in
+    Instrument.phase inst "ir" (fun () ->
+        run_entries state config ~notify:(notify_on_pass inst) entries);
+    capture_checkpoint upto state ~config ~roots:cp.cp_roots
+  end
+
+(** [resume ~from config] replays only the pipeline suffix
+    [from.index, end) and finishes the compilation (backend and
+    emission included). Byte-identical to [compile] of the same
+    configuration whenever [from] was captured under a configuration
+    agreeing with [config] on {!prefix_fingerprint} at [from]'s
+    index. *)
+let resume ?(options = Options.default) ?(instrument = Instrument.nop)
+    ~(from : checkpoint) (config : Config.t) : Emit.binary =
+  check_family from config "Toolchain.resume";
+  let inst = compose_instruments ~sanitize:(sanitize_of options) instrument in
+  let state = restore_state options from ~config in
+  Instrument.phase inst "ir" (fun () ->
+      if config.Config.level <> Config.O0 then begin
+        run_entries state config ~notify:(notify_on_pass inst)
+          (entries_slice config from.cp_index (pipeline_length config));
+        apply_profile state.st_env
+      end);
+  backend_emit inst options ~config state
 
 (* ------------------------------------------------------------------ *)
 (* Pipeline tracing                                                    *)
@@ -512,34 +736,16 @@ let ir_stats_of (prog : Ir.program) =
     the IR level and are reported with unchanged statistics. *)
 let pipeline_trace (src : Minic.Ast.program) ~(config : Config.t) ~roots :
     (string * ir_stats) list =
-  let prog = Lower.lower_program src in
-  let env =
-    {
-      prog;
-      roots;
-      pure = (fun _ -> false);
-      profile = None;
-      enabled = Config.enabled config;
-    }
+  (* One more consumer of the single driver: same prelude, same entry
+     fold as [compile] — the trace can never drift from what [compile]
+     executes because there is no second fold to drift. *)
+  let steps = ref [] in
+  let notify prog = function
+    | Ran_pass name -> steps := (name, ir_stats_of prog) :: !steps
+    | Set_flag name -> steps := (name ^ " (backend)", ir_stats_of prog) :: !steps
+    | Skipped _ -> ()
   in
-  let steps = ref [ ("lower", ir_stats_of prog) ] in
-  if config.Config.level <> Config.O0 then begin
-    Hashtbl.iter (fun _ fn -> Mem2reg.run fn) prog.Ir.funcs;
-    Cleanup.run_program prog;
-    steps := ("mem2reg", ir_stats_of prog) :: !steps;
-    apply_profile env;
-    List.iter
-      (fun e ->
-        match e with
-        | Ir_pass (name, f) when Config.enabled config name ->
-            f env;
-            Cleanup.run_program prog;
-            steps := (name, ir_stats_of prog) :: !steps
-        | Backend_flag (name, _) when Config.enabled config name ->
-            steps := (name ^ " (backend)", ir_stats_of prog) :: !steps
-        | Ir_pass _ | Backend_flag _ -> ())
-      (pipeline config)
-  end;
+  ignore (ir_phase Options.default src ~config ~roots ~notify : ir_state);
   List.rev !steps
 
 (** Convenience: parse, check and compile a source string. The

@@ -87,6 +87,14 @@ type entry =
 
 val entry_name : entry -> string
 
+val entry_effective : Config.t -> entry -> bool
+(** The full behaviour-determining input of an entry under a
+    configuration: its own enabled bit and, for gcc's gated inliners,
+    the master "inline" bit their closures also read. Two same-family
+    configurations agreeing on [entry_effective] of an entry execute it
+    identically from identical state; agreeing on the raw
+    {!Config.enabled} bit alone does not guarantee that. *)
+
 val pipeline : Config.t -> entry list
 (** The level's pass table in execution order (both families). *)
 
@@ -114,4 +122,85 @@ val pipeline_trace :
     ("lower") is the freshly lowered program; "mem2reg" follows SSA
     construction; later rows carry the pipeline's pass names. Backend
     flags do not run at the IR level and are reported with unchanged
-    statistics as ["<name> (backend)"] rows. *)
+    statistics as ["<name> (backend)"] rows. Shares the one pipeline
+    driver with {!compile} (one fold, two consumers). *)
+
+(** {1 Incremental compilation}
+
+    The IR phase is a resumable fold: a {!checkpoint} freezes its
+    complete state (a deep {!Ir.Snapshot} of the program plus the
+    accumulated backend options) at a pipeline index, and {!resume}
+    replays only the suffix. Checkpoints are forkable — {!advance} and
+    {!resume} never consume their input — so a sweep of configurations
+    sharing a pipeline prefix compiles the prefix once. A resumed
+    compilation is byte-identical ([Emit.binary.full_digest]) to a
+    straight-line {!compile}; the sanitizer and [on_pass] instruments
+    still fire at every boundary the suffix executes. *)
+
+type checkpoint
+(** Frozen IR-phase state before pipeline entry [index]; shares no
+    mutable structure with any live compilation. *)
+
+val checkpoint_index : checkpoint -> int
+(** Pipeline entries [0, index) are already executed. *)
+
+val checkpoint_bytes : checkpoint -> int
+(** Approximate heap footprint of the underlying snapshot. *)
+
+val checkpoint_digest : checkpoint -> string
+(** Content digest of the snapshotted program
+    ({!Ir.Snapshot.digest}) — iteration-order independent. *)
+
+val checkpoint_opts : checkpoint -> Mach.opts
+(** The accumulated backend options at the checkpoint. Together with
+    {!checkpoint_digest} this is the complete compilation state: two
+    same-family checkpoints at the same index with equal digests and
+    equal options produce byte-identical binaries from any common
+    suffix — the fact the sweep planner's no-op merging rests on. *)
+
+val pipeline_length : Config.t -> int
+(** Number of pipeline entries of the configuration's family (0 at O0). *)
+
+val prefix_fingerprint : Config.t -> int -> string
+(** [prefix_fingerprint config k] — content address of the execution
+    prefix [0, k): compiler, level, and each of the first [k] entries'
+    enabled bits. Equal fingerprints guarantee byte-identical prefix
+    execution, so a checkpoint captured under one configuration can be
+    resumed under any other with the same fingerprint at its index
+    (the engine's prefix-cache key; soundness argument in DESIGN.md
+    "Incremental compilation"). *)
+
+val start :
+  ?options:Options.t ->
+  ?instrument:Instrument.t ->
+  Minic.Ast.program ->
+  config:Config.t ->
+  roots:string list ->
+  checkpoint
+(** Lower, build SSA, and freeze the state before pipeline entry 0 —
+    the root checkpoint shared by every configuration of the family. *)
+
+val advance :
+  ?options:Options.t ->
+  ?instrument:Instrument.t ->
+  upto:int ->
+  checkpoint ->
+  Config.t ->
+  checkpoint
+(** [advance ~upto cp config] forks [cp], executes entries
+    [index, upto) under [config]'s pass gates, and freezes the result.
+    When every entry in the slice is disabled the state cannot change,
+    so the returned checkpoint shares [cp]'s snapshot (no copy is
+    made). Raises [Invalid_argument] on a pipeline-family mismatch or
+    [upto < index]. *)
+
+val resume :
+  ?options:Options.t ->
+  ?instrument:Instrument.t ->
+  from:checkpoint ->
+  Config.t ->
+  Emit.binary
+(** [resume ~from config] replays pipeline entries [from.index, end)
+    and finishes the compilation (backend, emission). Byte-identical to
+    {!compile} whenever [from] was captured under a configuration whose
+    {!prefix_fingerprint} at [from]'s index equals [config]'s. *)

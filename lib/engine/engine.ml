@@ -552,7 +552,11 @@ module Pool = struct
 
   let map t f xs =
     let n = List.length xs in
-    if t.workers <= 1 || n <= 1 then List.map f xs
+    (* Calls from a worker (an [f] that itself maps, e.g. a per-program
+       sweep inside a per-suite map) run sequentially: nested spawning
+       would oversubscribe the machine quadratically. *)
+    if t.workers <= 1 || n <= 1 || not (Domain.is_main_domain ()) then
+      List.map f xs
     else begin
       let items = Array.of_list xs in
       (* Each slot is written by exactly one domain (the one that claimed
@@ -662,6 +666,31 @@ module Make (D : DOMAIN) = struct
     (bin, !fresh)
 
   let compile t subject config = fst (compile_tracked t subject config)
+
+  (* Planner support (see Measure_engine's prefix planner): [peek]
+     checks tier 1 without executing anything or touching the counters —
+     the planner uses it to drop already-compiled configs from a sweep
+     before grouping the rest by shared prefix. [seed] publishes a
+     binary produced outside the engine (an incremental suffix compile)
+     under the ordinary tier-1 key, bumping the regular counters, so
+     every later [compile]/[trace]/[measure] of that config is a plain
+     tier-1 hit. *)
+  let peek_compile t subject config =
+    Memo.find_opt t.binaries (tier1_key (D.subject_ast_key subject) config)
+
+  let seed_compile t subject config produce =
+    Memo.find_or_add t.binaries
+      (tier1_key (D.subject_ast_key subject) config)
+      produce
+
+  let peek_bench_compile t bench config =
+    Memo.find_opt t.bench_binaries
+      (tier1_key (D.bench_subject_key bench) config)
+
+  let seed_bench_compile t bench config produce =
+    Memo.find_or_add t.bench_binaries
+      (tier1_key (D.bench_subject_key bench) config)
+      produce
 
   (* Tier-2 generic lookup with hit/dedup classification. [bin_key]
      picks which binary digest keys the tier (full for debug-quality

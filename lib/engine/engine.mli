@@ -267,6 +267,25 @@ module Make (D : DOMAIN) : sig
   (** Tier-1 cached: keyed by (subject AST digest, config
       fingerprint). *)
 
+  val peek_compile : t -> D.subject -> D.config -> D.binary option
+  (** Tier-1 lookup without side effects: no compile, no counter bump.
+      Sweep planners use it to drop already-cached configurations before
+      grouping the rest by shared pipeline prefix. *)
+
+  val seed_compile : t -> D.subject -> D.config -> (unit -> D.binary) -> D.binary
+  (** [seed_compile t s c produce] publishes a binary produced outside
+      the engine (e.g. an incremental prefix-cache suffix compile) under
+      the ordinary tier-1 key — the regular hit/miss counters fire, and
+      every later {!compile} of the same job is a plain tier-1 hit.
+      [produce] must return exactly what [D.compile s c] would. *)
+
+  val peek_bench_compile : t -> D.bench_subject -> D.config -> D.binary option
+  (** {!peek_compile} for the benchmark tier. *)
+
+  val seed_bench_compile :
+    t -> D.bench_subject -> D.config -> (unit -> D.binary) -> D.binary
+  (** {!seed_compile} for the benchmark tier. *)
+
   val trace : t -> D.subject -> D.config -> D.trace * D.binary
   (** Tier-2 cached: keyed by (subject digest, binary digest). *)
 

@@ -504,3 +504,153 @@ let fn_to_string fn =
            (line_suffix b.term_line)))
     fn.layout;
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots: mutation-isolated copies of a whole program              *)
+
+(** Deep, mutation-isolated copies of an {!program} — the substrate of
+    pass-prefix incremental compilation. A snapshot captured at a pass
+    boundary can later be {!Snapshot.restore}d into a fresh program and
+    compilation resumed from that exact state, any number of times: the
+    snapshot shares no mutable structure with either the program it was
+    captured from or any program restored from it.
+
+    Copy discipline, by field:
+    - mutable records ([fn], [block], [instr], [phi]) are re-allocated;
+    - [Vec] lanes hold a mutable array, so the array is copied; every
+      other [ikind] payload is immutable and shared;
+    - immutable lists ([f_slots], [f_params], [layout], [preds],
+      [p_args], [prog_globals]) are shared — passes replace these
+      fields, they never mutate list cells;
+    - the [funcs] and [blocks] hash tables are rebuilt with insertions
+      in sorted key order, so a restored program's table layout depends
+      only on content, never on the insertion history of the original
+      (bucket order is observable through [Hashtbl.iter]). *)
+module Snapshot = struct
+  type t = {
+    sn_funcs : (string * fn) list;  (** deep copies, sorted by name *)
+    sn_globals : global_def list;
+    mutable sn_digest : string option;  (** computed on demand *)
+    sn_words : int;  (** reachable heap words of the copied functions *)
+  }
+
+  let copy_ikind = function
+    | Vec (op, lanes) -> Vec (op, Array.copy lanes)
+    | ik -> ik
+
+  let copy_instr (i : instr) = { ik = copy_ikind i.ik; line = i.line }
+
+  let copy_phi (p : phi) = { p_dst = p.p_dst; p_args = p.p_args }
+
+  let copy_block (b : block) =
+    {
+      b_label = b.b_label;
+      phis = List.map copy_phi b.phis;
+      instrs = List.map copy_instr b.instrs;
+      term = b.term;
+      term_line = b.term_line;
+      preds = b.preds;
+      freq = b.freq;
+      prob = b.prob;
+    }
+
+  let sorted_labels (fn : fn) =
+    Hashtbl.fold (fun l _ acc -> l :: acc) fn.blocks []
+    |> List.sort Stdlib.compare
+
+  let copy_fn (fn : fn) =
+    let blocks = Hashtbl.create (max 16 (Hashtbl.length fn.blocks)) in
+    List.iter
+      (fun l -> Hashtbl.replace blocks l (copy_block (Hashtbl.find fn.blocks l)))
+      (sorted_labels fn);
+    {
+      f_name = fn.f_name;
+      f_line = fn.f_line;
+      f_params = fn.f_params;
+      f_slots = fn.f_slots;
+      blocks;
+      entry = fn.entry;
+      layout = fn.layout;
+      next_reg = fn.next_reg;
+      next_label = fn.next_label;
+      next_slot = fn.next_slot;
+      is_pure = fn.is_pure;
+      always_inline = fn.always_inline;
+    }
+
+  let sorted_names (p : program) =
+    Hashtbl.fold (fun n _ acc -> n :: acc) p.funcs []
+    |> List.sort String.compare
+
+  let capture (p : program) : t =
+    let funcs =
+      List.map (fun n -> (n, copy_fn (Hashtbl.find p.funcs n))) (sorted_names p)
+    in
+    {
+      sn_funcs = funcs;
+      sn_globals = p.prog_globals;
+      sn_digest = None;
+      sn_words = Obj.reachable_words (Obj.repr funcs);
+    }
+
+  (** A fresh program sharing no mutable state with the snapshot: every
+      restore forks its own copy, so many resumed compilations can run
+      from one snapshot (even concurrently — the snapshot itself is
+      only read). *)
+  let restore (t : t) : program =
+    let funcs = Hashtbl.create (max 16 (List.length t.sn_funcs)) in
+    List.iter (fun (n, fn) -> Hashtbl.replace funcs n (copy_fn fn)) t.sn_funcs;
+    { funcs; prog_globals = t.sn_globals }
+
+  (* The digest walks deterministic structure only: functions sorted by
+     name, blocks in layout order via [fn_to_string], plus every field
+     that printer omits (entry label, fresh-name counters, purity and
+     inline markers, slot array-ness, per-block frequency/probability in
+     hex-float form, predecessor lists, globals). No hash table is ever
+     serialized directly, so the digest is independent of table
+     insertion history by construction. *)
+  let digest_program (p : program) : string =
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun n ->
+        let fn = Hashtbl.find p.funcs n in
+        Buffer.add_string buf
+          (Printf.sprintf "fn %s line=%d entry=L%d next=%d,%d,%d pure=%b ai=%b\n"
+             fn.f_name fn.f_line fn.entry fn.next_reg fn.next_label fn.next_slot
+             fn.is_pure fn.always_inline);
+        List.iter
+          (fun (s : slot) ->
+            Buffer.add_string buf
+              (Printf.sprintf "slot%d array=%b\n" s.s_id s.s_array))
+          fn.f_slots;
+        Buffer.add_string buf (fn_to_string fn);
+        List.iter
+          (fun l ->
+            let b = block fn l in
+            Buffer.add_string buf
+              (Printf.sprintf "L%d freq=%h prob=%h preds=%s\n" l b.freq b.prob
+                 (String.concat "," (List.map string_of_int b.preds))))
+          fn.layout)
+      (sorted_names p);
+    List.iter
+      (fun (g : global_def) ->
+        Buffer.add_string buf
+          (Printf.sprintf "global %s size=%d init=%d\n" g.g_name g.g_size
+             g.g_init))
+      p.prog_globals;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+
+  let digest (t : t) : string =
+    match t.sn_digest with
+    | Some d -> d
+    | None ->
+        (* Digesting only reads, so view the templates in place instead
+           of paying for a restore copy. *)
+        let funcs = Hashtbl.create (max 16 (List.length t.sn_funcs)) in
+        List.iter (fun (n, fn) -> Hashtbl.replace funcs n fn) t.sn_funcs;
+        let d = digest_program { funcs; prog_globals = t.sn_globals } in
+        t.sn_digest <- Some d;
+        d
+
+  let size_bytes (t : t) = t.sn_words * (Sys.word_size / 8)
+end

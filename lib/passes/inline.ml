@@ -108,15 +108,19 @@ let inline_at (caller : Ir.fn) ~host_label ~(call_instr : Ir.instr)
         r'
   in
   (* Pre-register fresh names for every callee definition so that uses
-     that appear before defs in our traversal still map correctly. *)
-  Hashtbl.iter
-    (fun _ (b : Ir.block) ->
+     that appear before defs in our traversal still map correctly. The
+     walk follows the callee's layout, never its block table: fresh
+     register numbering in the caller must not depend on the table's
+     bucket order (which reflects insertion history, not content). *)
+  List.iter
+    (fun l ->
+      let b = Ir.block callee l in
       List.iter (fun (p : Ir.phi) -> ignore (fresh_def p.Ir.p_dst)) b.Ir.phis;
       List.iter
         (fun (i : Ir.instr) ->
           List.iter (fun d -> ignore (fresh_def d)) (Ir.def_of_ikind i.Ir.ik))
         b.Ir.instrs)
-    callee.Ir.blocks;
+    callee.Ir.layout;
   let slot_map : (int, int) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun (s : Ir.slot) ->
@@ -232,8 +236,19 @@ let run (p : Ir.program) ~(policy : policy) ~roots =
   for _round = 1 to policy.rounds do
     let callsites = count_callsites p in
     let deletable = Hashtbl.create 8 in
-    Hashtbl.iter
-      (fun _ caller ->
+    (* Visit callers in source order, never table order: inlining grows
+       caller bodies progressively, so the visit order is observable in
+       the result (a caller inlined early may cross a size threshold for
+       a later decision). Table order depends on insertion history —
+       e.g. whether the program was just lowered or restored from a
+       snapshot — and must not leak into the output. *)
+    let callers =
+      Hashtbl.fold (fun _ fn acc -> fn :: acc) p.Ir.funcs []
+      |> List.sort (fun (a : Ir.fn) b ->
+             compare (a.Ir.f_line, a.Ir.f_name) (b.Ir.f_line, b.Ir.f_name))
+    in
+    List.iter
+      (fun caller ->
         (* Collect the candidate callsites first: inlining mutates the
            block structure under us. *)
         let candidates = ref [] in
@@ -289,7 +304,7 @@ let run (p : Ir.program) ~(policy : policy) ~roots =
             | None -> ())
           (List.rev !candidates);
         Cleanup.run caller)
-      p.Ir.funcs;
+      callers;
     (* Remove single-callsite functions that are now uncalled. *)
     let callsites_after = count_callsites p in
     Hashtbl.iter

@@ -76,7 +76,20 @@ let no_cache =
     o_doc = "disable the persistent artifact cache for this run";
   }
 
-let shared = [ stats; json; jobs; sanitize; trace; profile; cache_dir; no_cache ]
+let no_prefix_cache =
+  {
+    o_name = "--no-prefix-cache";
+    o_docv = None;
+    o_doc =
+      "disable pass-prefix incremental compilation for sweeps (compile \
+       every configuration from scratch)";
+  }
+
+let shared =
+  [
+    stats; json; jobs; sanitize; trace; profile; cache_dir; no_cache;
+    no_prefix_cache;
+  ]
 
 type common = {
   mutable c_stats : bool;
@@ -87,6 +100,7 @@ type common = {
   mutable c_profile : bool;
   mutable c_cache_dir : string option;
   mutable c_no_cache : bool;
+  mutable c_no_prefix_cache : bool;
 }
 
 let defaults () =
@@ -99,6 +113,7 @@ let defaults () =
     c_profile = false;
     c_cache_dir = None;
     c_no_cache = false;
+    c_no_prefix_cache = false;
   }
 
 let value name = function
@@ -145,6 +160,9 @@ let parse (c : common) (argv : string list) : string list =
         go acc rest
     | a :: rest when a = no_cache.o_name ->
         c.c_no_cache <- true;
+        go acc rest
+    | a :: rest when a = no_prefix_cache.o_name ->
+        c.c_no_prefix_cache <- true;
         go acc rest
     | a :: rest -> go (a :: acc) rest
   in

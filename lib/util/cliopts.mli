@@ -18,6 +18,7 @@ val trace : spec
 val profile : spec
 val cache_dir : spec
 val no_cache : spec
+val no_prefix_cache : spec
 
 val shared : spec list
 (** All of the above, in help order. *)
@@ -31,6 +32,7 @@ type common = {
   mutable c_profile : bool;
   mutable c_cache_dir : string option;
   mutable c_no_cache : bool;
+  mutable c_no_prefix_cache : bool;
 }
 
 val defaults : unit -> common

@@ -13,6 +13,8 @@ let () =
       ("fuzz", Test_fuzz.tests);
       ("suite", Test_suite_programs.tests);
       ("toolchain", Test_toolchain.tests);
+      ("snapshot", Test_snapshot.tests);
+      ("prefix", Test_prefix.tests);
       ("engine", Test_engine.tests);
       ("disk-store", Test_disk_store.tests);
       ("autofdo", Test_autofdo.tests);

@@ -1,0 +1,286 @@
+(** Property tests for the pass-prefix sweep planner
+    ([Measure_engine.compile_sweep] / [bench_compile_sweep]): over
+    random configuration sets, (a) every binary the planner seeds is
+    byte-identical ([full_digest]) to a straight-line
+    [Toolchain.compile], and (b) the [prefix/*] counters match an
+    independent reference model of the divergence tree —
+    [passes_skipped] is exactly the sum of shared-prefix lengths,
+    including the O0/empty-pipeline edge case. The counters are
+    structural by contract, so (b) holds no matter how much better the
+    planner's semantic no-op merging does; (a) is what keeps the
+    merging honest. *)
+
+module C = Debugtuner.Config
+module T = Debugtuner.Toolchain
+module ME = Debugtuner.Measure_engine
+module Ev = Debugtuner.Evaluation
+
+(* One small fixed subject: the planner's behavior varies with the
+   config set, not the program. *)
+let sp =
+  {
+    Suite_types.p_name = "prefix-prop";
+    p_source = Synth.generate ~seed:42;
+    p_harnesses =
+      [ { Suite_types.h_name = "main"; h_entry = "main"; h_seeds = [] } ];
+  }
+
+let straight config =
+  T.compile (Suite_types.ast sp) ~config ~roots:(Suite_types.roots sp)
+
+let counter name =
+  match List.assoc_opt name (ME.prefix_counters ()) with
+  | Some v -> v
+  | None -> Alcotest.fail ("missing counter " ^ name)
+
+(* ------------------------------------------------------------------ *)
+(* Reference model                                                     *)
+
+(* Leaf depths of the divergence tree over one pipeline family: extend
+   the trunk while every config agrees on the next entry's enabled bit,
+   split at the first disagreement, stop at singletons. A leaf's depth
+   is the number of pipeline entries its compile did not re-execute. *)
+let leaf_depths n bitss =
+  let rec plan idx = function
+    | [] -> []
+    | [ _ ] -> [ idx ]
+    | b0 :: rest as l ->
+        let k = ref idx in
+        while !k < n && List.for_all (fun b -> b.(!k) = b0.(!k)) rest do
+          incr k
+        done;
+        if !k > idx then if !k >= n then List.map (fun _ -> n) l else plan !k l
+        else if idx >= n then List.map (fun _ -> idx) l
+        else
+          let yes, no = List.partition (fun b -> b.(idx)) l in
+          plan idx yes @ plan idx no
+  in
+  plan 0 bitss
+
+(* Expected (hits, misses, passes_skipped) for a sweep over [configs]:
+   dedupe by fingerprint, group by pipeline family, singletons compile
+   straight (one miss), groups follow the divergence tree. *)
+let expected_counters configs =
+  let seen = Hashtbl.create 8 in
+  let uniq =
+    List.filter
+      (fun c ->
+        let fp = C.fingerprint c in
+        if Hashtbl.mem seen fp then false
+        else begin
+          Hashtbl.add seen fp ();
+          true
+        end)
+      configs
+  in
+  let fams = ref [] in
+  List.iter
+    (fun c ->
+      let key = (c.C.compiler, c.C.level) in
+      match List.assoc_opt key !fams with
+      | Some r -> r := c :: !r
+      | None -> fams := !fams @ [ (key, ref [ c ]) ])
+    uniq;
+  List.fold_left
+    (fun acc (_, r) ->
+      match List.rev !r with
+      | [ _ ] ->
+          let h, m, sk = acc in
+          (h, m + 1, sk)
+      | group ->
+          let names = List.map T.entry_name (T.pipeline (List.hd group)) in
+          let n = List.length names in
+          let bits c =
+            Array.of_list (List.map (fun nm -> C.enabled c nm) names)
+          in
+          List.fold_left
+            (fun (h, m, sk) d ->
+              if d > 0 then (h + 1, m, sk + d) else (h, m + 1, sk))
+            acc
+            (leaf_depths n (List.map bits group)))
+    (0, 0, 0) !fams
+
+(* ------------------------------------------------------------------ *)
+(* Random configuration sets                                           *)
+
+(* Tiny deterministic LCG so a failing case reproduces from the QCheck
+   input alone. *)
+let derive_configs rand_seed count =
+  let state = ref (rand_seed land 0x3FFFFFFF) in
+  let next bound =
+    state := ((!state * 48271) + 11) land 0x3FFFFFFF;
+    !state mod max 1 bound
+  in
+  List.init count (fun _ ->
+      let comp = if next 2 = 0 then C.Gcc else C.Clang in
+      let levels = C.O0 :: C.standard_levels comp in
+      let level = List.nth levels (next (List.length levels)) in
+      let names = T.pass_names (C.make comp level) in
+      let pool = "not-a-pass" :: names in
+      let disabled =
+        List.init (next 4) (fun _ -> List.nth pool (next (List.length pool)))
+      in
+      C.make ~disabled comp level)
+
+let run_sweep configs =
+  let eng = ME.create () in
+  ME.reset_prefix_counters ();
+  ME.bench_compile_sweep eng sp configs;
+  eng
+
+let check_byte_identity eng configs =
+  List.iter
+    (fun config ->
+      match ME.peek_bench_compile eng sp config with
+      | None -> Alcotest.fail ("not seeded: " ^ C.fingerprint config)
+      | Some bin ->
+          Alcotest.(check string)
+            ("byte-identical: " ^ C.fingerprint config)
+            (straight config).Emit.full_digest bin.Emit.full_digest)
+    configs
+
+let qcheck_planner =
+  QCheck.Test.make ~name:"planner: byte-identity + counter arithmetic"
+    ~count:12
+    QCheck.(pair (int_range 0 1_000_000) (int_range 1 7))
+    (fun (rand_seed, count) ->
+      let configs = derive_configs rand_seed count in
+      let eng = run_sweep configs in
+      check_byte_identity eng configs;
+      let h, m, sk = expected_counters configs in
+      Alcotest.(check int) "prefix/hits" h (counter "prefix/hits");
+      Alcotest.(check int) "prefix/misses" m (counter "prefix/misses");
+      Alcotest.(check int) "prefix/passes_skipped" sk
+        (counter "prefix/passes_skipped");
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic edges                                                 *)
+
+(* The Ranking sweep shape: baseline plus one config per disabled pass.
+   Almost everything is shareable — require real savings, not just a
+   nonzero counter. *)
+let test_ranking_shape () =
+  let base = C.make C.Gcc C.O2 in
+  let configs =
+    base
+    :: List.map
+         (fun pass -> C.make ~disabled:[ pass ] C.Gcc C.O2)
+         (T.pass_names base)
+  in
+  let eng = run_sweep configs in
+  check_byte_identity eng configs;
+  let h, m, sk = expected_counters configs in
+  Alcotest.(check int) "hits" h (counter "prefix/hits");
+  Alcotest.(check int) "misses" m (counter "prefix/misses");
+  Alcotest.(check int) "passes skipped" sk (counter "prefix/passes_skipped");
+  Alcotest.(check bool) "most compiles shared a prefix" true
+    (h > List.length configs / 2);
+  Alcotest.(check bool) "snapshots accounted" true
+    (counter "prefix/snapshot_bytes" > 0);
+  (* Disabling a pass that happens to be a no-op on this subject must
+     merge that config back into its siblings — on real programs most
+     one-disabled configs collapse this way. *)
+  Alcotest.(check bool) "no-op passes merged" true
+    (counter "prefix/merged" > 0)
+
+(* O0 has an empty pipeline: everything compiles as a prefix miss, and
+   nothing breaks. *)
+let test_o0_edge () =
+  let configs =
+    [
+      C.make C.Gcc C.O0;
+      C.make ~disabled:[ "dce" ] C.Gcc C.O0;
+      C.make C.Clang C.O1;
+    ]
+  in
+  let eng = run_sweep configs in
+  check_byte_identity eng configs;
+  Alcotest.(check int) "no hits" 0 (counter "prefix/hits");
+  Alcotest.(check int) "all misses" 3 (counter "prefix/misses");
+  Alcotest.(check int) "nothing skipped" 0 (counter "prefix/passes_skipped");
+  (* The two O0 configs are trivially state-identical at the (empty)
+     pipeline's end: one backend run serves both. *)
+  Alcotest.(check int) "O0 pair merged" 1 (counter "prefix/merged")
+
+(* Distinct fingerprints, identical effective pipelines: the planner
+   proves the configs state-identical at the end of the pipeline and
+   seeds both the same (physically shared) binary — no second backend
+   run. *)
+let test_merged_identical_bits () =
+  let configs =
+    [ C.make C.Gcc C.O2; C.make ~disabled:[ "not-a-pass" ] C.Gcc C.O2 ]
+  in
+  let eng = run_sweep configs in
+  check_byte_identity eng configs;
+  Alcotest.(check int) "merged" 1 (counter "prefix/merged");
+  match
+    ( ME.peek_bench_compile eng sp (List.nth configs 0),
+      ME.peek_bench_compile eng sp (List.nth configs 1) )
+  with
+  | Some a, Some b -> Alcotest.(check bool) "physically shared" true (a == b)
+  | _ -> Alcotest.fail "not seeded"
+
+(* The --no-prefix-cache escape hatch: same binaries, zero planner
+   activity. *)
+let test_cache_disabled () =
+  let configs =
+    [ C.make C.Gcc C.O2; C.make ~disabled:[ "dce" ] C.Gcc C.O2 ]
+  in
+  ME.prefix_cache_enabled := false;
+  Fun.protect ~finally:(fun () -> ME.prefix_cache_enabled := true)
+  @@ fun () ->
+  let eng = run_sweep configs in
+  check_byte_identity eng configs;
+  List.iter
+    (fun (name, v) -> Alcotest.(check int) name 0 v)
+    (ME.prefix_counters ())
+
+(* compile_sweep (the prepared-subject tier): seeded binaries are what
+   Evaluation.compile produces, and later engine compiles are tier-1
+   hits. *)
+let prepared = lazy (Ev.prepare (Programs.find "libpng"))
+
+let test_prepared_sweep () =
+  let p = Lazy.force prepared in
+  let configs =
+    [
+      C.make C.Gcc C.O2;
+      C.make ~disabled:[ "dce" ] C.Gcc C.O2;
+      C.make ~disabled:[ "inline" ] C.Gcc C.O2;
+    ]
+  in
+  let eng = ME.create () in
+  ME.reset_prefix_counters ();
+  ME.compile_sweep eng p configs;
+  Alcotest.(check bool) "prefix engaged" true (counter "prefix/hits" > 0);
+  List.iter
+    (fun config ->
+      match ME.peek_compile eng p config with
+      | None -> Alcotest.fail ("not seeded: " ^ C.fingerprint config)
+      | Some bin ->
+          Alcotest.(check string)
+            ("matches Evaluation.compile: " ^ C.fingerprint config)
+            (Ev.compile p config).Emit.full_digest bin.Emit.full_digest;
+          (* A post-sweep engine compile must be a tier-1 hit, i.e.
+             physically the seeded binary. *)
+          Alcotest.(check bool) "tier-1 hit" true
+            (ME.compile eng p config == bin))
+    configs;
+  (* Re-sweeping is a no-op: everything peeks as cached. *)
+  let before = ME.prefix_counters () in
+  ME.compile_sweep eng p configs;
+  Alcotest.(check (list (pair string int)))
+    "idempotent" before (ME.prefix_counters ())
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest qcheck_planner;
+    Alcotest.test_case "ranking-shaped sweep" `Quick test_ranking_shape;
+    Alcotest.test_case "O0 / empty pipeline" `Quick test_o0_edge;
+    Alcotest.test_case "identical-bit configs share one backend run" `Quick
+      test_merged_identical_bits;
+    Alcotest.test_case "--no-prefix-cache escape hatch" `Quick
+      test_cache_disabled;
+    Alcotest.test_case "prepared-subject sweep" `Quick test_prepared_sweep;
+  ]
