@@ -18,7 +18,12 @@
        (prefix/hits = 0), or its hit rate (prefix/hits over
        hits + misses) is below DEBUGTUNER_PREFIX_FLOOR (default 0.5).
        The cold run is the one that gates: a warm run peeks everything
-       out of the persistent store and plans nothing.
+       out of the persistent store and plans nothing;
+     - the serve scenario's warm request p50 is not at least
+       DEBUGTUNER_SERVE_FLOOR (default 10.0) times faster than its
+       cold one-shot (timing rows "serve-cold-one-shot" and
+       "serve-warm-p50" of the cold json — the workload must include
+       `serve` in its --only list), or those rows are missing.
 
    Volatile numbers (absolute seconds, ratios) are printed on lines
    starting with '#', so CI determinism diffs can drop them; the
@@ -174,6 +179,31 @@ let () =
     (Printf.sprintf "prefix hits %d, misses %d, rate %.3f, merged %d" p_hits
        p_misses p_rate
        (counter cold_rows "prefix/merged"));
+  (* Daemon latency gate: a warm request against the persistent server
+     must be far cheaper than the cold one-shot that pays the compile. *)
+  let serve_floor = env_float "DEBUGTUNER_SERVE_FLOOR" 10.0 in
+  let timing_row text name =
+    let needle = Printf.sprintf "{\"name\": %S, \"seconds\":" name in
+    match find_sub text needle 0 with
+    | exception Not_found -> None
+    | i -> number_after text (i + String.length needle)
+  in
+  let serve_what =
+    Printf.sprintf "serve warm p50 at least %.0fx faster than cold one-shot"
+      serve_floor
+  in
+  (match
+     ( timing_row cold "serve-cold-one-shot",
+       timing_row cold "serve-warm-p50" )
+   with
+  | Some c, Some w ->
+      let ratio = if w > 0.0 then c /. w else infinity in
+      verdict (ratio >= serve_floor) serve_what
+        (Printf.sprintf "cold one-shot %.3fs, warm p50 %.3fs, ratio %.1fx" c w
+           ratio)
+  | _ ->
+      verdict false serve_what
+        "serve timing rows missing from cold json (include `serve` in --only)");
   if !failures > 0 then begin
     Printf.printf "bench-compare: %d check(s) FAILED\n" !failures;
     exit 1

@@ -46,6 +46,115 @@ let timed name f =
   Printf.printf "[%s: %.1fs]\n\n%!" name dt;
   r
 
+(* ------------------------------------------------------------------ *)
+(* Service-mode scenario (DESIGN.md "Service mode & API"): an
+   in-process daemon on a scratch socket, one cold one-shot client —
+   paying the compile — then N concurrent clients x M rounds of the
+   same request mix served from the daemon's shared caches. The two
+   timing rows pushed here ("serve-cold-one-shot", "serve-warm-p50")
+   feed compare.ml's serve gate: warm p50 must be at least 10x faster
+   than the cold one-shot. The table is deterministic; latencies and
+   throughput go on a bracketed line. *)
+
+let serve_requests =
+  let cfg = Debugtuner.Config.make Debugtuner.Config.Gcc Debugtuner.Config.O2 in
+  let compile view =
+    Api.Request.Compile
+      {
+        c_subject = Api.Request.Named "zlib";
+        c_config = cfg;
+        c_profile = None;
+        c_sanitize = false;
+        c_view = view;
+      }
+  in
+  [
+    compile Api.Request.Summary;
+    Api.Request.Bench
+      {
+        b_subject = Api.Request.Named "zlib";
+        b_config = cfg;
+        b_action = Api.Request.Cost;
+      };
+    compile Api.Request.Passes;
+    Api.Request.Stats { s_what = Api.Request.Suite };
+  ]
+
+let serve_scenario () =
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dt-bench-%d.sock" (Unix.getpid ()))
+  in
+  let ctx = Api.create_ctx () in
+  let server = Api_server.create ~queue_limit:32 ~socket ctx in
+  let accept = Api_server.start server in
+  let cold_req = List.hd serve_requests in
+  let t0 = Unix.gettimeofday () in
+  let cold_ok =
+    match Api_client.oneshot socket cold_req with
+    | Ok r -> r.Api.Response.status = Api.Response.Ok
+    | Error _ -> false
+  in
+  let cold_dt = Unix.gettimeofday () -. t0 in
+  timings := ("serve-cold-one-shot", cold_dt) :: !timings;
+  let n_clients = 4 and rounds = 8 in
+  let per_round = List.length serve_requests in
+  let lat = Array.init n_clients (fun _ -> Array.make (rounds * per_round) 0.0) in
+  let okc = Array.make n_clients 0 in
+  let w0 = Unix.gettimeofday () in
+  let client i () =
+    let c = Api_client.connect socket in
+    let slot = ref 0 in
+    for _ = 1 to rounds do
+      List.iter
+        (fun req ->
+          let r0 = Unix.gettimeofday () in
+          (match Api_client.rpc c req with
+          | Ok r when r.Api.Response.status = Api.Response.Ok ->
+              okc.(i) <- okc.(i) + 1
+          | _ -> ());
+          lat.(i).(!slot) <- Unix.gettimeofday () -. r0;
+          incr slot)
+        serve_requests
+    done;
+    Api_client.close c
+  in
+  let threads = List.init n_clients (fun i -> Thread.create (client i) ()) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. w0 in
+  Api_server.stop server;
+  Thread.join accept;
+  let all = Array.concat (Array.to_list lat) in
+  Array.sort compare all;
+  let pct q =
+    let n = Array.length all in
+    if n = 0 then 0.0 else all.(min (n - 1) (n * q / 100))
+  in
+  let p50 = pct 50 and p99 = pct 99 in
+  timings := ("serve-warm-p50", p50) :: !timings;
+  let total = n_clients * rounds * per_round in
+  let warm_ok = Array.fold_left ( + ) 0 okc in
+  Printf.printf
+    "[serve: cold %.3fs, warm p50 %.2fms p99 %.2fms, %.0f req/s over %d requests]\n\n%!"
+    cold_dt (p50 *. 1000.0) (p99 *. 1000.0)
+    (if wall > 0.0 then float_of_int total /. wall else 0.0)
+    total;
+  [
+    Util.Tablefmt.make
+      ~title:"Service mode: daemon under concurrent load (zlib, gcc-O2)"
+      ~header:[ "phase"; "clients"; "requests"; "ok" ]
+      [
+        [ "cold one-shot"; "1"; "1"; (if cold_ok then "1" else "0") ];
+        [
+          "warm mixed";
+          string_of_int n_clients;
+          string_of_int total;
+          string_of_int warm_ok;
+        ];
+      ];
+  ]
+
 let experiments ctx : (string * (unit -> Util.Tablefmt.t list)) list =
   [
     ("table1", fun () -> [ E.table1 ctx ]);
@@ -127,6 +236,7 @@ let experiments ctx : (string * (unit -> Util.Tablefmt.t list)) list =
     ("per-program", fun () -> [ E.per_program_table ctx ]);
     ("dwarf-sizes", fun () -> [ E.dwarf_sizes_table ctx ]);
     ("autofdo-rounds", fun () -> [ E.autofdo_rounds_table ctx ]);
+    ("serve", fun () -> serve_scenario ());
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -212,7 +322,7 @@ let write_json file ctx ~synth ~workers =
   let b = Buffer.create 1024 in
   let timing_fields =
     List.rev_map
-      (fun (name, dt) -> Printf.sprintf "    {\"name\": %S, \"seconds\": %.3f}" name dt)
+      (fun (name, dt) -> Printf.sprintf "    {\"name\": %S, \"seconds\": %.6f}" name dt)
       !timings
   in
   let stat_fields =

@@ -17,11 +17,52 @@
      debugtuner profile     -p zlib -O2 --pipeline gcc [--trace out.json]
      debugtuner pass-trace  -p zlib -l O2
      debugtuner value-check -p zlib -l Og
+     debugtuner stats       [counters|suite|server]
+     debugtuner serve       --socket /tmp/dt.sock [--queue-limit 8]
 
-   Programs are the built-in test-suite / SPEC-analog / selfcomp sources
-   (see `debugtuner suite`), or a path to a MiniC file. *)
+   Every subcommand parses its flags into one [Api.Request.t] and
+   dispatches through the single [Api.execute] — in-process by
+   default, or in a running daemon with --connect PATH (the daemon's
+   caches are shared across all clients, so warm requests are cheap).
+   Programs are the built-in test-suite / SPEC-analog / selfcomp
+   sources (see `debugtuner suite`), or a path to a MiniC file (read
+   client-side; the daemon never touches this machine's paths). *)
 
 open Cmdliner
+
+let die_code code fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.eprintf "debugtuner: %s\n" s;
+      exit (if code = 0 then 2 else code))
+    fmt
+
+let die fmt = die_code 2 fmt
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> die "%s" msg
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+
+let write_file path contents =
+  match open_out_bin path with
+  | exception Sys_error msg -> die "%s" msg
+  | oc ->
+      output_string oc contents;
+      close_out oc
+
+let parse_input_list s =
+  if s = "" then []
+  else
+    String.split_on_char ',' s
+    |> List.map (fun v ->
+           match int_of_string_opt (String.trim v) with
+           | Some i -> i
+           | None -> die "not an integer input: %s" v)
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -75,33 +116,14 @@ let program_arg =
           "A built-in program name (see $(b,debugtuner suite)) or a path to \
            a MiniC source file.")
 
-let find_program name : Suite_types.sprogram =
+(* A file path becomes an inline subject — the source travels in the
+   request, so a daemon serves it without reading this machine's
+   filesystem. *)
+let subject_of name : Api.Request.subject =
   if Sys.file_exists name then
-    let ic = open_in name in
-    let n = in_channel_length ic in
-    let src = really_input_string ic n in
-    close_in ic;
-    let ast = Minic.Typecheck.parse_and_check src in
-    let entry =
-      match Minic.Ast.find_func ast "main" with
-      | Some _ -> "main"
-      | None -> failwith "MiniC file must define main()"
-    in
-    {
-      Suite_types.p_name = Filename.basename name;
-      p_source = src;
-      p_harnesses =
-        [ { Suite_types.h_name = "main"; h_entry = entry; h_seeds = [ [] ] } ];
-    }
-  else
-    match List.find_opt (fun p -> p.Suite_types.p_name = name) Programs.all with
-    | Some p -> p
-    | None -> (
-        match List.find_opt (fun p -> p.Suite_types.p_name = name) Spec.all with
-        | Some p -> p
-        | None ->
-            if name = "selfcomp" then Selfcomp.program
-            else failwith ("unknown program " ^ name))
+    Api.Request.Inline
+      { in_name = Filename.basename name; in_source = read_file name }
+  else Api.Request.Named name
 
 let config compiler level disabled =
   Debugtuner.Config.make ~disabled compiler level
@@ -121,8 +143,78 @@ let cliopt_file (s : Util.Cliopts.spec) =
     & info [ cliopt_name s ]
         ?docv:s.Util.Cliopts.o_docv ~doc:s.Util.Cliopts.o_doc)
 
+let cliopt_int (s : Util.Cliopts.spec) default =
+  Arg.(
+    value & opt int default
+    & info [ cliopt_name s ]
+        ?docv:s.Util.Cliopts.o_docv ~doc:s.Util.Cliopts.o_doc)
+
+let cliopt_float_opt (s : Util.Cliopts.spec) =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ cliopt_name s ]
+        ?docv:s.Util.Cliopts.o_docv ~doc:s.Util.Cliopts.o_doc)
+
+(* ------------------------------------------------------------------ *)
+(* Transport: every subcommand executes its request either in-process
+   or in a daemon (--connect PATH), through the same Api.execute.      *)
+
+type transport = { tr_connect : string option; tr_timeout : float option }
+
+let transport_term =
+  let make connect timeout = { tr_connect = connect; tr_timeout = timeout } in
+  Term.(
+    const make
+    $ cliopt_file Util.Cliopts.connect
+    $ cliopt_float_opt Util.Cliopts.timeout)
+
+let dispatch ?store (tr : transport) (req : Api.Request.t) : Api.Response.t =
+  match tr.tr_connect with
+  | Some path -> (
+      match Api_client.oneshot ?timeout:tr.tr_timeout path req with
+      | Ok resp -> resp
+      | Error msg -> die "%s" msg)
+  | None -> Api.execute (Api.create_ctx ?store ()) req
+
+(* Surface failures the same way everywhere: one line on stderr,
+   non-zero exit — never an exception trace (Api.execute catches). *)
+let check_status (resp : Api.Response.t) =
+  match resp.Api.Response.status with
+  | Api.Response.Ok -> ()
+  | Api.Response.Error msg -> die_code resp.Api.Response.exit_code "%s" msg
+  | Api.Response.Overloaded ->
+      die_code resp.Api.Response.exit_code
+        "server overloaded (admission queue full), try again"
+
+let finish (resp : Api.Response.t) =
+  if resp.Api.Response.exit_code <> 0 then exit resp.Api.Response.exit_code
+
+(* Run a request and print its canonical text; the common case. *)
+let simple ?store tr req =
+  let resp = dispatch ?store tr req in
+  check_status resp;
+  print_string resp.Api.Response.text;
+  finish resp
+
+let artifact_of (resp : Api.Response.t) =
+  match resp.Api.Response.artifact with
+  | Some a -> a
+  | None -> die "server returned no artifact"
+
 (* ------------------------------------------------------------------ *)
 (* compile: show binary statistics                                     *)
+
+let compile_req ?(profile = None) ?(sanitize = false) program compiler level
+    disabled view =
+  Api.Request.Compile
+    {
+      c_subject = subject_of program;
+      c_config = config compiler level disabled;
+      c_profile = profile;
+      c_sanitize = sanitize;
+      c_view = view;
+    }
 
 let compile_cmd =
   let profile_arg =
@@ -131,67 +223,31 @@ let compile_cmd =
       & info [ "profile" ] ~docv:"FILE"
           ~doc:"AutoFDO text profile to optimize with (see $(b,sample)).")
   in
-  let run program compiler level disabled profile_file =
-    let p = find_program program in
-    let cfg = config compiler level disabled in
-    let ast = Suite_types.ast p in
-    let profile =
-      Option.map
-        (fun file ->
-          let ic = open_in file in
-          let n = in_channel_length ic in
-          let text = really_input_string ic n in
-          close_in ic;
-          Debugtuner.Autofdo.profile_of_string text)
-        profile_file
-    in
-    let bin =
-      Debugtuner.Toolchain.compile
-        ~options:(Debugtuner.Toolchain.Options.make ?profile ())
-        ast ~config:cfg ~roots:(Suite_types.roots p)
-    in
-    Printf.printf "%s at %s\n" p.Suite_types.p_name (Debugtuner.Config.name cfg);
-    Printf.printf "  code: %d instructions, %d functions\n"
-      (Array.length bin.Emit.code)
-      (Array.length bin.Emit.funcs);
-    Printf.printf "  line table: %d entries, %d steppable lines\n"
-      (List.length bin.Emit.debug.Dwarfish.line_table)
-      (List.length (Dwarfish.steppable_lines bin.Emit.debug));
-    Printf.printf "  variables with location info: %d\n"
-      (List.length bin.Emit.debug.Dwarfish.vars);
-    Printf.printf "  .text digest: %s\n" bin.Emit.text_digest
+  let run program compiler level disabled profile_file tr =
+    let profile = Option.map read_file profile_file in
+    simple tr
+      (compile_req ~profile program compiler level disabled
+         Api.Request.Summary)
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a program and print binary statistics.")
     Term.(
       const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg
-      $ profile_arg)
+      $ profile_arg $ transport_term)
 
 (* ------------------------------------------------------------------ *)
 (* measure: the four metric methods                                    *)
 
 let measure_cmd =
-  let run program compiler level disabled =
-    let p = find_program program in
-    let cfg = config compiler level disabled in
-    let prepared = Debugtuner.Evaluation.prepare p in
-    let engine = Debugtuner.Measure_engine.default () in
-    let m, _ = Debugtuner.Measure_engine.measure engine prepared cfg in
-    Printf.printf "%s at %s (vs the O0 baseline)\n" p.Suite_types.p_name
-      (Debugtuner.Config.name cfg);
-    let show name (s : Metrics.score) =
-      Printf.printf "  %-10s availability=%.4f line-coverage=%.4f product=%.4f\n"
-        name s.Metrics.availability s.Metrics.line_coverage s.Metrics.product
-    in
-    show "static" m.Metrics.m_static;
-    show "static-dbg" m.Metrics.m_static_dbg;
-    show "dynamic" m.Metrics.m_dynamic;
-    show "hybrid" m.Metrics.m_hybrid
+  let run program compiler level disabled tr =
+    simple tr (compile_req program compiler level disabled Api.Request.Measure)
   in
   Cmd.v
     (Cmd.info "measure"
        ~doc:"Measure debug-information quality of a configuration.")
-    Term.(const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg)
+    Term.(
+      const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg
+      $ transport_term)
 
 (* ------------------------------------------------------------------ *)
 (* rank: the DebugTuner sweep                                          *)
@@ -200,29 +256,20 @@ let rank_cmd =
   let k_arg =
     Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Entries to print.")
   in
-  let run compiler level k no_prefix_cache =
+  let run compiler level k no_prefix_cache tr =
     if no_prefix_cache then
       Debugtuner.Measure_engine.prefix_cache_enabled := false;
-    let cfg = Debugtuner.Config.make compiler level in
-    Printf.printf "ranking %s passes on the 13-program suite...\n%!"
-      (Debugtuner.Config.name cfg);
-    let prepared = List.map Debugtuner.Evaluation.prepare Programs.all in
-    let lr = Debugtuner.Ranking.rank prepared cfg in
-    Printf.printf "%-4s %-26s %8s %8s\n" "#" "pass" "+%" "avg rank";
-    List.iteri
-      (fun i (e : Debugtuner.Ranking.pass_effect) ->
-        if i < k then
-          Printf.printf "%-4d %-26s %8.2f %8.2f\n" (i + 1)
-            e.Debugtuner.Ranking.pe_pass e.Debugtuner.Ranking.pe_geo_increment_pct
-            e.Debugtuner.Ranking.pe_avg_rank)
-      lr.Debugtuner.Ranking.lr_effects
+    simple tr
+      (Api.Request.Rank
+         { r_config = Debugtuner.Config.make compiler level; r_k = k })
   in
   Cmd.v
     (Cmd.info "rank"
        ~doc:"Rank a level's passes by debug-information impact (Tables V/VI).")
     Term.(
       const run $ compiler_arg $ level_arg $ k_arg
-      $ cliopt_flag Util.Cliopts.no_prefix_cache)
+      $ cliopt_flag Util.Cliopts.no_prefix_cache
+      $ transport_term)
 
 (* ------------------------------------------------------------------ *)
 (* tune: build and evaluate an Ox-dy configuration                     *)
@@ -231,51 +278,31 @@ let tune_cmd =
   let y_arg =
     Arg.(value & opt int 5 & info [ "y" ] ~docv:"Y" ~doc:"Passes to disable.")
   in
-  let run compiler level y no_prefix_cache =
+  let run compiler level y no_prefix_cache tr =
     if no_prefix_cache then
       Debugtuner.Measure_engine.prefix_cache_enabled := false;
-    let base = Debugtuner.Config.make compiler level in
-    Printf.printf "tuning %s (disabling top %d)...\n%!"
-      (Debugtuner.Config.name base) y;
-    let prepared = List.map Debugtuner.Evaluation.prepare Programs.all in
-    let lr = Debugtuner.Ranking.rank prepared base in
-    let dy = Debugtuner.Tuning.dy_config lr ~y in
-    Printf.printf "%s disables: %s\n" (Debugtuner.Config.name dy)
-      (String.concat ", " dy.Debugtuner.Config.disabled);
-    let o0_costs = Debugtuner.Tuning.o0_costs Spec.all in
-    let base_pt =
-      Debugtuner.Tuning.measure_point prepared ~o0_costs Spec.all base
-    in
-    let dy_pt = Debugtuner.Tuning.measure_point prepared ~o0_costs Spec.all dy in
-    Printf.printf "%-12s debug=%.4f speedup=%.4f\n"
-      (Debugtuner.Config.name base)
-      base_pt.Debugtuner.Tuning.cp_debug base_pt.Debugtuner.Tuning.cp_speedup;
-    Printf.printf "%-12s debug=%.4f (%+.2f%%) speedup=%.4f (%+.2f%%)\n"
-      (Debugtuner.Config.name dy)
-      dy_pt.Debugtuner.Tuning.cp_debug
-      (Util.Stats.pct_delta base_pt.Debugtuner.Tuning.cp_debug
-         dy_pt.Debugtuner.Tuning.cp_debug)
-      dy_pt.Debugtuner.Tuning.cp_speedup
-      (Util.Stats.pct_delta base_pt.Debugtuner.Tuning.cp_speedup
-         dy_pt.Debugtuner.Tuning.cp_speedup)
+    simple tr
+      (Api.Request.Tune
+         { t_config = Debugtuner.Config.make compiler level; t_y = y })
   in
   Cmd.v
     (Cmd.info "tune"
        ~doc:"Build an Ox-dy configuration and report its debug/perf trade.")
     Term.(
       const run $ compiler_arg $ level_arg $ y_arg
-      $ cliopt_flag Util.Cliopts.no_prefix_cache)
+      $ cliopt_flag Util.Cliopts.no_prefix_cache
+      $ transport_term)
 
 (* ------------------------------------------------------------------ *)
 (* trace: JSON export + offline comparison                             *)
 
+let entry_opt_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "e"; "entry" ] ~docv:"FUNC"
+        ~doc:"Entry function (default: the program's first harness).")
+
 let trace_cmd =
-  let entry_arg =
-    Arg.(
-      value & opt (some string) None
-      & info [ "e"; "entry" ] ~docv:"FUNC"
-          ~doc:"Entry function (default: the program's first harness).")
-  in
   let input_arg =
     Arg.(
       value & opt string ""
@@ -293,39 +320,27 @@ let trace_cmd =
       & info [ "against" ] ~docv:"FILE"
           ~doc:"Compare against a previously exported trace.")
   in
-  let run program compiler level disabled entry input out against =
-    let p = find_program program in
-    let cfg = config compiler level disabled in
-    let ast = Suite_types.ast p in
-    let bin =
-      Debugtuner.Toolchain.compile ast ~config:cfg ~roots:(Suite_types.roots p)
+  let run program compiler level disabled entry input out against tr =
+    let resp =
+      dispatch tr
+        (compile_req program compiler level disabled
+           (Api.Request.Trace
+              { t_entry = entry; t_input = parse_input_list input }))
     in
-    let entry =
-      match entry with
-      | Some e -> e
-      | None -> (List.hd p.Suite_types.p_harnesses).Suite_types.h_entry
-    in
-    let input =
-      if input = "" then []
-      else String.split_on_char ',' input |> List.map int_of_string
-    in
-    let t = Debugger.trace bin ~entry ~inputs:[ input ] in
-    let json = Trace_json.to_string t in
+    check_status resp;
+    print_string resp.Api.Response.text;
+    let json = artifact_of resp in
+    let t = Trace_json.of_string json in
     (match out with
     | Some file ->
-        let oc = open_out file in
-        output_string oc json;
-        close_out oc;
+        write_file file json;
         Printf.printf "trace written to %s (%d stepped lines)\n" file
           (List.length (Debugger.stepped_lines t))
     | None -> print_string json);
-    match against with
+    (match against with
     | None -> ()
     | Some file ->
-        let ic = open_in file in
-        let n = in_channel_length ic in
-        let base = Trace_json.of_string (really_input_string ic n) in
-        close_in ic;
+        let base = Trace_json.of_string (read_file file) in
         let d = Trace_json.compare_traces base t in
         Printf.printf "vs %s:\n  lines lost: [%s]\n  lines gained: [%s]\n"
           file
@@ -335,7 +350,8 @@ let trace_cmd =
           (fun (line, vars) ->
             Printf.printf "  line %d lost vars: %s\n" line
               (String.concat ", " (List.map Ir.var_to_string vars)))
-          d.Trace_json.vars_lost
+          d.Trace_json.vars_lost);
+    finish resp
   in
   Cmd.v
     (Cmd.info "trace"
@@ -344,16 +360,10 @@ let trace_cmd =
           diffing against a previous export).")
     Term.(
       const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg
-      $ entry_arg $ input_arg $ out_arg $ diff_arg)
+      $ entry_opt_arg $ input_arg $ out_arg $ diff_arg $ transport_term)
 
 (* ------------------------------------------------------------------ *)
 (* dump / verify: the dwarfdump analog                                 *)
-
-let compile_for program compiler level disabled =
-  let p = find_program program in
-  let cfg = config compiler level disabled in
-  let ast = Suite_types.ast p in
-  (p, cfg, Debugtuner.Toolchain.compile ast ~config:cfg ~roots:(Suite_types.roots p))
 
 let dump_cmd =
   let section_arg =
@@ -364,25 +374,9 @@ let dump_cmd =
             "Section to print: functions, lines or locs (repeatable; \
              default all).")
   in
-  let run program compiler level disabled sections =
-    let sections =
-      match sections with
-      | [] -> Dwarfdump.all_sections
-      | names ->
-          List.map
-            (fun n ->
-              match Dwarfdump.section_of_string n with
-              | Some s -> s
-              | None -> failwith ("unknown section " ^ n))
-            names
-    in
-    let p, cfg, bin = compile_for program compiler level disabled in
-    Printf.printf "%s at %s: %s\n\n" p.Suite_types.p_name
-      (Debugtuner.Config.name cfg)
-      (Dwarfdump.summary bin);
-    print_string (Dwarfdump.dump ~sections bin);
-    print_newline ();
-    print_string (Dwarfdump.locstats_to_string (Dwarfdump.locstats bin))
+  let run program compiler level disabled sections tr =
+    simple tr
+      (compile_req program compiler level disabled (Api.Request.Dump sections))
   in
   Cmd.v
     (Cmd.info "dump"
@@ -391,65 +385,35 @@ let dump_cmd =
           analog).")
     Term.(
       const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg
-      $ section_arg)
+      $ section_arg $ transport_term)
 
 let verify_cmd =
-  let run program compiler level disabled =
-    let p, cfg, bin = compile_for program compiler level disabled in
-    let ds = Debug_verify.verify bin in
-    Printf.printf "%s at %s: %s" p.Suite_types.p_name
-      (Debugtuner.Config.name cfg)
-      (Debug_verify.report ds);
-    if ds <> [] then exit 1
+  let run program compiler level disabled tr =
+    simple tr (compile_req program compiler level disabled Api.Request.Verify)
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:
          "Check the structural integrity of a binary's debug info (the \
           llvm-dwarfdump --verify analog); exits 1 on errors.")
-    Term.(const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg)
+    Term.(
+      const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg
+      $ transport_term)
 
 (* ------------------------------------------------------------------ *)
 (* value-check: the dynamic value-soundness oracle                     *)
 
 let value_check_cmd =
-  let entry_arg =
-    Arg.(
-      value & opt (some string) None
-      & info [ "e"; "entry" ] ~docv:"FUNC"
-          ~doc:"Entry function (default: the program's first harness).")
-  in
   let input_arg =
     Arg.(
       value & opt string ""
       & info [ "i"; "input" ] ~docv:"INTS" ~doc:"Comma-separated inputs.")
   in
-  let run program compiler level disabled entry input =
-    let p = find_program program in
-    let cfg = config compiler level disabled in
-    let ast = Suite_types.ast p in
-    let entry =
-      match entry with
-      | Some e -> e
-      | None -> (List.hd p.Suite_types.p_harnesses).Suite_types.h_entry
-    in
-    let input =
-      if input = "" then []
-      else String.split_on_char ',' input |> List.map int_of_string
-    in
-    let r =
-      Debugtuner.Value_oracle.check ast ~config:cfg
-        ~roots:(Suite_types.roots p) ~entry ~input
-    in
-    Printf.printf "%s at %s (%s):
-%s" p.Suite_types.p_name
-      (Debugtuner.Config.name cfg)
-      entry
-      (Debugtuner.Value_oracle.report_to_string r);
-    if
-      cfg.Debugtuner.Config.level = Debugtuner.Config.O0
-      && r.Debugtuner.Value_oracle.rp_mismatches <> []
-    then exit 1
+  let run program compiler level disabled entry input tr =
+    simple tr
+      (compile_req program compiler level disabled
+         (Api.Request.Value_check
+            { v_entry = entry; v_input = parse_input_list input }))
   in
   Cmd.v
     (Cmd.info "value-check"
@@ -457,60 +421,28 @@ let value_check_cmd =
          "Compare every value the debugger would display against the           reference interpreter (the dynamic soundness oracle); exits 1 on           O0 mismatches.")
     Term.(
       const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg
-      $ entry_arg $ input_arg)
+      $ entry_opt_arg $ input_arg $ transport_term)
 
 (* ------------------------------------------------------------------ *)
 (* pass-trace: per-pass IR statistics (the -fdump-tree-all analog)     *)
 
 let pass_trace_cmd =
-  let run program compiler level disabled =
-    let p = find_program program in
-    let cfg = config compiler level disabled in
-    let trace =
-      Debugtuner.Toolchain.pipeline_trace (Suite_types.ast p) ~config:cfg
-        ~roots:(Suite_types.roots p)
-    in
-    Printf.printf "%-28s %8s %7s %9s %9s %6s\n" "pass" "instrs" "blocks"
-      "bindings" "opt-out" "lines";
-    let prev = ref None in
-    List.iter
-      (fun (name, (st : Debugtuner.Toolchain.ir_stats)) ->
-        let delta get =
-          match !prev with
-          | Some p when get p <> get st ->
-              Printf.sprintf "%+d" (get st - get p)
-          | _ -> ""
-        in
-        Printf.printf "%-28s %5d %2s %4d %2s %6d %2s %6d %2s %4d %2s\n" name
-          st.Debugtuner.Toolchain.st_instrs
-          (delta (fun s -> s.Debugtuner.Toolchain.st_instrs))
-          st.Debugtuner.Toolchain.st_blocks
-          (delta (fun s -> s.Debugtuner.Toolchain.st_blocks))
-          st.Debugtuner.Toolchain.st_bindings
-          (delta (fun s -> s.Debugtuner.Toolchain.st_bindings))
-          st.Debugtuner.Toolchain.st_optimized_out
-          (delta (fun s -> s.Debugtuner.Toolchain.st_optimized_out))
-          st.Debugtuner.Toolchain.st_lines
-          (delta (fun s -> s.Debugtuner.Toolchain.st_lines));
-        prev := Some st)
-      trace
+  let run program compiler level disabled tr =
+    simple tr
+      (compile_req program compiler level disabled Api.Request.Pass_trace)
   in
   Cmd.v
     (Cmd.info "pass-trace"
        ~doc:
          "Replay the IR pipeline and print per-pass statistics — where           instructions, debug bindings and line attributions go (the           -fdump-tree-all analog).")
-    Term.(const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg)
+    Term.(
+      const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg
+      $ transport_term)
 
 (* ------------------------------------------------------------------ *)
-(* profile: collect an AutoFDO profile and write the text format       *)
+(* sample: collect an AutoFDO profile and write the text format        *)
 
 let sample_cmd =
-  let entry_arg =
-    Arg.(
-      value & opt (some string) None
-      & info [ "e"; "entry" ] ~docv:"FUNC"
-          ~doc:"Entry function (default: the program's first harness).")
-  in
   let period_arg =
     Arg.(
       value & opt int 211
@@ -521,37 +453,21 @@ let sample_cmd =
       value & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the profile here.")
   in
-  let run program compiler level disabled entry period out =
-    let p, cfg, bin = compile_for program compiler level disabled in
-    let entry =
-      match entry with
-      | Some e -> e
-      | None -> (List.hd p.Suite_types.p_harnesses).Suite_types.h_entry
+  let run program compiler level disabled entry period out tr =
+    let resp =
+      dispatch tr
+        (compile_req program compiler level disabled
+           (Api.Request.Sample { s_entry = entry; s_period = period }))
     in
-    let workloads =
-      List.concat_map
-        (fun h -> h.Suite_types.h_seeds)
-        p.Suite_types.p_harnesses
-    in
-    let coll = Debugtuner.Autofdo.collect bin ~entry ~workloads ~period ~seed:7 in
-    let text = Debugtuner.Autofdo.profile_to_string coll.Debugtuner.Autofdo.profile in
-    Printf.printf
-      "profiled %s at %s: %d samples taken, %d lost (%.1f%%) to missing line info\n"
-      p.Suite_types.p_name
-      (Debugtuner.Config.name cfg)
-      coll.Debugtuner.Autofdo.samples_taken coll.Debugtuner.Autofdo.samples_lost
-      (if coll.Debugtuner.Autofdo.samples_taken = 0 then 0.0
-       else
-         100.0
-         *. float_of_int coll.Debugtuner.Autofdo.samples_lost
-         /. float_of_int coll.Debugtuner.Autofdo.samples_taken);
-    match out with
+    check_status resp;
+    print_string resp.Api.Response.text;
+    let text = artifact_of resp in
+    (match out with
     | Some file ->
-        let oc = open_out file in
-        output_string oc text;
-        close_out oc;
+        write_file file text;
         Printf.printf "profile written to %s\n" file
-    | None -> print_string text
+    | None -> print_string text);
+    finish resp
   in
   Cmd.v
     (Cmd.info "sample"
@@ -559,7 +475,7 @@ let sample_cmd =
          "Run a binary under PC sampling and emit the AutoFDO text profile           (the perf + create_llvm_prof analog). Feed it back with           $(b,compile --profile).")
     Term.(
       const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg
-      $ entry_arg $ period_arg $ out_arg)
+      $ entry_opt_arg $ period_arg $ out_arg $ transport_term)
 
 (* ------------------------------------------------------------------ *)
 (* profile: per-pass self-time of one compilation (the observability
@@ -597,103 +513,37 @@ let profile_cmd =
       & info [ "O" ] ~docv:"LEVEL"
           ~doc:"Optimization level: -O0, -Og, -O1, -O2, -O3.")
   in
-  let run program pipeline level disabled trace sanitize stats =
-    let p = find_program program in
-    let cfg = Debugtuner.Config.make ~disabled pipeline level in
-    let ast = Suite_types.ast p in
-    Obs.start ();
-    let bin =
-      Debugtuner.Toolchain.compile ast ~config:cfg
-        ~roots:(Suite_types.roots p)
-        ~options:(Debugtuner.Toolchain.Options.make ~sanitize ())
+  let run program pipeline level disabled trace sanitize stats tr =
+    let resp =
+      dispatch tr
+        (Api.Request.Profile
+           {
+             p_subject = subject_of program;
+             p_config = Debugtuner.Config.make ~disabled pipeline level;
+             p_sanitize = sanitize;
+             p_stats = stats;
+             p_trace = trace <> None;
+           })
     in
-    (* Snapshot the unified counter table while the session is live (the
-       obs/* rows read the active session). *)
-    let counter_rows =
-      if stats then
-        Debugtuner.Measure_engine.stats_table
-          (Debugtuner.Measure_engine.default ())
-      else []
-    in
-    let session =
-      match Obs.stop () with Some s -> s | None -> assert false
-    in
-    let profs = Obs.profiles session in
-    let total_ns =
-      List.fold_left (fun a pr -> Int64.add a pr.Obs.pr_ns) 0L profs
-    in
-    Printf.printf "%s at %s: %d pass executions, %.3f ms in passes\n\n"
-      p.Suite_types.p_name
-      (Debugtuner.Config.name cfg)
-      (List.fold_left (fun a pr -> a + pr.Obs.pr_calls) 0 profs)
-      (Int64.to_float total_ns /. 1e6);
-    let pct ns =
-      if total_ns = 0L then "-"
-      else
-        Printf.sprintf "%.1f"
-          (100.0 *. Int64.to_float ns /. Int64.to_float total_ns)
-    in
-    let rows =
-      List.map
-        (fun pr ->
-          [
-            pr.Obs.pr_pass;
-            string_of_int pr.Obs.pr_calls;
-            Printf.sprintf "%.3f" (Int64.to_float pr.Obs.pr_ns /. 1e6);
-            pct pr.Obs.pr_ns;
-            string_of_int pr.Obs.pr_delta.Instrument.c_instrs;
-            string_of_int pr.Obs.pr_delta.Instrument.c_lines;
-            string_of_int pr.Obs.pr_delta.Instrument.c_vars;
-          ])
-        (List.sort
-           (fun a b -> Int64.compare b.Obs.pr_ns a.Obs.pr_ns)
-           profs)
-    in
-    Util.Tablefmt.print
-      (Util.Tablefmt.make ~title:"Per-pass self time (sorted)"
-         ~header:
-           [ "pass"; "calls"; "ms"; "self%"; "d-instrs"; "d-lines"; "d-vars" ]
-         rows);
-    print_newline ();
-    if stats then begin
-      print_endline "== Counters (engine caches / sanitizer / obs) ==";
-      List.iter print_endline (Util.Cliopts.kv_lines counter_rows);
-      print_newline ()
-    end;
-    Printf.printf "binary: %d instructions, text digest %s\n"
-      (Array.length bin.Emit.code) bin.Emit.text_digest;
-    match trace with
+    check_status resp;
+    print_string resp.Api.Response.text;
+    (match trace with
     | None -> ()
     | Some file -> (
-        let js = Obs.to_chrome_json session in
-        let oc = open_out file in
-        output_string oc js;
-        close_out oc;
-        (* Self-check the artifact: parse what we wrote, require balanced
-           spans and at least one span per profiled pass. *)
+        let js = artifact_of resp in
+        write_file file js;
+        (* The executor already validated span coverage; re-validate
+           the bytes we just wrote before declaring victory. *)
         match Obs.validate_chrome js with
         | Error msg ->
             Printf.eprintf "trace validation FAILED: %s\n" msg;
             exit 1
         | Ok v ->
-            let missing =
-              List.filter
-                (fun pr ->
-                  match List.assoc_opt pr.Obs.pr_pass v.Obs.v_spans with
-                  | Some n when n >= 1 -> false
-                  | _ -> true)
-                profs
-            in
-            if missing <> [] then begin
-              Printf.eprintf "trace validation FAILED: no span for: %s\n"
-                (String.concat ", "
-                   (List.map (fun pr -> pr.Obs.pr_pass) missing));
-              exit 1
-            end;
             Printf.printf
               "trace written to %s (%d events, %d named spans, validated)\n"
               file v.Obs.v_events
-              (List.length v.Obs.v_spans))
+              (List.length v.Obs.v_spans)));
+    finish resp
   in
   Cmd.v
     (Cmd.info "profile"
@@ -703,7 +553,8 @@ let profile_cmd =
       const run $ program_arg $ pipeline_arg $ o_arg $ disabled_arg
       $ cliopt_file Util.Cliopts.trace
       $ cliopt_flag Util.Cliopts.sanitize
-      $ cliopt_flag Util.Cliopts.stats)
+      $ cliopt_flag Util.Cliopts.stats
+      $ transport_term)
 
 (* ------------------------------------------------------------------ *)
 (* disasm: objdump -dl analog                                          *)
@@ -714,9 +565,9 @@ let disasm_cmd =
       value & opt (some string) None
       & info [ "f"; "function" ] ~docv:"FUNC" ~doc:"Only this function.")
   in
-  let run program compiler level disabled func =
-    let _, _, bin = compile_for program compiler level disabled in
-    print_string (Objdump.disassemble ?func bin)
+  let run program compiler level disabled func tr =
+    simple tr
+      (compile_req program compiler level disabled (Api.Request.Disasm func))
   in
   Cmd.v
     (Cmd.info "disasm"
@@ -724,48 +575,26 @@ let disasm_cmd =
          "Disassemble a binary with interleaved source lines (the objdump           -dl analog).")
     Term.(
       const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg
-      $ func_arg)
+      $ func_arg $ transport_term)
 
 (* ------------------------------------------------------------------ *)
 (* dwarf-size: encoded debug-info sizes across levels                  *)
 
 let dwarf_size_cmd =
-  let run program compiler =
-    let p = find_program program in
-    let ast = Suite_types.ast p in
-    Printf.printf "%-8s %12s %12s %12s %8s %8s\n" "level" ".debug_line"
-      ".debug_loc" "total" "entries" "vars";
-    List.iter
-      (fun level ->
-        let cfg = Debugtuner.Config.make compiler level in
-        let bin =
-          Debugtuner.Toolchain.compile ast ~config:cfg
-            ~roots:(Suite_types.roots p)
-        in
-        let line, locs, total = Dwarf_encode.section_sizes bin.Emit.debug in
-        Printf.printf "%-8s %11dB %11dB %11dB %8d %8d\n"
-          (Debugtuner.Config.level_name level)
-          line locs total
-          (List.length bin.Emit.debug.Dwarfish.line_table)
-          (List.length bin.Emit.debug.Dwarfish.vars))
-      (Debugtuner.Config.O0 :: Debugtuner.Config.standard_levels compiler)
+  let run program compiler tr =
+    simple tr (compile_req program compiler Debugtuner.Config.O2 []
+                 Api.Request.Dwarf_size)
   in
   Cmd.v
     (Cmd.info "dwarf-size"
        ~doc:
          "Encode the debug info with the DWARF wire formats (LEB128,           line-number program, location expressions) and report section           sizes per optimization level.")
-    Term.(const run $ program_arg $ compiler_arg)
+    Term.(const run $ program_arg $ compiler_arg $ transport_term)
 
 (* ------------------------------------------------------------------ *)
 (* debug: scripted debugger sessions (gdb -x analog)                   *)
 
 let debug_cmd =
-  let entry_arg =
-    Arg.(
-      value & opt (some string) None
-      & info [ "e"; "entry" ] ~docv:"FUNC"
-          ~doc:"Entry function (default: the program's first harness).")
-  in
   let script_arg =
     Arg.(
       value & opt (some string) None
@@ -780,31 +609,18 @@ let debug_cmd =
             "Debugger commands, e.g. 'break 6' 'run 1,2' 'print x' \
              'continue'.")
   in
-  let run program compiler level disabled entry script commands =
-    let p, _cfg, bin = compile_for program compiler level disabled in
-    let entry =
-      match entry with
-      | Some e -> e
-      | None -> (List.hd p.Suite_types.p_harnesses).Suite_types.h_entry
-    in
+  let run program compiler level disabled entry script commands tr =
     let commands =
       match script with
       | None -> commands
       | Some file ->
-          let ic = open_in file in
-          let n = in_channel_length ic in
-          let text = really_input_string ic n in
-          close_in ic;
-          String.split_on_char '\n' text
+          String.split_on_char '\n' (read_file file)
           |> List.map String.trim
           |> List.filter (fun l -> l <> "" && l.[0] <> '#')
     in
-    if commands = [] then
-      print_endline
-        "no commands; pass them positionally or via -x FILE (commands: \
-         break/tbreak/delete L, run [inputs], continue, step, next, finish, \
-         print VAR, info locals|line|breakpoints, backtrace, quit)"
-    else print_string (Session.script bin ~entry commands)
+    simple tr
+      (compile_req program compiler level disabled
+         (Api.Request.Debug { d_entry = entry; d_commands = commands }))
   in
   Cmd.v
     (Cmd.info "debug"
@@ -813,7 +629,7 @@ let debug_cmd =
           (the gdb batch-mode analog).")
     Term.(
       const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg
-      $ entry_arg $ script_arg $ commands_arg)
+      $ entry_opt_arg $ script_arg $ commands_arg $ transport_term)
 
 (* ------------------------------------------------------------------ *)
 (* check: pipeline sanitizer + differential oracle                      *)
@@ -845,90 +661,55 @@ let check_cmd =
       & info [ "p"; "program" ] ~docv:"PROGRAM"
           ~doc:"Check only this program (name or MiniC file path).")
   in
-  let run program fuzz seed no_suite cache_dir no_cache no_prefix_cache json =
+  let run program fuzz seed no_suite cache_dir no_cache no_prefix_cache json
+      tr =
     if no_prefix_cache then
       Debugtuner.Measure_engine.prefix_cache_enabled := false;
     (* The oracle's persistent verdict cache is opt-in: only an explicit
        --cache-dir (and no --no-cache) turns it on, so plain [check]
        stays stateless. Warm hits replay the cached sanitizer-counter
        deltas, keeping stdout byte-identical to a cold run. *)
-    let oracle_store =
+    let store =
       match cache_dir with
       | Some dir when not no_cache ->
           Some (Debugtuner.Measure_engine.open_store ~dir ())
       | _ -> None
     in
-    let reports = ref [] in
-    (match program with
-    | Some name ->
-        let p = find_program name in
-        Printf.printf "checking %s across O0-O3 x {gcc, clang}...\n%!"
-          p.Suite_types.p_name;
-        let failures, (runs, skipped) =
-          Diff_oracle.check_program ?store:oracle_store p
-        in
-        reports :=
-          [
-            {
-              Diff_oracle.r_programs = 1;
-              r_configs = List.length (Diff_oracle.configs ());
-              r_runs = runs;
-              r_skipped = skipped;
-              r_failures = failures;
-            };
-          ]
-    | None ->
-        if not no_suite then begin
-          Printf.printf
-            "checking the suite across O0-O3 x {gcc, clang} (sanitizer \
-             on)...\n%!";
-          reports := [ Diff_oracle.check_suite ?store:oracle_store () ]
-        end);
-    if fuzz > 0 then begin
-      Printf.printf "fuzzing %d synthetic program(s) from seed %d...\n%!" fuzz
-        seed;
-      reports :=
-        !reports @ [ Diff_oracle.fuzz ?store:oracle_store ~count:fuzz ~seed () ]
-    end;
-    List.iter (fun r -> print_endline (Diff_oracle.report_to_string r)) !reports;
-    (match Sanitize.counters () with
-    | [] -> ()
-    | cs ->
-        Printf.printf "sanitizer boundaries validated:\n";
-        List.iter
-          (fun (pass, checks, failures) ->
-            Printf.printf "  %-26s %7d checked %s\n" pass checks
-              (if failures = 0 then ""
-               else Printf.sprintf "%d FAILED" failures))
-          cs);
+    let resp =
+      dispatch ?store tr
+        (Api.Request.Check
+           {
+             k_subject = Option.map subject_of program;
+             k_fuzz = fuzz;
+             k_seed = seed;
+             k_suite = not no_suite;
+           })
+    in
+    check_status resp;
+    print_string resp.Api.Response.text;
     (match json with
     | None -> ()
     | Some file ->
         (* Counters to a side file — store activity is run-dependent
            (cold vs warm), so it must never reach the byte-stable
-           stdout. *)
+           stdout. Only the oracle-relevant rows of the request's
+           counter delta belong here: engine/prefix rows vary with
+           planner settings. *)
         let rows =
-          (match oracle_store with
-          | None -> []
-          | Some s ->
-              List.filter_map
-                (fun (n, v) -> if v = 0 then None else Some ("store/" ^ n, v))
-                (Engine.Disk_store.counters s))
-          @ List.concat_map
-              (fun (pass, checks, failures) ->
-                ("sanitize/" ^ pass ^ "/checked", checks)
-                :: (if failures <> 0 then
-                      [ ("sanitize/" ^ pass ^ "/failures", failures) ]
-                    else []))
-              (Sanitize.counters ())
+          List.filter
+            (fun (n, _) ->
+              let pre p =
+                String.length n >= String.length p
+                && String.sub n 0 (String.length p) = p
+              in
+              pre "store/" || pre "sanitize/")
+            resp.Api.Response.stats
         in
-        let oc = open_out file in
-        output_string oc "[\n  ";
-        output_string oc
-          (String.concat ",\n  " (Util.Cliopts.kv_json_rows rows));
-        output_string oc "\n]\n";
-        close_out oc);
-    if not (List.for_all Diff_oracle.clean !reports) then exit 1
+        write_file file
+          ("[\n  "
+          ^ String.concat ",\n  " (Util.Cliopts.kv_json_rows rows)
+          ^ "\n]\n"));
+    finish resp
   in
   Cmd.v
     (Cmd.info "check"
@@ -944,7 +725,8 @@ let check_cmd =
       $ cliopt_file Util.Cliopts.cache_dir
       $ cliopt_flag Util.Cliopts.no_cache
       $ cliopt_flag Util.Cliopts.no_prefix_cache
-      $ cliopt_file Util.Cliopts.json)
+      $ cliopt_file Util.Cliopts.json
+      $ transport_term)
 
 (* ------------------------------------------------------------------ *)
 (* cache: inspect and maintain the persistent artifact store            *)
@@ -953,7 +735,14 @@ let cache_cmd =
   let action_arg =
     Arg.(
       required
-      & pos 0 (some (enum [ ("stats", `Stats); ("clear", `Clear); ("gc", `Gc) ]))
+      & pos 0
+          (some
+             (enum
+                [
+                  ("stats", Api.Request.Op_stats);
+                  ("clear", Api.Request.Op_clear);
+                  ("gc", Api.Request.Op_gc);
+                ]))
           None
       & info [] ~docv:"ACTION"
           ~doc:
@@ -961,77 +750,60 @@ let cache_cmd =
              $(b,clear) (remove every entry), $(b,gc) (drop stale/corrupt \
              entries, enforce the size bound, remove abandoned temp files).")
   in
-  let run action cache_dir =
-    let store = Debugtuner.Measure_engine.open_store ?dir:cache_dir () in
-    match action with
-    | `Stats ->
-        Printf.printf "cache %s (format v%d)\n"
-          (Engine.Disk_store.dir store)
-          Engine.Disk_store.format_version;
-        let summary = Engine.Disk_store.summary store in
-        if summary = [] then print_endline "  (empty)"
-        else
-          List.iter
-            (fun (cache, entries, bytes) ->
-              Printf.printf "  %-14s %6d entries %10d bytes\n" cache entries
-                bytes)
-            summary;
-        Printf.printf "  %-14s %6d entries %10d bytes\n" "total"
-          (Engine.Disk_store.entry_count store)
-          (Engine.Disk_store.size_bytes store)
-    | `Clear ->
-        let n = Engine.Disk_store.clear store in
-        Printf.printf "cache %s: removed %d entr%s\n"
-          (Engine.Disk_store.dir store)
-          n
-          (if n = 1 then "y" else "ies")
-    | `Gc ->
-        let n = Engine.Disk_store.gc store in
-        Printf.printf
-          "cache %s: dropped %d stale/corrupt entr%s, %d entries (%d bytes) \
-           kept\n"
-          (Engine.Disk_store.dir store)
-          n
-          (if n = 1 then "y" else "ies")
-          (Engine.Disk_store.entry_count store)
-          (Engine.Disk_store.size_bytes store)
+  let run action cache_dir tr =
+    simple tr (Api.Request.Cache_op { o_action = action; o_dir = cache_dir })
   in
   Cmd.v
     (Cmd.info "cache"
        ~doc:
          "Inspect or maintain the persistent artifact cache (default _cache, \
           or $(b,DEBUGTUNER_CACHE), or --cache-dir).")
-    Term.(const run $ action_arg $ cliopt_file Util.Cliopts.cache_dir)
+    Term.(
+      const run $ action_arg $ cliopt_file Util.Cliopts.cache_dir
+      $ transport_term)
 
 (* ------------------------------------------------------------------ *)
-(* passes / suite / run                                                *)
+(* passes / suite / run / stats                                        *)
 
 let passes_cmd =
-  let run compiler level =
-    let cfg = Debugtuner.Config.make compiler level in
-    List.iter print_endline (Debugtuner.Toolchain.pass_names cfg)
+  let run compiler level tr =
+    simple tr (compile_req "libpng" compiler level [] Api.Request.Passes)
   in
   Cmd.v
     (Cmd.info "passes" ~doc:"List the toggleable passes of a level.")
-    Term.(const run $ compiler_arg $ level_arg)
+    Term.(const run $ compiler_arg $ level_arg $ transport_term)
 
 let suite_cmd =
-  let run () =
-    print_endline "test suite (13 programs):";
-    List.iter
-      (fun (p : Suite_types.sprogram) ->
-        Printf.printf "  %-12s %d harness(es)\n" p.Suite_types.p_name
-          (List.length p.Suite_types.p_harnesses))
-      Programs.all;
-    print_endline "SPEC CPU 2017 analogs:";
-    List.iter
-      (fun (p : Suite_types.sprogram) ->
-        Printf.printf "  %s\n" p.Suite_types.p_name)
-      Spec.all;
-    print_endline "large AutoFDO workload:";
-    print_endline "  selfcomp"
+  let run tr = simple tr (Api.Request.Stats { s_what = Api.Request.Suite }) in
+  Cmd.v
+    (Cmd.info "suite" ~doc:"List the built-in programs.")
+    Term.(const run $ transport_term)
+
+let stats_cmd =
+  let what_arg =
+    Arg.(
+      value
+      & pos 0
+          (enum
+             [
+               ("counters", Api.Request.Counters);
+               ("suite", Api.Request.Suite);
+               ("server", Api.Request.Server);
+             ])
+          Api.Request.Counters
+      & info [] ~docv:"WHAT"
+          ~doc:
+            "$(docv) is $(b,counters) (the unified counter table), \
+             $(b,suite) (the built-in programs) or $(b,server) (live \
+             daemon counters; use with --connect).")
   in
-  Cmd.v (Cmd.info "suite" ~doc:"List the built-in programs.") Term.(const run $ const ())
+  let run what tr = simple tr (Api.Request.Stats { s_what = what }) in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Print the unified counter table of the executing process — \
+          in-process, or a daemon's with $(b,--connect).")
+    Term.(const run $ what_arg $ transport_term)
 
 let run_cmd =
   let entry_arg =
@@ -1045,28 +817,77 @@ let run_cmd =
       & info [ "i"; "input" ] ~docv:"INTS"
           ~doc:"Comma-separated input values for input().")
   in
-  let run program compiler level disabled entry input =
-    let p = find_program program in
-    let cfg = config compiler level disabled in
-    let ast = Suite_types.ast p in
-    let bin =
-      Debugtuner.Toolchain.compile ast ~config:cfg ~roots:(Suite_types.roots p)
-    in
-    let input =
-      if input = "" then []
-      else String.split_on_char ',' input |> List.map int_of_string
-    in
-    let r = Vm.run bin ~entry ~input Vm.default_opts in
-    Printf.printf "output: [%s]\n"
-      (String.concat "; " (List.map string_of_int r.Vm.output));
-    Printf.printf "cost: %d cycles, %d instructions%s\n" r.Vm.cost r.Vm.instrs
-      (if r.Vm.timed_out then "  (TIMED OUT)" else "")
+  let run program compiler level disabled entry input tr =
+    simple tr
+      (Api.Request.Bench
+         {
+           b_subject = subject_of program;
+           b_config = config compiler level disabled;
+           b_action =
+             Api.Request.Exec
+               { x_entry = entry; x_input = parse_input_list input };
+         })
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a program on the VM.")
     Term.(
       const run $ program_arg $ compiler_arg $ level_arg $ disabled_arg
-      $ entry_arg $ input_arg)
+      $ entry_arg $ input_arg $ transport_term)
+
+(* ------------------------------------------------------------------ *)
+(* serve: the persistent daemon                                        *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info
+          [ cliopt_name Util.Cliopts.socket ]
+          ?docv:Util.Cliopts.socket.Util.Cliopts.o_docv
+          ~doc:Util.Cliopts.socket.Util.Cliopts.o_doc)
+  in
+  let jobs_arg = cliopt_int Util.Cliopts.jobs 1 in
+  let run socket queue_limit jobs cache_dir no_cache =
+    let store =
+      if no_cache then None
+      else Some (Debugtuner.Measure_engine.open_store ?dir:cache_dir ())
+    in
+    let ctx = Api.create_ctx ~workers:jobs ?store () in
+    let server =
+      try Api_server.create ~queue_limit ~socket ctx
+      with Unix.Unix_error (err, _, _) ->
+        die "cannot listen on %s: %s" socket (Unix.error_message err)
+    in
+    (* SIGINT/SIGTERM close the listener; serve returns and we clean
+       up on the main flow (no joins inside the signal handler). *)
+    let on_signal _ = Api_server.interrupt server in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ());
+    Printf.printf "debugtuner: serving on %s (queue limit %d, %d worker%s)\n%!"
+      socket queue_limit jobs
+      (if jobs = 1 then "" else "s");
+    Api_server.serve server;
+    (try Unix.unlink socket with Unix.Unix_error _ -> ());
+    Printf.printf "debugtuner: daemon stopped\n%!"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent service daemon: length-prefixed JSON \
+          requests over a Unix-domain socket, every cache shared \
+          process-wide across all clients. Drive it with --connect on \
+          any subcommand. Bounded admission: beyond --queue-limit \
+          concurrent requests, clients get an immediate 'overloaded' \
+          response.")
+    Term.(
+      const run $ socket_arg
+      $ cliopt_int Util.Cliopts.queue_limit 8
+      $ jobs_arg
+      $ cliopt_file Util.Cliopts.cache_dir
+      $ cliopt_flag Util.Cliopts.no_cache)
 
 let () =
   let info =
@@ -1078,4 +899,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; measure_cmd; rank_cmd; tune_cmd; passes_cmd; suite_cmd; run_cmd; trace_cmd; dump_cmd; verify_cmd; debug_cmd; dwarf_size_cmd; disasm_cmd; sample_cmd; profile_cmd; pass_trace_cmd; value_check_cmd; check_cmd; cache_cmd ]))
+          [ compile_cmd; measure_cmd; rank_cmd; tune_cmd; passes_cmd; suite_cmd; run_cmd; trace_cmd; dump_cmd; verify_cmd; debug_cmd; dwarf_size_cmd; disasm_cmd; sample_cmd; profile_cmd; pass_trace_cmd; value_check_cmd; check_cmd; cache_cmd; stats_cmd; serve_cmd ]))

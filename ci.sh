@@ -70,7 +70,39 @@ dune exec bin/debugtuner_cli.exe -- check --fuzz 50 --seed 1 --no-prefix-cache \
 diff "$scratch/check-prefix-on.json" "$scratch/check-prefix-off.json"
 diff "$scratch/check-prefix-on.out" "$scratch/check-prefix-off.out"
 
-echo "== benchmark regression gate (table1+ranking cold+warm vs BENCH_baseline.json) =="
+echo "== daemon smoke (serve + --connect, byte-identical to direct CLI) =="
+# Start a daemon on a scratch socket, drive rank/check/profile requests
+# through --connect clients, and byte-diff rank/check stdout against
+# direct (in-process) CLI runs. profile output is a wall-time table, so
+# only its exit status is asserted. The daemon runs with --no-cache so
+# both paths compute from the same cold state, and must exit 0 on
+# SIGTERM after removing its socket.
+cli=_build/default/bin/debugtuner_cli.exe
+sock="$scratch/daemon.sock"
+"$cli" serve --socket "$sock" --no-cache > "$scratch/daemon.log" 2>&1 &
+daemon=$!
+tries=0
+until [ -S "$sock" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -le 100 ] || { echo "daemon smoke: socket never appeared" >&2; exit 1; }
+  sleep 0.1
+done
+"$cli" rank -k 5 --connect "$sock" > "$scratch/rank-daemon.out"
+"$cli" rank -k 5 > "$scratch/rank-direct.out"
+diff "$scratch/rank-direct.out" "$scratch/rank-daemon.out"
+"$cli" check --fuzz 20 --seed 1 --connect "$sock" > "$scratch/check-daemon.out"
+"$cli" check --fuzz 20 --seed 1 > "$scratch/check-direct.out"
+diff "$scratch/check-direct.out" "$scratch/check-daemon.out"
+"$cli" profile -p zlib -O2 --pipeline gcc --connect "$sock" > /dev/null
+kill -TERM "$daemon"
+wait "$daemon" || { echo "daemon smoke: daemon exited non-zero" >&2; exit 1; }
+[ ! -S "$sock" ] || { echo "daemon smoke: socket survived shutdown" >&2; exit 1; }
+grep -q "daemon stopped" "$scratch/daemon.log" || {
+  echo "daemon smoke: no clean shutdown message" >&2
+  exit 1
+}
+
+echo "== benchmark regression gate (table1+ranking+serve cold+warm vs BENCH_baseline.json) =="
 # Cold and warm runs share one fresh cache dir; the warm run must be
 # several times faster with a high disk hit rate, the cold run must not
 # regress past the committed baseline, and the cold ranking sweep must
@@ -78,9 +110,9 @@ echo "== benchmark regression gate (table1+ranking cold+warm vs BENCH_baseline.j
 # via DEBUGTUNER_BENCH_TOLERANCE / _WARM_FLOOR / _HIT_FLOOR /
 # _PREFIX_FLOOR).
 mkdir "$scratch/bench-cache"
-dune exec bench/main.exe -- --only table1 ranking --cache-dir "$scratch/bench-cache" \
+dune exec bench/main.exe -- --only table1 ranking serve --cache-dir "$scratch/bench-cache" \
   --json "$scratch/bench-cold.json" > "$scratch/bench-cold.out"
-dune exec bench/main.exe -- --only table1 ranking --cache-dir "$scratch/bench-cache" \
+dune exec bench/main.exe -- --only table1 ranking serve --cache-dir "$scratch/bench-cache" \
   --json "$scratch/bench-warm.json" > "$scratch/bench-warm.out"
 # Warm tables must be byte-identical to cold ones (only the bracketed
 # timing lines may differ).

@@ -1,0 +1,58 @@
+(** Client side of the service protocol: connect to a [debugtuner
+    serve] daemon over its Unix-domain socket and exchange
+    {!Api.Request.t}/{!Api.Response.t} as length-prefixed canonical
+    JSON (see [Framing]). One connection is one session; requests on
+    it are answered in order. *)
+
+type t = { fd : Unix.file_descr }
+
+(** [connect ?timeout path] opens a session. [timeout] (seconds)
+    bounds each blocking read/write on the socket so a wedged daemon
+    surfaces as an error rather than a hang. *)
+let connect ?timeout path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match
+     (match timeout with
+     | Some s when s > 0.0 ->
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+         Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+     | _ -> ());
+     Unix.connect fd (Unix.ADDR_UNIX path)
+   with
+  | () -> ()
+  | exception e ->
+      Unix.close fd;
+      raise e);
+  { fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(** One round trip. Protocol-level problems (daemon gone, malformed
+    reply, timeout) come back as [Error msg], never as an exception —
+    transports decide how to surface them. *)
+let rpc (t : t) (req : Api.Request.t) : (Api.Response.t, string) result =
+  match
+    Framing.write_frame t.fd (Api.request_to_json req);
+    Framing.read_frame t.fd
+  with
+  | payload -> Api.response_of_json payload
+  | exception Framing.Closed -> Error "server closed the connection"
+  | exception Framing.Oversized n ->
+      Error (Printf.sprintf "oversized reply frame (%d bytes)" n)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Error "timed out waiting for the server"
+  | exception Unix.Unix_error (err, _, _) ->
+      Error (Unix.error_message err)
+
+(** Convenience for one-shot [--connect] clients: connect, one
+    request, close. *)
+let oneshot ?timeout path req =
+  match connect ?timeout path with
+  | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" path
+           (Unix.error_message err))
+  | t ->
+      let r = rpc t req in
+      close t;
+      r

@@ -1,0 +1,209 @@
+(** The [debugtuner serve] daemon: a persistent process owning one
+    {!Api.ctx} — engine memo tables, disk store, prepared corpora —
+    shared by every client, so warm requests cost approximately
+    nothing.
+
+    Transport: Unix-domain socket, length-prefixed JSON ([Framing]).
+    One accept thread; one lightweight thread per connection (a
+    session, with its own id); requests execute on the shared context,
+    whose lock serializes them — intra-request parallelism comes from
+    the engine's Domain pool. Admission is bounded: at most
+    [queue_limit] requests may be admitted (executing or waiting on
+    the context) at once; beyond that a client gets an immediate
+    [Overloaded] response — backpressure, never a hang. *)
+
+type t = {
+  ctx : Api.ctx;
+  socket_path : string;
+  queue_limit : int;
+  listen_fd : Unix.file_descr;
+  lock : Mutex.t;
+  mutable stopping : bool;
+  mutable in_flight : int;  (** admitted requests not yet answered *)
+  mutable sessions : int;  (** connections accepted so far *)
+  mutable live_sessions : int;
+  mutable requests : int;  (** requests admitted and executed *)
+  mutable overloaded : int;  (** requests refused by admission control *)
+  mutable protocol_errors : int;  (** undecodable frames *)
+  mutable client_threads : Thread.t list;
+}
+
+let counters t =
+  Mutex.lock t.lock;
+  let rows =
+    [
+      ("serve/sessions", t.sessions);
+      ("serve/live_sessions", t.live_sessions);
+      ("serve/requests", t.requests);
+      ("serve/in_flight", t.in_flight);
+      ("serve/overloaded", t.overloaded);
+      ("serve/protocol_errors", t.protocol_errors);
+    ]
+  in
+  Mutex.unlock t.lock;
+  List.filter (fun (_, v) -> v <> 0) rows
+
+let default_queue_limit = 8
+
+(** Bind and listen; does not accept yet (call {!serve} or {!start}).
+    An existing socket file at [socket] is replaced — stale sockets
+    from a killed daemon must not block a restart. *)
+let create ?(queue_limit = default_queue_limit) ~socket (ctx : Api.ctx) =
+  if queue_limit < 1 then invalid_arg "queue_limit must be >= 1";
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match
+     Unix.bind fd (Unix.ADDR_UNIX socket);
+     Unix.listen fd 64
+   with
+  | () -> ()
+  | exception e ->
+      Unix.close fd;
+      raise e);
+  let t =
+    {
+      ctx;
+      socket_path = socket;
+      queue_limit;
+      listen_fd = fd;
+      lock = Mutex.create ();
+      stopping = false;
+      in_flight = 0;
+      sessions = 0;
+      live_sessions = 0;
+      requests = 0;
+      overloaded = 0;
+      protocol_errors = 0;
+      client_threads = [];
+    }
+  in
+  Api.server_counters_hook := (fun () -> counters t);
+  t
+
+let overloaded_response =
+  {
+    Api.Response.status = Api.Response.Overloaded;
+    text = "";
+    artifact = None;
+    data = Api.Response.D_none;
+    stats = [];
+    exit_code = 3;
+  }
+
+let protocol_error_response msg =
+  {
+    Api.Response.status = Api.Response.Error msg;
+    text = "";
+    artifact = None;
+    data = Api.Response.D_none;
+    stats = [];
+    exit_code = 2;
+  }
+
+(* Admission control: admit (true) or refuse (false) without blocking. *)
+let admit t =
+  Mutex.lock t.lock;
+  let ok = t.in_flight < t.queue_limit && not t.stopping in
+  if ok then begin
+    t.in_flight <- t.in_flight + 1;
+    t.requests <- t.requests + 1
+  end
+  else t.overloaded <- t.overloaded + 1;
+  Mutex.unlock t.lock;
+  ok
+
+let release t =
+  Mutex.lock t.lock;
+  t.in_flight <- t.in_flight - 1;
+  Mutex.unlock t.lock
+
+let bump t f =
+  Mutex.lock t.lock;
+  f t;
+  Mutex.unlock t.lock
+
+let handle_request t ~session payload =
+  match Api.request_of_json payload with
+  | Error msg ->
+      bump t (fun t -> t.protocol_errors <- t.protocol_errors + 1);
+      protocol_error_response ("bad request: " ^ msg)
+  | Ok req ->
+      if not (admit t) then overloaded_response
+      else
+        Fun.protect
+          ~finally:(fun () -> release t)
+          (fun () ->
+            Obs.Span.wrap
+              ~args:[ ("session", string_of_int session) ]
+              "serve:request"
+              (fun () -> Api.execute t.ctx req))
+
+let handle_session t ~session fd =
+  let rec loop () =
+    match Framing.read_frame_opt fd with
+    | None -> ()
+    | Some payload ->
+        let resp = handle_request t ~session payload in
+        Framing.write_frame fd (Api.response_to_json resp);
+        loop ()
+    | exception (Framing.Closed | Framing.Oversized _ | Unix.Unix_error _) ->
+        ()
+  in
+  (try loop () with _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  bump t (fun t -> t.live_sessions <- t.live_sessions - 1)
+
+(** Accept loop; blocks until {!stop}. *)
+let serve t =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error _ ->
+        (* listening socket closed by [stop] (or unusable): shut down *)
+        ()
+    | fd, _ ->
+        let session =
+          Mutex.lock t.lock;
+          t.sessions <- t.sessions + 1;
+          t.live_sessions <- t.live_sessions + 1;
+          let id = t.sessions in
+          Mutex.unlock t.lock;
+          id
+        in
+        let th =
+          Thread.create (fun () -> handle_session t ~session fd) ()
+        in
+        bump t (fun t -> t.client_threads <- th :: t.client_threads);
+        loop ()
+  in
+  loop ()
+
+(** Run the accept loop on a background thread (in-process daemon, as
+    used by tests and the serve bench). *)
+let start t = Thread.create serve t
+
+(** Make {!serve} return: mark stopping and shut the listening socket
+    down. [shutdown] (not just [close]) is what wakes an [accept]
+    blocked in another thread. Safe to call from a signal handler —
+    no joins, no locks. *)
+let interrupt t =
+  t.stopping <- true;
+  try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+  with Unix.Unix_error _ -> ()
+
+(** Stop accepting, wait for live sessions to drain, remove the socket
+    file. Idempotent. *)
+let stop t =
+  interrupt t;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  let threads =
+    Mutex.lock t.lock;
+    let ths = t.client_threads in
+    t.client_threads <- [];
+    Mutex.unlock t.lock;
+    ths
+  in
+  List.iter Thread.join threads;
+  (try Unix.unlink t.socket_path with Unix.Unix_error _ -> ())
+
+let socket_path t = t.socket_path

@@ -1,0 +1,96 @@
+(** Wire framing for the service protocol: one message is a 4-byte
+    big-endian length prefix followed by that many payload bytes
+    (UTF-8 JSON, but framing is payload-agnostic). Both sides read and
+    write through this module, so partial reads, short writes and
+    EINTR are handled in exactly one place. A length prefix larger
+    than {!max_frame} is a protocol violation ({!Oversized}), not an
+    allocation request — a garbage or hostile prefix must never make
+    the daemon try to allocate gigabytes. *)
+
+exception Closed
+(** The peer went away mid-message (EOF inside a frame, or a
+    write/read on a reset socket). A clean EOF *between* frames is
+    reported by {!read_frame_opt} as [None] instead. *)
+
+exception Oversized of int
+(** The length prefix exceeded {!max_frame}. *)
+
+let max_frame = 16 * 1024 * 1024
+
+exception Clean_eof
+(* internal: EOF before the first byte of a buffer *)
+
+let rec retry_intr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
+
+(* EPIPE/ECONNRESET mean the same thing as EOF here: the peer is gone. *)
+let closed_error = function
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> true
+  | _ -> false
+
+let really_write fd (s : string) =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then begin
+      let w =
+        try retry_intr (fun () -> Unix.write fd b off (n - off))
+        with e when closed_error e -> raise Closed
+      in
+      if w = 0 then raise Closed;
+      go (off + w)
+    end
+  in
+  go 0
+
+(* Fill all of [buf]; [Clean_eof] if the peer closed before the first
+   byte, [Closed] if it closed partway through. *)
+let really_read_into fd buf =
+  let n = Bytes.length buf in
+  let rec go off =
+    if off < n then begin
+      let r =
+        try retry_intr (fun () -> Unix.read fd buf off (n - off))
+        with e when closed_error e -> 0
+      in
+      if r = 0 then raise (if off = 0 then Clean_eof else Closed)
+      else go (off + r)
+    end
+  in
+  go 0
+
+let decode_length hdr =
+  (Char.code (Bytes.get hdr 0) lsl 24)
+  lor (Char.code (Bytes.get hdr 1) lsl 16)
+  lor (Char.code (Bytes.get hdr 2) lsl 8)
+  lor Char.code (Bytes.get hdr 3)
+
+let encode_length n =
+  let hdr = Bytes.create 4 in
+  Bytes.set hdr 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set hdr 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set hdr 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set hdr 3 (Char.chr (n land 0xff));
+  hdr
+
+let write_frame fd payload =
+  let n = String.length payload in
+  if n > max_frame then raise (Oversized n);
+  really_write fd (Bytes.unsafe_to_string (encode_length n));
+  really_write fd payload
+
+let read_frame_opt fd =
+  match
+    let hdr = Bytes.create 4 in
+    really_read_into fd hdr;
+    let n = decode_length hdr in
+    if n > max_frame then raise (Oversized n);
+    let payload = Bytes.create n in
+    (try really_read_into fd payload with Clean_eof -> raise Closed);
+    Bytes.unsafe_to_string payload
+  with
+  | payload -> Some payload
+  | exception Clean_eof -> None
+
+let read_frame fd =
+  match read_frame_opt fd with Some payload -> payload | None -> raise Closed

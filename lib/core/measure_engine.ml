@@ -490,3 +490,18 @@ let stats_table t : (string * int) list =
   in
   List.sort compare
     (engine_rows @ sanitize_rows @ store_rows @ obs_rows @ prefix_rows)
+
+(** [stats_delta ~before after] subtracts two {!stats_table} snapshots
+    row-wise (rows absent from [before] count from zero; zero-delta
+    rows are dropped), preserving [after]'s sorted order. This is how
+    a service request reports only its own work: snapshot the table,
+    run, snapshot again, subtract — sound even though the underlying
+    counters are process-cumulative. *)
+let stats_delta ~before after : (string * int) list =
+  List.filter_map
+    (fun (name, v) ->
+      let v0 =
+        match List.assoc_opt name before with Some v0 -> v0 | None -> 0
+      in
+      if v - v0 = 0 then None else Some (name, v - v0))
+    after

@@ -162,6 +162,14 @@ val stats_table : t -> (string * int) list
     counters ([obs/<name>]). The single stats path behind
     [bench --stats] and the CLI, in both text and JSON renderings. *)
 
+val stats_delta :
+  before:(string * int) list -> (string * int) list -> (string * int) list
+(** [stats_delta ~before after] subtracts two {!stats_table} snapshots
+    row-wise (rows absent from [before] count from zero, zero-delta
+    rows dropped), preserving [after]'s order. The per-request
+    accounting primitive behind [Api.Response.stats]: counters are
+    process-cumulative, deltas are per-request. *)
+
 val memo : t -> name:string -> (unit -> 'a Engine.Memo.t)
 (** A fresh memo table wired to this engine's counters, for derived
     results keyed by {!Config.fingerprint} (rankings, trade-off points,

@@ -85,10 +85,44 @@ let no_prefix_cache =
        every configuration from scratch)";
   }
 
+let socket =
+  {
+    o_name = "--socket";
+    o_docv = Some "PATH";
+    o_doc = "unix-domain socket path of the service daemon";
+  }
+
+let timeout =
+  {
+    o_name = "--timeout";
+    o_docv = Some "SECONDS";
+    o_doc =
+      "bound every blocking socket read/write when talking to the daemon \
+       (default: wait forever)";
+  }
+
+let queue_limit =
+  {
+    o_name = "--queue-limit";
+    o_docv = Some "N";
+    o_doc =
+      "maximum requests admitted at once before the daemon answers \
+       'overloaded' instead of queueing (default 8)";
+  }
+
+let connect =
+  {
+    o_name = "--connect";
+    o_docv = Some "PATH";
+    o_doc =
+      "run this command in the debugtuner serve daemon listening on PATH \
+       instead of in-process (shares its caches)";
+  }
+
 let shared =
   [
     stats; json; jobs; sanitize; trace; profile; cache_dir; no_cache;
-    no_prefix_cache;
+    no_prefix_cache; socket; timeout; queue_limit; connect;
   ]
 
 type common = {
@@ -101,6 +135,10 @@ type common = {
   mutable c_cache_dir : string option;
   mutable c_no_cache : bool;
   mutable c_no_prefix_cache : bool;
+  mutable c_socket : string option;
+  mutable c_timeout : float option;
+  mutable c_queue_limit : int;
+  mutable c_connect : string option;
 }
 
 let defaults () =
@@ -114,6 +152,10 @@ let defaults () =
     c_cache_dir = None;
     c_no_cache = false;
     c_no_prefix_cache = false;
+    c_socket = None;
+    c_timeout = None;
+    c_queue_limit = 8;
+    c_connect = None;
   }
 
 let value name = function
@@ -125,6 +167,12 @@ let int_value name rest =
   match int_of_string_opt v with
   | Some n -> (n, rest)
   | None -> invalid_arg (Printf.sprintf "%s: not an integer: %s" name v)
+
+let float_value name rest =
+  let v, rest = value name rest in
+  match float_of_string_opt v with
+  | Some f -> (f, rest)
+  | None -> invalid_arg (Printf.sprintf "%s: not a number: %s" name v)
 
 (** [parse c argv] consumes every shared option from [argv] into [c] and
     returns the arguments it did not recognize, in their original
@@ -163,6 +211,22 @@ let parse (c : common) (argv : string list) : string list =
         go acc rest
     | a :: rest when a = no_prefix_cache.o_name ->
         c.c_no_prefix_cache <- true;
+        go acc rest
+    | a :: rest when a = socket.o_name ->
+        let v, rest = value a rest in
+        c.c_socket <- Some v;
+        go acc rest
+    | a :: rest when a = timeout.o_name ->
+        let f, rest = float_value a rest in
+        c.c_timeout <- Some f;
+        go acc rest
+    | a :: rest when a = queue_limit.o_name ->
+        let n, rest = int_value a rest in
+        c.c_queue_limit <- n;
+        go acc rest
+    | a :: rest when a = connect.o_name ->
+        let v, rest = value a rest in
+        c.c_connect <- Some v;
         go acc rest
     | a :: rest -> go (a :: acc) rest
   in

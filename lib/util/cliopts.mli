@@ -19,6 +19,10 @@ val profile : spec
 val cache_dir : spec
 val no_cache : spec
 val no_prefix_cache : spec
+val socket : spec
+val timeout : spec
+val queue_limit : spec
+val connect : spec
 
 val shared : spec list
 (** All of the above, in help order. *)
@@ -33,6 +37,10 @@ type common = {
   mutable c_cache_dir : string option;
   mutable c_no_cache : bool;
   mutable c_no_prefix_cache : bool;
+  mutable c_socket : string option;
+  mutable c_timeout : float option;
+  mutable c_queue_limit : int;
+  mutable c_connect : string option;
 }
 
 val defaults : unit -> common

@@ -32,4 +32,5 @@ let () =
       ("sanitizer", Test_check.tests);
       ("obs", Test_obs.tests);
       ("differential", Test_differential.tests);
+      ("api", Test_api.tests);
     ]

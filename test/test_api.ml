@@ -1,0 +1,619 @@
+(* The typed service API: codec round-trips (QCheck), version-stamp and
+   unknown-field behaviour, wire-framing torture (partial reads,
+   oversized prefixes, mid-message disconnects), and an N-client x
+   M-request daemon session asserting responses byte-identical to the
+   same requests executed through the in-process (CLI) path. *)
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+
+module Config = Debugtuner.Config
+module R = Api.Request
+module Resp = Api.Response
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+
+let gen_byte_string =
+  QCheck.Gen.(string_size (int_bound 12) ~gen:(map Char.chr (int_bound 255)))
+
+let gen_config =
+  QCheck.Gen.(
+    map3
+      (fun comp lvl dis -> Config.make ~disabled:dis comp lvl)
+      (oneofl [ Config.Gcc; Config.Clang ])
+      (oneofl [ Config.O0; Config.Og; Config.O1; Config.O2; Config.O3 ])
+      (list_size (int_bound 3)
+         (oneofl [ "mem2reg"; "dce"; "sra"; "inline"; "GVN" ])))
+
+let gen_subject =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> R.Named ("prog-" ^ n)) (string_size (int_bound 6));
+        map2
+          (fun n src -> R.Inline { in_name = "f-" ^ n; in_source = src })
+          (string_size (int_bound 6))
+          gen_byte_string;
+      ])
+
+let gen_ints = QCheck.Gen.(list_size (int_bound 4) (int_range (-1000) 1000))
+
+let gen_opt_str =
+  QCheck.Gen.(opt (map (fun s -> "e" ^ s) (string_size (int_bound 5))))
+
+let gen_view =
+  QCheck.Gen.(
+    oneof
+      [
+        return R.Summary;
+        return R.Measure;
+        map (fun s -> R.Dump s) (list_size (int_bound 3) (oneofl [ "functions"; "lines"; "locs" ]));
+        return R.Verify;
+        map (fun f -> R.Disasm f) gen_opt_str;
+        return R.Dwarf_size;
+        return R.Passes;
+        return R.Pass_trace;
+        map2 (fun e i -> R.Trace { t_entry = e; t_input = i }) gen_opt_str gen_ints;
+        map2
+          (fun e c -> R.Debug { d_entry = e; d_commands = c })
+          gen_opt_str
+          (list_size (int_bound 3) gen_byte_string);
+        map2
+          (fun e p -> R.Sample { s_entry = e; s_period = p })
+          gen_opt_str (int_range 1 1000);
+        map2
+          (fun e i -> R.Value_check { v_entry = e; v_input = i })
+          gen_opt_str gen_ints;
+      ])
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        (let* s = gen_subject in
+         let* c = gen_config in
+         let* p = opt gen_byte_string in
+         let* sz = bool in
+         let* v = gen_view in
+         return
+           (R.Compile
+              {
+                c_subject = s;
+                c_config = c;
+                c_profile = p;
+                c_sanitize = sz;
+                c_view = v;
+              }));
+        (let* c = gen_config in
+         let* k = int_range 0 40 in
+         return (R.Rank { r_config = c; r_k = k }));
+        (let* c = gen_config in
+         let* y = int_range 0 20 in
+         return (R.Tune { t_config = c; t_y = y }));
+        (let* s = opt gen_subject in
+         let* f = int_range 0 100 in
+         let* sd = int_range 0 10_000 in
+         let* su = bool in
+         return (R.Check { k_subject = s; k_fuzz = f; k_seed = sd; k_suite = su }));
+        (let* s = gen_subject in
+         let* c = gen_config in
+         let* sz = bool in
+         let* st = bool in
+         let* tc = bool in
+         return
+           (R.Profile
+              {
+                p_subject = s;
+                p_config = c;
+                p_sanitize = sz;
+                p_stats = st;
+                p_trace = tc;
+              }));
+        (let* s = gen_subject in
+         let* c = gen_config in
+         let* a =
+           oneof
+             [
+               return R.Cost;
+               map2
+                 (fun e i -> R.Exec { x_entry = "e" ^ e; x_input = i })
+                 (string_size (int_bound 5))
+                 gen_ints;
+             ]
+         in
+         return (R.Bench { b_subject = s; b_config = c; b_action = a }));
+        (let* a = oneofl [ R.Op_stats; R.Op_clear; R.Op_gc ] in
+         let* d = opt gen_byte_string in
+         return (R.Cache_op { o_action = a; o_dir = d }));
+        (let* w = oneofl [ R.Counters; R.Suite; R.Server ] in
+         return (R.Stats { s_what = w }));
+      ])
+
+let gen_stats =
+  QCheck.Gen.(
+    list_size (int_bound 5)
+      (map2 (fun n v -> ("c/" ^ n, v)) (string_size (int_bound 6))
+         (int_range (-1000) 1_000_000)))
+
+let gen_float = QCheck.Gen.(map (fun f -> f /. 3.0) (float_range (-1e9) 1e9))
+
+let gen_data =
+  QCheck.Gen.(
+    oneof
+      [
+        return Resp.D_none;
+        (let* i = int_range 0 10_000 in
+         let* f = int_range 0 100 in
+         let* d = gen_byte_string in
+         return
+           (Resp.D_compiled
+              {
+                dc_program = "p";
+                dc_config = "gcc-O2";
+                dc_instrs = i;
+                dc_funcs = f;
+                dc_text_digest = d;
+              }));
+        (let* top =
+           list_size (int_bound 4)
+             (let* p = string_size (int_bound 8) in
+              let* a = gen_float in
+              let* b = gen_float in
+              return (p, a, b))
+         in
+         return (Resp.D_ranked { dr_config = "clang-O1"; dr_top = top }));
+        (let* d = gen_float in
+         let* s = gen_float in
+         return
+           (Resp.D_tuned
+              {
+                dt_config = "gcc-O2-d3";
+                dt_disabled = [ "dce"; "sra" ];
+                dt_debug = d;
+                dt_speedup = s;
+              }));
+        (let* r = int_range 0 500 in
+         return
+           (Resp.D_checked
+              {
+                dk_programs = 13;
+                dk_configs = 8;
+                dk_runs = r;
+                dk_skipped = 0;
+                dk_failures = r mod 3;
+              }));
+        map (fun c -> Resp.D_cost c) (int_range 0 1_000_000);
+        map (fun rows -> Resp.D_counters rows) gen_stats;
+      ])
+
+let gen_response =
+  QCheck.Gen.(
+    let* status =
+      oneof
+        [
+          return Resp.Ok;
+          map (fun m -> Resp.Error m) gen_byte_string;
+          return Resp.Overloaded;
+        ]
+    in
+    let* text = gen_byte_string in
+    let* artifact = opt gen_byte_string in
+    let* data = gen_data in
+    let* stats = gen_stats in
+    let* exit_code = int_range 0 125 in
+    return { Resp.status; text; artifact; data; stats; exit_code })
+
+(* ------------------------------------------------------------------ *)
+(* Codec round-trips                                                   *)
+
+let req_arb = QCheck.make ~print:Api.request_to_json gen_request
+let resp_arb = QCheck.make ~print:Api.response_to_json gen_response
+
+let qcheck_request_roundtrip =
+  QCheck.Test.make ~name:"request JSON codec round-trips" ~count:500 req_arb
+    (fun r ->
+      match Api.request_of_json (Api.request_to_json r) with
+      | Ok r' -> r' = r
+      | Error _ -> false)
+
+let qcheck_response_roundtrip =
+  QCheck.Test.make ~name:"response JSON codec round-trips" ~count:500 resp_arb
+    (fun r ->
+      match Api.response_of_json (Api.response_to_json r) with
+      | Ok r' -> r' = r
+      | Error _ -> false)
+
+let qcheck_unknown_fields_tolerated =
+  (* Splice an unrecognized field right after the canonical version
+     stamp; decoding must ignore it and yield the same request. *)
+  QCheck.Test.make ~name:"decoder tolerates unknown fields" ~count:200 req_arb
+    (fun r ->
+      let enc = Api.request_to_json r in
+      let prefix = "{\"v\":1," in
+      assert (String.length enc > String.length prefix);
+      assert (String.sub enc 0 (String.length prefix) = prefix);
+      let spliced =
+        prefix
+        ^ "\"x_future_extension\":{\"deep\":[1,2,{\"a\":null}]},"
+        ^ String.sub enc (String.length prefix)
+            (String.length enc - String.length prefix)
+      in
+      match Api.request_of_json spliced with
+      | Ok r' -> r' = r
+      | Error _ -> false)
+
+let qcheck_version_rejected =
+  QCheck.Test.make ~name:"decoder rejects foreign version stamps" ~count:100
+    req_arb (fun r ->
+      let enc = Api.request_to_json r in
+      let skip = String.length "{\"v\":1," in
+      let bumped =
+        "{\"v\":99," ^ String.sub enc skip (String.length enc - skip)
+      in
+      match Api.request_of_json bumped with
+      | Error msg ->
+          (* the one-line error names the offending version *)
+          let has_sub s sub =
+            let n = String.length sub in
+            let rec go i =
+              i + n <= String.length s
+              && (String.sub s i n = sub || go (i + 1))
+            in
+            go 0
+          in
+          has_sub msg "version"
+      | Ok _ -> false)
+
+let test_version_missing () =
+  (match Api.request_of_json "{\"kind\":\"stats\",\"what\":\"suite\"}" with
+  | Error msg ->
+      checkb "mentions stamp" true
+        (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "missing version stamp accepted");
+  match Api.response_of_json "{\"status\":\"ok\"}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing version stamp accepted (response)"
+
+let test_malformed_json () =
+  List.iter
+    (fun text ->
+      match Api.request_of_json text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted malformed input: " ^ text))
+    [
+      ""; "{"; "nope"; "{\"v\":1}"; "{\"v\":1,\"kind\":\"wat\"}";
+      "{\"v\":1,\"kind\":\"rank\"}"; "[1,2,3]"; "{\"v\":1} trailing";
+    ]
+
+let qcheck_json_string_roundtrip =
+  QCheck.Test.make ~name:"Api_json strings round-trip all byte values"
+    ~count:500
+    (QCheck.make ~print:String.escaped
+       QCheck.Gen.(string_size (int_bound 40) ~gen:(map Char.chr (int_bound 255))))
+    (fun s ->
+      match Api_json.parse (Api_json.to_string (Api_json.Str s)) with
+      | Api_json.Str s' -> s' = s
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Framing torture                                                     *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_framing_roundtrip () =
+  with_socketpair (fun a b ->
+      List.iter
+        (fun payload ->
+          Framing.write_frame a payload;
+          check Alcotest.string "frame round-trips" payload (Framing.read_frame b))
+        [ ""; "x"; String.make 70_000 '\xAB'; "{\"v\":1}"; String.init 256 Char.chr ])
+
+let test_framing_partial_reads () =
+  (* Feed a frame one byte at a time from a writer thread: the reader
+     must reassemble it regardless of how the bytes trickle in. *)
+  with_socketpair (fun a b ->
+      let payload = String.init 1500 (fun i -> Char.chr (i mod 256)) in
+      let n = String.length payload in
+      let wire =
+        Bytes.cat (Framing.encode_length n) (Bytes.of_string payload)
+      in
+      let writer =
+        Thread.create
+          (fun () ->
+            Bytes.iter
+              (fun c ->
+                ignore (Unix.write a (Bytes.make 1 c) 0 1);
+                if Char.code c mod 100 = 0 then Thread.yield ())
+              wire)
+          ()
+      in
+      let got = Framing.read_frame b in
+      Thread.join writer;
+      check Alcotest.string "reassembled" payload got)
+
+let test_framing_oversized_prefix () =
+  with_socketpair (fun a b ->
+      let huge = Framing.encode_length (Framing.max_frame + 1) in
+      ignore (Unix.write a huge 0 4);
+      match Framing.read_frame b with
+      | _ -> Alcotest.fail "oversized prefix accepted"
+      | exception Framing.Oversized n ->
+          check Alcotest.int "reported size" (Framing.max_frame + 1) n);
+  (* and writing one is refused outright *)
+  with_socketpair (fun a _ ->
+      match Framing.write_frame a (String.make (Framing.max_frame + 1) ' ') with
+      | _ -> Alcotest.fail "oversized write accepted"
+      | exception Framing.Oversized _ -> ())
+
+let test_framing_mid_message_disconnect () =
+  with_socketpair (fun a b ->
+      ignore (Unix.write a (Framing.encode_length 100) 0 4);
+      ignore (Unix.write a (Bytes.make 10 'x') 0 10);
+      Unix.close a;
+      match Framing.read_frame b with
+      | _ -> Alcotest.fail "truncated frame accepted"
+      | exception Framing.Closed -> ());
+  (* header itself truncated *)
+  with_socketpair (fun a b ->
+      ignore (Unix.write a (Bytes.make 2 '\000') 0 2);
+      Unix.close a;
+      match Framing.read_frame b with
+      | _ -> Alcotest.fail "truncated header accepted"
+      | exception Framing.Closed -> ())
+
+let test_framing_clean_eof () =
+  with_socketpair (fun a b ->
+      Framing.write_frame a "last";
+      Unix.close a;
+      checkb "first frame" true (Framing.read_frame_opt b = Some "last");
+      checkb "then clean EOF" true (Framing.read_frame_opt b = None))
+
+(* ------------------------------------------------------------------ *)
+(* Execute semantics                                                   *)
+
+let test_execute_error_response () =
+  let ctx = Api.create_ctx () in
+  let resp =
+    Api.execute ctx
+      (R.Compile
+         {
+           c_subject = R.Named "no-such-program";
+           c_config = Config.make Config.Gcc Config.O1;
+           c_profile = None;
+           c_sanitize = false;
+           c_view = R.Summary;
+         })
+  in
+  (match resp.Resp.status with
+  | Resp.Error msg ->
+      check Alcotest.string "one-line message" "unknown program no-such-program"
+        msg
+  | _ -> Alcotest.fail "expected an error response");
+  check Alcotest.int "exit code" 2 resp.Resp.exit_code;
+  (* the context stays usable after a failed request *)
+  let ok = Api.execute ctx (R.Stats { s_what = R.Suite }) in
+  checkb "recovers" true (ok.Resp.status = Resp.Ok)
+
+let test_execute_stats_delta () =
+  (* Two identical compile requests on one context: the first pays the
+     misses, the second's delta must report hits, not re-count the
+     first request's work. *)
+  let ctx = Api.create_ctx () in
+  let req =
+    R.Bench
+      {
+        b_subject = R.Named "zlib";
+        b_config = Config.make Config.Gcc Config.O1;
+        b_action = R.Cost;
+      }
+  in
+  let r1 = Api.execute ctx req in
+  let r2 = Api.execute ctx req in
+  checkb "first ok" true (r1.Resp.status = Resp.Ok);
+  check Alcotest.string "same text" r1.Resp.text r2.Resp.text;
+  let v name rows = Option.value ~default:0 (List.assoc_opt name rows) in
+  checkb "first request misses" true
+    (v "engine/bench-cost/misses" r1.Resp.stats >= 1);
+  check Alcotest.int "second request pays no miss" 0
+    (v "engine/bench-cost/misses" r2.Resp.stats);
+  checkb "second request hits" true
+    (v "engine/bench-cost/hits" r2.Resp.stats >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Daemon: N clients x M requests, byte-identical to the CLI path      *)
+
+let tmp_socket tag =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "dt-%s-%d.sock" tag (Unix.getpid ()))
+
+let identity_requests =
+  let cfg = Config.make Config.Gcc Config.Og in
+  [
+    R.Stats { s_what = R.Suite };
+    R.Compile
+      {
+        c_subject = R.Named "zlib";
+        c_config = cfg;
+        c_profile = None;
+        c_sanitize = false;
+        c_view = R.Passes;
+      };
+    R.Compile
+      {
+        c_subject = R.Named "zlib";
+        c_config = cfg;
+        c_profile = None;
+        c_sanitize = false;
+        c_view = R.Summary;
+      };
+    R.Bench
+      {
+        b_subject = R.Named "zlib";
+        b_config = cfg;
+        b_action = R.Exec { x_entry = "fuzz_deflate"; x_input = [ 1; 2; 3 ] };
+      };
+    R.Compile
+      {
+        c_subject = R.Named "bzip2";
+        c_config = cfg;
+        c_profile = None;
+        c_sanitize = false;
+        c_view = R.Verify;
+      };
+  ]
+
+let test_daemon_byte_identity () =
+  (* Expected bytes: each request through a fresh in-process context —
+     exactly what the CLI does without --connect. *)
+  let expected =
+    List.map
+      (fun req ->
+        let resp = Api.execute (Api.create_ctx ()) req in
+        checkb "cli path ok" true (resp.Resp.status = Resp.Ok);
+        resp.Resp.text)
+      identity_requests
+  in
+  let socket = tmp_socket "ident" in
+  let server = Api_server.create ~queue_limit:16 ~socket (Api.create_ctx ()) in
+  let accept_thread = Api_server.start server in
+  let n_clients = 4 in
+  let rounds = 3 in
+  let results =
+    Array.init n_clients (fun _ ->
+        Array.make (rounds * List.length identity_requests) "")
+  in
+  let client i () =
+    let c = Api_client.connect ~timeout:60.0 socket in
+    let slot = ref 0 in
+    for _ = 1 to rounds do
+      List.iter
+        (fun req ->
+          (match Api_client.rpc c req with
+          | Ok resp ->
+              checkb "daemon ok" true (resp.Resp.status = Resp.Ok);
+              results.(i).(!slot) <- resp.Resp.text
+          | Error msg -> Alcotest.fail ("rpc failed: " ^ msg));
+          incr slot)
+        identity_requests
+    done;
+    Api_client.close c
+  in
+  let threads =
+    List.init n_clients (fun i -> Thread.create (client i) ())
+  in
+  List.iter Thread.join threads;
+  Api_server.stop server;
+  Thread.join accept_thread;
+  let per_round = List.length identity_requests in
+  Array.iteri
+    (fun i per_client ->
+      Array.iteri
+        (fun slot got ->
+          let want = List.nth expected (slot mod per_round) in
+          check Alcotest.string
+            (Printf.sprintf "client %d slot %d matches CLI path" i slot)
+            want got)
+        per_client)
+    results
+
+let test_daemon_overloaded () =
+  (* Deterministic backpressure: hold the context lock so the first
+     admitted request parks inside execute, then a second concurrent
+     request must be refused with Overloaded immediately — not queued,
+     not hung. *)
+  let ctx = Api.create_ctx () in
+  let socket = tmp_socket "load" in
+  let server = Api_server.create ~queue_limit:1 ~socket ctx in
+  let accept_thread = Api_server.start server in
+  Mutex.lock ctx.Api.lock;
+  let slow_result = ref None in
+  let slow =
+    Thread.create
+      (fun () ->
+        slow_result := Some (Api_client.oneshot socket (R.Stats { s_what = R.Suite })))
+      ()
+  in
+  (* wait until the slow request is admitted (in_flight = 1) *)
+  let rec wait_admitted n =
+    let in_flight =
+      Option.value ~default:0
+        (List.assoc_opt "serve/in_flight" (Api_server.counters server))
+    in
+    if in_flight < 1 then begin
+      if n > 2000 then Alcotest.fail "request never admitted";
+      Thread.yield ();
+      Unix.sleepf 0.005;
+      wait_admitted (n + 1)
+    end
+  in
+  wait_admitted 0;
+  (match Api_client.oneshot ~timeout:30.0 socket (R.Stats { s_what = R.Suite }) with
+  | Ok resp ->
+      checkb "refused with overloaded" true (resp.Resp.status = Resp.Overloaded);
+      checkb "non-zero exit" true (resp.Resp.exit_code <> 0)
+  | Error msg -> Alcotest.fail ("overload probe failed: " ^ msg));
+  Mutex.unlock ctx.Api.lock;
+  Thread.join slow;
+  (match !slow_result with
+  | Some (Ok resp) -> checkb "parked request completes" true (resp.Resp.status = Resp.Ok)
+  | _ -> Alcotest.fail "parked request lost");
+  Api_server.stop server;
+  Thread.join accept_thread
+
+let test_daemon_protocol_error () =
+  (* A frame that is not a valid request must produce an error
+     response, and the session must survive for the next frame. *)
+  let socket = tmp_socket "proto" in
+  let server = Api_server.create ~socket (Api.create_ctx ()) in
+  let accept_thread = Api_server.start server in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  Framing.write_frame fd "this is not json";
+  (match Api.response_of_json (Framing.read_frame fd) with
+  | Ok resp -> checkb "error status" true
+      (match resp.Resp.status with Resp.Error _ -> true | _ -> false)
+  | Error msg -> Alcotest.fail ("bad error response: " ^ msg));
+  Framing.write_frame fd
+    (Api.request_to_json (R.Stats { s_what = R.Suite }));
+  (match Api.response_of_json (Framing.read_frame fd) with
+  | Ok resp -> checkb "session survives" true (resp.Resp.status = Resp.Ok)
+  | Error msg -> Alcotest.fail ("bad follow-up response: " ^ msg));
+  Unix.close fd;
+  Api_server.stop server;
+  Thread.join accept_thread
+
+let tests =
+  [
+    Alcotest.test_case "version stamp required" `Quick test_version_missing;
+    Alcotest.test_case "malformed JSON rejected" `Quick test_malformed_json;
+    QCheck_alcotest.to_alcotest qcheck_request_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_response_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_unknown_fields_tolerated;
+    QCheck_alcotest.to_alcotest qcheck_version_rejected;
+    QCheck_alcotest.to_alcotest qcheck_json_string_roundtrip;
+    Alcotest.test_case "framing round-trip" `Quick test_framing_roundtrip;
+    Alcotest.test_case "framing partial reads" `Quick test_framing_partial_reads;
+    Alcotest.test_case "framing oversized prefix" `Quick
+      test_framing_oversized_prefix;
+    Alcotest.test_case "framing mid-message disconnect" `Quick
+      test_framing_mid_message_disconnect;
+    Alcotest.test_case "framing clean EOF" `Quick test_framing_clean_eof;
+    Alcotest.test_case "execute turns failures into error responses" `Quick
+      test_execute_error_response;
+    Alcotest.test_case "per-request counter deltas" `Quick
+      test_execute_stats_delta;
+    Alcotest.test_case "daemon byte-identical to CLI path (4x3x5)" `Quick
+      test_daemon_byte_identity;
+    Alcotest.test_case "daemon backpressure: overloaded, not hung" `Quick
+      test_daemon_overloaded;
+    Alcotest.test_case "daemon survives protocol garbage" `Quick
+      test_daemon_protocol_error;
+  ]
