@@ -204,6 +204,23 @@ let () =
   | _ ->
       verdict false serve_what
         "serve timing rows missing from cold json (include `serve` in --only)");
+  (* VM core gate: the pre-decoded direct-threaded interpreter must
+     beat the reference core by a wide margin on the hot-kernel
+     scenario (both rows time the same fixed iteration count, so the
+     ratio is the per-run speedup). *)
+  let vm_floor = env_float "DEBUGTUNER_VM_FLOOR" 5.0 in
+  let vm_what =
+    Printf.sprintf "vm fast core at least %.0fx faster than reference"
+      vm_floor
+  in
+  (match (timing_row cold "vm-reference", timing_row cold "vm-fast") with
+  | Some r, Some f ->
+      let ratio = if f > 0.0 then r /. f else infinity in
+      verdict (ratio >= vm_floor) vm_what
+        (Printf.sprintf "reference %.3fs, fast %.3fs, speedup %.1fx" r f ratio)
+  | _ ->
+      verdict false vm_what
+        "vm timing rows missing from cold json (include `vm` in --only)");
   if !failures > 0 then begin
     Printf.printf "bench-compare: %d check(s) FAILED\n" !failures;
     exit 1

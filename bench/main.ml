@@ -155,6 +155,108 @@ let serve_scenario () =
       ];
   ]
 
+(* ------------------------------------------------------------------ *)
+(* VM core scenario (DESIGN.md "VM core"): the same hot workload —
+   libpng's fuzz_defilter harness at gcc-O2 — run for a fixed number of
+   iterations under the reference interpreter and under the pre-decoded
+   direct-threaded core. The two timing rows pushed here
+   ("vm-reference", "vm-fast") feed compare.ml's vm gate: the fast core
+   must be at least 5x faster. The table (cost / instrs / output
+   checksum, byte-identical across cores) is deterministic; wall-clock
+   and the speedup go on a bracketed line. *)
+
+(* A deliberately hot kernel (~350k executed instructions per run):
+   per-run setup amortises away, so the row ratio measures the two
+   dispatch loops themselves rather than frame/arena allocation. *)
+let vm_hot_src =
+  {|
+int buf[64];
+
+int mix(int a, int b) {
+  int t = a * 31 + b;
+  t = t ^ (t / 7);
+  return t + (t % 13);
+}
+
+int main() {
+  int i = 0;
+  int acc = 1;
+  while (i < 64) {
+    buf[i] = i * 2654435761 + 17;
+    i = i + 1;
+  }
+  int round = 0;
+  while (round < 200) {
+    i = 0;
+    while (i < 64) {
+      acc = mix(acc, buf[i]);
+      buf[i] = acc;
+      i = i + 1;
+    }
+    round = round + 1;
+  }
+  output(acc & 65535);
+  return 0;
+}
+|}
+
+let vm_scenario () =
+  let ast = Minic.Typecheck.parse_and_check vm_hot_src in
+  let bin =
+    Debugtuner.Toolchain.compile ast
+      ~config:(Debugtuner.Config.make Debugtuner.Config.Gcc Debugtuner.Config.O2)
+      ~roots:[ "main" ]
+  in
+  let entry = "main" in
+  let input = [] in
+  let prog =
+    match Vm.Decode.get bin with
+    | Some p -> p
+    | None -> failwith "vm scenario: binary not supported by the fast core"
+  in
+  let run_ref () = Vm.Reference.run bin ~entry ~input Vm.default_opts in
+  let run_fast () = Vm.Fast.run prog bin ~entry ~args:[] ~input Vm.default_opts in
+  let r_ref = run_ref () and r_fast = run_fast () in
+  let agree =
+    r_ref.Vm.output = r_fast.Vm.output
+    && r_ref.Vm.cost = r_fast.Vm.cost
+    && r_ref.Vm.instrs = r_fast.Vm.instrs
+  in
+  let iters = 20 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (f ())
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let dt_ref = time run_ref in
+  let dt_fast = time run_fast in
+  timings := ("vm-reference", dt_ref) :: !timings;
+  timings := ("vm-fast", dt_fast) :: !timings;
+  let speedup = if dt_fast > 0.0 then dt_ref /. dt_fast else infinity in
+  Printf.printf
+    "[vm: reference %.3fs, fast %.3fs over %d runs, speedup %.1fx]\n\n%!"
+    dt_ref dt_fast iters speedup;
+  let checksum r =
+    List.fold_left (fun a v -> (a * 31) + v) (List.length r.Vm.output) r.Vm.output
+  in
+  let row core (r : Vm.result) =
+    [
+      core;
+      string_of_int r.Vm.cost;
+      string_of_int r.Vm.instrs;
+      string_of_int (checksum r);
+      (if agree then "yes" else "NO");
+    ]
+  in
+  [
+    Util.Tablefmt.make
+      ~title:"VM cores: hot mix kernel, gcc-O2 (identical results)"
+      ~header:[ "core"; "cost"; "instrs"; "output checksum"; "agree" ]
+      [ row "reference" r_ref; row "fast" r_fast ];
+  ]
+
 let experiments ctx : (string * (unit -> Util.Tablefmt.t list)) list =
   [
     ("table1", fun () -> [ E.table1 ctx ]);
@@ -237,6 +339,7 @@ let experiments ctx : (string * (unit -> Util.Tablefmt.t list)) list =
     ("dwarf-sizes", fun () -> [ E.dwarf_sizes_table ctx ]);
     ("autofdo-rounds", fun () -> [ E.autofdo_rounds_table ctx ]);
     ("serve", fun () -> serve_scenario ());
+    ("vm", fun () -> vm_scenario ());
   ]
 
 (* ------------------------------------------------------------------ *)

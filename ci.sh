@@ -24,7 +24,16 @@ echo "== dune runtest =="
 dune runtest
 
 echo "== differential fuzz smoke (100 programs, seed 1) =="
-dune exec bin/debugtuner_cli.exe -- check --fuzz 100 --seed 1
+dune exec bin/debugtuner_cli.exe -- check --fuzz 100 --seed 1 \
+  | tee "$scratch/check-fast.out"
+
+echo "== vm conformance smoke (reference core, byte-identical stdout) =="
+# DEBUGTUNER_VM=reference swaps every execution onto the pre-decode
+# reference interpreter; the whole fuzz matrix — verdicts, costs,
+# sanitizer counters — must match the fast core's stdout byte for byte.
+DEBUGTUNER_VM=reference dune exec bin/debugtuner_cli.exe -- \
+  check --fuzz 100 --seed 1 > "$scratch/check-reference.out"
+diff "$scratch/check-fast.out" "$scratch/check-reference.out"
 
 echo "== observability smoke (profile zlib at O2, validate trace) =="
 # `profile --trace` self-validates the written document (balanced B/E
@@ -102,17 +111,18 @@ grep -q "daemon stopped" "$scratch/daemon.log" || {
   exit 1
 }
 
-echo "== benchmark regression gate (table1+ranking+serve cold+warm vs BENCH_baseline.json) =="
+echo "== benchmark regression gate (table1+ranking+serve+vm cold+warm vs BENCH_baseline.json) =="
 # Cold and warm runs share one fresh cache dir; the warm run must be
 # several times faster with a high disk hit rate, the cold run must not
-# regress past the committed baseline, and the cold ranking sweep must
-# engage the pass-prefix planner (see bench/compare.ml; bounds tunable
-# via DEBUGTUNER_BENCH_TOLERANCE / _WARM_FLOOR / _HIT_FLOOR /
-# _PREFIX_FLOOR).
+# regress past the committed baseline, the cold ranking sweep must
+# engage the pass-prefix planner, and the vm scenario must show the
+# direct-threaded core beating the reference interpreter (see
+# bench/compare.ml; bounds tunable via DEBUGTUNER_BENCH_TOLERANCE /
+# _WARM_FLOOR / _HIT_FLOOR / _PREFIX_FLOOR / _VM_FLOOR).
 mkdir "$scratch/bench-cache"
-dune exec bench/main.exe -- --only table1 ranking serve --cache-dir "$scratch/bench-cache" \
+dune exec bench/main.exe -- --only table1 ranking serve vm --cache-dir "$scratch/bench-cache" \
   --json "$scratch/bench-cold.json" > "$scratch/bench-cold.out"
-dune exec bench/main.exe -- --only table1 ranking serve --cache-dir "$scratch/bench-cache" \
+dune exec bench/main.exe -- --only table1 ranking serve vm --cache-dir "$scratch/bench-cache" \
   --json "$scratch/bench-warm.json" > "$scratch/bench-warm.out"
 # Warm tables must be byte-identical to cold ones (only the bracketed
 # timing lines may differ).

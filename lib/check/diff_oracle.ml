@@ -137,7 +137,11 @@ let verdict_key tag payload =
             interp_budget,
             vm_budget,
             List.map C.fingerprint (configs ()),
-            "oracle-v1" )
+            (* Verdicts must never cross VM cores: a cached verdict
+               computed by one core could otherwise mask a divergence in
+               the other. *)
+            Vm.active_core (),
+            "oracle-v2" )
           []))
 
 let cached store ~key (f : unit -> 'a) : 'a =

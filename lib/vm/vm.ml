@@ -20,7 +20,20 @@
 
     The VM also provides the instrumentation the framework needs: edge
     coverage (for the fuzzer), first-hit temporary breakpoints (for the
-    debugger), and cost-driven PC sampling (for AutoFDO). *)
+    debugger), and cost-driven PC sampling (for AutoFDO).
+
+    Two cores implement these semantics. {!Reference} is the original
+    tree-walking interpreter over [Emit.eop]; it is the executable
+    specification, and remains the engine behind the stepwise
+    ({!step}/{!state}) API used by the debugger. The fast core decodes a
+    binary once ({!Decode}) into flat instruction arrays with resolved
+    frame-slot offsets, precomputed hazard bitsets and static costs, and
+    fused superinstructions, then executes with an array-based frame
+    stack and no per-instruction allocation. [run] dispatches to the
+    fast core when the binary is decodable and falls back to
+    {!Reference} otherwise (or when [DEBUGTUNER_VM=reference] is set).
+    The conformance suite pins the two cores to byte-identical
+    {!result}s. *)
 
 exception Budget_exhausted
 exception Runtime_error of string
@@ -157,10 +170,12 @@ let enter_function st fi args ~ret_pc ~ret_dst =
   if fi.Emit.fi_activation = None then
     st.cost <- st.cost + fi.Emit.fi_frame_words;
   st.frames <- frame :: st.frames;
-  (* Deliver arguments into the callee's parameter locations. *)
+  (* Deliver arguments into the callee's parameter locations. Missing
+     arguments (under-application) are explicitly zero-filled; surplus
+     arguments are evaluated by the caller but not delivered. *)
   List.iteri
     (fun i loc ->
-      let v = try List.nth args i with _ -> 0 in
+      let v = match List.nth_opt args i with Some v -> v | None -> 0 in
       match loc with
       | Mach.Preg k -> st.pregs.(k) <- v
       | Mach.Pslot s -> frame.fr_mem.(fi.Emit.fi_data_words + s) <- v)
@@ -313,66 +328,1198 @@ let step st (opts : run_opts) sampler =
       done
   | None -> ()
 
-(** [run bin ~entry ~args ~input opts] executes [bin] starting at
-    function [entry]. *)
-let run_unobserved (bin : Emit.binary) ~entry ?(args = []) ~input
-    (opts : run_opts) : result =
-  let globals = Hashtbl.create 16 in
-  List.iter
-    (fun (g : Ir.global_def) ->
-      Hashtbl.replace globals g.Ir.g_name (Array.make g.Ir.g_size g.Ir.g_init))
-    bin.Emit.bin_globals;
-  let st =
+(** The original tree-walking interpreter — the executable specification
+    the fast core is conformance-tested against, and the fallback for
+    binaries the decoder rejects. *)
+module Reference = struct
+  let run (bin : Emit.binary) ~entry ?(args = []) ~input (opts : run_opts) :
+      result =
+    let globals = Hashtbl.create 16 in
+    List.iter
+      (fun (g : Ir.global_def) ->
+        Hashtbl.replace globals g.Ir.g_name (Array.make g.Ir.g_size g.Ir.g_init))
+      bin.Emit.bin_globals;
+    let st =
+      {
+        bin;
+        pregs = Array.make (Mach.num_regs + 1) 0;
+        frames = [];
+        globals;
+        input = Array.of_list input;
+        input_pos = 0;
+        out_rev = [];
+        cost = 0;
+        icount = 0;
+        pc = 0;
+        last_writes = [];
+        last_was_load = false;
+        edges = Hashtbl.create 256;
+        bp_hits_rev = [];
+        halted = false;
+      }
+    in
+    let sampler =
+      Option.map
+        (fun period ->
+          {
+            period;
+            next_at = period;
+            samples = [];
+            rng = Util.Rng.create (opts.seed + 77);
+          })
+        opts.sample_period
+    in
+    let fi =
+      match Hashtbl.find_opt bin.Emit.fn_by_name entry with
+      | Some idx -> bin.Emit.funcs.(idx)
+      | None -> raise (Runtime_error ("no entry function " ^ entry))
+    in
+    enter_function st fi args ~ret_pc:(-1) ~ret_dst:None;
+    let timed_out = ref false in
+    (try
+       while not st.halted do
+         try step st opts sampler with Exit -> ()
+       done
+     with Budget_exhausted -> timed_out := true);
     {
-      bin;
-      pregs = Array.make (Mach.num_regs + 1) 0;
-      frames = [];
-      globals;
-      input = Array.of_list input;
-      input_pos = 0;
-      out_rev = [];
-      cost = 0;
-      icount = 0;
-      pc = 0;
-      last_writes = [];
-      last_was_load = false;
-      edges = Hashtbl.create 256;
-      bp_hits_rev = [];
-      halted = false;
+      output = List.rev st.out_rev;
+      cost = st.cost;
+      instrs = st.icount;
+      edges = st.edges;
+      bp_hits = List.rev st.bp_hits_rev;
+      samples = (match sampler with Some s -> List.rev s.samples | None -> []);
+      timed_out = !timed_out;
     }
-  in
-  let sampler =
-    Option.map
-      (fun period ->
-        {
-          period;
-          next_at = period;
-          samples = [];
-          rng = Util.Rng.create (opts.seed + 77);
-        })
-      opts.sample_period
-  in
-  let fi =
-    match Hashtbl.find_opt bin.Emit.fn_by_name entry with
-    | Some idx -> bin.Emit.funcs.(idx)
-    | None -> raise (Runtime_error ("no entry function " ^ entry))
-  in
-  enter_function st fi args ~ret_pc:(-1) ~ret_dst:None;
-  let timed_out = ref false in
-  (try
-     while not st.halted do
-       try step st opts sampler with Exit -> ()
-     done
-   with Budget_exhausted -> timed_out := true);
-  {
-    output = List.rev st.out_rev;
-    cost = st.cost;
-    instrs = st.icount;
-    edges = st.edges;
-    bp_hits = List.rev st.bp_hits_rev;
-    samples = (match sampler with Some s -> List.rev s.samples | None -> []);
-    timed_out = !timed_out;
+end
+
+(** One-time flattening of an [Emit.binary] into the fast core's
+    pre-decoded form: operands carry resolved absolute frame-word
+    indices, every instruction carries its static cost, its hazard
+    read/write bitsets and its touches-frame flag, and adjacent
+    cmp+cbr / load+use pairs are fused into superinstructions on the
+    plain (uninstrumented) code array.
+
+    Hazard bitsets pack [Preg k] as bit [k] and [Pslot i] as bit
+    [15 + i]; binaries whose spill indices do not fit (i > 47), or with
+    degenerate layouts the checks below reject, decode to [None] and run
+    on {!Reference}. Decoded programs are immutable (all mutable
+    per-run state lives in the fast core's own state record), so the
+    digest-keyed cache can be shared across domains behind its mutex. *)
+module Decode = struct
+  exception Unsupported
+
+  (* Register file width: num_regs architectural registers plus the
+     scratch register the backend reserves. *)
+  let nregs = Mach.num_regs + 1
+
+  type operand =
+    | Oreg of int
+    | Oslot of int  (** absolute frame-word index (data_words + spill) *)
+    | Ocst of int
+
+  type dst = Dreg of int | Dslot of int  (** absolute frame-word index *)
+
+  type daddr =
+    | Aframe of int * int  (** offset, size — both decode-checked *)
+    | Aglobal of int * int  (** global table index, size *)
+
+  (* Per-instruction static fields: [c] the precomputed cost (base +
+     op extras + frame-word operand charges + any statically-known
+     branch penalty), [rb]/[wb] the hazard read/write bitsets, [tf]
+     whether the instruction triggers the shrink-wrap frame charge. *)
+  type dins =
+    | Ibin of {
+        op : Ir.binop;
+        d : dst;
+        a : operand;
+        b : operand;
+        c : int;
+        rb : int;
+        wb : int;
+        tf : bool;
+      }
+    | Iun of {
+        op : Ir.unop;
+        d : dst;
+        a : operand;
+        c : int;
+        rb : int;
+        wb : int;
+        tf : bool;
+      }
+    | Imov of { d : dst; a : operand; c : int; rb : int; wb : int; tf : bool }
+    | Iload of {
+        d : dst;
+        ad : daddr;
+        ix : operand;
+        c : int;
+        rb : int;
+        wb : int;
+        tf : bool;
+      }
+    | Istore of {
+        ad : daddr;
+        ix : operand;
+        v : operand;
+        c : int;
+        rb : int;
+        tf : bool;
+      }
+    | Icall of {
+        fx : int;  (** callee index in [p_funcs] *)
+        srcs : operand array;  (** one per callee parameter, zero-padded *)
+        ret_mode : int;  (** 0 none, 1 register, 2 frame word *)
+        ret_idx : int;  (** register number or caller-absolute frame index *)
+        c : int;
+        rb : int;
+        tf : bool;
+      }
+    | Iinput of { d : dst; c : int; wb : int; tf : bool }
+    | Ieof of { d : dst; c : int; wb : int; tf : bool }
+    | Ioutput of { v : operand; c : int; rb : int; tf : bool }
+    | Iselect of {
+        d : dst;
+        cnd : operand;
+        a : operand;
+        b : operand;
+        xa : int;  (** frame-word charge of arm [a], paid only if taken *)
+        xb : int;
+        c : int;
+        rb : int;
+        wb : int;
+        tf : bool;
+      }
+    | Ivec of {
+        op : Ir.binop;
+        lanes : (dst * operand * operand) array;
+        c : int;
+        rb : int;
+        wb : int;
+        tf : bool;
+      }
+    | Inop  (** [Mdbg]: cost 1, no reads, no writes *)
+    | Ijmp of { t : int; c : int }  (** c includes the taken-branch 3 *)
+    | Icbr of {
+        cnd : operand;
+        t1 : int;
+        t2 : int;
+        x1 : int;  (** +3 if t1 is not the fallthrough *)
+        x2 : int;
+        c : int;
+        rb : int;
+      }
+    | Iret of { v : operand; c : int }  (** no hazard: returns pay a flat 2 *)
+    | Ifail of string
+        (** statically-malformed instruction (unknown global/function,
+            bad frame slot): raises [Runtime_error] when executed, like
+            the reference core *)
+    | Icmp_cbr of {
+        (* fused Mbin ; Ecbr — part 2's pair hazard is static in c2 *)
+        op : Ir.binop;
+        d : dst;
+        a : operand;
+        b : operand;
+        c1 : int;
+        rb : int;
+        tf : bool;
+        cnd : operand;
+        t1 : int;
+        t2 : int;
+        x1 : int;
+        x2 : int;
+        c2 : int;
+      }
+    | Iload_bin of {
+        (* fused Mload ; Mbin — part 2's load-use hazard is static in c2 *)
+        d : dst;
+        ad : daddr;
+        ix : operand;
+        c1 : int;
+        rb1 : int;
+        tf1 : bool;
+        op : Ir.binop;
+        d2 : dst;
+        a : operand;
+        b : operand;
+        c2 : int;
+        wb2 : int;
+        tf2 : bool;
+      }
+
+  type dfunc = {
+    df_entry : int;
+    df_frame_words : int;
+    df_prepaid : bool;  (** frame cost charged at entry (not shrink-wrapped) *)
+    df_params : dst array;
   }
+
+  type program = {
+    p_code : dins array;  (** unfused; the instrumented loop runs this *)
+    p_plain : dins array;  (** with superinstructions; the plain loop *)
+    p_funcs : dfunc array;
+    p_globals : (int * int) array;  (** size, init — in [bin_globals] order *)
+    p_max_params : int;
+    p_max_lanes : int;
+  }
+
+  let bit_of = function
+    | Mach.Preg k ->
+        if k < 0 || k >= nregs then raise Unsupported;
+        1 lsl k
+    | Mach.Pslot i ->
+        if i < 0 || i > 47 then raise Unsupported;
+        1 lsl (nregs + i)
+
+  let bits locs = List.fold_left (fun acc l -> acc lor bit_of l) 0 locs
+
+  (* The +1 frame-word charge of an operand, statically. *)
+  let loc_cost = function Mach.Preg _ -> 0 | Mach.Pslot _ -> 1
+  let val_cost = function Mach.Loc l -> loc_cost l | Mach.Cst _ -> 0
+
+  let decode (bin : Emit.binary) : program =
+    let funcs = bin.Emit.funcs in
+    let globals = Array.of_list bin.Emit.bin_globals in
+    let gindex = Hashtbl.create 16 in
+    (* Last definition wins, matching the reference core's
+       [Hashtbl.replace] over the definition list. *)
+    Array.iteri
+      (fun i (g : Ir.global_def) -> Hashtbl.replace gindex g.Ir.g_name i)
+      globals;
+    let dfuncs =
+      Array.map
+        (fun (fi : Emit.func_info) ->
+          let dw = fi.Emit.fi_data_words and fw = fi.Emit.fi_frame_words in
+          let params =
+            Array.of_list
+              (List.map
+                 (function
+                   | Mach.Preg k ->
+                       if k < 0 || k >= nregs then raise Unsupported;
+                       Dreg k
+                   | Mach.Pslot s ->
+                       if s < 0 || s > 47 || dw + s >= fw then raise Unsupported;
+                       Dslot (dw + s))
+                 fi.Emit.fi_param_locs)
+          in
+          {
+            df_entry = fi.Emit.fi_entry;
+            df_frame_words = fw;
+            df_prepaid = fi.Emit.fi_activation = None;
+            df_params = params;
+          })
+        funcs
+    in
+    let max_params = ref 1 and max_lanes = ref 1 in
+    Array.iter
+      (fun df -> max_params := max !max_params (Array.length df.df_params))
+      dfuncs;
+    let code = bin.Emit.code in
+    let len = Array.length code in
+    let dec pc =
+      (* Frame context of the address. [fn_of_addr] can only be out of a
+         function for padding that is never executed; any frame-relative
+         operand there makes the binary unsupported. *)
+      let fx = bin.Emit.fn_of_addr.(pc) in
+      let dw, fw =
+        if fx < 0 || fx >= Array.length funcs then (0, 0)
+        else
+          let fi = funcs.(fx) in
+          (fi.Emit.fi_data_words, fi.Emit.fi_frame_words)
+      in
+      let dst_of = function
+        | Mach.Preg k ->
+            if k < 0 || k >= nregs then raise Unsupported;
+            Dreg k
+        | Mach.Pslot i ->
+            if i < 0 || i > 47 || dw + i >= fw then raise Unsupported;
+            Dslot (dw + i)
+      in
+      let op_of = function
+        | Mach.Cst n -> Ocst n
+        | Mach.Loc (Mach.Preg k) ->
+            if k < 0 || k >= nregs then raise Unsupported;
+            Oreg k
+        | Mach.Loc (Mach.Pslot i) ->
+            if i < 0 || i > 47 || dw + i >= fw then raise Unsupported;
+            Oslot (dw + i)
+      in
+      (* Resolve a memory base; [Error msg] decodes to [Ifail msg] so the
+         run raises exactly what the reference core raises on execution. *)
+      let addr_of (a : Mach.maddr) =
+        match a.Mach.mbase with
+        | Mach.Mframe slot -> (
+            let fi = funcs.(fx) in
+            match
+              List.find_opt
+                (fun (id, _, _) -> id = slot)
+                fi.Emit.fi_slot_offset
+            with
+            | Some (_, o, s) ->
+                if o < 0 || s < 1 || o + s > fw then raise Unsupported;
+                Ok (Aframe (o, s))
+            | None -> Error "bad frame slot")
+        | Mach.Mglobal g -> (
+            match Hashtbl.find_opt gindex g with
+            | Some i ->
+                let size = globals.(i).Ir.g_size in
+                if size < 1 then raise Unsupported;
+                Ok (Aglobal (i, size))
+            | None -> Error ("unknown global " ^ g))
+      in
+      match code.(pc) with
+      | Emit.Eins mk -> (
+          let rb = bits (Mach.reads mk) in
+          let wb = bits (Mach.writes mk) in
+          let tf = Mach.touches_frame mk in
+          match mk with
+          | Mach.Mbin (op, d, a, b) ->
+              let extra =
+                match op with Ir.Mul -> 2 | Ir.Div | Ir.Rem -> 9 | _ -> 0
+              in
+              Ibin
+                {
+                  op;
+                  d = dst_of d;
+                  a = op_of a;
+                  b = op_of b;
+                  c = 1 + extra + val_cost a + val_cost b + loc_cost d;
+                  rb;
+                  wb;
+                  tf;
+                }
+          | Mach.Mun (op, d, a) ->
+              Iun
+                {
+                  op;
+                  d = dst_of d;
+                  a = op_of a;
+                  c = 1 + val_cost a + loc_cost d;
+                  rb;
+                  wb;
+                  tf;
+                }
+          | Mach.Mmov (d, a) ->
+              Imov
+                {
+                  d = dst_of d;
+                  a = op_of a;
+                  c = 1 + val_cost a + loc_cost d;
+                  rb;
+                  wb;
+                  tf;
+                }
+          | Mach.Mload (d, a) -> (
+              let ix = op_of a.Mach.mindex in
+              let c = 4 + val_cost a.Mach.mindex + loc_cost d in
+              match addr_of a with
+              | Ok ad -> Iload { d = dst_of d; ad; ix; c; rb; wb; tf }
+              | Error msg -> Ifail msg)
+          | Mach.Mstore (a, v) -> (
+              let ix = op_of a.Mach.mindex in
+              let c = 4 + val_cost a.Mach.mindex + val_cost v in
+              match addr_of a with
+              | Ok ad -> Istore { ad; ix; v = op_of v; c; rb; tf }
+              | Error msg -> Ifail msg)
+          | Mach.Mcall (dst, f, args) -> (
+              match Hashtbl.find_opt bin.Emit.fn_by_name f with
+              | None -> Ifail ("call to unknown function " ^ f)
+              | Some cx ->
+                  let callee = dfuncs.(cx) in
+                  let nparams = Array.length callee.df_params in
+                  let srcs =
+                    Array.init nparams (fun i ->
+                        match List.nth_opt args i with
+                        | Some v -> op_of v
+                        | None -> Ocst 0)
+                  in
+                  let ret_mode, ret_idx =
+                    match dst with
+                    | None -> (0, 0)
+                    | Some (Mach.Preg k) ->
+                        if k < 0 || k >= nregs then raise Unsupported;
+                        (1, k)
+                    | Some (Mach.Pslot i) ->
+                        if i < 0 || dw + i >= fw then raise Unsupported;
+                        (2, dw + i)
+                  in
+                  let c =
+                    1 + 9
+                    + List.fold_left (fun acc v -> acc + val_cost v) 0 args
+                    + (if callee.df_prepaid then callee.df_frame_words else 0)
+                  in
+                  Icall { fx = cx; srcs; ret_mode; ret_idx; c; rb; tf })
+          | Mach.Minput d ->
+              Iinput { d = dst_of d; c = 3 + loc_cost d; wb; tf }
+          | Mach.Meof d -> Ieof { d = dst_of d; c = 1 + loc_cost d; wb; tf }
+          | Mach.Moutput v ->
+              Ioutput { v = op_of v; c = 3 + val_cost v; rb; tf }
+          | Mach.Mselect (d, cnd, a, b) ->
+              Iselect
+                {
+                  d = dst_of d;
+                  cnd = op_of cnd;
+                  a = op_of a;
+                  b = op_of b;
+                  xa = val_cost a;
+                  xb = val_cost b;
+                  c = 1 + val_cost cnd + loc_cost d;
+                  rb;
+                  wb;
+                  tf;
+                }
+          | Mach.Mvec (op, lanes) ->
+              let n = Array.length lanes in
+              max_lanes := max !max_lanes n;
+              let c =
+                Array.fold_left
+                  (fun acc (d, a, b) ->
+                    acc + val_cost a + val_cost b + loc_cost d)
+                  (1 + (n / 2))
+                  lanes
+              in
+              Ivec
+                {
+                  op;
+                  lanes =
+                    Array.map
+                      (fun (d, a, b) -> (dst_of d, op_of a, op_of b))
+                      lanes;
+                  c;
+                  rb;
+                  wb;
+                  tf;
+                }
+          | Mach.Mdbg _ -> Inop)
+      | Emit.Ejmp t -> Ijmp { t; c = (if t <> pc + 1 then 4 else 1) }
+      | Emit.Ecbr (cnd, t1, t2) ->
+          Icbr
+            {
+              cnd = op_of cnd;
+              t1;
+              t2;
+              x1 = (if t1 <> pc + 1 then 3 else 0);
+              x2 = (if t2 <> pc + 1 then 3 else 0);
+              c = 1 + val_cost cnd;
+              rb = bits (Mach.mval_reads cnd);
+            }
+      | Emit.Eret v ->
+          let rv, rc =
+            match v with
+            | None -> (Ocst 0, 0)
+            | Some x -> (op_of x, val_cost x)
+          in
+          Iret { v = rv; c = 2 + rc }
+    in
+    let d_code = Array.init len dec in
+    (* Superinstruction pass: fuse straight-line pairs on a copy. The
+       second address keeps its unfused instruction so jumps into the
+       middle of a pair still work, and the unfused array keeps the
+       per-instruction breakpoint/edge/sample semantics exact. *)
+    let d_plain = Array.copy d_code in
+    for pc = 0 to len - 2 do
+      if bin.Emit.fn_of_addr.(pc) = bin.Emit.fn_of_addr.(pc + 1) then
+        match (d_code.(pc), d_code.(pc + 1)) with
+        | Ibin { op; d; a; b; c; rb; wb; tf }, Icbr cb ->
+            (* Part 2's hazard is against part 1's writes exactly: +2
+               when the branch condition reads the compare's result. *)
+            let c2 = cb.c + (if cb.rb land wb <> 0 then 2 else 0) in
+            d_plain.(pc) <-
+              Icmp_cbr
+                {
+                  op;
+                  d;
+                  a;
+                  b;
+                  c1 = c;
+                  rb;
+                  tf;
+                  cnd = cb.cnd;
+                  t1 = cb.t1;
+                  t2 = cb.t2;
+                  x1 = cb.x1;
+                  x2 = cb.x2;
+                  c2;
+                }
+        | Iload { d; ad; ix; c; rb; wb; tf }, Ibin b2 ->
+            (* Load-use: the consumer pays the 4-cycle penalty when it
+               reads the load's destination. *)
+            let c2 = b2.c + (if b2.rb land wb <> 0 then 4 else 0) in
+            d_plain.(pc) <-
+              Iload_bin
+                {
+                  d;
+                  ad;
+                  ix;
+                  c1 = c;
+                  rb1 = rb;
+                  tf1 = tf;
+                  op = b2.op;
+                  d2 = b2.d;
+                  a = b2.a;
+                  b = b2.b;
+                  c2;
+                  wb2 = b2.wb;
+                  tf2 = b2.tf;
+                }
+        | _ -> ()
+    done;
+    {
+      p_code = d_code;
+      p_plain = d_plain;
+      p_funcs = dfuncs;
+      p_globals =
+        Array.map (fun (g : Ir.global_def) -> (g.Ir.g_size, g.Ir.g_init)) globals;
+      p_max_params = !max_params;
+      p_max_lanes = !max_lanes;
+    }
+
+  (* Digest-keyed decode cache, shared across the engine's domains. The
+     table is bounded; decoding outside the lock means a race decodes
+     twice, which is benign (programs are immutable). *)
+  let cache : (string, program option) Hashtbl.t = Hashtbl.create 64
+  let cache_mu = Mutex.create ()
+
+  let get (bin : Emit.binary) : program option =
+    Mutex.lock cache_mu;
+    let cached = Hashtbl.find_opt cache bin.Emit.full_digest in
+    Mutex.unlock cache_mu;
+    match cached with
+    | Some p -> p
+    | None ->
+        let p = try Some (decode bin) with Unsupported -> None in
+        Mutex.lock cache_mu;
+        if Hashtbl.length cache > 192 then Hashtbl.reset cache;
+        Hashtbl.replace cache bin.Emit.full_digest p;
+        Mutex.unlock cache_mu;
+        p
+
+  (** Whether the fast core can execute this binary (decode succeeded).
+      The conformance suite asserts this for every generated binary, so
+      the fast path provably engages. *)
+  let supported bin = get bin <> None
+end
+
+(** The pre-decoded execution core: flat {!Decode} arrays, an array-based
+    frame stack (frame words, saved register windows and return records
+    all live in growable flat arrays), and unsafe indexing everywhere a
+    bound was established at decode time. Two loops share the state: the
+    plain loop runs the fused code with zero instrumentation overhead,
+    the instrumented loop runs the unfused code with the exact
+    per-instruction breakpoint/edge/sampler semantics of {!step}. *)
+module Fast = struct
+  open Decode
+
+  type fstate = {
+    mutable stk : int array;  (** frame words of all live frames *)
+    mutable fp : int;  (** current frame base in [stk] *)
+    mutable sp : int;
+    mutable depth : int;
+    mutable f_ret_pc : int array;
+    mutable f_ret_mode : int array;
+    mutable f_ret_idx : int array;
+    mutable f_fp : int array;
+    mutable f_words : int array;
+    mutable f_paid : bool array;
+    mutable rsave : int array;  (** [nregs]-wide saved register windows *)
+    regs : int array;
+    g_mem : int array array;
+    input : int array;
+    mutable input_pos : int;
+    mutable out_rev : int list;
+    mutable cost : int;
+    mutable icount : int;
+    mutable last_bits : int;  (** write bitset of the previous instruction *)
+    mutable hp : int;  (** hazard penalty of the previous writer: 2 or 4 *)
+    mutable cur_paid : bool;  (** shrink-wrap charge state of the top frame *)
+    mutable cur_words : int;
+    mutable bp_hits_rev : int list;
+    pscratch : int array;  (** call-argument staging, caller → callee *)
+    vscratch : int array;  (** vector-lane staging, reads before writes *)
+  }
+
+  let ensure_stk st need =
+    if need > Array.length st.stk then begin
+      let n = ref (max 1024 (Array.length st.stk)) in
+      while !n < need do
+        n := !n * 2
+      done;
+      let a = Array.make !n 0 in
+      Array.blit st.stk 0 a 0 st.sp;
+      st.stk <- a
+    end
+
+  let grow_frames st =
+    let n = Array.length st.f_ret_pc * 2 in
+    let g a =
+      let b = Array.make n 0 in
+      Array.blit a 0 b 0 st.depth;
+      b
+    in
+    st.f_ret_pc <- g st.f_ret_pc;
+    st.f_ret_mode <- g st.f_ret_mode;
+    st.f_ret_idx <- g st.f_ret_idx;
+    st.f_fp <- g st.f_fp;
+    st.f_words <- g st.f_words;
+    let p = Array.make n false in
+    Array.blit st.f_paid 0 p 0 st.depth;
+    st.f_paid <- p;
+    let r = Array.make (n * nregs) 0 in
+    Array.blit st.rsave 0 r 0 (st.depth * nregs);
+    st.rsave <- r
+
+  (* Mirrors [enter_function]: registers are saved before parameter
+     delivery (the caller reads arguments before this is called), the
+     frame is zeroed, and the 9 + frame_words cost is part of the call
+     instruction's static cost. *)
+  let push_frame st (df : dfunc) ~ret_pc ~ret_mode ~ret_idx =
+    let d = st.depth in
+    if d = Array.length st.f_ret_pc then grow_frames st;
+    Array.blit st.regs 0 st.rsave (d * nregs) nregs;
+    st.f_ret_pc.(d) <- ret_pc;
+    st.f_ret_mode.(d) <- ret_mode;
+    st.f_ret_idx.(d) <- ret_idx;
+    st.f_fp.(d) <- st.sp;
+    st.f_words.(d) <- df.df_frame_words;
+    if d > 0 then st.f_paid.(d - 1) <- st.cur_paid;
+    ensure_stk st (st.sp + df.df_frame_words);
+    Array.fill st.stk st.sp df.df_frame_words 0;
+    st.fp <- st.sp;
+    st.sp <- st.sp + df.df_frame_words;
+    st.depth <- d + 1;
+    st.cur_paid <- df.df_prepaid;
+    st.cur_words <- df.df_frame_words
+
+  let[@inline] rdo st o =
+    match o with
+    | Oreg k -> Array.unsafe_get st.regs k
+    | Oslot i -> Array.unsafe_get st.stk (st.fp + i)
+    | Ocst n -> n
+
+  let[@inline] wrd st d v =
+    match d with
+    | Dreg k -> Array.unsafe_set st.regs k v
+    | Dslot i -> Array.unsafe_set st.stk (st.fp + i) v
+
+  let[@inline] wrap i s =
+    let r = i mod s in
+    if r < 0 then r + s else r
+
+  let[@inline] charge st tf =
+    if tf && not st.cur_paid then begin
+      st.cur_paid <- true;
+      st.cost <- st.cost + st.cur_words
+    end
+
+  let[@inline] haz st rb = if st.last_bits land rb <> 0 then st.hp else 0
+
+  let[@inline] mem_get st ad idx =
+    match ad with
+    | Aframe (o, s) -> Array.unsafe_get st.stk (st.fp + o + wrap idx s)
+    | Aglobal (g, s) ->
+        Array.unsafe_get (Array.unsafe_get st.g_mem g) (wrap idx s)
+
+  let[@inline] mem_set st ad idx v =
+    match ad with
+    | Aframe (o, s) -> Array.unsafe_set st.stk (st.fp + o + wrap idx s) v
+    | Aglobal (g, s) ->
+        Array.unsafe_set (Array.unsafe_get st.g_mem g) (wrap idx s) v
+
+  (* The uninstrumented loop over the fused code: no breakpoints, no
+     edges, no sampler — callers guarantee the options ask for none. *)
+  let exec_plain (p : program) st max_instrs start =
+    let code = p.p_plain in
+    let len = Array.length code in
+    let funcs = p.p_funcs in
+    let pc = ref start in
+    let running = ref true in
+    while !running do
+      let pc0 = !pc in
+      if pc0 < 0 || pc0 >= len then raise (Runtime_error "pc out of range");
+      st.icount <- st.icount + 1;
+      if st.icount > max_instrs then raise Budget_exhausted;
+      match Array.unsafe_get code pc0 with
+      | Ibin { op; d; a; b; c; rb; wb; tf } ->
+          st.cost <- st.cost + c + haz st rb;
+          charge st tf;
+          wrd st d (Ir.eval_binop op (rdo st a) (rdo st b));
+          st.last_bits <- wb;
+          st.hp <- 2;
+          pc := pc0 + 1
+      | Iun { op; d; a; c; rb; wb; tf } ->
+          st.cost <- st.cost + c + haz st rb;
+          charge st tf;
+          wrd st d (Ir.eval_unop op (rdo st a));
+          st.last_bits <- wb;
+          st.hp <- 2;
+          pc := pc0 + 1
+      | Imov { d; a; c; rb; wb; tf } ->
+          st.cost <- st.cost + c + haz st rb;
+          charge st tf;
+          wrd st d (rdo st a);
+          st.last_bits <- wb;
+          st.hp <- 2;
+          pc := pc0 + 1
+      | Iload { d; ad; ix; c; rb; wb; tf } ->
+          st.cost <- st.cost + c + haz st rb;
+          charge st tf;
+          wrd st d (mem_get st ad (rdo st ix));
+          st.last_bits <- wb;
+          st.hp <- 4;
+          pc := pc0 + 1
+      | Istore { ad; ix; v; c; rb; tf } ->
+          st.cost <- st.cost + c + haz st rb;
+          charge st tf;
+          let value = rdo st v in
+          mem_set st ad (rdo st ix) value;
+          st.last_bits <- 0;
+          st.hp <- 2;
+          pc := pc0 + 1
+      | Icall { fx; srcs; ret_mode; ret_idx; c; rb; tf } ->
+          st.cost <- st.cost + c + haz st rb;
+          charge st tf;
+          let n = Array.length srcs in
+          let ps = st.pscratch in
+          for i = 0 to n - 1 do
+            Array.unsafe_set ps i (rdo st (Array.unsafe_get srcs i))
+          done;
+          let df = Array.unsafe_get funcs fx in
+          push_frame st df ~ret_pc:(pc0 + 1) ~ret_mode ~ret_idx;
+          let params = df.df_params in
+          for i = 0 to n - 1 do
+            wrd st (Array.unsafe_get params i) (Array.unsafe_get ps i)
+          done;
+          st.last_bits <- 0;
+          st.hp <- 2;
+          pc := df.df_entry
+      | Iinput { d; c; wb; tf } ->
+          st.cost <- st.cost + c;
+          charge st tf;
+          let v =
+            if st.input_pos < Array.length st.input then begin
+              let v = Array.unsafe_get st.input st.input_pos in
+              st.input_pos <- st.input_pos + 1;
+              v
+            end
+            else 0
+          in
+          wrd st d v;
+          st.last_bits <- wb;
+          st.hp <- 2;
+          pc := pc0 + 1
+      | Ieof { d; c; wb; tf } ->
+          st.cost <- st.cost + c;
+          charge st tf;
+          wrd st d (if st.input_pos >= Array.length st.input then 1 else 0);
+          st.last_bits <- wb;
+          st.hp <- 2;
+          pc := pc0 + 1
+      | Ioutput { v; c; rb; tf } ->
+          st.cost <- st.cost + c + haz st rb;
+          charge st tf;
+          st.out_rev <- rdo st v :: st.out_rev;
+          st.last_bits <- 0;
+          st.hp <- 2;
+          pc := pc0 + 1
+      | Iselect { d; cnd; a; b; xa; xb; c; rb; wb; tf } ->
+          st.cost <- st.cost + c + haz st rb;
+          charge st tf;
+          let v =
+            if rdo st cnd <> 0 then begin
+              st.cost <- st.cost + xa;
+              rdo st a
+            end
+            else begin
+              st.cost <- st.cost + xb;
+              rdo st b
+            end
+          in
+          wrd st d v;
+          st.last_bits <- wb;
+          st.hp <- 2;
+          pc := pc0 + 1
+      | Ivec { op; lanes; c; rb; wb; tf } ->
+          st.cost <- st.cost + c + haz st rb;
+          charge st tf;
+          let n = Array.length lanes in
+          let vs = st.vscratch in
+          for i = 0 to n - 1 do
+            let _, a, b = Array.unsafe_get lanes i in
+            Array.unsafe_set vs i (Ir.eval_binop op (rdo st a) (rdo st b))
+          done;
+          for i = 0 to n - 1 do
+            let d, _, _ = Array.unsafe_get lanes i in
+            wrd st d (Array.unsafe_get vs i)
+          done;
+          st.last_bits <- wb;
+          st.hp <- 2;
+          pc := pc0 + 1
+      | Inop ->
+          st.cost <- st.cost + 1;
+          st.last_bits <- 0;
+          pc := pc0 + 1
+      | Ijmp { t; c } ->
+          st.cost <- st.cost + c;
+          st.last_bits <- 0;
+          pc := t
+      | Icbr { cnd; t1; t2; x1; x2; c; rb } ->
+          st.cost <- st.cost + c + haz st rb;
+          let t, x = if rdo st cnd <> 0 then (t1, x1) else (t2, x2) in
+          st.cost <- st.cost + x;
+          st.last_bits <- 0;
+          st.hp <- 2;
+          pc := t
+      | Iret { v; c } ->
+          st.cost <- st.cost + c;
+          let value = rdo st v in
+          let d = st.depth - 1 in
+          Array.blit st.rsave (d * nregs) st.regs 0 nregs;
+          st.sp <- st.f_fp.(d);
+          st.depth <- d;
+          if d = 0 then running := false
+          else begin
+            st.fp <- st.f_fp.(d - 1);
+            st.cur_paid <- st.f_paid.(d - 1);
+            st.cur_words <- st.f_words.(d - 1);
+            (match st.f_ret_mode.(d) with
+            | 1 -> Array.unsafe_set st.regs st.f_ret_idx.(d) value
+            | 2 ->
+                st.cost <- st.cost + 1;
+                Array.unsafe_set st.stk (st.fp + st.f_ret_idx.(d)) value
+            | _ -> ());
+            let rp = st.f_ret_pc.(d) in
+            if rp <> pc0 + 1 then st.cost <- st.cost + 3;
+            st.last_bits <- 0;
+            st.hp <- 2;
+            pc := rp
+          end
+      | Ifail msg -> raise (Runtime_error msg)
+      | Icmp_cbr { op; d; a; b; c1; rb; tf; cnd; t1; t2; x1; x2; c2 } ->
+          st.cost <- st.cost + c1 + haz st rb;
+          charge st tf;
+          wrd st d (Ir.eval_binop op (rdo st a) (rdo st b));
+          (* The branch is its own instruction for the budget, and its
+             pair hazard against the compare is already static in c2. *)
+          st.icount <- st.icount + 1;
+          if st.icount > max_instrs then raise Budget_exhausted;
+          st.cost <- st.cost + c2;
+          let t, x = if rdo st cnd <> 0 then (t1, x1) else (t2, x2) in
+          st.cost <- st.cost + x;
+          st.last_bits <- 0;
+          st.hp <- 2;
+          pc := t
+      | Iload_bin { d; ad; ix; c1; rb1; tf1; op; d2; a; b; c2; wb2; tf2 } ->
+          st.cost <- st.cost + c1 + haz st rb1;
+          charge st tf1;
+          wrd st d (mem_get st ad (rdo st ix));
+          st.icount <- st.icount + 1;
+          if st.icount > max_instrs then raise Budget_exhausted;
+          st.cost <- st.cost + c2;
+          charge st tf2;
+          wrd st d2 (Ir.eval_binop op (rdo st a) (rdo st b));
+          st.last_bits <- wb2;
+          st.hp <- 2;
+          pc := pc0 + 2
+    done
+
+  (* The instrumented loop over the unfused code: per-instruction
+     breakpoint recording, edge counting on transfers, and the
+     cost-driven sampler (skipped after calls, exactly like the
+     reference core's [Exit] shortcut skips the bottom of [step]). *)
+  let exec_instr (p : program) st (opts : run_opts) sampler edges start =
+    let code = p.p_code in
+    let len = Array.length code in
+    let funcs = p.p_funcs in
+    let record_edges = opts.coverage || opts.sample_period <> None in
+    let max_instrs = opts.max_instrs in
+    let bump src dst =
+      if record_edges then begin
+        let key = (src, dst) in
+        Hashtbl.replace edges key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt edges key))
+      end
+    in
+    let pc = ref start in
+    let running = ref true in
+    let skip = ref false in
+    while !running do
+      let pc0 = !pc in
+      if pc0 < 0 || pc0 >= len then raise (Runtime_error "pc out of range");
+      (match opts.breakpoints with
+      | Some bps when bps.(pc0) ->
+          bps.(pc0) <- false;
+          st.bp_hits_rev <- pc0 :: st.bp_hits_rev
+      | _ -> ());
+      st.icount <- st.icount + 1;
+      if st.icount > max_instrs then raise Budget_exhausted;
+      skip := false;
+      (match Array.unsafe_get code pc0 with
+      | Ibin { op; d; a; b; c; rb; wb; tf } ->
+          st.cost <- st.cost + c + haz st rb;
+          charge st tf;
+          wrd st d (Ir.eval_binop op (rdo st a) (rdo st b));
+          st.last_bits <- wb;
+          st.hp <- 2;
+          pc := pc0 + 1
+      | Iun { op; d; a; c; rb; wb; tf } ->
+          st.cost <- st.cost + c + haz st rb;
+          charge st tf;
+          wrd st d (Ir.eval_unop op (rdo st a));
+          st.last_bits <- wb;
+          st.hp <- 2;
+          pc := pc0 + 1
+      | Imov { d; a; c; rb; wb; tf } ->
+          st.cost <- st.cost + c + haz st rb;
+          charge st tf;
+          wrd st d (rdo st a);
+          st.last_bits <- wb;
+          st.hp <- 2;
+          pc := pc0 + 1
+      | Iload { d; ad; ix; c; rb; wb; tf } ->
+          st.cost <- st.cost + c + haz st rb;
+          charge st tf;
+          wrd st d (mem_get st ad (rdo st ix));
+          st.last_bits <- wb;
+          st.hp <- 4;
+          pc := pc0 + 1
+      | Istore { ad; ix; v; c; rb; tf } ->
+          st.cost <- st.cost + c + haz st rb;
+          charge st tf;
+          let value = rdo st v in
+          mem_set st ad (rdo st ix) value;
+          st.last_bits <- 0;
+          st.hp <- 2;
+          pc := pc0 + 1
+      | Icall { fx; srcs; ret_mode; ret_idx; c; rb; tf } ->
+          st.cost <- st.cost + c + haz st rb;
+          charge st tf;
+          let n = Array.length srcs in
+          let ps = st.pscratch in
+          for i = 0 to n - 1 do
+            Array.unsafe_set ps i (rdo st (Array.unsafe_get srcs i))
+          done;
+          let df = Array.unsafe_get funcs fx in
+          push_frame st df ~ret_pc:(pc0 + 1) ~ret_mode ~ret_idx;
+          let params = df.df_params in
+          for i = 0 to n - 1 do
+            wrd st (Array.unsafe_get params i) (Array.unsafe_get ps i)
+          done;
+          st.last_bits <- 0;
+          st.hp <- 2;
+          pc := df.df_entry;
+          skip := true
+      | Iinput { d; c; wb; tf } ->
+          st.cost <- st.cost + c;
+          charge st tf;
+          let v =
+            if st.input_pos < Array.length st.input then begin
+              let v = Array.unsafe_get st.input st.input_pos in
+              st.input_pos <- st.input_pos + 1;
+              v
+            end
+            else 0
+          in
+          wrd st d v;
+          st.last_bits <- wb;
+          st.hp <- 2;
+          pc := pc0 + 1
+      | Ieof { d; c; wb; tf } ->
+          st.cost <- st.cost + c;
+          charge st tf;
+          wrd st d (if st.input_pos >= Array.length st.input then 1 else 0);
+          st.last_bits <- wb;
+          st.hp <- 2;
+          pc := pc0 + 1
+      | Ioutput { v; c; rb; tf } ->
+          st.cost <- st.cost + c + haz st rb;
+          charge st tf;
+          st.out_rev <- rdo st v :: st.out_rev;
+          st.last_bits <- 0;
+          st.hp <- 2;
+          pc := pc0 + 1
+      | Iselect { d; cnd; a; b; xa; xb; c; rb; wb; tf } ->
+          st.cost <- st.cost + c + haz st rb;
+          charge st tf;
+          let v =
+            if rdo st cnd <> 0 then begin
+              st.cost <- st.cost + xa;
+              rdo st a
+            end
+            else begin
+              st.cost <- st.cost + xb;
+              rdo st b
+            end
+          in
+          wrd st d v;
+          st.last_bits <- wb;
+          st.hp <- 2;
+          pc := pc0 + 1
+      | Ivec { op; lanes; c; rb; wb; tf } ->
+          st.cost <- st.cost + c + haz st rb;
+          charge st tf;
+          let n = Array.length lanes in
+          let vs = st.vscratch in
+          for i = 0 to n - 1 do
+            let _, a, b = Array.unsafe_get lanes i in
+            Array.unsafe_set vs i (Ir.eval_binop op (rdo st a) (rdo st b))
+          done;
+          for i = 0 to n - 1 do
+            let d, _, _ = Array.unsafe_get lanes i in
+            wrd st d (Array.unsafe_get vs i)
+          done;
+          st.last_bits <- wb;
+          st.hp <- 2;
+          pc := pc0 + 1
+      | Inop ->
+          st.cost <- st.cost + 1;
+          st.last_bits <- 0;
+          pc := pc0 + 1
+      | Ijmp { t; c } ->
+          st.cost <- st.cost + c;
+          st.last_bits <- 0;
+          bump pc0 t;
+          pc := t
+      | Icbr { cnd; t1; t2; x1; x2; c; rb } ->
+          st.cost <- st.cost + c + haz st rb;
+          let t, x = if rdo st cnd <> 0 then (t1, x1) else (t2, x2) in
+          bump pc0 t;
+          st.cost <- st.cost + x;
+          st.last_bits <- 0;
+          st.hp <- 2;
+          pc := t
+      | Iret { v; c } ->
+          st.cost <- st.cost + c;
+          let value = rdo st v in
+          let d = st.depth - 1 in
+          Array.blit st.rsave (d * nregs) st.regs 0 nregs;
+          st.sp <- st.f_fp.(d);
+          st.depth <- d;
+          if d = 0 then running := false
+          else begin
+            st.fp <- st.f_fp.(d - 1);
+            st.cur_paid <- st.f_paid.(d - 1);
+            st.cur_words <- st.f_words.(d - 1);
+            (match st.f_ret_mode.(d) with
+            | 1 -> Array.unsafe_set st.regs st.f_ret_idx.(d) value
+            | 2 ->
+                st.cost <- st.cost + 1;
+                Array.unsafe_set st.stk (st.fp + st.f_ret_idx.(d)) value
+            | _ -> ());
+            let rp = st.f_ret_pc.(d) in
+            bump pc0 rp;
+            if rp <> pc0 + 1 then st.cost <- st.cost + 3;
+            st.last_bits <- 0;
+            st.hp <- 2;
+            pc := rp
+          end
+      | Ifail msg -> raise (Runtime_error msg)
+      | Icmp_cbr _ | Iload_bin _ ->
+          (* superinstructions live only in [p_plain] *)
+          assert false);
+      match sampler with
+      | Some s when not !skip ->
+          while st.cost >= s.next_at do
+            s.samples <- !pc :: s.samples;
+            s.next_at <-
+              s.next_at + s.period + Util.Rng.int s.rng (max 1 (s.period / 8))
+          done
+      | _ -> ()
+    done
+
+  let run (p : program) (bin : Emit.binary) ~entry ~args ~input
+      (opts : run_opts) : result =
+    let st =
+      {
+        stk = Array.make 1024 0;
+        fp = 0;
+        sp = 0;
+        depth = 0;
+        f_ret_pc = Array.make 64 0;
+        f_ret_mode = Array.make 64 0;
+        f_ret_idx = Array.make 64 0;
+        f_fp = Array.make 64 0;
+        f_words = Array.make 64 0;
+        f_paid = Array.make 64 false;
+        rsave = Array.make (64 * nregs) 0;
+        regs = Array.make nregs 0;
+        g_mem = Array.map (fun (size, init) -> Array.make size init) p.p_globals;
+        input = Array.of_list input;
+        input_pos = 0;
+        out_rev = [];
+        cost = 0;
+        icount = 0;
+        last_bits = 0;
+        hp = 2;
+        cur_paid = true;
+        cur_words = 0;
+        bp_hits_rev = [];
+        pscratch = Array.make p.p_max_params 0;
+        vscratch = Array.make p.p_max_lanes 0;
+      }
+    in
+    let fx =
+      match Hashtbl.find_opt bin.Emit.fn_by_name entry with
+      | Some i -> i
+      | None -> raise (Runtime_error ("no entry function " ^ entry))
+    in
+    let df = p.p_funcs.(fx) in
+    push_frame st df ~ret_pc:(-1) ~ret_mode:0 ~ret_idx:0;
+    st.cost <- st.cost + 9 + (if df.df_prepaid then df.df_frame_words else 0);
+    Array.iteri
+      (fun i d ->
+        let v = match List.nth_opt args i with Some v -> v | None -> 0 in
+        wrd st d v)
+      df.df_params;
+    let sampler =
+      Option.map
+        (fun period ->
+          {
+            period;
+            next_at = period;
+            samples = [];
+            rng = Util.Rng.create (opts.seed + 77);
+          })
+        opts.sample_period
+    in
+    let edges = Hashtbl.create 256 in
+    let timed_out = ref false in
+    let plain =
+      (match opts.breakpoints with None -> true | Some _ -> false)
+      && (not opts.coverage)
+      && opts.sample_period = None
+    in
+    (try
+       if plain then exec_plain p st opts.max_instrs df.df_entry
+       else exec_instr p st opts sampler edges df.df_entry
+     with Budget_exhausted -> timed_out := true);
+    {
+      output = List.rev st.out_rev;
+      cost = st.cost;
+      instrs = st.icount;
+      edges;
+      bp_hits = List.rev st.bp_hits_rev;
+      samples = (match sampler with Some s -> List.rev s.samples | None -> []);
+      timed_out = !timed_out;
+    }
+end
+
+(* The escape hatch is read once at module initialization: a process
+   either trusts the fast core or pins everything to the reference one
+   (the ci.sh conformance smoke diffs the two). *)
+let use_reference =
+  match Sys.getenv_opt "DEBUGTUNER_VM" with
+  | Some "reference" -> true
+  | _ -> false
+
+(** Which core [run] dispatches to — mixed into oracle verdict keys so
+    cached verdicts never cross cores. *)
+let active_core () = if use_reference then "reference" else "fast"
+
+let run_unobserved bin ~entry ?(args = []) ~input opts =
+  if use_reference then Reference.run bin ~entry ~args ~input opts
+  else
+    match Decode.get bin with
+    | Some p -> Fast.run p bin ~entry ~args ~input opts
+    | None -> Reference.run bin ~entry ~args ~input opts
 
 (* The [Obs.enabled] guard keeps the disabled path free of the span
    machinery (and of the args-list allocation) — executions dominate

@@ -32,5 +32,6 @@ let () =
       ("sanitizer", Test_check.tests);
       ("obs", Test_obs.tests);
       ("differential", Test_differential.tests);
+      ("vm-conformance", Test_vm_conformance.tests);
       ("api", Test_api.tests);
     ]

@@ -181,6 +181,87 @@ let test_shrink_wrap_defers_frame_cost () =
   (* The early-exit path never touches the frame: all 8 words saved. *)
   Alcotest.(check int) "shrink wrap saves the frame cost" (eager - 8) wrapped
 
+(* Regression fixtures for the decode-time lookup tables: frame-slot
+   offsets (replacing the per-access [List.find_opt] over
+   [fi_slot_offset]) and the hazard bitsets (replacing the
+   O(writes×reads) list scan). Both cores must agree to the cycle on
+   fixtures built to exercise exactly those paths, and the absolute
+   numbers are pinned so a cost-model change cannot hide behind
+   core agreement. *)
+let both_cores fns ~entry =
+  let bin = Emit.emit { Mach.mfuncs = fns; mglobals = [] } in
+  let fast = Vm.run bin ~entry ~input:[] Vm.default_opts in
+  let slow = Vm.Reference.run bin ~entry ~input:[] Vm.default_opts in
+  Alcotest.(check int) "cores agree on cost" slow.Vm.cost fast.Vm.cost;
+  Alcotest.(check int) "cores agree on instrs" slow.Vm.instrs fast.Vm.instrs;
+  fast.Vm.cost
+
+let test_frame_slot_lookup_regression () =
+  (* Two data slots: a scalar at offset 0 and a 4-word array at offset
+     1. Loads/stores through both slots, with a register index into the
+     array, plus a spill-slot operand — every address kind the slot
+     table resolves. *)
+  let frame =
+    [
+      { Mach.fs_id = 0; fs_size = 1; fs_var = None; fs_array = false };
+      { Mach.fs_id = 1; fs_size = 4; fs_var = None; fs_array = true };
+    ]
+  in
+  let addr0 = { Mach.mbase = Mach.Mframe 0; mindex = c 0 } in
+  let addr1 i = { Mach.mbase = Mach.Mframe 1; mindex = i } in
+  let fn =
+    mk_fn "f" ~frame ~spill:1
+      [
+        mk_block 0
+          [
+            Mach.Mstore (addr0, c 7);
+            (* wrap: index 6 into a 4-word slot lands on word 2 *)
+            Mach.Mstore (addr1 (c 6), c 9);
+            Mach.Mbin (Ir.Add, r 1, c 2, c 0);
+            Mach.Mload (r 0, addr1 (rv 1));
+            Mach.Mload (r 2, addr0);
+            Mach.Mbin (Ir.Add, Mach.Pslot 0, rv 0, rv 2);
+          ]
+          (Mach.Mret (Some (Mach.Loc (Mach.Pslot 0))));
+      ]
+      [ 0 ]
+  in
+  (* entry 9 + frame 6 + store 4 + store 4 + add 1 + load 4 (+2 hazard:
+     index r1 written by the add) + load 4 + add 1 (+4 load-use on r2,
+     +1 slot write) + ret 2 (+1 slot read) = 43. *)
+  Alcotest.(check int) "frame-slot fixture cost pinned" 43
+    (both_cores [ fn ] ~entry:"f")
+
+let test_hazard_bitset_regression () =
+  (* Register->register, slot->slot and cross-kind adjacencies: the
+     bitset encoding must reproduce the list scan on all of them. *)
+  let fn =
+    mk_fn "f" ~spill:2
+      [
+        mk_block 0
+          [
+            Mach.Mbin (Ir.Add, r 0, c 1, c 2);
+            Mach.Mbin (Ir.Add, r 1, rv 0, c 1);
+            (* r0 read: +2 *)
+            Mach.Mbin (Ir.Add, Mach.Pslot 0, rv 1, c 1);
+            (* r1 read: +2, slot write +1 *)
+            Mach.Mbin (Ir.Add, r 2, Mach.Loc (Mach.Pslot 0), c 1);
+            (* Pslot 0 read: +2 (+1 slot read) *)
+            Mach.Mbin (Ir.Add, r 3, Mach.Loc (Mach.Pslot 1), c 1);
+            (* Pslot 1 was NOT the last write: no hazard (+1 slot read) *)
+            Mach.Mbin (Ir.Add, r 4, c 1, c 1);
+            Mach.Mbin (Ir.Add, r 5, rv 3, rv 4);
+            (* r4 read: +2 *)
+          ]
+          (Mach.Mret None);
+      ]
+      [ 0 ]
+  in
+  (* entry 9 + frame 2 + 7 adds + hazards 2+2+2+2 + slot charges 1+1+1
+     + ret 2 = 31. *)
+  Alcotest.(check int) "hazard fixture cost pinned" 31
+    (both_cores [ fn ] ~entry:"f")
+
 let tests =
   [
     Alcotest.test_case "alu costs" `Quick test_alu_costs;
@@ -191,4 +272,8 @@ let tests =
     Alcotest.test_case "load-use penalty" `Quick test_load_use_penalty;
     Alcotest.test_case "shrink wrap defers frame" `Quick
       test_shrink_wrap_defers_frame_cost;
+    Alcotest.test_case "frame-slot lookup regression" `Quick
+      test_frame_slot_lookup_regression;
+    Alcotest.test_case "hazard bitset regression" `Quick
+      test_hazard_bitset_regression;
   ]
