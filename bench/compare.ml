@@ -23,7 +23,12 @@
        DEBUGTUNER_SERVE_FLOOR (default 10.0) times faster than its
        cold one-shot (timing rows "serve-cold-one-shot" and
        "serve-warm-p50" of the cold json — the workload must include
-       `serve` in its --only list), or those rows are missing.
+       `serve` in its --only list), or those rows are missing;
+     - the shard scenario's 2-process critical path (timing rows
+       "shard-1-proc" / "shard-2-proc" of the cold json — the workload
+       must include `shard` in its --only list) is not at least
+       DEBUGTUNER_SHARD_FLOOR (default 1.5) times faster than the
+       single-process run, or those rows are missing.
 
    Volatile numbers (absolute seconds, ratios) are printed on lines
    starting with '#', so CI determinism diffs can drop them; the
@@ -221,6 +226,30 @@ let () =
   | _ ->
       verdict false vm_what
         "vm timing rows missing from cold json (include `vm` in --only)");
+  (* Shard scaling gate: splitting the corpus over 2 worker processes
+     must cut the critical path (the slowest shard's own wall clock —
+     see the shard scenario in main.ml) by the floor. This checks the
+     property the code controls — balanced slices, no duplicated work —
+     independently of how many cores the CI machine has. *)
+  let shard_floor = env_float "DEBUGTUNER_SHARD_FLOOR" 1.5 in
+  let shard_what =
+    Printf.sprintf
+      "2-process shard critical path at least %.1fx faster than 1-process"
+      shard_floor
+  in
+  (match (timing_row cold "shard-1-proc", timing_row cold "shard-2-proc") with
+  | Some t1, Some t2 ->
+      let ratio = if t2 > 0.0 then t1 /. t2 else infinity in
+      let t4 =
+        match timing_row cold "shard-4-proc" with Some t -> t | None -> 0.0
+      in
+      verdict (ratio >= shard_floor) shard_what
+        (Printf.sprintf
+           "1-proc %.3fs, 2-proc slowest shard %.3fs (%.2fx), 4-proc %.3fs"
+           t1 t2 ratio t4)
+  | _ ->
+      verdict false shard_what
+        "shard timing rows missing from cold json (include `shard` in --only)");
   if !failures > 0 then begin
     Printf.printf "bench-compare: %d check(s) FAILED\n" !failures;
     exit 1

@@ -257,6 +257,183 @@ let vm_scenario () =
       [ row "reference" r_ref; row "fast" r_fast ];
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Sharded corpus scenario (DESIGN.md "Sharded execution"): the same
+   corpus experiment run as 1, 2 and 4 single-shard worker *processes*
+   (this binary re-exec'd with --shard-worker), each writing a JSON
+   partial that the parent merges through Api.Request.Merge. Workers
+   run one at a time and each is timed alone: the recorded row for a
+   phase is the *slowest shard's own wall clock* — the phase's critical
+   path, which is what a deployment with one core per worker pays.
+   Timing n concurrent processes here would measure the CI machine's
+   core count, not the sharding; the critical path gates exactly the
+   property this code controls (balanced slices, no duplicated work).
+   The three timing rows ("shard-1-proc", "shard-2-proc",
+   "shard-4-proc") feed compare.ml's DEBUGTUNER_SHARD_FLOOR gate
+   (default: 2 processes at least 1.5x faster than 1). Each phase gets
+   its own store directory — under --cache-dir when given (so a warm
+   re-run resumes every phase from disk), else a scratch dir removed at
+   the end — and the merged tables of all three phases must be
+   byte-identical, which the scenario itself asserts. *)
+
+let shard_seed = 7
+let shard_corpus = 96
+
+let shard_configs =
+  [
+    Debugtuner.Config.make Debugtuner.Config.Gcc Debugtuner.Config.O2;
+    Debugtuner.Config.make Debugtuner.Config.Clang Debugtuner.Config.O1;
+  ]
+
+(* Set from --cache-dir before the scenarios run; None = scratch. *)
+let shard_store_base : string option ref = ref None
+
+let shard_worker_main spec dir =
+  (match Util.Cliopts.parse_shard spec with
+  | Error msg ->
+      prerr_endline ("shard worker: " ^ msg);
+      exit 2
+  | Ok shard -> (
+      let store =
+        Debugtuner.Measure_engine.open_store
+          ~dir:(Filename.concat dir "store") ()
+      in
+      let job =
+        Api.Job.make ~configs:shard_configs ~seed:shard_seed
+          ~corpus:shard_corpus ~shard ()
+      in
+      match
+        Api.execute (Api.create_ctx ~store ())
+          (Api.Request.Experiments { e_job = job })
+      with
+      | {
+       Api.Response.status = Api.Response.Ok;
+       data = Api.Response.D_partial p;
+       _;
+      } ->
+          let i, n = shard in
+          let file =
+            Filename.concat dir (Printf.sprintf "shard-%d-of-%d.json" i n)
+          in
+          let oc = open_out file in
+          output_string oc (Api.partial_to_json p);
+          output_char oc '\n';
+          close_out oc
+      | { Api.Response.text; _ } ->
+          prerr_endline ("shard worker: " ^ text);
+          exit 1));
+  exit 0
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      try Sys.rmdir path with Sys_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+
+let mkdir_p dir =
+  try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let shard_scenario () =
+  let base, scratch =
+    match !shard_store_base with
+    | Some d ->
+        mkdir_p d;
+        (d, false)
+    | None ->
+        let d =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "dt-bench-shard-%d" (Unix.getpid ()))
+        in
+        mkdir_p d;
+        (d, true)
+  in
+  let exe = Sys.executable_name in
+  let run_worker dir spec =
+    flush stdout;
+    let pid =
+      Unix.create_process exe
+        [| exe; "--shard-worker"; spec; dir |]
+        Unix.stdin Unix.stdout Unix.stderr
+    in
+    match Unix.waitpid [] pid with
+    | _, Unix.WEXITED 0 -> ()
+    | _ -> failwith ("shard scenario: worker " ^ spec ^ " failed")
+  in
+  let phase n =
+    let dir = Filename.concat base (Printf.sprintf "shard-phase-%d" n) in
+    mkdir_p dir;
+    let slowest = ref 0.0 in
+    for i = 1 to n do
+      let t0 = Unix.gettimeofday () in
+      run_worker dir (Printf.sprintf "%d/%d" i n);
+      slowest := Float.max !slowest (Unix.gettimeofday () -. t0)
+    done;
+    let partials =
+      List.init n (fun k ->
+          let file =
+            Filename.concat dir
+              (Printf.sprintf "shard-%d-of-%d.json" (k + 1) n)
+          in
+          let ic = open_in_bin file in
+          let s = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          match Api.partial_of_json s with
+          | Ok p -> p
+          | Error e -> failwith ("shard scenario: bad partial " ^ file ^ ": " ^ e))
+    in
+    let merged =
+      Api.execute (Api.create_ctx ())
+        (Api.Request.Merge { m_partials = partials })
+    in
+    (match merged.Api.Response.status with
+    | Api.Response.Ok -> ()
+    | _ -> failwith ("shard scenario: merge failed: " ^ merged.Api.Response.text));
+    let programs =
+      List.fold_left (fun a p -> a + p.Api.Partial.pt_programs) 0 partials
+    in
+    let rows =
+      List.fold_left (fun a p -> a + List.length p.Api.Partial.pt_rows) 0 partials
+    in
+    (!slowest, programs, rows, merged.Api.Response.text)
+  in
+  let t1, pr1, rw1, text1 = phase 1 in
+  let t2, pr2, rw2, text2 = phase 2 in
+  let t4, pr4, rw4, text4 = phase 4 in
+  timings := ("shard-1-proc", t1) :: !timings;
+  timings := ("shard-2-proc", t2) :: !timings;
+  timings := ("shard-4-proc", t4) :: !timings;
+  if scratch then rm_rf base;
+  let identical = text1 = text2 && text2 = text4 in
+  Printf.printf
+    "[shard: 1-proc %.3fs, 2-proc critical path %.3fs (%.1fx), 4-proc %.3fs (%.1fx)]\n\n%!"
+    t1 t2
+    (if t2 > 0.0 then t1 /. t2 else infinity)
+    t4
+    (if t4 > 0.0 then t1 /. t4 else infinity);
+  if not identical then
+    failwith "shard scenario: merged tables differ across shard counts";
+  print_string text1;
+  let row n pr rw =
+    [
+      string_of_int n;
+      string_of_int pr;
+      string_of_int rw;
+      (if identical then "yes" else "NO");
+    ]
+  in
+  [
+    Util.Tablefmt.make
+      ~title:
+        (Printf.sprintf
+           "Sharded execution: corpus n=%d, seed %d, merged from JSON partials"
+           shard_corpus shard_seed)
+      ~header:[ "processes"; "programs"; "rows"; "merge identical" ]
+      [ row 1 pr1 rw1; row 2 pr2 rw2; row 4 pr4 rw4 ];
+  ]
+
 let experiments ctx : (string * (unit -> Util.Tablefmt.t list)) list =
   [
     ("table1", fun () -> [ E.table1 ctx ]);
@@ -340,6 +517,7 @@ let experiments ctx : (string * (unit -> Util.Tablefmt.t list)) list =
     ("autofdo-rounds", fun () -> [ E.autofdo_rounds_table ctx ]);
     ("serve", fun () -> serve_scenario ());
     ("vm", fun () -> vm_scenario ());
+    ("shard", fun () -> shard_scenario ());
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -450,6 +628,12 @@ let write_json file ctx ~synth ~workers =
   Printf.printf "[timings + counter table written to %s]\n%!" file
 
 let () =
+  (* Child mode of the shard scenario: run one shard of the corpus and
+     write its JSON partial. Intercepted before normal option parsing —
+     a worker is not a harness run. *)
+  (match Sys.argv with
+  | [| _; "--shard-worker"; spec; dir |] -> shard_worker_main spec dir
+  | _ -> ());
   let common = Util.Cliopts.defaults () in
   let rest = Util.Cliopts.parse common (List.tl (Array.to_list Sys.argv)) in
   let rec parse only micro synth = function
@@ -486,6 +670,10 @@ let () =
         (Debugtuner.Measure_engine.open_store
            ?dir:common.Util.Cliopts.c_cache_dir ())
   in
+  (* The shard scenario anchors its per-phase store directories under an
+     explicit --cache-dir (warm re-runs then resume every phase from
+     disk); with no explicit dir it works in scratch space. *)
+  shard_store_base := common.Util.Cliopts.c_cache_dir;
   Printf.printf
     "DebugTuner benchmark harness (deterministic; synth=%d; jobs=%d)\n\n%!"
     synth jobs;

@@ -18,6 +18,8 @@
      debugtuner pass-trace  -p zlib -l O2
      debugtuner value-check -p zlib -l Og
      debugtuner stats       [counters|suite|server]
+     debugtuner experiments --corpus 10000 [--shard 2/4 --partial-dir P]
+     debugtuner merge       --partial-dir P
      debugtuner serve       --socket /tmp/dt.sock [--queue-limit 8]
 
    Every subcommand parses its flags into one [Api.Request.t] and
@@ -169,13 +171,14 @@ let transport_term =
     $ cliopt_file Util.Cliopts.connect
     $ cliopt_float_opt Util.Cliopts.timeout)
 
-let dispatch ?store (tr : transport) (req : Api.Request.t) : Api.Response.t =
+let dispatch ?store ?workers (tr : transport) (req : Api.Request.t) :
+    Api.Response.t =
   match tr.tr_connect with
   | Some path -> (
       match Api_client.oneshot ?timeout:tr.tr_timeout path req with
       | Ok resp -> resp
       | Error msg -> die "%s" msg)
-  | None -> Api.execute (Api.create_ctx ?store ()) req
+  | None -> Api.execute (Api.create_ctx ?workers ?store ()) req
 
 (* Surface failures the same way everywhere: one line on stderr,
    non-zero exit — never an exception trace (Api.execute catches). *)
@@ -835,6 +838,192 @@ let run_cmd =
       $ entry_arg $ input_arg $ transport_term)
 
 (* ------------------------------------------------------------------ *)
+(* experiments / merge: the sharded corpus runner                      *)
+
+(* Both front-ends (this CLI and the bench harness) route --shard
+   through the one strict parser in Util.Cliopts. *)
+let shard_conv =
+  Arg.conv
+    ( (fun s ->
+        match Util.Cliopts.parse_shard s with
+        | Ok pair -> Ok pair
+        | Error msg -> Error (`Msg msg)),
+      fun ppf (i, n) -> Format.fprintf ppf "%d/%d" i n )
+
+let shard_arg =
+  Arg.(
+    value
+    & opt (some shard_conv) None
+    & info
+        [ cliopt_name Util.Cliopts.shard ]
+        ?docv:Util.Cliopts.shard.Util.Cliopts.o_docv
+        ~doc:Util.Cliopts.shard.Util.Cliopts.o_doc)
+
+let partial_dir_arg = cliopt_file Util.Cliopts.partial_dir
+
+(* "gcc-O2", "clang-Og", ... — Config.name spellings. *)
+let config_spec_conv =
+  let parse s =
+    match String.index_opt s '-' with
+    | None -> Error (`Msg (Printf.sprintf "bad config %S (expected e.g. gcc-O2)" s))
+    | Some dash -> (
+        let comp = String.sub s 0 dash
+        and level = String.sub s (dash + 1) (String.length s - dash - 1) in
+        let compiler =
+          match String.lowercase_ascii comp with
+          | "gcc" -> Some Debugtuner.Config.Gcc
+          | "clang" -> Some Debugtuner.Config.Clang
+          | _ -> None
+        and level =
+          match String.uppercase_ascii level with
+          | "O0" -> Some Debugtuner.Config.O0
+          | "OG" -> Some Debugtuner.Config.Og
+          | "O1" -> Some Debugtuner.Config.O1
+          | "O2" -> Some Debugtuner.Config.O2
+          | "O3" -> Some Debugtuner.Config.O3
+          | _ -> None
+        in
+        match (compiler, level) with
+        | Some c, Some l -> Ok (Debugtuner.Config.make c l)
+        | _ ->
+            Error
+              (`Msg (Printf.sprintf "bad config %S (expected e.g. gcc-O2)" s)))
+  in
+  Arg.conv
+    (parse, fun ppf c -> Format.pp_print_string ppf (Debugtuner.Config.name c))
+
+let partial_file dir (i, n) =
+  Filename.concat dir (Printf.sprintf "shard-%d-of-%d.json" i n)
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let experiments_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "s"; "seed" ] ~docv:"SEED"
+          ~doc:"Seed of the corpus generator (shards must agree).")
+  in
+  let corpus_arg = cliopt_int Util.Cliopts.corpus 100 in
+  let configs_arg =
+    Arg.(
+      value & opt_all config_spec_conv []
+      & info [ "config" ] ~docv:"CONFIG"
+          ~doc:
+            "Configuration to measure, e.g. gcc-O2 (repeatable, in \
+             presentation order; default: the full standard set).")
+  in
+  let only_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "only" ] ~docv:"TABLE"
+          ~doc:"Render only this table: summary or families (repeatable).")
+  in
+  let run seed corpus configs only shard partial_dir cache_dir no_cache jobs
+      tr =
+    let store =
+      if no_cache then None
+      else Some (Debugtuner.Measure_engine.open_store ?dir:cache_dir ())
+    in
+    let job =
+      Api.Job.make ~tables:only ~configs ~seed ~corpus ?shard ()
+    in
+    let resp =
+      dispatch ?store ~workers:jobs tr (Api.Request.Experiments { e_job = job })
+    in
+    check_status resp;
+    print_string resp.Api.Response.text;
+    (match (shard, resp.Api.Response.data) with
+    | Some pair, Api.Response.D_partial p ->
+        (* The partial file is written client-side: the transport owns
+           file I/O, a daemon never touches this machine's paths. *)
+        let dir = Option.value partial_dir ~default:"." in
+        ensure_dir dir;
+        let file = partial_file dir pair in
+        write_file file (Api.partial_to_json p ^ "\n");
+        Printf.printf "partial written to %s\n" file
+    | Some _, _ -> die "server returned no shard partial"
+    | None, _ -> ());
+    finish resp
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:
+         "Measure the generated experiment corpus (synthetic sweeps, fuzz \
+          programs, self-compilation subjects) at a configuration set and \
+          print the summary tables. With $(b,--shard) I/N, process only \
+          one slice and write a partial JSON to $(b,--partial-dir) — run \
+          one process per shard against a shared cache directory, then \
+          fold the partials with $(b,debugtuner merge) (byte-identical to \
+          the single-process run). Interrupted runs resume warm from the \
+          cache.")
+    Term.(
+      const run $ seed_arg $ corpus_arg $ configs_arg $ only_arg $ shard_arg
+      $ partial_dir_arg
+      $ cliopt_file Util.Cliopts.cache_dir
+      $ cliopt_flag Util.Cliopts.no_cache
+      $ cliopt_int Util.Cliopts.jobs 1
+      $ transport_term)
+
+let merge_cmd =
+  let files_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PARTIAL"
+          ~doc:"Shard partial JSON files (alternative to --partial-dir).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the merged tables here instead of stdout.")
+  in
+  let run files partial_dir out tr =
+    let from_dir =
+      match partial_dir with
+      | None -> []
+      | Some dir -> (
+          match Sys.readdir dir with
+          | exception Sys_error msg -> die "%s" msg
+          | names ->
+              Array.to_list names
+              |> List.filter (fun n -> Filename.check_suffix n ".json")
+              |> List.sort compare
+              |> List.map (Filename.concat dir))
+    in
+    let files = from_dir @ files in
+    if files = [] then die "nothing to merge: pass partial files or --partial-dir";
+    let partials =
+      List.map
+        (fun f ->
+          match Api.partial_of_json (read_file f) with
+          | Ok p -> p
+          | Error msg -> die "%s: %s" f msg)
+        files
+    in
+    let resp = dispatch tr (Api.Request.Merge { m_partials = partials }) in
+    check_status resp;
+    (match out with
+    | None -> print_string resp.Api.Response.text
+    | Some file ->
+        write_file file resp.Api.Response.text;
+        Printf.printf "merged tables written to %s\n" file);
+    finish resp
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Fold per-shard partial JSON files (from $(b,experiments --shard)) \
+          into the final corpus tables. Refuses incomplete or inconsistent \
+          shard sets; the output is byte-identical to an unsharded run of \
+          the same job.")
+    Term.(
+      const run $ files_arg $ partial_dir_arg $ out_arg $ transport_term)
+
+(* ------------------------------------------------------------------ *)
 (* serve: the persistent daemon                                        *)
 
 let serve_cmd =
@@ -899,4 +1088,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; measure_cmd; rank_cmd; tune_cmd; passes_cmd; suite_cmd; run_cmd; trace_cmd; dump_cmd; verify_cmd; debug_cmd; dwarf_size_cmd; disasm_cmd; sample_cmd; profile_cmd; pass_trace_cmd; value_check_cmd; check_cmd; cache_cmd; stats_cmd; serve_cmd ]))
+          [ compile_cmd; measure_cmd; rank_cmd; tune_cmd; passes_cmd; suite_cmd; run_cmd; trace_cmd; dump_cmd; verify_cmd; debug_cmd; dwarf_size_cmd; disasm_cmd; sample_cmd; profile_cmd; pass_trace_cmd; value_check_cmd; check_cmd; cache_cmd; stats_cmd; experiments_cmd; merge_cmd; serve_cmd ]))

@@ -111,18 +111,48 @@ grep -q "daemon stopped" "$scratch/daemon.log" || {
   exit 1
 }
 
-echo "== benchmark regression gate (table1+ranking+serve+vm cold+warm vs BENCH_baseline.json) =="
+echo "== shard smoke (2-shard corpus run + merge, byte-identical to single process) =="
+# Two single-shard runs coordinate only through the shared cache dir,
+# each writes a JSON partial, and `merge` must reproduce the
+# single-process tables byte for byte. A bad shard spec must die with
+# a one-line error, and a merge missing a shard must be refused.
+mkdir "$scratch/shard-cache" "$scratch/partials"
+shard_args="experiments --seed 3 --corpus 12 --config gcc-O2 --config clang-O1"
+"$cli" $shard_args --cache-dir "$scratch/shard-cache" > "$scratch/corpus-single.out"
+"$cli" $shard_args --shard 1/2 --cache-dir "$scratch/shard-cache" \
+  --partial-dir "$scratch/partials" > /dev/null
+"$cli" $shard_args --shard 2/2 --cache-dir "$scratch/shard-cache" \
+  --partial-dir "$scratch/partials" > /dev/null
+"$cli" merge --partial-dir "$scratch/partials" > "$scratch/corpus-merged.out"
+diff "$scratch/corpus-single.out" "$scratch/corpus-merged.out"
+cat "$scratch/corpus-single.out"
+if "$cli" $shard_args --shard 3/2 > /dev/null 2> "$scratch/shard-err.out"; then
+  echo "shard smoke: --shard 3/2 was accepted" >&2
+  exit 1
+fi
+grep -q "invalid shard spec" "$scratch/shard-err.out" || {
+  echo "shard smoke: bad spec did not produce the one-line error" >&2
+  exit 1
+}
+if "$cli" merge "$scratch/partials/shard-1-of-2.json" > /dev/null 2>&1; then
+  echo "shard smoke: merge accepted an incomplete shard set" >&2
+  exit 1
+fi
+
+echo "== benchmark regression gate (table1+ranking+serve+vm+shard cold+warm vs BENCH_baseline.json) =="
 # Cold and warm runs share one fresh cache dir; the warm run must be
 # several times faster with a high disk hit rate, the cold run must not
 # regress past the committed baseline, the cold ranking sweep must
-# engage the pass-prefix planner, and the vm scenario must show the
-# direct-threaded core beating the reference interpreter (see
-# bench/compare.ml; bounds tunable via DEBUGTUNER_BENCH_TOLERANCE /
-# _WARM_FLOOR / _HIT_FLOOR / _PREFIX_FLOOR / _VM_FLOOR).
+# engage the pass-prefix planner, the vm scenario must show the
+# direct-threaded core beating the reference interpreter, and the
+# shard scenario's 2-process critical path must be well under the
+# single-process run (see bench/compare.ml; bounds tunable via
+# DEBUGTUNER_BENCH_TOLERANCE / _WARM_FLOOR / _HIT_FLOOR /
+# _PREFIX_FLOOR / _VM_FLOOR / _SHARD_FLOOR).
 mkdir "$scratch/bench-cache"
-dune exec bench/main.exe -- --only table1 ranking serve vm --cache-dir "$scratch/bench-cache" \
+dune exec bench/main.exe -- --only table1 ranking serve vm shard --cache-dir "$scratch/bench-cache" \
   --json "$scratch/bench-cold.json" > "$scratch/bench-cold.out"
-dune exec bench/main.exe -- --only table1 ranking serve vm --cache-dir "$scratch/bench-cache" \
+dune exec bench/main.exe -- --only table1 ranking serve vm shard --cache-dir "$scratch/bench-cache" \
   --json "$scratch/bench-warm.json" > "$scratch/bench-warm.out"
 # Warm tables must be byte-identical to cold ones (only the bracketed
 # timing lines may differ).

@@ -21,6 +21,7 @@
 module Config = Debugtuner.Config
 module Measure_engine = Debugtuner.Measure_engine
 module Evaluation = Debugtuner.Evaluation
+module Experiments = Debugtuner.Experiments
 module Toolchain = Debugtuner.Toolchain
 module Ranking = Debugtuner.Ranking
 module Tuning = Debugtuner.Tuning
@@ -28,6 +29,63 @@ module Autofdo = Debugtuner.Autofdo
 module Value_oracle = Debugtuner.Value_oracle
 
 let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Jobs: the sharded corpus-experiment description                      *)
+
+(** A complete, serializable description of one corpus-experiment run —
+    what to measure (corpus spec + configuration set), what to render
+    (table selection), and which slice of the work this process owns
+    (shard spec). The same job value drives every front-end: the CLI
+    runs it in-process, [--connect] ships it to the daemon, the bench
+    harness and the shard workers build it programmatically. Because
+    the whole description travels in the request, [n] workers given the
+    same job (with different shard indices) partition the identical
+    corpus without any other coordination channel. *)
+module Job = struct
+  type t = {
+    j_tables : string list;
+        (** which final tables to render ({!table_names}); [[]] = all.
+            Ignored by sharded runs, which return rows, not tables. *)
+    j_seed : int;  (** corpus generator seed *)
+    j_corpus : int;  (** corpus size (number of programs) *)
+    j_configs : Config.t list;
+        (** configurations to measure, in presentation order;
+            [[]] = the standard set ({!Experiments.all_standard_configs}) *)
+    j_shard : (int * int) option;
+        (** [Some (i, n)]: run only shard [i] of [n] (1-based,
+            [1 <= i <= n]) and return a {!Partial.t} instead of tables *)
+  }
+
+  let table_names = [ "summary"; "families" ]
+  (** The renderable corpus tables, in {!Experiments.corpus_tables}
+      order. *)
+
+  let make ?(tables = []) ?(configs = []) ?shard ~seed ~corpus () =
+    { j_tables = tables; j_seed = seed; j_corpus = corpus;
+      j_configs = configs; j_shard = shard }
+end
+
+(** One shard's result: the row fragment it computed plus everything
+    needed to validate a merge (corpus identity, shard arithmetic,
+    configuration order). This is at once the [Response] payload of a
+    sharded [Experiments] request, the element type of a [Merge]
+    request, and — via {!partial_to_json} — the canonical partial-file
+    format shard workers leave in [--partial-dir]. *)
+module Partial = struct
+  type t = {
+    pt_shard : int;  (** this shard's 1-based index *)
+    pt_shards : int;  (** total shard count *)
+    pt_seed : int;
+    pt_corpus : int;  (** the job's corpus spec, echoed *)
+    pt_digest : string;
+        (** {!Experiments.corpus_digest} — merge refuses partials that
+            disagree, or that disagree with this build's generator *)
+    pt_configs : string list;  (** {!Config.name}s in presentation order *)
+    pt_programs : int;  (** corpus entries this shard measured *)
+    pt_rows : Experiments.corpus_row list;
+  }
+end
 
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
@@ -95,6 +153,11 @@ module Request = struct
       }
     | Cache_op of { o_action : cache_action; o_dir : string option }
     | Stats of { s_what : stats_what }
+    | Experiments of { e_job : Job.t }
+        (** run a corpus-experiment job (or one shard of it) *)
+    | Merge of { m_partials : Partial.t list }
+        (** fold a complete set of shard partials into the final
+            tables — byte-identical to the unsharded run *)
 
   let subject_name = function
     | Named n -> n
@@ -138,6 +201,8 @@ module Response = struct
       }
     | D_cost of int
     | D_counters of (string * int) list
+    | D_partial of Partial.t
+        (** a sharded [Experiments] run's typed result fragment *)
 
   type t = {
     status : status;
@@ -317,6 +382,108 @@ module Codec = struct
           { v_entry = opt_str j "entry"; v_input = int_list j "input" }
     | k -> dfail "unknown view kind %S" k
 
+  (* -- jobs and shard partials -- *)
+
+  let shard_field = function
+    | None -> ("shard", J.Null)
+    | Some (i, n) ->
+        ( "shard",
+          J.Obj
+            [
+              ("index", J.Num (float_of_int i));
+              ("count", J.Num (float_of_int n));
+            ] )
+
+  let shard_of_json j =
+    match J.field "shard" j with
+    | None | Some J.Null -> None
+    | Some s ->
+        let i = get_int s "index" and n = get_int s "count" in
+        if 1 <= i && i <= n then Some (i, n)
+        else dfail "invalid shard %d/%d (need 1 <= index <= count)" i n
+
+  let job_to_json (job : Job.t) =
+    J.Obj
+      [
+        ("tables", J.Arr (List.map (fun s -> J.Str s) job.Job.j_tables));
+        ("seed", J.Num (float_of_int job.Job.j_seed));
+        ("corpus", J.Num (float_of_int job.Job.j_corpus));
+        ("configs", J.Arr (List.map config_to_json job.Job.j_configs));
+        shard_field job.Job.j_shard;
+      ]
+
+  let job_of_json j : Job.t =
+    {
+      Job.j_tables = str_list j "tables";
+      j_seed = get_int j "seed";
+      j_corpus = get_int j "corpus";
+      j_configs = List.map config_of_json (get_arr j "configs");
+      j_shard = shard_of_json j;
+    }
+
+  (* Metric fields round-trip exactly: the canonical writer prints
+     non-integral floats with %.17g, so a merge of JSON-decoded rows
+     renders byte-identically to the single-process run. *)
+  let corpus_row_to_json (r : Experiments.corpus_row) =
+    J.Obj
+      [
+        ("index", J.Num (float_of_int r.Experiments.cr_index));
+        ("program", J.Str r.Experiments.cr_program);
+        ("family", J.Str r.Experiments.cr_family);
+        ("config", J.Str r.Experiments.cr_config);
+        ("avail", J.Num r.Experiments.cr_avail);
+        ("cov", J.Num r.Experiments.cr_cov);
+        ("product", J.Num r.Experiments.cr_product);
+      ]
+
+  let corpus_row_of_json j : Experiments.corpus_row =
+    {
+      Experiments.cr_index = get_int j "index";
+      cr_program = get_str j "program";
+      cr_family = get_str j "family";
+      cr_config = get_str j "config";
+      cr_avail = get_num j "avail";
+      cr_cov = get_num j "cov";
+      cr_product = get_num j "product";
+    }
+
+  (* The partial carries its own version stamp: the same document is a
+     standalone file in --partial-dir, so it must self-describe like
+     any top-level request/response. *)
+  let partial_to_json (p : Partial.t) =
+    J.Obj
+      [
+        ("v", J.Num (float_of_int version));
+        ("shard", J.Num (float_of_int p.Partial.pt_shard));
+        ("shards", J.Num (float_of_int p.Partial.pt_shards));
+        ("seed", J.Num (float_of_int p.Partial.pt_seed));
+        ("corpus", J.Num (float_of_int p.Partial.pt_corpus));
+        ("digest", J.Str p.Partial.pt_digest);
+        ("configs", J.Arr (List.map (fun s -> J.Str s) p.Partial.pt_configs));
+        ("programs", J.Num (float_of_int p.Partial.pt_programs));
+        ("rows", J.Arr (List.map corpus_row_to_json p.Partial.pt_rows));
+      ]
+
+  let partial_of_json j : Partial.t =
+    check_version j;
+    let p =
+      {
+        Partial.pt_shard = get_int j "shard";
+        pt_shards = get_int j "shards";
+        pt_seed = get_int j "seed";
+        pt_corpus = get_int j "corpus";
+        pt_digest = get_str j "digest";
+        pt_configs = str_list j "configs";
+        pt_programs = get_int j "programs";
+        pt_rows = List.map corpus_row_of_json (get_arr j "rows");
+      }
+    in
+    if not (1 <= p.Partial.pt_shard && p.Partial.pt_shard <= p.Partial.pt_shards)
+    then
+      dfail "invalid partial shard %d/%d (need 1 <= shard <= shards)"
+        p.Partial.pt_shard p.Partial.pt_shards;
+    p
+
   (* -- requests -- *)
 
   let request_to_json (r : Request.t) =
@@ -412,6 +579,15 @@ module Codec = struct
           | Request.Server -> "server"
         in
         J.Obj [ v; ("kind", J.Str "stats"); ("what", J.Str what) ]
+    | Request.Experiments { e_job } ->
+        J.Obj [ v; ("kind", J.Str "experiments"); ("job", job_to_json e_job) ]
+    | Request.Merge { m_partials } ->
+        J.Obj
+          [
+            v;
+            ("kind", J.Str "merge");
+            ("partials", J.Arr (List.map partial_to_json m_partials));
+          ]
 
   let request_of_json j : Request.t =
     check_version j;
@@ -489,6 +665,11 @@ module Codec = struct
               | "server" -> Request.Server
               | w -> dfail "unknown stats selector %S" w);
           }
+    | "experiments" ->
+        Request.Experiments { e_job = job_of_json (get j "job") }
+    | "merge" ->
+        Request.Merge
+          { m_partials = List.map partial_of_json (get_arr j "partials") }
     | k -> dfail "unknown request kind %S" k
 
   (* -- responses -- *)
@@ -560,6 +741,8 @@ module Codec = struct
         J.Obj [ ("kind", J.Str "cost"); ("cost", J.Num (float_of_int c)) ]
     | Response.D_counters rows ->
         J.Obj [ ("kind", J.Str "counters"); ("rows", stats_to_json rows) ]
+    | Response.D_partial p ->
+        J.Obj [ ("kind", J.Str "partial"); ("partial", partial_to_json p) ]
 
   let data_of_json j : Response.data =
     match get_str j "kind" with
@@ -602,6 +785,7 @@ module Codec = struct
           }
     | "cost" -> Response.D_cost (get_int j "cost")
     | "counters" -> Response.D_counters (stats_of_json j "rows")
+    | "partial" -> Response.D_partial (partial_of_json (get j "partial"))
     | k -> dfail "unknown data kind %S" k
 
   let response_to_json (r : Response.t) =
@@ -655,6 +839,11 @@ let request_to_json r = J.to_string (Codec.request_to_json r)
 let request_of_json text = decode Codec.request_of_json text
 let response_to_json r = J.to_string (Codec.response_to_json r)
 let response_of_json text = decode Codec.response_of_json text
+
+let partial_to_json p = J.to_string (Codec.partial_to_json p)
+(** The canonical shard-partial file format ([--partial-dir]). *)
+
+let partial_of_json text = decode Codec.partial_of_json text
 
 (* ------------------------------------------------------------------ *)
 (* Execution context                                                   *)
@@ -1297,6 +1486,134 @@ let run_stats ctx (what : Request.stats_what) =
           (Util.Cliopts.kv_lines rows);
       (Buffer.contents b, None, Response.D_counters rows, 0)
 
+(* -- experiments / merge: the sharded corpus runner (ROADMAP item 5) -- *)
+
+let job_spec (job : Job.t) =
+  if job.Job.j_corpus < 1 then failwith "corpus size must be >= 1";
+  { Experiments.cs_seed = job.Job.j_seed; cs_n = job.Job.j_corpus }
+
+let job_configs (job : Job.t) =
+  match job.Job.j_configs with
+  | [] -> Experiments.all_standard_configs
+  | cs -> cs
+
+(** Pick the requested tables out of {!Experiments.corpus_tables}
+    output (which renders every table, in {!Job.table_names} order). *)
+let select_tables (job : Job.t) tables =
+  match job.Job.j_tables with
+  | [] -> tables
+  | wanted ->
+      let named = List.combine Job.table_names tables in
+      List.map
+        (fun name ->
+          match List.assoc_opt name named with
+          | Some t -> t
+          | None ->
+              failwith
+                (Printf.sprintf "unknown table %S (tables: %s)" name
+                   (String.concat ", " Job.table_names)))
+        wanted
+
+let run_experiments ctx (job : Job.t) =
+  let spec = job_spec job in
+  let configs = job_configs job in
+  let config_names = List.map Config.name configs in
+  let digest = Experiments.corpus_digest spec in
+  match job.Job.j_shard with
+  | None ->
+      let rows = Experiments.corpus_rows ~engine:ctx.engine spec configs in
+      let tables =
+        select_tables job
+          (Experiments.corpus_tables spec ~configs:config_names rows)
+      in
+      let text = String.concat "" (List.map Util.Tablefmt.render tables) in
+      (text, None, Response.D_none, 0)
+  | Some (i, n) ->
+      let shard = { Experiments.sh_index = i; sh_count = n } in
+      let rows =
+        Experiments.corpus_rows ~engine:ctx.engine ~shard spec configs
+      in
+      let programs =
+        List.length
+          (List.sort_uniq compare
+             (List.map (fun r -> r.Experiments.cr_index) rows))
+      in
+      let partial =
+        {
+          Partial.pt_shard = i;
+          pt_shards = n;
+          pt_seed = spec.Experiments.cs_seed;
+          pt_corpus = spec.Experiments.cs_n;
+          pt_digest = digest;
+          pt_configs = config_names;
+          pt_programs = programs;
+          pt_rows = rows;
+        }
+      in
+      let text =
+        Printf.sprintf
+          "shard %d/%d: %d program(s), %d row(s) (corpus n=%d seed=%d digest \
+           %s)\n"
+          i n programs (List.length rows) spec.Experiments.cs_n
+          spec.Experiments.cs_seed digest
+      in
+      (text, None, Response.D_partial partial, 0)
+
+(** Fold a complete partial set into the final tables. Pure validation
+    plus rendering — no engine work, so merging is cheap enough to run
+    anywhere (CLI, daemon, bench). [corpus_tables] re-sorts the row set
+    before any reduction, so the output is byte-identical to the
+    unsharded run however the rows were partitioned. *)
+let run_merge (partials : Partial.t list) =
+  match partials with
+  | [] -> failwith "merge needs at least one shard partial"
+  | first :: rest ->
+      List.iter
+        (fun (p : Partial.t) ->
+          if
+            p.Partial.pt_shards <> first.Partial.pt_shards
+            || p.Partial.pt_seed <> first.Partial.pt_seed
+            || p.Partial.pt_corpus <> first.Partial.pt_corpus
+            || p.Partial.pt_digest <> first.Partial.pt_digest
+            || p.Partial.pt_configs <> first.Partial.pt_configs
+          then
+            failwith
+              (Printf.sprintf
+                 "shard %d/%d disagrees with shard %d/%d on corpus or \
+                  configuration set"
+                 p.Partial.pt_shard p.Partial.pt_shards first.Partial.pt_shard
+                 first.Partial.pt_shards))
+        rest;
+      let spec =
+        {
+          Experiments.cs_seed = first.Partial.pt_seed;
+          cs_n = first.Partial.pt_corpus;
+        }
+      in
+      let expect = Experiments.corpus_digest spec in
+      if first.Partial.pt_digest <> expect then
+        failwith
+          (Printf.sprintf
+             "corpus digest mismatch: partials carry %s, this build generates \
+              %s"
+             first.Partial.pt_digest expect);
+      let n = first.Partial.pt_shards in
+      let seen =
+        List.sort compare (List.map (fun p -> p.Partial.pt_shard) partials)
+      in
+      let wanted = List.init n (fun i -> i + 1) in
+      if seen <> wanted then
+        failwith
+          (Printf.sprintf "incomplete merge: have shard(s) %s of %d"
+             (String.concat ", " (List.map string_of_int seen))
+             n);
+      let rows = List.concat_map (fun p -> p.Partial.pt_rows) partials in
+      let text =
+        Experiments.render_corpus_tables spec ~configs:first.Partial.pt_configs
+          rows
+      in
+      (text, None, Response.D_none, 0)
+
 (* ------------------------------------------------------------------ *)
 (* The dispatcher                                                      *)
 
@@ -1317,6 +1634,8 @@ let run_request ctx (req : Request.t) =
   | Request.Cache_op { o_action; o_dir } ->
       run_cache_op ctx ~action:o_action ~dir:o_dir
   | Request.Stats { s_what } -> run_stats ctx s_what
+  | Request.Experiments { e_job } -> run_experiments ctx e_job
+  | Request.Merge { m_partials } -> run_merge m_partials
 
 let error_message = function
   | Failure msg -> msg

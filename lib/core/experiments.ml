@@ -950,3 +950,160 @@ let fig4 ctx =
       "Figure 4: AutoFDO on the large workload (selfcomp, 100 units); O3-dy profiles vs O3 profile"
     ~header:[ "configuration"; "speedup"; "d%"; "samples lost %" ]
     (headline :: rows)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded corpus experiments (ROADMAP item 5): the enlarged corpus
+   measured at a configuration set, shard-sliceable, rendered from a
+   flat row list so that per-shard partials fold back into tables
+   byte-identical to the single-process run.                           *)
+
+type corpus_spec = { cs_seed : int; cs_n : int }
+type shard_spec = { sh_index : int; sh_count : int }
+
+type corpus_row = {
+  cr_index : int;
+  cr_program : string;
+  cr_family : string;
+  cr_config : string;
+  cr_avail : float;
+  cr_cov : float;
+  cr_product : float;
+}
+
+let corpus_digest spec = Corpus.digest ~seed:spec.cs_seed ~n:spec.cs_n
+
+(* Round-robin assignment: shard i of n owns corpus indices congruent
+   to i-1 mod n. The corpus is generated whole in every process (it is
+   cheap next to preparation), so the slice — unlike a range split —
+   balances the expensive tail families across shards. *)
+let shard_slice shard entries =
+  List.filter
+    (fun (e : Corpus.entry) ->
+      e.Corpus.e_index mod shard.sh_count = shard.sh_index - 1)
+    entries
+
+let corpus_families spec =
+  let synth, fuzz, selfcomp = Corpus.counts ~n:spec.cs_n in
+  [ ("synth", synth); ("fuzz", fuzz); ("selfcomp", selfcomp) ]
+
+let prepare_misses engine =
+  match
+    List.assoc_opt "prepare"
+      (Engine.Stats.snapshot (Measure_engine.stats engine))
+  with
+  | Some c -> c.Engine.Stats.misses
+  | None -> 0
+
+let corpus_rows ~engine ?shard spec configs : corpus_row list =
+  let entries = Corpus.generate ~seed:spec.cs_seed ~n:spec.cs_n in
+  let mine =
+    match shard with None -> entries | Some s -> shard_slice s entries
+  in
+  let prepares = Measure_engine.memo engine ~name:"prepare" () in
+  let computed_before = prepare_misses engine in
+  let per_entry =
+    Measure_engine.map engine
+      (fun (e : Corpus.entry) ->
+        let prepared =
+          prepare_via prepares ~fuzz_budget:e.Corpus.e_fuzz_budget
+            e.Corpus.e_program
+        in
+        List.map
+          (fun config ->
+            let m, _ = Measure_engine.measure engine prepared config in
+            let h = m.Metrics.m_hybrid in
+            {
+              cr_index = e.Corpus.e_index;
+              cr_program = e.Corpus.e_program.Suite_types.p_name;
+              cr_family = Corpus.family_name e.Corpus.e_family;
+              cr_config = Config.name config;
+              cr_avail = h.Metrics.availability;
+              cr_cov = h.Metrics.line_coverage;
+              cr_product = h.Metrics.product;
+            })
+          configs)
+      mine
+  in
+  let programs = List.length mine in
+  let computed = prepare_misses engine - computed_before in
+  Measure_engine.bump_shard_counter "programs" programs;
+  Measure_engine.bump_shard_counter "rows" (programs * List.length configs);
+  Measure_engine.bump_shard_counter "resumed_programs"
+    (max 0 (programs - computed));
+  List.concat per_entry
+
+(* Rendering is a pure function of the row *set*: rows are re-sorted by
+   (corpus index, config position) before any reduction, so a merge of
+   shard partials and a straight single-process run — which produce the
+   same rows in different orders — print byte-identical tables. *)
+let corpus_tables spec ~configs (rows : corpus_row list) : T.t list =
+  let config_pos c =
+    let rec go i = function
+      | [] -> List.length configs
+      | x :: rest -> if x = c then i else go (i + 1) rest
+    in
+    go 0 configs
+  in
+  let rows =
+    List.sort
+      (fun a b ->
+        compare
+          (a.cr_index, config_pos a.cr_config)
+          (b.cr_index, config_pos b.cr_config))
+      rows
+  in
+  let geo sel rs = Util.Stats.geomean (List.map sel rs) in
+  let summary =
+    let per_config =
+      List.map
+        (fun c ->
+          let rs = List.filter (fun r -> r.cr_config = c) rows in
+          [
+            c;
+            string_of_int (List.length rs);
+            T.f4 (geo (fun r -> r.cr_avail) rs);
+            T.f4 (geo (fun r -> r.cr_cov) rs);
+            T.f4 (geo (fun r -> r.cr_product) rs);
+          ])
+        configs
+    in
+    T.make
+      ~title:
+        (Printf.sprintf
+           "Corpus summary: %d programs, seed %d, digest %s (hybrid geomean)"
+           spec.cs_n spec.cs_seed
+           (String.sub (corpus_digest spec) 0 12))
+      ~header:[ "config"; "programs"; "avail"; "lcov"; "product" ]
+      per_config
+  in
+  let families =
+    let family_rows =
+      List.concat_map
+        (fun (fam, count) ->
+          if count = 0 then []
+          else
+            List.map
+              (fun c ->
+                let rs =
+                  List.filter
+                    (fun r -> r.cr_family = fam && r.cr_config = c)
+                    rows
+                in
+                [
+                  fam;
+                  c;
+                  string_of_int (List.length rs);
+                  T.f4 (geo (fun r -> r.cr_avail) rs);
+                  T.f4 (geo (fun r -> r.cr_product) rs);
+                ])
+              configs)
+        (corpus_families spec)
+    in
+    T.make ~title:"Corpus by family (hybrid geomean)"
+      ~header:[ "family"; "config"; "programs"; "avail"; "product" ]
+      family_rows
+  in
+  [ summary; families ]
+
+let render_corpus_tables spec ~configs rows =
+  String.concat "" (List.map T.render (corpus_tables spec ~configs rows))

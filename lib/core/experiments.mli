@@ -68,3 +68,58 @@ val clang_og_table : ctx -> Util.Tablefmt.t
 val per_program_table : ctx -> Util.Tablefmt.t
 val dwarf_sizes_table : ctx -> Util.Tablefmt.t
 val autofdo_rounds_table : ctx -> Util.Tablefmt.t
+
+(** {1 Sharded corpus experiments (ROADMAP item 5)}
+
+    The enlarged corpus ({!Corpus}) measured at a configuration set.
+    Deliberately independent of {!ctx} — a shard worker must not pay
+    the 13-app suite preparation — and engineered for byte-identical
+    merges: {!corpus_rows} computes a flat row list (shard-sliceable,
+    deterministic per row), {!corpus_tables} renders tables from the
+    row *set* (rows are re-sorted before any reduction), so folding
+    per-shard partials together reproduces the single-process output
+    exactly. *)
+
+type corpus_spec = { cs_seed : int; cs_n : int }
+
+type shard_spec = { sh_index : int; sh_count : int }
+(** 1-based: shard [sh_index] of [sh_count], [1 <= sh_index <= sh_count]
+    (the invariant {!Util.Cliopts.parse_shard} enforces). *)
+
+type corpus_row = {
+  cr_index : int;  (** position in the corpus — the merge sort key *)
+  cr_program : string;
+  cr_family : string;
+  cr_config : string;  (** {!Config.name} of the measured config *)
+  cr_avail : float;
+  cr_cov : float;
+  cr_product : float;  (** hybrid-method metrics *)
+}
+
+val corpus_digest : corpus_spec -> string
+(** Content digest of the generated corpus; every shard and the merge
+    step cross-check it, independent of shard count. *)
+
+val shard_slice : shard_spec -> Corpus.entry list -> Corpus.entry list
+(** Round-robin slice: shard [i] of [n] owns indices [i-1 mod n]. *)
+
+val corpus_rows :
+  engine:Measure_engine.t ->
+  ?shard:shard_spec ->
+  corpus_spec ->
+  Config.t list ->
+  corpus_row list
+(** Measure (this shard's slice of) the corpus at every configuration,
+    through the engine's caches — with a persistent store, shards
+    coordinate by content address and interrupted runs resume warm.
+    Bumps the [shard/*] progress counters ([programs], [rows],
+    [resumed_programs]). *)
+
+val corpus_tables :
+  corpus_spec -> configs:string list -> corpus_row list -> Util.Tablefmt.t list
+(** Final tables from a complete row set ([configs] in presentation
+    order, as {!Config.name}s). Pure in the row set: any row order
+    yields byte-identical output. *)
+
+val render_corpus_tables :
+  corpus_spec -> configs:string list -> corpus_row list -> string

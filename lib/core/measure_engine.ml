@@ -195,6 +195,37 @@ end
 let prefix_counters = Prefix_stats.counters
 let reset_prefix_counters = Prefix_stats.reset
 
+(* Shard progress/resume counters. The sharded experiment runner bumps
+   these as it walks its slice of the corpus; they surface as shard/*
+   rows of {!stats_table}, so a shard's JSON partial (and `--stats`)
+   reports how far it got and how much of a rerun came warm from the
+   store. Process-global like the sanitizer and prefix counters. *)
+module Shard_stats = struct
+  let table : (string, int) Hashtbl.t = Hashtbl.create 8
+  let mutex = Mutex.create ()
+
+  let bump name v =
+    Mutex.lock mutex;
+    let cur = match Hashtbl.find_opt table name with Some c -> c | None -> 0 in
+    Hashtbl.replace table name (cur + v);
+    Mutex.unlock mutex
+
+  let counters () =
+    Mutex.lock mutex;
+    let rows = Hashtbl.fold (fun n v acc -> (n, v) :: acc) table [] in
+    Mutex.unlock mutex;
+    List.sort compare rows
+
+  let reset () =
+    Mutex.lock mutex;
+    Hashtbl.reset table;
+    Mutex.unlock mutex
+end
+
+let shard_counters = Shard_stats.counters
+let bump_shard_counter = Shard_stats.bump
+let reset_shard_counters = Shard_stats.reset
+
 let prefix_span name args f =
   if not (Obs.enabled ()) then f ()
   else begin
@@ -488,8 +519,14 @@ let stats_table t : (string * int) list =
   let prefix_rows =
     List.filter (fun (_, v) -> v <> 0) (Prefix_stats.counters ())
   in
+  let shard_rows =
+    List.filter_map
+      (fun (n, v) -> if v = 0 then None else Some ("shard/" ^ n, v))
+      (Shard_stats.counters ())
+  in
   List.sort compare
-    (engine_rows @ sanitize_rows @ store_rows @ obs_rows @ prefix_rows)
+    (engine_rows @ sanitize_rows @ store_rows @ obs_rows @ prefix_rows
+   @ shard_rows)
 
 (** [stats_delta ~before after] subtracts two {!stats_table} snapshots
     row-wise (rows absent from [before] count from zero; zero-delta

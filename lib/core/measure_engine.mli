@@ -139,6 +139,19 @@ val prefix_counters : unit -> (string * int) list
 val reset_prefix_counters : unit -> unit
 (** Zero the planner counters (tests, bench scenario isolation). *)
 
+val shard_counters : unit -> (string * int) list
+(** Shard progress/resume counters bumped by the sharded experiment
+    runner ([programs], [rows], [resumed_programs], ...), raw (no
+    prefix). Merged into {!stats_table} as [shard/<name>] rows, so a
+    shard's partial JSON and [--stats] output report how far the slice
+    got and how much of a rerun was served warm. *)
+
+val bump_shard_counter : string -> int -> unit
+(** Add to a named shard counter (process-global, thread-safe). *)
+
+val reset_shard_counters : unit -> unit
+(** Zero the shard counters (tests, bench scenario isolation). *)
+
 val workers : t -> int
 val stats : t -> Engine.Stats.t
 
@@ -158,8 +171,9 @@ val stats_table : t -> (string * int) list
     zero rows dropped), sanitizer boundaries
     ([sanitize/<pass>/checked|failures]), disk-store activity
     ([store/<cache>/hits|misses|writes|corrupt|stale|evicted], zero rows
-    dropped, present only when the engine has a store) and live [Obs]
-    counters ([obs/<name>]). The single stats path behind
+    dropped, present only when the engine has a store), live [Obs]
+    counters ([obs/<name>]) and shard progress counters
+    ([shard/<name>]). The single stats path behind
     [bench --stats] and the CLI, in both text and JSON renderings. *)
 
 val stats_delta :

@@ -91,6 +91,9 @@ module Disk_store = struct
     mutable s_corrupt : int;  (** truncated / bit-flipped / undecodable *)
     mutable s_stale : int;  (** format-version or schema mismatch *)
     mutable s_evicted : int;  (** removed by the size bound (LRU) *)
+    mutable s_evicted_ext : int;
+        (** entries this handle published that later vanished from disk —
+            evicted by another process sharing the directory *)
   }
 
   type t = {
@@ -100,6 +103,10 @@ module Disk_store = struct
     mutex : Mutex.t;
     mutable size : int;  (** approximate: concurrent processes drift it *)
     cells : (string, cell) Hashtbl.t;
+    written : (string, unit) Hashtbl.t;
+        (** entry paths this handle published (and has not itself
+            removed): a later disk miss on one of them means another
+            process evicted it — the cross-process eviction signal *)
   }
 
   let default_max_bytes = 512 * 1024 * 1024
@@ -121,6 +128,7 @@ module Disk_store = struct
             s_corrupt = 0;
             s_stale = 0;
             s_evicted = 0;
+            s_evicted_ext = 0;
           }
         in
         Hashtbl.replace t.cells name c;
@@ -182,6 +190,7 @@ module Disk_store = struct
         mutex = Mutex.create ();
         size = 0;
         cells = Hashtbl.create 8;
+        written = Hashtbl.create 64;
       }
     in
     t.size <- scan_size t;
@@ -264,7 +273,10 @@ module Disk_store = struct
   let remove_entry t path =
     let bytes = file_size path in
     match Sys.remove path with
-    | () -> locked t (fun () -> t.size <- max 0 (t.size - bytes))
+    | () ->
+        locked t (fun () ->
+            t.size <- max 0 (t.size - bytes);
+            Hashtbl.remove t.written path)
     | exception Sys_error _ -> ()
 
   (* LRU eviction to ~7/8 of the bound (amortizes rescans). Assumes the
@@ -280,13 +292,23 @@ module Disk_store = struct
     if t.size > t.max_bytes then begin
       let target = t.max_bytes * 7 / 8 in
       List.iter
-        (fun (_, path, cache, bytes) ->
-          if t.size > target then (
-            match Sys.remove path with
-            | () ->
-                t.size <- max 0 (t.size - bytes);
-                (cell t cache).s_evicted <- (cell t cache).s_evicted + 1
-            | exception Sys_error _ -> ()))
+        (fun (mtime, path, cache, bytes) ->
+          if t.size > target then
+            (* Re-stat before removing: between the scan above and this
+               removal another process may have republished the entry
+               (tmp+rename) or refreshed its LRU clock with a hit — the
+               scanned mtime is then stale, and deleting a freshly
+               written or freshly used entry is the one eviction-vs-
+               writer race that actually hurts. A newer mtime means the
+               entry earned a later LRU position; leave it alone. *)
+            if file_mtime path > mtime then ()
+            else
+              match Sys.remove path with
+              | () ->
+                  t.size <- max 0 (t.size - bytes);
+                  Hashtbl.remove t.written path;
+                  (cell t cache).s_evicted <- (cell t cache).s_evicted + 1
+              | exception Sys_error _ -> ())
         (List.sort compare entries)
     end
 
@@ -326,6 +348,7 @@ module Disk_store = struct
       Sys.rename tmp path;
       locked t (fun () ->
           (cell t cache).s_writes <- (cell t cache).s_writes + 1;
+          Hashtbl.replace t.written path ();
           t.size <- max 0 (t.size + bytes - replaced);
           if t.size > t.max_bytes then evict_locked t)
     with _ -> ()
@@ -334,7 +357,16 @@ module Disk_store = struct
     wrapped "store:get" [ ("cache", cache) ] @@ fun () ->
     let path = entry_path t ~cache ~key in
     if not (Sys.file_exists path) then begin
-      bump t cache (fun c -> c.s_misses <- c.s_misses + 1);
+      (* A miss on an entry we ourselves published (and did not remove)
+         means another process's eviction took it: the cross-process
+         eviction signal, counted separately from our own LRU work. *)
+      locked t (fun () ->
+          let c = cell t cache in
+          c.s_misses <- c.s_misses + 1;
+          if Hashtbl.mem t.written path then begin
+            Hashtbl.remove t.written path;
+            c.s_evicted_ext <- c.s_evicted_ext + 1
+          end);
       None
     end
     else
@@ -397,6 +429,7 @@ module Disk_store = struct
         try Sys.rmdir cdir with Sys_error _ -> ())
       (readdir_sorted (objects_dir t));
     remove_tmp t ~max_age:(-1.0);
+    Hashtbl.reset t.written;
     t.size <- 0;
     n
 
@@ -417,6 +450,7 @@ module Disk_store = struct
             | () ->
                 incr removed;
                 t.size <- max 0 (t.size - bytes);
+                Hashtbl.remove t.written path;
                 let c = cell t cache in
                 c.s_evicted <- c.s_evicted + 1
             | exception Sys_error _ -> ())
@@ -455,6 +489,7 @@ module Disk_store = struct
         :: (name ^ "/corrupt", c.s_corrupt)
         :: (name ^ "/stale", c.s_stale)
         :: (name ^ "/evicted", c.s_evicted)
+        :: (name ^ "/evicted_ext", c.s_evicted_ext)
         :: acc)
       t.cells []
     |> List.sort compare

@@ -125,8 +125,11 @@ module Disk_store : sig
 
   val counters : t -> (string * int) list
   (** This handle's activity as flat rows —
-      [<cache>/hits|misses|writes|corrupt|stale|evicted] — sorted; zero
-      rows included (renderers filter). *)
+      [<cache>/hits|misses|writes|corrupt|stale|evicted|evicted_ext] —
+      sorted; zero rows included (renderers filter). [evicted] counts
+      this handle's own LRU/gc removals; [evicted_ext] counts entries
+      this handle published that later vanished from disk, i.e.
+      evictions performed by another process sharing the directory. *)
 
   (** {2 Observability seam} *)
 

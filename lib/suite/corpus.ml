@@ -1,0 +1,181 @@
+(** The enlarged experiment corpus (ROADMAP item 5): parameterized,
+    seed-deterministic program generation two orders of magnitude past
+    the paper's 13 apps + 40 synthetic programs.
+
+    Three families, concatenated in a fixed order so the corpus layout
+    is a pure function of [(seed, n)] — crucially independent of how
+    many shards later split the work:
+
+    - [Synth]: {!Synth.program} generator sweeps (closed, Csmith-like;
+      the paper's synthetic population scaled up by sweeping the seed).
+    - [Fuzz]: input-driven mixing programs generated here whose
+      measurement corpora are fuzzing-derived — [Evaluation.prepare]
+      runs the real {!Fuzzer} over the seeded harness inputs with a
+      larger budget than the closed synth programs get.
+    - [Selfcomp]: {!Selfcomp.program} self-compilation subjects, each
+      with a distinct seeded {!Selfcomp.workload} (the Figure 4 shape,
+      many times over).
+
+    Per-family fuzz budgets ride along in each entry because they are
+    part of {!Evaluation.prepare_key}: every shard must prepare a given
+    program identically or the content-addressed work-sharing through
+    the disk store falls apart. *)
+
+open Suite_types
+
+type family = Synth | Fuzz | Selfcomp
+
+let family_name = function
+  | Synth -> "synth"
+  | Fuzz -> "fuzz"
+  | Selfcomp -> "selfcomp"
+
+type entry = {
+  e_index : int;  (** position in the corpus; the merge sort key *)
+  e_family : family;
+  e_fuzz_budget : int;  (** passed to [Evaluation.prepare] *)
+  e_program : sprogram;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The fuzz family: programs that read input and branch on it, so the
+   fuzzer's corpus expansion (not just the seeded inputs) decides what
+   the debugger can observe.                                           *)
+
+let fuzz_program ~seed : sprogram =
+  let rng = Util.Rng.create ((seed * 2654435761) lxor 0x5f5f) in
+  let b = Buffer.create 1024 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string b s;
+        Buffer.add_char b '\n')
+      fmt
+  in
+  let n_mixers = 2 + Util.Rng.int rng 3 in
+  line "int state[8];";
+  line "";
+  for m = 0 to n_mixers - 1 do
+    line "int mix%d(int x) {" m;
+    line "  int r = (x * %d) ^ (x >> %d);" (1 + Util.Rng.int rng 97)
+      (1 + Util.Rng.int rng 4);
+    line "  if ((r & %d) == 0) {" (1 + Util.Rng.int rng 7);
+    line "    r = r + %d;" (3 + Util.Rng.int rng 61);
+    line "  } else {";
+    line "    r = r - state[%d];" (Util.Rng.int rng 8);
+    line "  }";
+    line "  state[%d] = (state[%d] + r) %% 65521;" (Util.Rng.int rng 8)
+      (Util.Rng.int rng 8);
+    line "  return r %% 9973;";
+    line "}";
+    line ""
+  done;
+  line "int main() {";
+  line "  int i = 0;";
+  line "  while (i < 8) {";
+  line "    state[i] = i * %d + 1;" (1 + Util.Rng.int rng 9);
+  line "    i = i + 1;";
+  line "  }";
+  line "  int acc = %d;" (Util.Rng.int rng 1000);
+  line "  int n = 0;";
+  line "  while (!eof() && n < 64) {";
+  line "    int v = input();";
+  for m = 0 to n_mixers - 1 do
+    line "    if ((v %% %d) == %d) {" n_mixers m;
+    line "      acc = (acc + mix%d(v)) %% 1000003;" m;
+    line "    }"
+  done;
+  line "    n = n + 1;";
+  line "  }";
+  line "  output(acc);";
+  line "  output(state[%d]);" (Util.Rng.int rng 8);
+  line "  output(n);";
+  line "  return 0;";
+  line "}";
+  let seeds =
+    List.init 3 (fun _ ->
+        List.init (4 + Util.Rng.int rng 8) (fun _ -> Util.Rng.int rng 256))
+  in
+  {
+    p_name = Printf.sprintf "fuzz-%d" seed;
+    p_source = Buffer.contents b;
+    p_harnesses = [ { h_name = "main"; h_entry = "main"; h_seeds = seeds } ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The selfcomp family: one shared source, distinct seeded workloads.  *)
+
+let selfcomp_subject ~seed : sprogram =
+  let units = 2 + (seed mod 3) in
+  {
+    Selfcomp.program with
+    p_name = Printf.sprintf "selfcomp-%d" seed;
+    p_harnesses =
+      [
+        {
+          h_name = "units";
+          h_entry = "main";
+          h_seeds = [ Selfcomp.workload ~seed ~units ];
+        };
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Corpus layout                                                       *)
+
+(** Family sizes for a corpus of [n] programs: mostly synth sweeps, a
+    quarter fuzz programs, a sixteenth (the expensive ones) selfcomp
+    subjects. A pure function of [n]. *)
+let counts ~n =
+  let selfcomp = n / 16 in
+  let fuzz = n / 4 in
+  (n - fuzz - selfcomp, fuzz, selfcomp)
+
+let synth_budget = 8 (* matches the Table I synth preparation *)
+let fuzz_budget = 12
+let selfcomp_budget = 4
+
+let generate ~seed ~n : entry list =
+  let synth_n, fuzz_n, selfcomp_n = counts ~n in
+  let families =
+    List.init synth_n (fun i ->
+        (Synth, synth_budget, Synth.program ~seed:(seed + i)))
+    @ List.init fuzz_n (fun i ->
+        (Fuzz, fuzz_budget, fuzz_program ~seed:(seed + i)))
+    @ List.init selfcomp_n (fun i ->
+        (Selfcomp, selfcomp_budget, selfcomp_subject ~seed:(seed + i)))
+  in
+  List.mapi
+    (fun i (fam, budget, p) ->
+      { e_index = i; e_family = fam; e_fuzz_budget = budget; e_program = p })
+    families
+
+(** Content digest of the whole corpus: every shard (and the merge
+    step) can check it is talking about the same program population
+    regardless of shard count. *)
+let digest ~seed ~n : string =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string b (family_name e.e_family);
+      Buffer.add_char b '\000';
+      Buffer.add_string b e.e_program.p_name;
+      Buffer.add_char b '\000';
+      Buffer.add_string b (string_of_int e.e_fuzz_budget);
+      Buffer.add_char b '\000';
+      Buffer.add_string b e.e_program.p_source;
+      List.iter
+        (fun h ->
+          Buffer.add_string b h.h_name;
+          List.iter
+            (fun inputs ->
+              List.iter
+                (fun v ->
+                  Buffer.add_string b (string_of_int v);
+                  Buffer.add_char b ',')
+                inputs;
+              Buffer.add_char b ';')
+            h.h_seeds)
+        e.e_program.p_harnesses)
+    (generate ~seed ~n);
+  Digest.to_hex (Digest.string (Buffer.contents b))

@@ -119,10 +119,38 @@ let connect =
        instead of in-process (shares its caches)";
   }
 
+let shard =
+  {
+    o_name = "--shard";
+    o_docv = Some "I/N";
+    o_doc =
+      "run only this shard of the experiment corpus (1-based; e.g. 2/4) \
+       and emit a partial instead of final tables";
+  }
+
+let corpus =
+  {
+    o_name = "--corpus";
+    o_docv = Some "N";
+    o_doc =
+      "size of the generated experiment corpus (synth sweeps, fuzz \
+       programs and self-compilation subjects; seed-deterministic)";
+  }
+
+let partial_dir =
+  {
+    o_name = "--partial-dir";
+    o_docv = Some "DIR";
+    o_doc =
+      "directory where shard runs write (and merge reads) per-shard \
+       partial JSON files";
+  }
+
 let shared =
   [
     stats; json; jobs; sanitize; trace; profile; cache_dir; no_cache;
-    no_prefix_cache; socket; timeout; queue_limit; connect;
+    no_prefix_cache; socket; timeout; queue_limit; connect; shard; corpus;
+    partial_dir;
   ]
 
 type common = {
@@ -139,6 +167,9 @@ type common = {
   mutable c_timeout : float option;
   mutable c_queue_limit : int;
   mutable c_connect : string option;
+  mutable c_shard : (int * int) option;
+  mutable c_corpus : int option;
+  mutable c_partial_dir : string option;
 }
 
 let defaults () =
@@ -156,7 +187,33 @@ let defaults () =
     c_timeout = None;
     c_queue_limit = 8;
     c_connect = None;
+    c_shard = None;
+    c_corpus = None;
+    c_partial_dir = None;
   }
+
+(** The one strict shard-spec parser: both front-ends route "--shard"
+    arguments through it so a bad spec always produces the same
+    one-line message. Accepts exactly [I/N] with 1 <= I <= N. *)
+let parse_shard (s : string) : (int * int, string) result =
+  let bad () =
+    Error
+      (Printf.sprintf
+         "invalid shard spec %S (expected I/N with 1 <= I <= N, e.g. 2/4)" s)
+  in
+  let all_digits part =
+    part <> "" && String.for_all (fun c -> c >= '0' && c <= '9') part
+  in
+  match String.index_opt s '/' with
+  | None -> bad ()
+  | Some slash -> (
+      let i_part = String.sub s 0 slash
+      and n_part = String.sub s (slash + 1) (String.length s - slash - 1) in
+      if not (all_digits i_part && all_digits n_part) then bad ()
+      else
+        match (int_of_string_opt i_part, int_of_string_opt n_part) with
+        | Some i, Some n when 1 <= i && i <= n -> Ok (i, n)
+        | _ -> bad ())
 
 let value name = function
   | v :: rest -> (v, rest)
@@ -227,6 +284,22 @@ let parse (c : common) (argv : string list) : string list =
     | a :: rest when a = connect.o_name ->
         let v, rest = value a rest in
         c.c_connect <- Some v;
+        go acc rest
+    | a :: rest when a = shard.o_name -> (
+        let v, rest = value a rest in
+        match parse_shard v with
+        | Ok pair ->
+            c.c_shard <- Some pair;
+            go acc rest
+        | Error msg -> invalid_arg msg)
+    | a :: rest when a = corpus.o_name ->
+        let n, rest = int_value a rest in
+        if n < 1 then invalid_arg (Printf.sprintf "%s: must be >= 1" a);
+        c.c_corpus <- Some n;
+        go acc rest
+    | a :: rest when a = partial_dir.o_name ->
+        let v, rest = value a rest in
+        c.c_partial_dir <- Some v;
         go acc rest
     | a :: rest -> go (a :: acc) rest
   in

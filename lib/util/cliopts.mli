@@ -23,6 +23,9 @@ val socket : spec
 val timeout : spec
 val queue_limit : spec
 val connect : spec
+val shard : spec
+val corpus : spec
+val partial_dir : spec
 
 val shared : spec list
 (** All of the above, in help order. *)
@@ -41,9 +44,18 @@ type common = {
   mutable c_timeout : float option;
   mutable c_queue_limit : int;
   mutable c_connect : string option;
+  mutable c_shard : (int * int) option;
+  mutable c_corpus : int option;
+  mutable c_partial_dir : string option;
 }
 
 val defaults : unit -> common
+
+val parse_shard : string -> (int * int, string) result
+(** The single strict ["I/N"] shard-spec parser shared by every
+    front-end: 1-based index, [1 <= I <= N], digits only. Anything else
+    ([0/4], [5/4], ["a/b"], missing slash) is an [Error] carrying a
+    one-line message ready for a [debugtuner: <msg>] usage error. *)
 
 val parse : common -> string list -> string list
 (** [parse c argv] consumes every shared option from [argv] into [c]

@@ -34,4 +34,5 @@ let () =
       ("differential", Test_differential.tests);
       ("vm-conformance", Test_vm_conformance.tests);
       ("api", Test_api.tests);
+      ("shard", Test_shard.tests);
     ]

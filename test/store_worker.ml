@@ -1,0 +1,35 @@
+(* Child-process side of the two-process Disk_store tests
+   (test_disk_store.ml): a genuinely separate OS process working the
+   same store directory through its own handle. Spawned with
+   create_process rather than fork — the test binary has run Domain
+   work by the time these tests execute, and OCaml 5 forbids forking
+   a multi-domain runtime. *)
+
+module DS = Engine.Disk_store
+
+let payload i = Printf.sprintf "deterministic payload for key %d" i
+
+let () =
+  match Sys.argv with
+  | [| _; "hammer"; dir |] ->
+      (* Overlapping deterministic put/get/gc against the parent. *)
+      let s = DS.create ~schema:"s" ~dir () in
+      for _round = 1 to 3 do
+        for i = 1 to 25 do
+          DS.put s ~cache:"mp" ~key:(string_of_int i) (payload i);
+          (match DS.get s ~cache:"mp" ~key:(string_of_int i) with
+          | None -> ()
+          | Some got -> if got <> payload i then exit 1 (* torn read *))
+        done;
+        ignore (DS.gc s : int)
+      done
+  | [| _; "flood"; dir |] ->
+      (* Blow past a tiny size bound so this process's LRU eviction
+         removes the parent's backdated entry. *)
+      let s = DS.create ~max_bytes:2000 ~schema:"s" ~dir () in
+      for i = 1 to 30 do
+        DS.put s ~cache:"x" ~key:("k" ^ string_of_int i) (String.make 100 'x')
+      done
+  | _ ->
+      prerr_endline "usage: store_worker (hammer|flood) DIR";
+      exit 2

@@ -67,6 +67,72 @@ let gen_view =
           gen_opt_str gen_ints;
       ])
 
+let gen_metric = QCheck.Gen.(map (fun f -> f /. 7.0) (float_bound_inclusive 7.0))
+
+let gen_corpus_row =
+  QCheck.Gen.(
+    let* idx = int_range 0 9_999 in
+    let* fam = oneofl [ "synth"; "fuzz"; "selfcomp" ] in
+    let* cfg = oneofl [ "gcc-O2"; "clang-O1"; "gcc-Og"; "clang-O3" ] in
+    let* avail = gen_metric in
+    let* cov = gen_metric in
+    let* product = gen_metric in
+    return
+      {
+        Debugtuner.Experiments.cr_index = idx;
+        cr_program = Printf.sprintf "%s-%04d" fam idx;
+        cr_family = fam;
+        cr_config = cfg;
+        cr_avail = avail;
+        cr_cov = cov;
+        cr_product = product;
+      })
+
+let gen_shard =
+  QCheck.Gen.(
+    let* n = int_range 1 8 in
+    let* i = int_range 1 n in
+    return (i, n))
+
+let gen_job =
+  QCheck.Gen.(
+    let* tables =
+      list_size (int_bound 2) (oneofl Api.Job.table_names)
+    in
+    let* seed = int_range 0 9_999 in
+    let* corpus = int_range 1 10_000 in
+    let* configs = list_size (int_bound 3) gen_config in
+    let* shard = opt gen_shard in
+    return
+      {
+        Api.Job.j_tables = tables;
+        j_seed = seed;
+        j_corpus = corpus;
+        j_configs = configs;
+        j_shard = shard;
+      })
+
+let gen_partial =
+  QCheck.Gen.(
+    let* i, n = gen_shard in
+    let* seed = int_range 0 9_999 in
+    let* corpus = int_range 1 10_000 in
+    let* digest = string_size (int_bound 16) in
+    let* configs = list_size (int_bound 3) (oneofl [ "gcc-O2"; "clang-O1" ]) in
+    let* programs = int_range 0 2_500 in
+    let* rows = list_size (int_bound 6) gen_corpus_row in
+    return
+      {
+        Api.Partial.pt_shard = i;
+        pt_shards = n;
+        pt_seed = seed;
+        pt_corpus = corpus;
+        pt_digest = digest;
+        pt_configs = configs;
+        pt_programs = programs;
+        pt_rows = rows;
+      })
+
 let gen_request =
   QCheck.Gen.(
     oneof
@@ -128,6 +194,10 @@ let gen_request =
          return (R.Cache_op { o_action = a; o_dir = d }));
         (let* w = oneofl [ R.Counters; R.Suite; R.Server ] in
          return (R.Stats { s_what = w }));
+        (let* j = gen_job in
+         return (R.Experiments { e_job = j }));
+        (let* ps = list_size (int_range 1 4) gen_partial in
+         return (R.Merge { m_partials = ps }));
       ])
 
 let gen_stats =
@@ -185,6 +255,7 @@ let gen_data =
               }));
         map (fun c -> Resp.D_cost c) (int_range 0 1_000_000);
         map (fun rows -> Resp.D_counters rows) gen_stats;
+        map (fun p -> Resp.D_partial p) gen_partial;
       ])
 
 let gen_response =
@@ -295,6 +366,57 @@ let qcheck_json_string_roundtrip =
       match Api_json.parse (Api_json.to_string (Api_json.Str s)) with
       | Api_json.Str s' -> s' = s
       | _ -> false)
+
+(* The shard-partial document doubles as a standalone file format
+   (--partial-dir), so it gets the same treatment as requests: exact
+   round-trips (including the float metrics — the %.17g writer), unknown
+   fields tolerated, foreign versions refused. *)
+let partial_arb = QCheck.make ~print:Api.partial_to_json gen_partial
+
+let qcheck_partial_roundtrip =
+  QCheck.Test.make ~name:"shard partial codec round-trips" ~count:500
+    partial_arb (fun p ->
+      match Api.partial_of_json (Api.partial_to_json p) with
+      | Ok p' -> p' = p
+      | Error _ -> false)
+
+let qcheck_partial_unknown_fields =
+  QCheck.Test.make ~name:"partial decoder tolerates unknown fields" ~count:200
+    partial_arb (fun p ->
+      let enc = Api.partial_to_json p in
+      let prefix = "{\"v\":1," in
+      assert (String.sub enc 0 (String.length prefix) = prefix);
+      let spliced =
+        prefix
+        ^ "\"x_extra\":[{\"nested\":true}],"
+        ^ String.sub enc (String.length prefix)
+            (String.length enc - String.length prefix)
+      in
+      match Api.partial_of_json spliced with
+      | Ok p' -> p' = p
+      | Error _ -> false)
+
+let qcheck_partial_version_rejected =
+  QCheck.Test.make ~name:"partial decoder rejects foreign versions" ~count:100
+    partial_arb (fun p ->
+      let enc = Api.partial_to_json p in
+      let skip = String.length "{\"v\":1," in
+      let bumped =
+        "{\"v\":42," ^ String.sub enc skip (String.length enc - skip)
+      in
+      match Api.partial_of_json bumped with
+      | Error _ -> true
+      | Ok _ -> false)
+
+let test_partial_invalid_shard () =
+  (* a shard index beyond the count must be refused at decode time *)
+  let bad =
+    "{\"v\":1,\"shard\":3,\"shards\":2,\"seed\":1,\"corpus\":4,\"digest\":\"d\",\
+     \"configs\":[\"gcc-O2\"],\"programs\":0,\"rows\":[]}"
+  in
+  match Api.partial_of_json bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range shard index accepted"
 
 (* ------------------------------------------------------------------ *)
 (* Framing torture                                                     *)
@@ -599,6 +721,11 @@ let tests =
     QCheck_alcotest.to_alcotest qcheck_unknown_fields_tolerated;
     QCheck_alcotest.to_alcotest qcheck_version_rejected;
     QCheck_alcotest.to_alcotest qcheck_json_string_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_partial_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_partial_unknown_fields;
+    QCheck_alcotest.to_alcotest qcheck_partial_version_rejected;
+    Alcotest.test_case "partial decoder rejects bad shard arithmetic" `Quick
+      test_partial_invalid_shard;
     Alcotest.test_case "framing round-trip" `Quick test_framing_roundtrip;
     Alcotest.test_case "framing partial reads" `Quick test_framing_partial_reads;
     Alcotest.test_case "framing oversized prefix" `Quick

@@ -255,6 +255,81 @@ let test_two_domain_race () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Two processes sharing one directory (the shard-worker scenario)     *)
+
+(* A real second process (store_worker.exe, built next to this test
+   binary) rather than fork: the runtime has spawned domains by now and
+   OCaml 5 refuses to fork a multi-domain process. *)
+let run_worker mode dir =
+  let exe =
+    Filename.concat (Filename.dirname Sys.executable_name) "store_worker.exe"
+  in
+  let pid =
+    Unix.create_process exe [| exe; mode; dir |] Unix.stdin Unix.stdout
+      Unix.stderr
+  in
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> Alcotest.failf "worker exited %d" n
+  | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) ->
+      Alcotest.failf "worker signal %d" n
+
+let test_two_process_store () =
+  with_dir @@ fun d ->
+  let payload i = Printf.sprintf "deterministic payload for key %d" i in
+  (* Parent and child processes hammer the same directory through
+     separate handles — exactly how shard workers coordinate. Writers
+     are deterministic per key, so every read must be a miss or the
+     exact payload, never a torn entry. *)
+  let hammer s =
+    for round = 1 to 3 do
+      for i = 1 to 25 do
+        DS.put s ~cache:"mp" ~key:(string_of_int i) (payload i);
+        (match DS.get s ~cache:"mp" ~key:(string_of_int i) with
+        | None -> ()
+        | Some got ->
+            if got <> payload i then
+              Alcotest.failf "torn read for key %d (round %d)" i round)
+      done;
+      (* concurrent maintenance must not break readers or writers *)
+      ignore (DS.gc s : int)
+    done
+  in
+  let worker = Thread.create (fun () -> run_worker "hammer" d) () in
+  let s = DS.create ~schema:"s" ~dir:d () in
+  hammer s;
+  Thread.join worker;
+  Alcotest.(check int) "no corruption seen" 0 (counter s "mp/corrupt");
+  let s2 = DS.create ~schema:"s" ~dir:d () in
+  for i = 1 to 25 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "key %d intact" i)
+      (Some (payload i))
+      (DS.get s2 ~cache:"mp" ~key:(string_of_int i))
+  done
+
+let test_cross_process_eviction_counted () =
+  with_dir @@ fun d ->
+  let s = DS.create ~max_bytes:2000 ~schema:"s" ~dir:d () in
+  DS.put s ~cache:"x" ~key:"victim" (String.make 100 'v');
+  (* Backdate the entry so any LRU pass — ours or another process's —
+     prefers it. *)
+  (match entry_files d with
+  | [ p ] -> Unix.utimes p 1.0 1.0
+  | l -> Alcotest.failf "%d entries" (List.length l));
+  (* The worker process floods the store past its bound from a separate
+     handle: its LRU eviction removes the backdated victim. *)
+  run_worker "flood" d;
+  (* This handle published the victim; finding it gone means another
+     process evicted it — reported as a miss and counted separately. *)
+  Alcotest.(check (option string))
+    "victim evicted by the other process" None
+    (DS.get s ~cache:"x" ~key:"victim");
+  Alcotest.(check int) "cross-process eviction counted" 1
+    (counter s "x/evicted_ext");
+  Alcotest.(check int) "not one of ours" 0 (counter s "x/evicted")
+
+(* ------------------------------------------------------------------ *)
 (* Through the measurement engine                                      *)
 
 let small_subject =
@@ -371,6 +446,10 @@ let tests =
     Alcotest.test_case "gc sweeps damaged entries" `Quick test_gc_sweeps_damage;
     Alcotest.test_case "two-domain race on one store" `Quick
       test_two_domain_race;
+    Alcotest.test_case "two-process race on one directory" `Quick
+      test_two_process_store;
+    Alcotest.test_case "cross-process eviction is counted" `Quick
+      test_cross_process_eviction_counted;
     Alcotest.test_case "warm engine: zero misses, identical metrics" `Slow
       test_engine_warm_run;
     Alcotest.test_case "interrupted run resumes from the store" `Slow

@@ -1,0 +1,217 @@
+(* Sharded corpus execution (ROADMAP item 5): merged shard partials
+   must render byte-identically to the single-process run for any
+   shard count, a killed-and-restarted run must resume warm from the
+   shared store with unchanged output, and the corpus itself must be
+   digest-stable and exactly partitioned however it is sliced. *)
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+
+module C = Debugtuner.Config
+module E = Debugtuner.Experiments
+module ME = Debugtuner.Measure_engine
+module R = Api.Request
+module Resp = Api.Response
+
+let seed = 5
+let corpus = 8
+let spec = { E.cs_seed = seed; cs_n = corpus }
+let configs = [ C.make C.Gcc C.O2; C.make C.Clang C.O1 ]
+let job ?shard () = Api.Job.make ~configs ~seed ~corpus ?shard ()
+
+let temp_dir =
+  let seq = ref 0 in
+  fun () ->
+    incr seq;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dtshard-test-%d-%d" (Unix.getpid ()) !seq)
+    in
+    (try Sys.mkdir d 0o755 with Sys_error _ -> ());
+    d
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    try Sys.rmdir path with Sys_error _ -> ()
+  end
+  else try Sys.remove path with Sys_error _ -> ()
+
+let with_dir f =
+  let d = temp_dir () in
+  Fun.protect ~finally:(fun () -> try rm_rf d with _ -> ()) (fun () -> f d)
+
+(* Every execution uses a fresh context (and optionally a fresh store
+   handle on a shared directory) — each one models a separate worker
+   process. *)
+let exec ?store req =
+  let resp = Api.execute (Api.create_ctx ?store ()) req in
+  (match resp.Resp.status with
+  | Resp.Ok -> ()
+  | Resp.Error msg -> Alcotest.failf "request failed: %s" msg
+  | Resp.Overloaded -> Alcotest.fail "overloaded");
+  resp
+
+let partial_of (resp : Resp.t) =
+  match resp.Resp.data with
+  | Resp.D_partial p -> p
+  | _ -> Alcotest.fail "expected a shard partial"
+
+let stat (resp : Resp.t) name =
+  Option.value ~default:0 (List.assoc_opt name resp.Resp.stats)
+
+let store_hits (resp : Resp.t) =
+  List.fold_left
+    (fun acc (n, v) ->
+      let pre = "store/" and suf = "/hits" in
+      if
+        String.length n > String.length pre + String.length suf
+        && String.sub n 0 (String.length pre) = pre
+        && String.sub n (String.length n - String.length suf)
+             (String.length suf)
+           = suf
+      then acc + v
+      else acc)
+    0 resp.Resp.stats
+
+(* ------------------------------------------------------------------ *)
+
+let test_merge_byte_identity () =
+  with_dir @@ fun d ->
+  (* One shared cache directory across every run: exactly the shard
+     deployment (and it keeps this test fast — one cold pass). *)
+  let store () = ME.open_store ~dir:d () in
+  let single = exec ~store:(store ()) (R.Experiments { e_job = job () }) in
+  checkb "single run renders tables" true
+    (String.length single.Resp.text > 0);
+  List.iter
+    (fun n ->
+      let partials =
+        List.init n (fun k ->
+            let resp =
+              exec ~store:(store ())
+                (R.Experiments { e_job = job ~shard:(k + 1, n) () })
+            in
+            partial_of resp)
+      in
+      (* digest-stable: every shard of every count sees one corpus *)
+      List.iter
+        (fun (p : Api.Partial.t) ->
+          check Alcotest.string
+            (Printf.sprintf "digest stable at %d shards" n)
+            (E.corpus_digest spec) p.Api.Partial.pt_digest)
+        partials;
+      (* merge must not care about partial order *)
+      let merged =
+        exec (R.Merge { m_partials = List.rev partials })
+      in
+      check Alcotest.string
+        (Printf.sprintf "%d-shard merge byte-identical" n)
+        single.Resp.text merged.Resp.text)
+    [ 1; 2; 4 ]
+
+let test_kill_and_resume () =
+  with_dir @@ fun d ->
+  (* The "killed" run: only shard 1/2 completed before the crash. *)
+  let killed =
+    exec
+      ~store:(ME.open_store ~dir:d ())
+      (R.Experiments { e_job = job ~shard:(1, 2) () })
+  in
+  checkb "interrupted run made progress" true
+    ((partial_of killed).Api.Partial.pt_rows <> []);
+  (* Reference output, computed with no store at all. *)
+  let reference = exec (R.Experiments { e_job = job () }) in
+  (* The restart: a fresh process (fresh context/engine/handle) on the
+     same directory finishes the job — prior work is served from disk,
+     the output is unchanged. *)
+  let resumed =
+    exec ~store:(ME.open_store ~dir:d ()) (R.Experiments { e_job = job () })
+  in
+  check Alcotest.string "resumed output unchanged" reference.Resp.text
+    resumed.Resp.text;
+  checkb "warm rerun hit the store" true (store_hits resumed > 0);
+  checkb "resume counter reports salvaged programs" true
+    (stat resumed "shard/resumed_programs" >= 1);
+  check Alcotest.int "every program accounted" corpus
+    (stat resumed "shard/programs")
+
+let test_slices_partition_corpus () =
+  let entries = Corpus.generate ~seed ~n:corpus in
+  let all = List.map (fun e -> e.Corpus.e_index) entries in
+  List.iter
+    (fun n ->
+      let sliced =
+        List.concat_map
+          (fun i ->
+            List.map
+              (fun e -> e.Corpus.e_index)
+              (E.shard_slice { E.sh_index = i; sh_count = n } entries))
+          (List.init n (fun i -> i + 1))
+      in
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "%d shards partition the corpus" n)
+        (List.sort compare all) (List.sort compare sliced))
+    [ 1; 2; 3; 4; 5; 8; 11 ]
+
+let test_merge_validation () =
+  with_dir @@ fun d ->
+  let store () = ME.open_store ~dir:d () in
+  let partials =
+    List.init 2 (fun k ->
+        partial_of
+          (exec ~store:(store ())
+             (R.Experiments { e_job = job ~shard:(k + 1, 2) () })))
+  in
+  let expect_error what req =
+    let resp = Api.execute (Api.create_ctx ()) req in
+    match resp.Resp.status with
+    | Resp.Error _ -> ()
+    | _ -> Alcotest.failf "%s accepted" what
+  in
+  expect_error "empty partial set" (R.Merge { m_partials = [] });
+  expect_error "incomplete shard set"
+    (R.Merge { m_partials = [ List.hd partials ] });
+  expect_error "duplicate shard"
+    (R.Merge { m_partials = [ List.hd partials; List.hd partials ] });
+  (match partials with
+  | [ a; b ] ->
+      expect_error "digest mismatch"
+        (R.Merge
+           { m_partials = [ a; { b with Api.Partial.pt_digest = "beef" } ] })
+  | _ -> Alcotest.fail "expected two partials");
+  (* and the happy path still merges *)
+  let merged = exec (R.Merge { m_partials = partials }) in
+  checkb "valid set merges" true (String.length merged.Resp.text > 0)
+
+let test_strict_shard_parser () =
+  let ok s = match Util.Cliopts.parse_shard s with Ok v -> Some v | Error _ -> None in
+  check Alcotest.(option (pair int int)) "1/1" (Some (1, 1)) (ok "1/1");
+  check Alcotest.(option (pair int int)) "2/4" (Some (2, 4)) (ok "2/4");
+  check Alcotest.(option (pair int int)) "16/16" (Some (16, 16)) (ok "16/16");
+  List.iter
+    (fun s ->
+      match Util.Cliopts.parse_shard s with
+      | Ok (i, n) -> Alcotest.failf "%S accepted as %d/%d" s i n
+      | Error msg ->
+          checkb (Printf.sprintf "%S error names the spec" s) true
+            (String.length msg > 0))
+    [
+      ""; "junk"; "0/2"; "3/2"; "1/0"; "0/0"; "-1/2"; "1/-2"; "1/2/3";
+      " 1/2"; "1/2 "; "1.0/2"; "a/2"; "2/b"; "/"; "1/"; "/2"; "0x1/2";
+    ]
+
+let tests =
+  [
+    Alcotest.test_case "strict --shard parser" `Quick test_strict_shard_parser;
+    Alcotest.test_case "shard slices partition the corpus" `Quick
+      test_slices_partition_corpus;
+    Alcotest.test_case "merge validation refuses bad sets" `Slow
+      test_merge_validation;
+    Alcotest.test_case "1/2/4-shard merges byte-identical" `Slow
+      test_merge_byte_identity;
+    Alcotest.test_case "kill-and-resume: warm, unchanged output" `Slow
+      test_kill_and_resume;
+  ]
