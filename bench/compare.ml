@@ -28,7 +28,13 @@
        "shard-1-proc" / "shard-2-proc" of the cold json — the workload
        must include `shard` in its --only list) is not at least
        DEBUGTUNER_SHARD_FLOOR (default 1.5) times faster than the
-       single-process run, or those rows are missing.
+       single-process run, or those rows are missing;
+     - the search scenario's Pareto front fails to weakly dominate
+       every greedy dy point, or its dominance margin (counter rows
+       search/greedy_total, search/greedy_dominated and
+       search/margin_ppm of the cold json — the workload must include
+       `search` in its --only list) is below DEBUGTUNER_SEARCH_FLOOR
+       (default 0.0).
 
    Volatile numbers (absolute seconds, ratios) are printed on lines
    starting with '#', so CI determinism diffs can drop them; the
@@ -250,6 +256,33 @@ let () =
   | _ ->
       verdict false shard_what
         "shard timing rows missing from cold json (include `shard` in --only)");
+  (* Pareto dominance gate: the searched front at the pinned
+     (strategy, budget, seed) must weakly dominate every greedy dy
+     point, with a margin of at least DEBUGTUNER_SEARCH_FLOOR (default
+     0.0 — the greedy points are seeded into the search, so falling
+     below 0 means the search layer *lost* configurations it was
+     handed). The counters come from the search scenario of the cold
+     run: search/greedy_total, search/greedy_dominated, and
+     search/margin_ppm (the margin in parts-per-million, so the counter
+     table stays integral). *)
+  let search_floor = env_float "DEBUGTUNER_SEARCH_FLOOR" 0.0 in
+  let search_what =
+    Printf.sprintf
+      "searched front dominates every greedy dy point (margin >= %.4f)"
+      search_floor
+  in
+  let g_total = counter cold_rows "search/greedy_total"
+  and g_dom = counter cold_rows "search/greedy_dominated"
+  and margin = float_of_int (counter cold_rows "search/margin_ppm") /. 1e6 in
+  if g_total = 0 then
+    verdict false search_what
+      "search counters missing from cold json (include `search` in --only)"
+  else
+    verdict
+      (g_dom = g_total && margin >= search_floor)
+      search_what
+      (Printf.sprintf "%d/%d greedy points dominated, margin %.6f" g_dom
+         g_total margin);
   if !failures > 0 then begin
     Printf.printf "bench-compare: %d check(s) FAILED\n" !failures;
     exit 1

@@ -515,6 +515,13 @@ let experiments ctx : (string * (unit -> Util.Tablefmt.t list)) list =
     ("per-program", fun () -> [ E.per_program_table ctx ]);
     ("dwarf-sizes", fun () -> [ E.dwarf_sizes_table ctx ]);
     ("autofdo-rounds", fun () -> [ E.autofdo_rounds_table ctx ]);
+    ( "search",
+      (* ROADMAP item 2: the search layer's experiment — the hill-climb
+         front at the pinned (budget, seed) vs the greedy gcc-O2-dy
+         points. Bumps search/greedy_total, search/greedy_dominated and
+         search/margin_ppm, which compare.ml's dominance gate reads from
+         the cold-run JSON counter table. *)
+      fun () -> [ E.search_front_table ctx ] );
     ("serve", fun () -> serve_scenario ());
     ("vm", fun () -> vm_scenario ());
     ("shard", fun () -> shard_scenario ());

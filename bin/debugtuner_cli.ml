@@ -4,6 +4,7 @@
      debugtuner measure     -p libpng -c gcc -l O2 [-d pass]...
      debugtuner rank        -c gcc -l O2 [-k 10]
      debugtuner tune        -c gcc -l O1 -y 5
+     debugtuner search      -c gcc -l O2 --strategy hill-climb --budget 64
      debugtuner passes      -c clang -l O3
      debugtuner suite
      debugtuner run         -p zlib -e fuzz_deflate -i 1,2,3
@@ -294,6 +295,108 @@ let tune_cmd =
     Term.(
       const run $ compiler_arg $ level_arg $ y_arg
       $ cliopt_flag Util.Cliopts.no_prefix_cache
+      $ transport_term)
+
+(* ------------------------------------------------------------------ *)
+(* search: Pareto-front search over the 2^N disable-set space          *)
+
+let search_cmd =
+  let strategy_conv =
+    let parse s =
+      match Debugtuner.Tuning.strategy_of_string s with
+      | Some st -> Ok st
+      | None ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "unknown strategy %S (expected random, hill-climb or bandit)"
+                  s))
+    in
+    Arg.conv
+      ( parse,
+        fun ppf st ->
+          Format.pp_print_string ppf (Debugtuner.Tuning.strategy_name st) )
+  in
+  let strategy_arg =
+    Arg.(
+      value
+      & opt strategy_conv Debugtuner.Tuning.Hill_climb
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:"Search strategy: $(b,random), $(b,hill-climb) or $(b,bandit).")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "budget" ] ~docv:"N" ~doc:"Candidate evaluation budget.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Root seed of the search.")
+  in
+  let debug_weight_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "debug-weight" ] ~docv:"W"
+          ~doc:"Objective weight on the debug product.")
+  in
+  let speed_weight_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "speed-weight" ] ~docv:"W"
+          ~doc:"Objective weight on the speedup.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the canonical frontier JSON here.")
+  in
+  let run compiler level strategy budget seed debug_weight speed_weight out
+      no_prefix_cache cache_dir no_cache jobs tr =
+    if no_prefix_cache then
+      Debugtuner.Measure_engine.prefix_cache_enabled := false;
+    let store =
+      if no_cache then None
+      else Some (Debugtuner.Measure_engine.open_store ?dir:cache_dir ())
+    in
+    let resp =
+      dispatch ?store ~workers:jobs tr
+        (Api.Request.Search
+           {
+             se_config = Debugtuner.Config.make compiler level;
+             se_strategy = strategy;
+             se_budget = budget;
+             se_seed = seed;
+             se_debug_weight = debug_weight;
+             se_speed_weight = speed_weight;
+           })
+    in
+    check_status resp;
+    print_string resp.Api.Response.text;
+    (match out with
+    | None -> ()
+    | Some file ->
+        write_file file (artifact_of resp ^ "\n");
+        Printf.printf "frontier written to %s\n" file);
+    finish resp
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:
+         "Search the level's 2^N pass-disable space for the debug/performance \
+          Pareto front. Strictly seeded: equal (strategy, budget, seed) runs \
+          print byte-identical frontiers at any $(b,--jobs) setting, and a \
+          persistent cache ($(b,--cache-dir)) makes killed searches resume \
+          where they stopped.")
+    Term.(
+      const run $ compiler_arg $ level_arg $ strategy_arg $ budget_arg
+      $ seed_arg $ debug_weight_arg $ speed_weight_arg $ out_arg
+      $ cliopt_flag Util.Cliopts.no_prefix_cache
+      $ cliopt_file Util.Cliopts.cache_dir
+      $ cliopt_flag Util.Cliopts.no_cache
+      $ cliopt_int Util.Cliopts.jobs 1
       $ transport_term)
 
 (* ------------------------------------------------------------------ *)
@@ -1088,4 +1191,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; measure_cmd; rank_cmd; tune_cmd; passes_cmd; suite_cmd; run_cmd; trace_cmd; dump_cmd; verify_cmd; debug_cmd; dwarf_size_cmd; disasm_cmd; sample_cmd; profile_cmd; pass_trace_cmd; value_check_cmd; check_cmd; cache_cmd; stats_cmd; experiments_cmd; merge_cmd; serve_cmd ]))
+          [ compile_cmd; measure_cmd; rank_cmd; tune_cmd; search_cmd; passes_cmd; suite_cmd; run_cmd; trace_cmd; dump_cmd; verify_cmd; debug_cmd; dwarf_size_cmd; disasm_cmd; sample_cmd; profile_cmd; pass_trace_cmd; value_check_cmd; check_cmd; cache_cmd; stats_cmd; experiments_cmd; merge_cmd; serve_cmd ]))

@@ -17,6 +17,20 @@ cd "$(dirname "$0")"
 scratch="$(mktemp -d /tmp/debugtuner-ci.XXXXXX)"
 trap 'rm -rf "$scratch"' EXIT INT TERM
 
+# Byte-diff two outputs. On mismatch, fail with the head of the unified
+# diff (scratch paths normalized, so two runs report identically) and
+# the exact commands that reproduce the two sides — a CI failure must
+# be actionable from the log alone.
+ci_diff() {
+  # $1/$2: files to compare; $3: one-line repro hint
+  if ! diff -u "$1" "$2" > "$scratch/ci-diff.out" 2>&1; then
+    echo "ci: byte-diff FAILED: $(basename "$1") vs $(basename "$2")" >&2
+    sed "s#$scratch#SCRATCH#g" "$scratch/ci-diff.out" | head -40 >&2
+    echo "ci: reproduce with: $3" >&2
+    exit 1
+  fi
+}
+
 echo "== dune build =="
 dune build
 
@@ -33,7 +47,8 @@ echo "== vm conformance smoke (reference core, byte-identical stdout) =="
 # sanitizer counters — must match the fast core's stdout byte for byte.
 DEBUGTUNER_VM=reference dune exec bin/debugtuner_cli.exe -- \
   check --fuzz 100 --seed 1 > "$scratch/check-reference.out"
-diff "$scratch/check-fast.out" "$scratch/check-reference.out"
+ci_diff "$scratch/check-fast.out" "$scratch/check-reference.out" \
+  "DEBUGTUNER_VM=reference dune exec bin/debugtuner_cli.exe -- check --fuzz 100 --seed 1"
 
 echo "== observability smoke (profile zlib at O2, validate trace) =="
 # `profile --trace` self-validates the written document (balanced B/E
@@ -54,7 +69,8 @@ dune exec bin/debugtuner_cli.exe -- check --fuzz 100 --seed 1 \
 dune exec bin/debugtuner_cli.exe -- check --fuzz 100 --seed 1 \
   --cache-dir "$scratch/cache" --json "$scratch/check-warm.json" \
   > "$scratch/check-warm.out"
-diff "$scratch/check-cold.out" "$scratch/check-warm.out"
+ci_diff "$scratch/check-cold.out" "$scratch/check-warm.out" \
+  "dune exec bin/debugtuner_cli.exe -- check --fuzz 100 --seed 1 --cache-dir DIR (twice)"
 cat "$scratch/check-cold.out"
 grep -q '"name": "store/oracle/hits", "value": [1-9]' "$scratch/check-warm.json" || {
   echo "cache smoke: warm run reported no disk hits" >&2
@@ -76,8 +92,10 @@ dune exec bin/debugtuner_cli.exe -- check --fuzz 50 --seed 1 \
   --json "$scratch/check-prefix-on.json" > "$scratch/check-prefix-on.out"
 dune exec bin/debugtuner_cli.exe -- check --fuzz 50 --seed 1 --no-prefix-cache \
   --json "$scratch/check-prefix-off.json" > "$scratch/check-prefix-off.out"
-diff "$scratch/check-prefix-on.json" "$scratch/check-prefix-off.json"
-diff "$scratch/check-prefix-on.out" "$scratch/check-prefix-off.out"
+ci_diff "$scratch/check-prefix-on.json" "$scratch/check-prefix-off.json" \
+  "dune exec bin/debugtuner_cli.exe -- check --fuzz 50 --seed 1 --json J [--no-prefix-cache]"
+ci_diff "$scratch/check-prefix-on.out" "$scratch/check-prefix-off.out" \
+  "dune exec bin/debugtuner_cli.exe -- check --fuzz 50 --seed 1 [--no-prefix-cache]"
 
 echo "== daemon smoke (serve + --connect, byte-identical to direct CLI) =="
 # Start a daemon on a scratch socket, drive rank/check/profile requests
@@ -98,10 +116,18 @@ until [ -S "$sock" ]; do
 done
 "$cli" rank -k 5 --connect "$sock" > "$scratch/rank-daemon.out"
 "$cli" rank -k 5 > "$scratch/rank-direct.out"
-diff "$scratch/rank-direct.out" "$scratch/rank-daemon.out"
+ci_diff "$scratch/rank-direct.out" "$scratch/rank-daemon.out" \
+  "debugtuner_cli rank -k 5 [--connect SOCK]"
 "$cli" check --fuzz 20 --seed 1 --connect "$sock" > "$scratch/check-daemon.out"
 "$cli" check --fuzz 20 --seed 1 > "$scratch/check-direct.out"
-diff "$scratch/check-direct.out" "$scratch/check-daemon.out"
+ci_diff "$scratch/check-direct.out" "$scratch/check-daemon.out" \
+  "debugtuner_cli check --fuzz 20 --seed 1 [--connect SOCK]"
+"$cli" search --budget 8 --no-cache --connect "$sock" \
+  -o "$scratch/front-daemon.json" > "$scratch/search-daemon.out"
+"$cli" search --budget 8 --no-cache \
+  -o "$scratch/front-direct.json" > "$scratch/search-direct.out"
+ci_diff "$scratch/front-direct.json" "$scratch/front-daemon.json" \
+  "debugtuner_cli search --budget 8 --no-cache -o F [--connect SOCK]"
 "$cli" profile -p zlib -O2 --pipeline gcc --connect "$sock" > /dev/null
 kill -TERM "$daemon"
 wait "$daemon" || { echo "daemon smoke: daemon exited non-zero" >&2; exit 1; }
@@ -124,7 +150,8 @@ shard_args="experiments --seed 3 --corpus 12 --config gcc-O2 --config clang-O1"
 "$cli" $shard_args --shard 2/2 --cache-dir "$scratch/shard-cache" \
   --partial-dir "$scratch/partials" > /dev/null
 "$cli" merge --partial-dir "$scratch/partials" > "$scratch/corpus-merged.out"
-diff "$scratch/corpus-single.out" "$scratch/corpus-merged.out"
+ci_diff "$scratch/corpus-single.out" "$scratch/corpus-merged.out" \
+  "debugtuner_cli experiments --seed 3 --corpus 12 ... [--shard I/2] + merge"
 cat "$scratch/corpus-single.out"
 if "$cli" $shard_args --shard 3/2 > /dev/null 2> "$scratch/shard-err.out"; then
   echo "shard smoke: --shard 3/2 was accepted" >&2
@@ -139,26 +166,45 @@ if "$cli" merge "$scratch/partials/shard-1-of-2.json" > /dev/null 2>&1; then
   exit 1
 fi
 
-echo "== benchmark regression gate (table1+ranking+serve+vm+shard cold+warm vs BENCH_baseline.json) =="
+echo "== search smoke (seeded frontier, resumable from the cache) =="
+# The same (strategy, budget, seed) must print a byte-identical
+# frontier JSON whether the evaluations run cold or come back from the
+# persistent store, and the warm run must actually resume (report its
+# evaluations as served from the store).
+mkdir "$scratch/search-cache"
+"$cli" search --budget 8 --seed 1 --cache-dir "$scratch/search-cache" \
+  -o "$scratch/front-cold.json" > "$scratch/search-cold.out"
+"$cli" search --budget 8 --seed 1 --cache-dir "$scratch/search-cache" \
+  -o "$scratch/front-warm.json" > "$scratch/search-warm.out"
+ci_diff "$scratch/front-cold.json" "$scratch/front-warm.json" \
+  "debugtuner_cli search --budget 8 --seed 1 --cache-dir DIR -o F (twice)"
+grep -q "(8 served from the store)" "$scratch/search-warm.out" || {
+  echo "search smoke: warm search did not resume from the store" >&2
+  exit 1
+}
+
+echo "== benchmark regression gate (table1+ranking+serve+vm+shard+search cold+warm vs BENCH_baseline.json) =="
 # Cold and warm runs share one fresh cache dir; the warm run must be
 # several times faster with a high disk hit rate, the cold run must not
 # regress past the committed baseline, the cold ranking sweep must
 # engage the pass-prefix planner, the vm scenario must show the
 # direct-threaded core beating the reference interpreter, and the
 # shard scenario's 2-process critical path must be well under the
-# single-process run (see bench/compare.ml; bounds tunable via
-# DEBUGTUNER_BENCH_TOLERANCE / _WARM_FLOOR / _HIT_FLOOR /
-# _PREFIX_FLOOR / _VM_FLOOR / _SHARD_FLOOR).
+# single-process run, and the searched Pareto front must weakly
+# dominate every greedy dy point (see bench/compare.ml; bounds tunable
+# via DEBUGTUNER_BENCH_TOLERANCE / _WARM_FLOOR / _HIT_FLOOR /
+# _PREFIX_FLOOR / _VM_FLOOR / _SHARD_FLOOR / _SEARCH_FLOOR).
 mkdir "$scratch/bench-cache"
-dune exec bench/main.exe -- --only table1 ranking serve vm shard --cache-dir "$scratch/bench-cache" \
+dune exec bench/main.exe -- --only table1 ranking serve vm shard search --cache-dir "$scratch/bench-cache" \
   --json "$scratch/bench-cold.json" > "$scratch/bench-cold.out"
-dune exec bench/main.exe -- --only table1 ranking serve vm shard --cache-dir "$scratch/bench-cache" \
+dune exec bench/main.exe -- --only table1 ranking serve vm shard search --cache-dir "$scratch/bench-cache" \
   --json "$scratch/bench-warm.json" > "$scratch/bench-warm.out"
 # Warm tables must be byte-identical to cold ones (only the bracketed
 # timing lines may differ).
 grep -v '^\[' "$scratch/bench-cold.out" > "$scratch/bench-cold.flat"
 grep -v '^\[' "$scratch/bench-warm.out" > "$scratch/bench-warm.flat"
-diff "$scratch/bench-cold.flat" "$scratch/bench-warm.flat"
+ci_diff "$scratch/bench-cold.flat" "$scratch/bench-warm.flat" \
+  "dune exec bench/main.exe -- --only table1 ranking serve vm shard search --cache-dir DIR (twice)"
 dune exec bench/compare.exe -- BENCH_baseline.json \
   "$scratch/bench-cold.json" "$scratch/bench-warm.json"
 

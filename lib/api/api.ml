@@ -133,6 +133,14 @@ module Request = struct
       }
     | Rank of { r_config : Config.t; r_k : int }
     | Tune of { t_config : Config.t; t_y : int }
+    | Search of {
+        se_config : Config.t;  (** the base level whose 2^N space to search *)
+        se_strategy : Tuning.strategy;
+        se_budget : int;
+        se_seed : int;
+        se_debug_weight : float;
+        se_speed_weight : float;
+      }
     | Check of {
         k_subject : subject option;
         k_fuzz : int;
@@ -191,6 +199,17 @@ module Response = struct
         dt_disabled : string list;
         dt_debug : float;
         dt_speedup : float;
+      }
+    | D_frontier of {
+        df_config : string;  (** base level searched *)
+        df_strategy : string;
+        df_seed : int;
+        df_budget : int;
+        df_evaluated : int;
+        df_dominated : int;
+        df_front : (string * float * float) list;
+            (** config name, debug product, speedup — the Pareto front,
+                sorted by (debug, speedup, name) *)
       }
     | D_checked of {
         dk_programs : int;
@@ -516,6 +535,26 @@ module Codec = struct
             ("config", config_to_json t_config);
             ("y", J.Num (float_of_int t_y));
           ]
+    | Request.Search
+        {
+          se_config;
+          se_strategy;
+          se_budget;
+          se_seed;
+          se_debug_weight;
+          se_speed_weight;
+        } ->
+        J.Obj
+          [
+            v;
+            ("kind", J.Str "search");
+            ("config", config_to_json se_config);
+            ("strategy", J.Str (Tuning.strategy_name se_strategy));
+            ("budget", J.Num (float_of_int se_budget));
+            ("seed", J.Num (float_of_int se_seed));
+            ("debug_weight", J.Num se_debug_weight);
+            ("speed_weight", J.Num se_speed_weight);
+          ]
     | Request.Check { k_subject; k_fuzz; k_seed; k_suite } ->
         J.Obj
           [
@@ -607,6 +646,20 @@ module Codec = struct
     | "tune" ->
         Request.Tune
           { t_config = config_of_json (get j "config"); t_y = get_int j "y" }
+    | "search" ->
+        let s = get_str j "strategy" in
+        Request.Search
+          {
+            se_config = config_of_json (get j "config");
+            se_strategy =
+              (match Tuning.strategy_of_string s with
+              | Some st -> st
+              | None -> dfail "unknown search strategy %S" s);
+            se_budget = get_int j "budget";
+            se_seed = get_int j "seed";
+            se_debug_weight = get_num j "debug_weight";
+            se_speed_weight = get_num j "speed_weight";
+          }
     | "check" ->
         Request.Check
           {
@@ -726,6 +779,37 @@ module Codec = struct
             ("debug", J.Num dt_debug);
             ("speedup", J.Num dt_speedup);
           ]
+    | Response.D_frontier
+        {
+          df_config;
+          df_strategy;
+          df_seed;
+          df_budget;
+          df_evaluated;
+          df_dominated;
+          df_front;
+        } ->
+        J.Obj
+          [
+            ("kind", J.Str "frontier");
+            ("config", J.Str df_config);
+            ("strategy", J.Str df_strategy);
+            ("seed", J.Num (float_of_int df_seed));
+            ("budget", J.Num (float_of_int df_budget));
+            ("evaluated", J.Num (float_of_int df_evaluated));
+            ("dominated", J.Num (float_of_int df_dominated));
+            ( "front",
+              J.Arr
+                (List.map
+                   (fun (name, debug, speedup) ->
+                     J.Obj
+                       [
+                         ("name", J.Str name);
+                         ("debug", J.Num debug);
+                         ("speedup", J.Num speedup);
+                       ])
+                   df_front) );
+          ]
     | Response.D_checked { dk_programs; dk_configs; dk_runs; dk_skipped; dk_failures }
       ->
         J.Obj
@@ -773,6 +857,23 @@ module Codec = struct
             dt_disabled = str_list j "disabled";
             dt_debug = get_num j "debug";
             dt_speedup = get_num j "speedup";
+          }
+    | "frontier" ->
+        Response.D_frontier
+          {
+            df_config = get_str j "config";
+            df_strategy = get_str j "strategy";
+            df_seed = get_int j "seed";
+            df_budget = get_int j "budget";
+            df_evaluated = get_int j "evaluated";
+            df_dominated = get_int j "dominated";
+            df_front =
+              List.map
+                (fun row ->
+                  ( get_str row "name",
+                    get_num row "debug",
+                    get_num row "speedup" ))
+                (get_arr j "front");
           }
     | "checked" ->
         Response.D_checked
@@ -1207,6 +1308,102 @@ let run_tune ctx ~config ~y =
       },
     0 )
 
+(* -- search -- *)
+
+(** The frontier artifact: a standalone, self-stamped canonical JSON
+    document (every float through {!Api_json}'s [%.17g] writer), so the
+    CI determinism leg can byte-diff it across runs and [--jobs]
+    settings. *)
+let frontier_json ~config (r : Tuning.search_result) =
+  J.to_string
+    (J.Obj
+       [
+         ("v", J.Num (float_of_int version));
+         ("kind", J.Str "frontier");
+         ("base", J.Str (Config.name config));
+         ("strategy", J.Str (Tuning.strategy_name r.Tuning.sr_strategy));
+         ("seed", J.Num (float_of_int r.Tuning.sr_seed));
+         ("budget", J.Num (float_of_int r.Tuning.sr_budget));
+         (* no [resumed] here: the artifact is a pure function of
+            (strategy, seed, budget, suite) — byte-identical whether the
+            evaluations ran cold or came back from the store *)
+         ("evaluated", J.Num (float_of_int r.Tuning.sr_evaluated));
+         ("dominated", J.Num (float_of_int r.Tuning.sr_dominated));
+         ( "frontier",
+           J.Arr
+             (List.map
+                (fun (f : Tuning.frontier_point) ->
+                  J.Obj
+                    [
+                      ("name", J.Str (Config.name f.Tuning.fp_config));
+                      ("config", Codec.config_to_json f.Tuning.fp_config);
+                      ("debug", J.Num f.Tuning.fp_debug);
+                      ("speedup", J.Num f.Tuning.fp_speedup);
+                    ])
+                r.Tuning.sr_frontier) );
+       ])
+
+let run_search ctx ~config ~strategy ~budget ~seed ~debug_weight ~speed_weight =
+  let b = Buffer.create 1024 in
+  bpf b "searching %s disable-sets (%s, budget %d, seed %d)...\n"
+    (Config.name config)
+    (Tuning.strategy_name strategy)
+    budget seed;
+  let prepared = prepared_suite ctx in
+  (* Seed the search with the greedy dy points of this base: the front
+     can only improve on them, so it weakly dominates the paper's greedy
+     trade-off by construction and strictly wherever the search finds
+     anything better. *)
+  let lr = Ranking.rank ~engine:ctx.engine prepared config in
+  let seeds = List.map (fun y -> Tuning.dy_config lr ~y) [ 3; 5; 7; 9 ] in
+  let o0_costs = Tuning.o0_costs ~engine:ctx.engine Spec.all in
+  let opts =
+    {
+      Tuning.so_strategy = strategy;
+      so_budget = budget;
+      so_seed = seed;
+      so_debug_weight = debug_weight;
+      so_speed_weight = speed_weight;
+      so_seeds = seeds;
+    }
+  in
+  let r =
+    Tuning.search ~engine:ctx.engine prepared ~o0_costs Spec.all ~base:config
+      ~opts
+  in
+  bpf b "%d candidates evaluated (%d served from the store), %d dominated\n"
+    r.Tuning.sr_evaluated r.Tuning.sr_resumed r.Tuning.sr_dominated;
+  bpf b "Pareto front (%d points):\n" (List.length r.Tuning.sr_frontier);
+  bpf b "%-16s %10s %10s  %s\n" "config" "debug" "speedup" "disabled";
+  List.iter
+    (fun (f : Tuning.frontier_point) ->
+      bpf b "%-16s %10.4f %10.4f  %s\n"
+        (Config.name f.Tuning.fp_config)
+        f.Tuning.fp_debug f.Tuning.fp_speedup
+        (match f.Tuning.fp_config.Config.disabled with
+        | [] -> "-"
+        | l -> String.concat "," l))
+    r.Tuning.sr_frontier;
+  ( Buffer.contents b,
+    Some (frontier_json ~config r),
+    Response.D_frontier
+      {
+        df_config = Config.name config;
+        df_strategy = Tuning.strategy_name r.Tuning.sr_strategy;
+        df_seed = r.Tuning.sr_seed;
+        df_budget = r.Tuning.sr_budget;
+        df_evaluated = r.Tuning.sr_evaluated;
+        df_dominated = r.Tuning.sr_dominated;
+        df_front =
+          List.map
+            (fun (f : Tuning.frontier_point) ->
+              ( Config.name f.Tuning.fp_config,
+                f.Tuning.fp_debug,
+                f.Tuning.fp_speedup ))
+            r.Tuning.sr_frontier;
+      },
+    0 )
+
 (* -- check -- *)
 
 (** [Sanitize.counters] is process-cumulative; report only this
@@ -1624,6 +1821,12 @@ let run_request ctx (req : Request.t) =
         ~sanitize:c_sanitize c_view
   | Request.Rank { r_config; r_k } -> run_rank ctx ~config:r_config ~k:r_k
   | Request.Tune { t_config; t_y } -> run_tune ctx ~config:t_config ~y:t_y
+  | Request.Search
+      { se_config; se_strategy; se_budget; se_seed; se_debug_weight;
+        se_speed_weight } ->
+      run_search ctx ~config:se_config ~strategy:se_strategy ~budget:se_budget
+        ~seed:se_seed ~debug_weight:se_debug_weight
+        ~speed_weight:se_speed_weight
   | Request.Check { k_subject; k_fuzz; k_seed; k_suite } ->
       run_check ctx ~subject:k_subject ~fuzz:k_fuzz ~seed:k_seed ~suite:k_suite
   | Request.Profile { p_subject; p_config; p_sanitize; p_stats; p_trace } ->

@@ -1107,3 +1107,112 @@ let corpus_tables spec ~configs (rows : corpus_row list) : T.t list =
 
 let render_corpus_tables spec ~configs rows =
   String.concat "" (List.map T.render (corpus_tables spec ~configs rows))
+
+(* ------------------------------------------------------------------ *)
+(* Search-based tuning (ROADMAP item 2): the searched Pareto front vs
+   the paper's greedy dy points, on the default suite.                 *)
+
+(** The search's base level — the paper's flagship gcc -O2. *)
+let search_base = Config.make Config.Gcc Config.O2
+
+(** The defaults the bench scenario and the dominance gate pin. *)
+let search_budget = 48
+
+let search_seed = 1
+
+let search_dy_seeds ctx =
+  List.map (fun y -> Tuning.dy_config (ranking ctx search_base) ~y) dy_values
+
+let run_search ?(strategy = Tuning.Hill_climb) ?(budget = search_budget)
+    ?(seed = search_seed) ctx =
+  Tuning.search ~engine:ctx.engine ctx.suite ~o0_costs:ctx.o0_costs ctx.spec
+    ~base:search_base
+    ~opts:
+      {
+        Tuning.default_search_opts with
+        Tuning.so_strategy = strategy;
+        so_budget = budget;
+        so_seed = seed;
+        so_seeds = search_dy_seeds ctx;
+      }
+
+type dominance = {
+  dom_greedy : (int * Tuning.config_point) list;  (** y, measured point *)
+  dom_covered : int;  (** greedy points weakly dominated by the front *)
+  dom_margin : float;  (** {!Tuning.weak_dominance_margin} over all *)
+}
+
+let search_dominance ctx (r : Tuning.search_result) =
+  let greedy =
+    List.map
+      (fun y -> (y, point ctx (Tuning.dy_config (ranking ctx search_base) ~y)))
+      dy_values
+  in
+  let margin_of pt =
+    Tuning.weak_dominance_margin r.Tuning.sr_frontier
+      [ (pt.Tuning.cp_debug, pt.Tuning.cp_speedup) ]
+  in
+  let covered =
+    List.length (List.filter (fun (_, pt) -> margin_of pt >= 0.0) greedy)
+  in
+  let margin =
+    Tuning.weak_dominance_margin r.Tuning.sr_frontier
+      (List.map
+         (fun (_, pt) -> (pt.Tuning.cp_debug, pt.Tuning.cp_speedup))
+         greedy)
+  in
+  { dom_greedy = greedy; dom_covered = covered; dom_margin = margin }
+
+(** Run the pinned search, record the dominance counters the bench gate
+    reads ([search/greedy_total], [search/greedy_dominated],
+    [search/margin_ppm]), and render the experiment table. *)
+let search_front_table ctx =
+  let r = run_search ctx in
+  let dom = search_dominance ctx r in
+  Measure_engine.bump_search_counter "greedy_total" (List.length dom.dom_greedy);
+  Measure_engine.bump_search_counter "greedy_dominated" dom.dom_covered;
+  Measure_engine.bump_search_counter "margin_ppm"
+    (int_of_float (Float.round (dom.dom_margin *. 1e6)));
+  let front_rows =
+    List.map
+      (fun (f : Tuning.frontier_point) ->
+        [
+          Config.name f.Tuning.fp_config;
+          T.f4 f.Tuning.fp_debug;
+          T.f4 f.Tuning.fp_speedup;
+          "front";
+        ])
+      r.Tuning.sr_frontier
+  in
+  let greedy_rows =
+    List.map
+      (fun (y, pt) ->
+        let m =
+          Tuning.weak_dominance_margin r.Tuning.sr_frontier
+            [ (pt.Tuning.cp_debug, pt.Tuning.cp_speedup) ]
+        in
+        [
+          Printf.sprintf "greedy O2-d%d" y;
+          T.f4 pt.Tuning.cp_debug;
+          T.f4 pt.Tuning.cp_speedup;
+          (if m > 0.0 then Printf.sprintf "dominated (+%.4f)" m
+           else if m = 0.0 then "on front"
+           else Printf.sprintf "NOT dominated (%.4f)" m);
+        ])
+      dom.dom_greedy
+  in
+  T.make
+    ~title:
+      (Printf.sprintf
+         "Search: %s front (budget %d, seed %d) vs greedy %s-dy — %d/%d \
+          greedy points weakly dominated, margin %.4f (%d candidates, %d on \
+          front)"
+         (Tuning.strategy_name r.Tuning.sr_strategy)
+         r.Tuning.sr_budget r.Tuning.sr_seed
+         (Config.name search_base)
+         dom.dom_covered
+         (List.length dom.dom_greedy)
+         dom.dom_margin r.Tuning.sr_evaluated
+         (List.length r.Tuning.sr_frontier))
+    ~header:[ "configuration"; "debug product"; "speedup"; "front" ]
+    (front_rows @ greedy_rows)

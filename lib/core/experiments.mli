@@ -123,3 +123,39 @@ val corpus_tables :
 
 val render_corpus_tables :
   corpus_spec -> configs:string list -> corpus_row list -> string
+
+(** {1 Search-based tuning (ROADMAP item 2)} *)
+
+val search_base : Config.t
+(** The searched base level (gcc -O2). *)
+
+val search_budget : int
+(** The pinned budget the bench scenario and CI gate use. *)
+
+val search_seed : int
+
+val search_dy_seeds : ctx -> Config.t list
+(** The greedy dy configurations of {!search_base}, used to seed the
+    search (and as the dominance targets). *)
+
+val run_search :
+  ?strategy:Tuning.strategy ->
+  ?budget:int ->
+  ?seed:int ->
+  ctx ->
+  Tuning.search_result
+(** One search over the default suite at {!search_base}, seeded with
+    {!search_dy_seeds}. *)
+
+type dominance = {
+  dom_greedy : (int * Tuning.config_point) list;  (** y, measured point *)
+  dom_covered : int;  (** greedy points weakly dominated by the front *)
+  dom_margin : float;  (** {!Tuning.weak_dominance_margin} over all *)
+}
+
+val search_dominance : ctx -> Tuning.search_result -> dominance
+
+val search_front_table : ctx -> Util.Tablefmt.t
+(** The searched front vs the greedy dy points, as an experiment table;
+    bumps [search/greedy_total], [search/greedy_dominated] and
+    [search/margin_ppm] for the bench dominance gate. *)

@@ -195,12 +195,10 @@ end
 let prefix_counters = Prefix_stats.counters
 let reset_prefix_counters = Prefix_stats.reset
 
-(* Shard progress/resume counters. The sharded experiment runner bumps
-   these as it walks its slice of the corpus; they surface as shard/*
-   rows of {!stats_table}, so a shard's JSON partial (and `--stats`)
-   reports how far it got and how much of a rerun came warm from the
-   store. Process-global like the sanitizer and prefix counters. *)
-module Shard_stats = struct
+(* Named process-global counter tables, one instance per subsystem.
+   Thread-safe; [counters] returns sorted rows so every consumer prints
+   deterministically. *)
+module Counter_table () = struct
   let table : (string, int) Hashtbl.t = Hashtbl.create 8
   let mutex = Mutex.create ()
 
@@ -222,9 +220,26 @@ module Shard_stats = struct
     Mutex.unlock mutex
 end
 
+(* Shard progress/resume counters. The sharded experiment runner bumps
+   these as it walks its slice of the corpus; they surface as shard/*
+   rows of {!stats_table}, so a shard's JSON partial (and `--stats`)
+   reports how far it got and how much of a rerun came warm from the
+   store. Process-global like the sanitizer and prefix counters. *)
+module Shard_stats = Counter_table ()
+
 let shard_counters = Shard_stats.counters
 let bump_shard_counter = Shard_stats.bump
 let reset_shard_counters = Shard_stats.reset
+
+(* Tuning-search counters (candidates evaluated, suffix-shared
+   compiles, frontier size, dominated points, store-resumed
+   evaluations). Surface as search/* rows of {!stats_table}; the bench
+   dominance gate and the resume test read them. *)
+module Search_stats = Counter_table ()
+
+let search_counters = Search_stats.counters
+let bump_search_counter = Search_stats.bump
+let reset_search_counters = Search_stats.reset
 
 let prefix_span name args f =
   if not (Obs.enabled ()) then f ()
@@ -524,9 +539,14 @@ let stats_table t : (string * int) list =
       (fun (n, v) -> if v = 0 then None else Some ("shard/" ^ n, v))
       (Shard_stats.counters ())
   in
+  let search_rows =
+    List.filter_map
+      (fun (n, v) -> if v = 0 then None else Some ("search/" ^ n, v))
+      (Search_stats.counters ())
+  in
   List.sort compare
     (engine_rows @ sanitize_rows @ store_rows @ obs_rows @ prefix_rows
-   @ shard_rows)
+   @ shard_rows @ search_rows)
 
 (** [stats_delta ~before after] subtracts two {!stats_table} snapshots
     row-wise (rows absent from [before] count from zero; zero-delta

@@ -152,6 +152,19 @@ val bump_shard_counter : string -> int -> unit
 val reset_shard_counters : unit -> unit
 (** Zero the shard counters (tests, bench scenario isolation). *)
 
+val search_counters : unit -> (string * int) list
+(** Tuning-search counters bumped by {!Tuning.search} ([candidates],
+    [suffix_shared], [frontier], [dominated], [resumed], [rounds]),
+    raw (no prefix). Merged into {!stats_table} as [search/<name>]
+    rows — the bench dominance gate and the resume regression test
+    read them from there. *)
+
+val bump_search_counter : string -> int -> unit
+(** Add to a named search counter (process-global, thread-safe). *)
+
+val reset_search_counters : unit -> unit
+(** Zero the search counters (tests, bench scenario isolation). *)
+
 val workers : t -> int
 val stats : t -> Engine.Stats.t
 
@@ -172,8 +185,9 @@ val stats_table : t -> (string * int) list
     ([sanitize/<pass>/checked|failures]), disk-store activity
     ([store/<cache>/hits|misses|writes|corrupt|stale|evicted], zero rows
     dropped, present only when the engine has a store), live [Obs]
-    counters ([obs/<name>]) and shard progress counters
-    ([shard/<name>]). The single stats path behind
+    counters ([obs/<name>]), shard progress counters
+    ([shard/<name>]) and tuning-search counters ([search/<name>]).
+    The single stats path behind
     [bench --stats] and the CLI, in both text and JSON renderings. *)
 
 val stats_delta :

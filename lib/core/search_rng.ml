@@ -1,0 +1,28 @@
+(* Keyed derivation on top of the repository's splitmix64 generator.
+   The state is a single int mixed with each label through the
+   splitmix64 finalizer (via one Util.Rng step), so derivation is cheap,
+   pure, and independent of evaluation order. *)
+
+type t = { state : int }
+
+(* One splitmix64 finalizer application, as an int-to-int mix: seed a
+   generator at [x] and take its first 62 bits. *)
+let mix x = Util.Rng.bits (Util.Rng.create x)
+
+(* FNV-1a over the label bytes, folded into an OCaml int. Fixed
+   algorithm — never Hashtbl.hash, whose value is not part of any
+   compatibility contract. *)
+let fnv1a (s : string) =
+  let h = ref 0x3bf29ce484222325 in
+  (* 64-bit FNV offset basis truncated into OCaml's 63-bit int *)
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  !h land max_int
+
+let of_seed seed = { state = mix seed }
+let derive t label = { state = mix (t.state lxor fnv1a label) }
+let derive_int t i = { state = mix (t.state lxor mix (i + 0x9e3779b9)) }
+let gen t = Util.Rng.create t.state

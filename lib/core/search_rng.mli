@@ -1,0 +1,30 @@
+(** Keyed, splittable seeding for the tuning search ({!Tuning.search}).
+
+    A search draws randomness at many independent sites — candidate [i]
+    of round [r] of restart [k] — and must produce byte-identical
+    results at any [--jobs] setting and in any evaluation order. A
+    single sequential generator cannot give that: whoever draws first
+    changes everyone else's stream. [Search_rng] instead derives an
+    independent {!Util.Rng.t} from a pure *key path*: the root seed
+    mixed with each derivation label. Equal paths give equal streams;
+    sibling paths are statistically independent (splitmix64 finalizer
+    mixing). No global state, no [Random.self_init] — ever. *)
+
+type t
+(** A derivation point: a seed plus the labels mixed in so far. Pure
+    value, freely shareable across domains. *)
+
+val of_seed : int -> t
+(** The root of a search's derivation tree. *)
+
+val derive : t -> string -> t
+(** [derive t label] — the child keyed by a string label (e.g. a
+    strategy name or phase). *)
+
+val derive_int : t -> int -> t
+(** [derive t i] — the child keyed by an integer (candidate index,
+    round number, restart number). *)
+
+val gen : t -> Util.Rng.t
+(** Materialize the generator at this derivation point. Every call
+    returns a fresh generator with the same initial state. *)

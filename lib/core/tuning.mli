@@ -56,3 +56,85 @@ val measure_point :
   config_point
 (** Joint debug + performance measurement of a configuration (a Figure 2
     point). *)
+
+(** {1 Search over the 2^N disable-set space}
+
+    The greedy [Ox-dy] sweep above can only disable prefix sets of one
+    ranked order; {!search} explores arbitrary disable sets with
+    pluggable strategies, spending the pass-prefix sweep planner so
+    each candidate costs only a pipeline suffix. Strictly seeded
+    ({!Search_rng} key paths, batch evaluation on the engine's ordered
+    pool): equal (strategy, seed, budget) produce byte-identical
+    results at any worker count. Evaluations persist in the engine's
+    store under the ["search-point"] cache, so a killed search resumes
+    ([search/resumed] counter). *)
+
+type strategy =
+  | Random_sampling  (** uniform seeded subsets *)
+  | Hill_climb  (** single-flip ascent, restarts, annealed acceptance *)
+  | Bandit  (** exponential weights over per-pass arms *)
+
+val strategy_name : strategy -> string
+(** ["random"], ["hill-climb"], ["bandit"] — the CLI/API spelling. *)
+
+val strategy_of_string : string -> strategy option
+
+type search_opts = {
+  so_strategy : strategy;
+  so_budget : int;  (** candidate evaluations, seeds included *)
+  so_seed : int;
+  so_debug_weight : float;  (** scalarization weight on the debug axis *)
+  so_speed_weight : float;  (** ... and on the speedup axis *)
+  so_seeds : Config.t list;
+      (** evaluated first (within budget): known-good points — e.g. the
+          greedy dy configurations — so the front weakly dominates them
+          by construction and the search starts from their basins *)
+}
+
+val default_search_opts : search_opts
+(** Hill-climb, budget 64, seed 1, equal weights, no seeds. *)
+
+type frontier_point = {
+  fp_config : Config.t;
+  fp_debug : float;
+  fp_speedup : float;
+}
+
+type search_result = {
+  sr_base : Config.t;
+  sr_strategy : strategy;
+  sr_seed : int;
+  sr_budget : int;
+  sr_evaluated : int;  (** distinct configurations measured *)
+  sr_resumed : int;  (** of those, served from the persistent store *)
+  sr_frontier : frontier_point list;
+      (** the Pareto front of every evaluated point, sorted by
+          increasing debug product (metric-duplicate configs collapse
+          to the lexicographically-smallest name) *)
+  sr_dominated : int;  (** evaluated points not on the front *)
+}
+
+val pass_universe : Config.t -> string list
+(** The toggleable passes of a base level, with the inliner
+    exception. *)
+
+val search :
+  ?engine:Measure_engine.t ->
+  Evaluation.prepared list ->
+  o0_costs:(string * int) list ->
+  Suite_types.sprogram list ->
+  base:Config.t ->
+  opts:search_opts ->
+  search_result
+(** Run one search. Bumps the [search/*] counters
+    ({!Measure_engine.search_counters}): [candidates], [rounds],
+    [suffix_shared] (sweep compiles that reused a pipeline prefix),
+    [resumed], [frontier], [dominated]. *)
+
+val weak_dominance_margin :
+  frontier_point list -> (float * float) list -> float
+(** [weak_dominance_margin front points] — for each (debug, speedup)
+    point, the best over front entries of [min (df - dp, sf - sp)],
+    then the minimum over points: non-negative iff the front weakly
+    dominates every point. [infinity] on no points, [neg_infinity] on
+    an empty front with points. *)

@@ -189,6 +189,21 @@ let create_fn ~name ~line ~params =
 (* ------------------------------------------------------------------ *)
 (* Structure queries                                                   *)
 
+(** All functions of [p] in source order ((f_line, f_name), the same key
+    [Inline] sorts callers by) — never [Hashtbl] iteration order.
+    [p.funcs] is populated in source order by the parser but in
+    sorted-name order by [Snapshot.restore], so the two tables present
+    different iteration orders for identical contents; any pass that
+    walked [funcs] directly would compile a snapshot-resumed pipeline
+    differently from a straight one. Per-function passes iterate
+    through here so the question cannot arise. *)
+let sorted_funcs (p : program) =
+  List.sort
+    (fun a b -> compare (a.f_line, a.f_name) (b.f_line, b.f_name))
+    (Hashtbl.fold (fun _ fn acc -> fn :: acc) p.funcs [])
+
+let iter_funcs f (p : program) = List.iter f (sorted_funcs p)
+
 let succs = function
   | Ret _ -> []
   | Br l -> [ l ]

@@ -56,5 +56,5 @@ let reset (fn : Ir.fn) =
       b.Ir.prob <- 0.5;
       b.Ir.freq <- 1.0)
 
-let run_program (p : Ir.program) = Hashtbl.iter (fun _ fn -> run fn) p.Ir.funcs
-let reset_program (p : Ir.program) = Hashtbl.iter (fun _ fn -> reset fn) p.Ir.funcs
+let run_program (p : Ir.program) = Ir.iter_funcs run p
+let reset_program (p : Ir.program) = Ir.iter_funcs reset p

@@ -239,4 +239,4 @@ let run (fn : Ir.fn) =
   Ir.prune_unreachable fn;
   orphaned_dbg fn
 
-let run_program (p : Ir.program) = Hashtbl.iter (fun _ fn -> run fn) p.Ir.funcs
+let run_program (p : Ir.program) = Ir.iter_funcs run p

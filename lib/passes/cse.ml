@@ -145,7 +145,7 @@ let run_global ?(pure_calls = fun _ -> false) (fn : Ir.fn) =
   !removed
 
 let run_local_program ?pure_calls (p : Ir.program) =
-  Hashtbl.iter (fun _ fn -> ignore (run_local ?pure_calls fn)) p.Ir.funcs
+  Ir.iter_funcs (fun fn -> ignore (run_local ?pure_calls fn)) p
 
 let run_global_program ?pure_calls (p : Ir.program) =
-  Hashtbl.iter (fun _ fn -> ignore (run_global ?pure_calls fn)) p.Ir.funcs
+  Ir.iter_funcs (fun fn -> ignore (run_global ?pure_calls fn)) p

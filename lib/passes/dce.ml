@@ -43,4 +43,4 @@ let run ?(pure_calls = fun _ -> false) (fn : Ir.fn) =
   Hashtbl.length dead_total
 
 let run_program ?pure_calls (p : Ir.program) =
-  Hashtbl.iter (fun _ fn -> ignore (run ?pure_calls fn)) p.Ir.funcs
+  Ir.iter_funcs (fun fn -> ignore (run ?pure_calls fn)) p

@@ -105,4 +105,4 @@ let run_fn (fn : Ir.fn) ~loaded =
 (** [run p] runs DSE over the whole program; returns stores removed. *)
 let run (p : Ir.program) =
   let loaded = loaded_bases p in
-  Hashtbl.fold (fun _ fn acc -> acc + run_fn fn ~loaded) p.Ir.funcs 0
+  List.fold_left (fun acc fn -> acc + run_fn fn ~loaded) 0 (Ir.sorted_funcs p)

@@ -167,4 +167,4 @@ let run ?(max_arm = default_max_arm_instrs) (fn : Ir.fn) =
   !converted
 
 let run_program ?max_arm (p : Ir.program) =
-  Hashtbl.iter (fun _ fn -> ignore (run ?max_arm fn)) p.Ir.funcs
+  Ir.iter_funcs (fun fn -> ignore (run ?max_arm fn)) p

@@ -242,11 +242,7 @@ let run (p : Ir.program) ~(policy : policy) ~roots =
        a later decision). Table order depends on insertion history —
        e.g. whether the program was just lowered or restored from a
        snapshot — and must not leak into the output. *)
-    let callers =
-      Hashtbl.fold (fun _ fn acc -> fn :: acc) p.Ir.funcs []
-      |> List.sort (fun (a : Ir.fn) b ->
-             compare (a.Ir.f_line, a.Ir.f_name) (b.Ir.f_line, b.Ir.f_name))
-    in
+    let callers = Ir.sorted_funcs p in
     List.iter
       (fun caller ->
         (* Collect the candidate callsites first: inlining mutates the

@@ -45,4 +45,4 @@ let pure_predicate (p : Ir.program) name =
 
 (** Clear markings (pass disabled). *)
 let reset (p : Ir.program) =
-  Hashtbl.iter (fun _ fn -> fn.Ir.is_pure <- false) p.Ir.funcs
+  Ir.iter_funcs (fun fn -> fn.Ir.is_pure <- false) p

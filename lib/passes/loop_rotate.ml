@@ -309,4 +309,4 @@ let run (fn : Ir.fn) =
   if !total > 0 then Cleanup.run fn;
   !total
 
-let run_program (p : Ir.program) = Hashtbl.iter (fun _ fn -> ignore (run fn)) p.Ir.funcs
+let run_program (p : Ir.program) = Ir.iter_funcs (fun fn -> ignore (run fn)) p

@@ -66,4 +66,4 @@ let run (fn : Ir.fn) =
   h + s
 
 let run_program (p : Ir.program) =
-  Hashtbl.iter (fun _ fn -> ignore (run fn)) p.Ir.funcs
+  Ir.iter_funcs (fun fn -> ignore (run fn)) p

@@ -69,4 +69,4 @@ let run (fn : Ir.fn) =
           tb.Ir.instrs <- i :: tb.Ir.instrs)
         (List.rev !sunk))
 
-let run_program (p : Ir.program) = Hashtbl.iter (fun _ fn -> run fn) p.Ir.funcs
+let run_program (p : Ir.program) = Ir.iter_funcs run p

@@ -61,4 +61,4 @@ let run (fn : Ir.fn) =
   if !new_ids <> [] then Mem2reg.run ~only:!new_ids fn;
   !split
 
-let run_program (p : Ir.program) = Hashtbl.iter (fun _ fn -> ignore (run fn)) p.Ir.funcs
+let run_program (p : Ir.program) = Ir.iter_funcs (fun fn -> ignore (run fn)) p

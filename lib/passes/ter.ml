@@ -76,4 +76,4 @@ let run (fn : Ir.fn) =
       end);
   !moved
 
-let run_program (p : Ir.program) = Hashtbl.iter (fun _ fn -> ignore (run fn)) p.Ir.funcs
+let run_program (p : Ir.program) = Ir.iter_funcs (fun fn -> ignore (run fn)) p

@@ -35,4 +35,5 @@ let () =
       ("vm-conformance", Test_vm_conformance.tests);
       ("api", Test_api.tests);
       ("shard", Test_shard.tests);
+      ("search", Test_search.tests);
     ]
