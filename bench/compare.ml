@@ -24,6 +24,13 @@
        cold one-shot (timing rows "serve-cold-one-shot" and
        "serve-warm-p50" of the cold json — the workload must include
        `serve` in its --only list), or those rows are missing;
+     - the serve scenario's 4-client executor-pool throughput (timing
+       rows "serve-serialized-4c" / "serve-concurrent-4c" of the cold
+       json) is not at least DEBUGTUNER_SERVE_CONCURRENCY_FLOOR
+       (default 2.5) times the serialized inline server's, or those
+       rows are missing. CI derives the floor from nproc: parallel
+       speedup needs cores, so a single-core runner only asserts that
+       the pool does not collapse throughput;
      - the shard scenario's 2-process critical path (timing rows
        "shard-1-proc" / "shard-2-proc" of the cold json — the workload
        must include `shard` in its --only list) is not at least
@@ -215,6 +222,30 @@ let () =
   | _ ->
       verdict false serve_what
         "serve timing rows missing from cold json (include `serve` in --only)");
+  (* Daemon concurrency gate: the executor pool must beat the
+     serialized (inline, executors=0) server on the 4-client
+     compile-heavy workload. Genuine parallel speedup needs cores — CI
+     sets the floor from nproc (>= 2.5x with 4+ cores; a single-core
+     runner can only assert the pool does not collapse throughput). *)
+  let conc_floor = env_float "DEBUGTUNER_SERVE_CONCURRENCY_FLOOR" 2.5 in
+  let conc_what =
+    Printf.sprintf
+      "serve executor pool at least %.2fx serialized throughput at 4 clients"
+      conc_floor
+  in
+  (match
+     ( timing_row cold "serve-serialized-4c",
+       timing_row cold "serve-concurrent-4c" )
+   with
+  | Some s, Some c ->
+      let ratio = if c > 0.0 then s /. c else infinity in
+      verdict (ratio >= conc_floor) conc_what
+        (Printf.sprintf "serialized %.3fs, concurrent %.3fs, speedup %.2fx" s c
+           ratio)
+  | _ ->
+      verdict false conc_what
+        "serve concurrency timing rows missing from cold json (include \
+         `serve` in --only)");
   (* VM core gate: the pre-decoded direct-threaded interpreter must
      beat the reference core by a wide margin on the hot-kernel
      scenario (both rows time the same fixed iteration count, so the

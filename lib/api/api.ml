@@ -953,16 +953,21 @@ let partial_of_json text = decode Codec.partial_of_json text
     optional persistent store behind it, and the prepared-subject cache.
     The daemon keeps a single context alive across every client, so the
     millionth request hits warm memo tables; the CLI builds one per
-    invocation. [lock] serializes {!execute} bodies: requests stay
-    deterministic, and per-request counter deltas are sound — two
-    overlapping sessions can no longer double-count each other's work
-    (parallelism lives *inside* a request, on the engine's Domain
-    pool). *)
+    invocation.
+
+    {!execute} is safe to call from many threads (or executor domains)
+    at once on a shared context: the engine's memo tables and the disk
+    store are domain-safe by construction, per-request counters come
+    from scoped sinks (see {!Measure_engine.with_request_sink}) rather
+    than global snapshots, and the two remaining serialization points
+    are narrow — [prepared_mu] guards the prepared-subject cache, and a
+    global mutex serializes [profile] requests (the [Obs] session is
+    process-wide). *)
 type ctx = {
   engine : Measure_engine.t;
   store : Engine.Disk_store.t option;
   prepared : (string, Evaluation.prepared) Hashtbl.t;
-  lock : Mutex.t;
+  prepared_mu : Mutex.t;
 }
 
 let create_ctx ?(workers = 1) ?store () =
@@ -970,7 +975,7 @@ let create_ctx ?(workers = 1) ?store () =
     engine = Measure_engine.create ~workers ?store ();
     store;
     prepared = Hashtbl.create 16;
-    lock = Mutex.create ();
+    prepared_mu = Mutex.create ();
   }
 
 (** Server-introspection hook: [Api_server] installs its live counters
@@ -1013,15 +1018,32 @@ let subject_program (s : Request.subject) : Suite_types.sprogram =
               else failwith ("unknown program " ^ name)))
 
 (** Prepared subjects are expensive (fuzzing-derived corpora); cache
-    them per context so warm daemon requests skip preparation. *)
+    them per context so warm daemon requests skip preparation. The
+    preparation runs outside the mutex — concurrent requests preparing
+    *different* subjects proceed in parallel; a race on the same subject
+    computes twice (deterministically, so both agree) and the first
+    insert wins, preserving physical sharing for every later reader. *)
 let prepared_of ctx (p : Suite_types.sprogram) =
   let key = Evaluation.prepare_key p in
-  match Hashtbl.find_opt ctx.prepared key with
+  let lookup () =
+    Mutex.lock ctx.prepared_mu;
+    let r = Hashtbl.find_opt ctx.prepared key in
+    Mutex.unlock ctx.prepared_mu;
+    r
+  in
+  match lookup () with
   | Some pr -> pr
-  | None ->
+  | None -> (
       let pr = Evaluation.prepare p in
-      Hashtbl.replace ctx.prepared key pr;
-      pr
+      Mutex.lock ctx.prepared_mu;
+      match Hashtbl.find_opt ctx.prepared key with
+      | Some winner ->
+          Mutex.unlock ctx.prepared_mu;
+          winner
+      | None ->
+          Hashtbl.replace ctx.prepared key pr;
+          Mutex.unlock ctx.prepared_mu;
+          pr)
 
 let prepared_suite ctx = List.map (prepared_of ctx) Programs.all
 
@@ -1406,25 +1428,35 @@ let run_search ctx ~config ~strategy ~budget ~seed ~debug_weight ~speed_weight =
 
 (* -- check -- *)
 
-(** [Sanitize.counters] is process-cumulative; report only this
-    request's own boundary work by snapshotting before and after and
-    subtracting per pass — in a daemon, response N's text must not
-    depend on requests 1..N-1. *)
-let sanitize_counters_delta before after =
+(** This request's own sanitizer work, as [(pass, checks, failures)]
+    triples sorted by pass. [Sanitize.counters] is process-cumulative
+    and under concurrent execution a snapshot/subtract would bracket
+    other requests' boundary checks; the request sink's
+    [sanitize/<pass>/checked|failures] rows are scoped to exactly this
+    request (including its engine-pool workers), so in a daemon,
+    response N's text cannot depend on requests running alongside it. *)
+let sanitize_rows_delta before after =
+  let look rows name = Option.value ~default:0 (List.assoc_opt name rows) in
+  let passes =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (name, _) ->
+           match String.split_on_char '/' name with
+           | [ "sanitize"; pass; ("checked" | "failures") ] -> Some pass
+           | _ -> None)
+         after)
+  in
   List.filter_map
-    (fun (pass, checks, failures) ->
-      let c0, f0 =
-        match List.find_opt (fun (p, _, _) -> p = pass) before with
-        | Some (_, c, f) -> (c, f)
-        | None -> (0, 0)
-      in
-      let dc = checks - c0 and df = failures - f0 in
+    (fun pass ->
+      let row field = Printf.sprintf "sanitize/%s/%s" pass field in
+      let dc = look after (row "checked") - look before (row "checked") in
+      let df = look after (row "failures") - look before (row "failures") in
       if dc = 0 && df = 0 then None else Some (pass, dc, df))
-    after
+    passes
 
 let run_check ctx ~subject ~fuzz ~seed ~suite =
   let b = Buffer.create 1024 in
-  let san_before = Sanitize.counters () in
+  let san_before = Measure_engine.current_request_sink_rows () in
   let reports = ref [] in
   (match subject with
   | Some s ->
@@ -1458,7 +1490,9 @@ let run_check ctx ~subject ~fuzz ~seed ~suite =
       Buffer.add_string b (Diff_oracle.report_to_string r);
       Buffer.add_char b '\n')
     !reports;
-  (match sanitize_counters_delta san_before (Sanitize.counters ()) with
+  (match
+     sanitize_rows_delta san_before (Measure_engine.current_request_sink_rows ())
+   with
   | [] -> ()
   | cs ->
       bpf b "sanitizer boundaries validated:\n";
@@ -1486,7 +1520,13 @@ let run_check ctx ~subject ~fuzz ~seed ~suite =
 
 (* -- profile -- *)
 
-let run_profile ctx ~subject ~config ~sanitize ~stats ~trace =
+(** The [Obs] session is process-wide (one recording at a time), so
+    profile requests are the one request kind that still serializes
+    against each other: a second concurrent profile fails with the same
+    error a nested session would have raised. *)
+let profile_mu = Mutex.create ()
+
+let run_profile_locked ctx ~subject ~config ~sanitize ~stats ~trace =
   let p = subject_program subject in
   let b = Buffer.create 1024 in
   if Obs.enabled () then
@@ -1583,6 +1623,13 @@ let run_profile ctx ~subject ~config ~sanitize ~stats ~trace =
         end
       in
       (Buffer.contents b, artifact, Response.D_none, 0)
+
+let run_profile ctx ~subject ~config ~sanitize ~stats ~trace =
+  if not (Mutex.try_lock profile_mu) then
+    failwith "an observability session is already active in this process";
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock profile_mu)
+    (fun () -> run_profile_locked ctx ~subject ~config ~sanitize ~stats ~trace)
 
 (* -- bench / cache / stats -- *)
 
@@ -1851,23 +1898,27 @@ let error_message = function
   | Sys_error msg -> msg
   | e -> Printexc.to_string e
 
+(** Test seam: called at the top of every {!execute}, inside the
+    request's sink scope. The daemon tests park it on a mutex to hold a
+    request in flight deterministically. *)
+let execute_gate : (unit -> unit) ref = ref (fun () -> ())
+
 (** Execute one request against a context. Never raises: failures come
     back as [Error] responses with a one-line message and exit code 2.
-    The whole body runs under the context lock — see {!ctx} for why —
-    and the response's [stats] field is the request's own delta of
-    {!Measure_engine.stats_table}. *)
+    Safe to call concurrently from many threads or domains on a shared
+    context — see {!ctx} — and the response's [stats] field is the
+    request's private sink ({!Measure_engine.request_sink_rows}): its
+    own counter activity, unpolluted by whatever ran alongside it. *)
 let execute (ctx : ctx) (req : Request.t) : Response.t =
-  Mutex.lock ctx.lock;
-  let before = Measure_engine.stats_table ctx.engine in
+  let sink = Measure_engine.create_request_sink () in
   let finish status text artifact data exit_code =
-    let stats =
-      Measure_engine.stats_delta ~before (Measure_engine.stats_table ctx.engine)
-    in
-    Mutex.unlock ctx.lock;
+    let stats = Measure_engine.request_sink_rows sink in
     { Response.status; text; artifact; data; stats; exit_code }
   in
   match
-    Obs.Span.wrap "api:execute" (fun () -> run_request ctx req)
+    Measure_engine.with_request_sink sink (fun () ->
+        !execute_gate ();
+        Obs.Span.wrap "api:execute" (fun () -> run_request ctx req))
   with
   | text, artifact, data, exit_code ->
       finish Response.Ok text artifact data exit_code

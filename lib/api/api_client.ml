@@ -1,23 +1,66 @@
 (** Client side of the service protocol: connect to a [debugtuner
-    serve] daemon over its Unix-domain socket and exchange
+    serve] daemon — over its Unix-domain socket, or over TCP when the
+    endpoint looks like [HOST:PORT] — and exchange
     {!Api.Request.t}/{!Api.Response.t} as length-prefixed canonical
-    JSON (see [Framing]). One connection is one session; requests on
-    it are answered in order. *)
+    JSON (see [Framing]; the codec is identical on both transports).
+    One connection is one session; requests on it are answered in
+    order. *)
 
 type t = { fd : Unix.file_descr }
 
-(** [connect ?timeout path] opens a session. [timeout] (seconds)
-    bounds each blocking read/write on the socket so a wedged daemon
-    surfaces as an error rather than a hang. *)
+type endpoint = Unix_path of string | Tcp of string * int
+
+(** An endpoint string is TCP iff it splits as [HOST:PORT] with a
+    numeric port — ["localhost:7070"], [":7070"] (loopback),
+    ["10.0.0.2:7070"]. Anything else (no colon, non-numeric suffix) is
+    a Unix-socket path, so ordinary paths like ["/tmp/d.sock"] keep
+    working unchanged. *)
+let endpoint_of_string s =
+  match String.rindex_opt s ':' with
+  | None -> Unix_path s
+  | Some i -> (
+      let port_s = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port_s with
+      | Some port when port >= 0 && port <= 65535 ->
+          let host = String.sub s 0 i in
+          Tcp ((if host = "" then "localhost" else host), port)
+      | _ -> Unix_path s)
+
+let resolve_host host =
+  if host = "localhost" then Unix.inet_addr_loopback
+  else
+    match Unix.inet_addr_of_string host with
+    | a -> a
+    | exception Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+            raise
+              (Unix.Unix_error
+                 (Unix.EHOSTUNREACH, "gethostbyname", host))
+        | h -> h.Unix.h_addr_list.(0))
+
+(** [connect ?timeout endpoint] opens a session ([endpoint] as in
+    {!endpoint_of_string}). [timeout] (seconds) bounds each blocking
+    read/write on the socket so a wedged daemon surfaces as an error
+    rather than a hang. *)
 let connect ?timeout path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let ep = endpoint_of_string path in
+  let fd =
+    match ep with
+    | Unix_path _ -> Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+    | Tcp _ -> Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0
+  in
   (match
      (match timeout with
      | Some s when s > 0.0 ->
          Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
          Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
      | _ -> ());
-     Unix.connect fd (Unix.ADDR_UNIX path)
+     match ep with
+     | Unix_path p -> Unix.connect fd (Unix.ADDR_UNIX p)
+     | Tcp (host, port) ->
+         Unix.connect fd (Unix.ADDR_INET (resolve_host host, port));
+         Unix.setsockopt fd Unix.TCP_NODELAY true
    with
   | () -> ()
   | exception e ->

@@ -101,15 +101,26 @@ let counter_for pass =
       Hashtbl.replace counters_tbl pass c;
       c
 
+(* Observability seam: the instantiation (Measure_engine) mirrors every
+   bump into a per-request counter sink. Called as
+   [(pass, checks, failures)], outside the counter lock. *)
+let observer : (string -> int -> int -> unit) option ref = ref None
+let set_observer f = observer := f
+
+let observe pass checks failures =
+  match !observer with None -> () | Some f -> f pass checks failures
+
 let bump_checks pass =
   Mutex.lock counters_mu;
   (counter_for pass).checks <- (counter_for pass).checks + 1;
-  Mutex.unlock counters_mu
+  Mutex.unlock counters_mu;
+  observe pass 1 0
 
 let bump_failures pass =
   Mutex.lock counters_mu;
   (counter_for pass).failures <- (counter_for pass).failures + 1;
-  Mutex.unlock counters_mu
+  Mutex.unlock counters_mu;
+  observe pass 0 1
 
 (** [(pass, boundaries validated, failures)], sorted by pass name. *)
 let counters () =
@@ -139,7 +150,8 @@ let record deltas =
       c.checks <- c.checks + checks;
       c.failures <- c.failures + failures)
     deltas;
-  Mutex.unlock counters_mu
+  Mutex.unlock counters_mu;
+  List.iter (fun (pass, checks, failures) -> observe pass checks failures) deltas
 
 (* ------------------------------------------------------------------ *)
 (* Debug-info snapshots: what a pass may shrink but never grow          *)

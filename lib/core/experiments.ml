@@ -11,6 +11,9 @@ type ctx = {
   o0_costs : (string * int) list;
   synth_count : int;
   mutable synth : Evaluation.prepared list option;
+  synth_mu : Mutex.t;
+      (** guards [synth]: the one piece of mutable context state, so
+          concurrent requests sharing a context build the corpus once *)
   engine : Measure_engine.t;
       (** the shared measurement engine: every compile / trace / measure
           / bench job of every table goes through its two-tier cache *)
@@ -38,6 +41,7 @@ let create ?(synth_count = 40) ?workers ?store () =
     o0_costs = Tuning.o0_costs ~engine Spec.all;
     synth_count;
     synth = None;
+    synth_mu = Mutex.create ();
     engine;
     rankings = Measure_engine.memo engine ~name:"ranking" ();
     points = Measure_engine.memo engine ~name:"point" ();
@@ -52,15 +56,23 @@ let engine_stats ctx =
   @ Measure_engine.sanitizer_stats ()
 
 let synth_programs ctx =
-  match ctx.synth with
-  | Some s -> s
-  | None ->
-      let s =
-        List.init ctx.synth_count (fun i ->
-            prepare_via ctx.prepares ~fuzz_budget:8 (Synth.program ~seed:(i + 1)))
-      in
-      ctx.synth <- Some s;
-      s
+  (* Double-checked under the lock: the corpus is deterministic in
+     (synth_count, seed), so two racing builders would agree — the lock
+     only keeps the expensive preparation from running twice. *)
+  Mutex.lock ctx.synth_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock ctx.synth_mu)
+    (fun () ->
+      match ctx.synth with
+      | Some s -> s
+      | None ->
+          let s =
+            List.init ctx.synth_count (fun i ->
+                prepare_via ctx.prepares ~fuzz_budget:8
+                  (Synth.program ~seed:(i + 1)))
+          in
+          ctx.synth <- Some s;
+          s)
 
 let measure ctx prepared config = Measure_engine.measure ctx.engine prepared config
 

@@ -90,6 +90,127 @@ end
 
 include Engine.Make (Domain_impl)
 
+(* ------------------------------------------------------------------ *)
+(* Per-request counter sinks. Every counter in the repository is
+   process-cumulative (the observable truth for `stats`/`bench`), but a
+   service request must report only its own activity — and concurrent
+   requests make the old snapshot/subtract trick unsound, because a
+   request's two snapshots bracket other requests' work. Instead, every
+   counter choke point (engine stats, disk store, sanitizer, obs
+   counters, prefix planner, the counter tables below) mirrors its bump
+   into the sink registered for the current (domain, thread), so each
+   concurrent request accumulates a private table with the exact row
+   names {!stats_table} uses. Pool workers inherit the spawning
+   request's sink through the shadowed {!map}. *)
+module Request_sink = struct
+  type t = { tbl : (string, int) Hashtbl.t; mu : Mutex.t }
+
+  let create () = { tbl = Hashtbl.create 32; mu = Mutex.create () }
+
+  (* Sinks are keyed by (domain, thread): requests run concurrently
+     both as systhreads of the main domain (tests, session threads) and
+     as executor domains (the daemon's pool), and the two must never
+     share a slot. [Thread.id] is only consulted on the main domain —
+     executor domains run one request at a time. *)
+  let registry : (int * int, t) Hashtbl.t = Hashtbl.create 8
+  let reg_mu = Mutex.create ()
+
+  let slot () =
+    let d = (Domain.self () :> int) in
+    if Domain.is_main_domain () then (d, Thread.id (Thread.self ())) else (d, 0)
+
+  let current () =
+    let k = slot () in
+    Mutex.lock reg_mu;
+    let s = Hashtbl.find_opt registry k in
+    Mutex.unlock reg_mu;
+    s
+
+  (* May be called with other subsystems' locks held (the store notes
+     under its own mutex), so this must remain a leaf: take only the
+     registry and sink mutexes, call nothing else. *)
+  let bump name v =
+    match current () with
+    | None -> ()
+    | Some s ->
+        Mutex.lock s.mu;
+        let cur =
+          match Hashtbl.find_opt s.tbl name with Some c -> c | None -> 0
+        in
+        Hashtbl.replace s.tbl name (cur + v);
+        Mutex.unlock s.mu
+
+  (* Scoped registration, restoring any previously-registered sink on
+     exit so nested scopes (a request issuing a sub-request) compose. *)
+  let with_sink s f =
+    let k = slot () in
+    Mutex.lock reg_mu;
+    let prev = Hashtbl.find_opt registry k in
+    Hashtbl.replace registry k s;
+    Mutex.unlock reg_mu;
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock reg_mu;
+        (match prev with
+        | Some p -> Hashtbl.replace registry k p
+        | None -> Hashtbl.remove registry k);
+        Mutex.unlock reg_mu)
+      f
+
+  let rows s =
+    Mutex.lock s.mu;
+    let out = Hashtbl.fold (fun n v acc -> (n, v) :: acc) s.tbl [] in
+    Mutex.unlock s.mu;
+    List.sort compare (List.filter (fun (_, v) -> v <> 0) out)
+end
+
+type request_sink = Request_sink.t
+
+let create_request_sink = Request_sink.create
+let with_request_sink = Request_sink.with_sink
+let request_sink_rows = Request_sink.rows
+
+let current_request_sink_rows () =
+  match Request_sink.current () with
+  | None -> []
+  | Some s -> Request_sink.rows s
+
+(* Pool workers run on fresh domains with no registered sink; wrap the
+   worker body so the spawning request's attribution follows its work.
+   Shadows the engine [map] for every consumer of this module (sweeps,
+   Ranking, Tuning, Experiments). *)
+let map t f xs =
+  match Request_sink.current () with
+  | None -> map t f xs
+  | Some s -> map t (fun x -> Request_sink.with_sink s (fun () -> f x)) xs
+
+(* Mirror the engine cache counters and disk-store activity into the
+   current sink, with the exact row names {!stats_table} renders. *)
+let () =
+  Engine.Stats.set_observer
+    (Some
+       (fun name event ->
+         let field =
+           match event with
+           | `Hit -> "hits"
+           | `Miss -> "misses"
+           | `Dedup -> "dedups"
+         in
+         Request_sink.bump ("engine/" ^ name ^ "/" ^ field) 1));
+  Engine.Disk_store.set_note_observer
+    (Some
+       (fun cache field n ->
+         Request_sink.bump ("store/" ^ cache ^ "/" ^ field) n));
+  Sanitize.set_observer
+    (Some
+       (fun pass checks failures ->
+         if checks <> 0 then
+           Request_sink.bump ("sanitize/" ^ pass ^ "/checked") checks;
+         if failures <> 0 then
+           Request_sink.bump ("sanitize/" ^ pass ^ "/failures") failures));
+  Obs.set_count_observer
+    (Some (fun name n -> Request_sink.bump ("obs/" ^ name) n))
+
 (* Bracket every disk-store I/O with an [Obs] span + counter. Installed
    at module init so the engine library itself never depends on
    lib/obs; free when observability is off. *)
@@ -123,6 +244,17 @@ let cache_dir_of ?dir () =
 let open_store ?dir ?max_bytes () =
   Engine.Disk_store.create ?max_bytes ~schema:cache_schema
     ~dir:(cache_dir_of ?dir ()) ()
+
+(* The store behind {!Vm.Decode}'s persistence seam (satellite of the
+   decoded-program cache): process-global because the decode cache
+   itself is — the last engine created with a store wins, which in
+   every real deployment (CLI one-shot, daemon, bench) is the only
+   one. *)
+let decode_store : Engine.Disk_store.t option ref = ref None
+
+let create ?workers ?store () =
+  (match store with Some _ -> decode_store := store | None -> ());
+  create ?workers ?store ()
 
 let default_instance = lazy (create ())
 
@@ -164,10 +296,30 @@ module Prefix_stats = struct
 
   let mutex = Mutex.create ()
 
+  (* Mutations arrive as an arbitrary field update; diff the record
+     around it so the per-request sink sees the same named deltas the
+     stats_table rows report. *)
   let bump f =
     Mutex.lock mutex;
+    let before =
+      (state.hits, state.misses, state.snapshot_bytes, state.passes_skipped,
+       state.merged)
+    in
     f state;
-    Mutex.unlock mutex
+    let h0, m0, b0, p0, g0 = before in
+    let deltas =
+      [
+        ("prefix/hits", state.hits - h0);
+        ("prefix/misses", state.misses - m0);
+        ("prefix/snapshot_bytes", state.snapshot_bytes - b0);
+        ("prefix/passes_skipped", state.passes_skipped - p0);
+        ("prefix/merged", state.merged - g0);
+      ]
+    in
+    Mutex.unlock mutex;
+    List.iter
+      (fun (n, v) -> if v <> 0 then Request_sink.bump n v)
+      deltas
 
   let counters () =
     Mutex.lock mutex;
@@ -197,8 +349,13 @@ let reset_prefix_counters = Prefix_stats.reset
 
 (* Named process-global counter tables, one instance per subsystem.
    Thread-safe; [counters] returns sorted rows so every consumer prints
-   deterministically. *)
-module Counter_table () = struct
+   deterministically. [Prefix] is the subsystem's row prefix in
+   {!stats_table} ("shard/", ...), which is also how each bump is
+   mirrored into the current request sink. *)
+module Counter_table (Prefix : sig
+  val prefix : string
+end) =
+struct
   let table : (string, int) Hashtbl.t = Hashtbl.create 8
   let mutex = Mutex.create ()
 
@@ -206,7 +363,8 @@ module Counter_table () = struct
     Mutex.lock mutex;
     let cur = match Hashtbl.find_opt table name with Some c -> c | None -> 0 in
     Hashtbl.replace table name (cur + v);
-    Mutex.unlock mutex
+    Mutex.unlock mutex;
+    Request_sink.bump (Prefix.prefix ^ name) v
 
   let counters () =
     Mutex.lock mutex;
@@ -225,7 +383,9 @@ end
    rows of {!stats_table}, so a shard's JSON partial (and `--stats`)
    reports how far it got and how much of a rerun came warm from the
    store. Process-global like the sanitizer and prefix counters. *)
-module Shard_stats = Counter_table ()
+module Shard_stats = Counter_table (struct
+  let prefix = "shard/"
+end)
 
 let shard_counters = Shard_stats.counters
 let bump_shard_counter = Shard_stats.bump
@@ -235,11 +395,63 @@ let reset_shard_counters = Shard_stats.reset
    compiles, frontier size, dominated points, store-resumed
    evaluations). Surface as search/* rows of {!stats_table}; the bench
    dominance gate and the resume test read them. *)
-module Search_stats = Counter_table ()
+module Search_stats = Counter_table (struct
+  let prefix = "search/"
+end)
 
 let search_counters = Search_stats.counters
 let bump_search_counter = Search_stats.bump
 let reset_search_counters = Search_stats.reset
+
+(* VM-layer counters, today just the decoded-program cache
+   (decode_hits = decode results served from the persistent store,
+   decode_misses = fresh decodes). Surface as vm/* rows of
+   {!stats_table}. *)
+module Vm_stats = Counter_table (struct
+  let prefix = "vm/"
+end)
+
+let vm_counters = Vm_stats.counters
+let reset_vm_counters = Vm_stats.reset
+
+(* Key decoded programs into the persistent store: a warm daemon (or a
+   second process sharing --cache-dir) skips re-decoding every binary
+   it executes. A [None] result ("the fast core cannot run this
+   binary") is persisted too — rediscovering it costs a full decode
+   attempt. Failures degrade to a miss, exactly like every other store
+   consumer; a payload that fails to unmarshal is evicted. *)
+let () =
+  Vm.Decode.set_persist
+    (Some
+       {
+         Vm.Decode.ps_get =
+           (fun key ->
+             match !decode_store with
+             | None -> None
+             | Some s -> (
+                 match Engine.Disk_store.get s ~cache:"vm-decode" ~key with
+                 | None -> None
+                 | Some data -> (
+                     match
+                       (Marshal.from_string data 0 : Vm.Decode.program option)
+                     with
+                     | p -> Some p
+                     | exception _ ->
+                         Engine.Disk_store.invalidate s ~cache:"vm-decode" ~key;
+                         None)));
+         ps_put =
+           (fun key p ->
+             match !decode_store with
+             | None -> ()
+             | Some s -> (
+                 match Marshal.to_string p [] with
+                 | data -> Engine.Disk_store.put s ~cache:"vm-decode" ~key data
+                 | exception _ -> ()));
+         ps_note =
+           (fun hit ->
+             if !decode_store <> None then
+               Vm_stats.bump (if hit then "decode_hits" else "decode_misses") 1);
+       })
 
 let prefix_span name args f =
   if not (Obs.enabled ()) then f ()
@@ -544,9 +756,14 @@ let stats_table t : (string * int) list =
       (fun (n, v) -> if v = 0 then None else Some ("search/" ^ n, v))
       (Search_stats.counters ())
   in
+  let vm_rows =
+    List.filter_map
+      (fun (n, v) -> if v = 0 then None else Some ("vm/" ^ n, v))
+      (Vm_stats.counters ())
+  in
   List.sort compare
     (engine_rows @ sanitize_rows @ store_rows @ obs_rows @ prefix_rows
-   @ shard_rows @ search_rows)
+   @ shard_rows @ search_rows @ vm_rows)
 
 (** [stats_delta ~before after] subtracts two {!stats_table} snapshots
     row-wise (rows absent from [before] count from zero; zero-delta

@@ -90,7 +90,43 @@ val bench_cost : t -> Suite_types.sprogram -> Config.t -> int
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Deterministic ordered parallel map on the engine's pool; [f] may
-    issue engine jobs (the caches are domain-safe). *)
+    issue engine jobs (the caches are domain-safe). Pool workers inherit
+    the calling (domain, thread)'s request sink, so parallel work inside
+    a request is attributed to that request. *)
+
+(** {1 Per-request counter attribution}
+
+    Every counter in the repository is process-cumulative; a service
+    request must report only its own work. Under serialized execution a
+    snapshot/subtract over {!stats_table} was enough; under concurrent
+    execution it is unsound — the two snapshots bracket other requests'
+    activity. Instead, each request registers a private sink for its
+    (domain, thread) scope: every counter choke point (engine caches,
+    disk store, sanitizer, obs counters, prefix planner, shard / search
+    / vm tables) mirrors its bump into the current sink, using the exact
+    row names {!stats_table} renders, so a request's rows equal what a
+    serialized {!stats_delta} would have reported. *)
+
+type request_sink
+
+val create_request_sink : unit -> request_sink
+(** A fresh, empty sink. *)
+
+val with_request_sink : request_sink -> (unit -> 'a) -> 'a
+(** [with_request_sink s f] runs [f] with [s] registered as the current
+    (domain, thread)'s sink, restoring any previously-registered sink on
+    exit (nested scopes compose). Concurrent callers on distinct threads
+    or domains do not interfere. *)
+
+val request_sink_rows : request_sink -> (string * int) list
+(** The sink's accumulated rows, sorted, zero rows dropped — the same
+    shape (and names) as {!stats_delta} over {!stats_table}. *)
+
+val current_request_sink_rows : unit -> (string * int) list
+(** The rows of the sink registered for the calling (domain, thread)
+    scope, [[]] when none — lets request code observe its own
+    accumulated counters mid-flight (e.g. the checker report extracts
+    its per-pass sanitize rows). *)
 
 (** {1 Pass-prefix incremental compilation}
 
@@ -165,6 +201,15 @@ val bump_search_counter : string -> int -> unit
 val reset_search_counters : unit -> unit
 (** Zero the search counters (tests, bench scenario isolation). *)
 
+val vm_counters : unit -> (string * int) list
+(** VM-layer counters, raw (no prefix): [decode_hits] (decoded programs
+    served from the persistent store) and [decode_misses] (fresh
+    decodes), bumped only when an engine with a store has been created.
+    Merged into {!stats_table} as [vm/<name>] rows. *)
+
+val reset_vm_counters : unit -> unit
+(** Zero the vm counters (tests, bench scenario isolation). *)
+
 val workers : t -> int
 val stats : t -> Engine.Stats.t
 
@@ -186,7 +231,8 @@ val stats_table : t -> (string * int) list
     ([store/<cache>/hits|misses|writes|corrupt|stale|evicted], zero rows
     dropped, present only when the engine has a store), live [Obs]
     counters ([obs/<name>]), shard progress counters
-    ([shard/<name>]) and tuning-search counters ([search/<name>]).
+    ([shard/<name>]), tuning-search counters ([search/<name>]) and
+    vm-layer counters ([vm/<name>], zero rows dropped).
     The single stats path behind
     [bench --stats] and the CLI, in both text and JSON renderings. *)
 

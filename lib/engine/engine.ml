@@ -29,13 +29,21 @@ module Stats = struct
         Hashtbl.replace t.cells name c;
         c
 
+  (* Observability seam: the instantiation (Measure_engine) mirrors
+     every bump into a per-request counter sink without this library
+     depending on it. Called outside the table lock, after the
+     cumulative counter has been updated. *)
+  let observer : (string -> event -> unit) option ref = ref None
+  let set_observer f = observer := f
+
   let bump t name (event : event) =
     locked t (fun () ->
         let c = cell t name in
         match event with
         | `Hit -> c.c_hits <- c.c_hits + 1
         | `Miss -> c.c_misses <- c.c_misses + 1
-        | `Dedup -> c.c_dedups <- c.c_dedups + 1)
+        | `Dedup -> c.c_dedups <- c.c_dedups + 1);
+    match !observer with None -> () | Some f -> f name event
 
   let snapshot t =
     locked t (fun () ->
@@ -83,6 +91,17 @@ module Disk_store = struct
 
   let wrapped name args f =
     match !io_wrap with None -> f () | Some w -> w.wrap name args f
+
+  (* Second seam, same shape as {!Stats.observer}: every counter
+     mutation is mirrored as [(cache, field, amount)] so the
+     instantiation can attribute store activity to the request that
+     caused it. May fire with the store lock held, so the observer must
+     never re-enter this module. *)
+  let note_observer : (string -> string -> int -> unit) option ref = ref None
+  let set_note_observer f = note_observer := f
+
+  let note cache field n =
+    match !note_observer with None -> () | Some f -> f cache field n
 
   type cell = {
     mutable s_hits : int;
@@ -307,7 +326,8 @@ module Disk_store = struct
               | () ->
                   t.size <- max 0 (t.size - bytes);
                   Hashtbl.remove t.written path;
-                  (cell t cache).s_evicted <- (cell t cache).s_evicted + 1
+                  (cell t cache).s_evicted <- (cell t cache).s_evicted + 1;
+                  note cache "evicted" 1
               | exception Sys_error _ -> ())
         (List.sort compare entries)
     end
@@ -348,6 +368,7 @@ module Disk_store = struct
       Sys.rename tmp path;
       locked t (fun () ->
           (cell t cache).s_writes <- (cell t cache).s_writes + 1;
+          note cache "writes" 1;
           Hashtbl.replace t.written path ();
           t.size <- max 0 (t.size + bytes - replaced);
           if t.size > t.max_bytes then evict_locked t)
@@ -363,9 +384,11 @@ module Disk_store = struct
       locked t (fun () ->
           let c = cell t cache in
           c.s_misses <- c.s_misses + 1;
+          note cache "misses" 1;
           if Hashtbl.mem t.written path then begin
             Hashtbl.remove t.written path;
-            c.s_evicted_ext <- c.s_evicted_ext + 1
+            c.s_evicted_ext <- c.s_evicted_ext + 1;
+            note cache "evicted_ext" 1
           end);
       None
     end
@@ -373,6 +396,7 @@ module Disk_store = struct
       match read_entry t ~expect_key:key path with
       | payload ->
           bump t cache (fun c -> c.s_hits <- c.s_hits + 1);
+          note cache "hits" 1;
           (* LRU clock: a hit refreshes the entry's mtime. *)
           (try Unix.utimes path 0.0 0.0 with _ -> ());
           Some payload
@@ -380,24 +404,29 @@ module Disk_store = struct
           (* An md5 collision between distinct keys: not our entry, so
              leave it alone and recompute. *)
           bump t cache (fun c -> c.s_misses <- c.s_misses + 1);
+          note cache "misses" 1;
           None
       | exception Bad Stale ->
           remove_entry t path;
           bump t cache (fun c -> c.s_stale <- c.s_stale + 1);
+          note cache "stale" 1;
           None
       | exception Bad Corrupt ->
           remove_entry t path;
           bump t cache (fun c -> c.s_corrupt <- c.s_corrupt + 1);
+          note cache "corrupt" 1;
           None
       | exception _ ->
           bump t cache (fun c -> c.s_misses <- c.s_misses + 1);
+          note cache "misses" 1;
           None
 
   (* The caller decoded a checksummed payload and failed — a schema
      drift the version stamp did not capture. Evict and count. *)
   let invalidate t ~cache ~key =
     remove_entry t (entry_path t ~cache ~key);
-    bump t cache (fun c -> c.s_corrupt <- c.s_corrupt + 1)
+    bump t cache (fun c -> c.s_corrupt <- c.s_corrupt + 1);
+    note cache "corrupt" 1
 
   let remove_tmp t ~max_age =
     let now = Unix.time () in
@@ -452,7 +481,8 @@ module Disk_store = struct
                 t.size <- max 0 (t.size - bytes);
                 Hashtbl.remove t.written path;
                 let c = cell t cache in
-                c.s_evicted <- c.s_evicted + 1
+                c.s_evicted <- c.s_evicted + 1;
+                note cache "evicted" 1
             | exception Sys_error _ -> ())
         | exception Bad Other_key -> assert false)
       ();

@@ -64,6 +64,12 @@ module Stats : sig
 
   val total : t -> counter
   (** Sum over every cache. *)
+
+  val set_observer : (string -> event -> unit) option -> unit
+  (** Install a process-wide mirror called after every {!bump} with the
+      cache name and event, outside the table lock — the instantiation
+      points this at its per-request counter sink so concurrent
+      requests can each report only their own activity. *)
 end
 
 (** {1 Persistent content-addressed artifact store} *)
@@ -141,6 +147,13 @@ module Disk_store : sig
   (** Install a wrapper bracketing every store I/O ([store:get],
       [store:put], [store:gc]) — the instantiation points this at [Obs]
       spans/counters without this library depending on lib/obs. *)
+
+  val set_note_observer : (string -> string -> int -> unit) option -> unit
+  (** Install a process-wide mirror called as [(cache, field, amount)]
+      on every counter mutation ([hits], [misses], [writes], [corrupt],
+      [stale], [evicted], [evicted_ext]) — the per-request attribution
+      seam. May fire with internal store locks held: the observer must
+      not call back into the store. *)
 end
 
 (** {1 Content-addressed memo tables} *)

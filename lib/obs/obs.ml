@@ -152,6 +152,14 @@ module Span = struct
           }
 end
 
+(* Observability-of-observability seam: Measure_engine mirrors every
+   recorded [count] into its per-request counter sink so a request's
+   stats rows report only that request's activity. Fires only while a
+   session is active — matching [stats_table], whose obs/* rows read
+   the active session — which keeps the disabled path allocation-free. *)
+let count_observer : (string -> int -> unit) option ref = ref None
+let set_count_observer f = count_observer := f
+
 (** [count name ~n] bumps a named counter (created on first use). *)
 let count ?(n = 1) name =
   match !current with
@@ -161,7 +169,8 @@ let count ?(n = 1) name =
       (match Hashtbl.find_opt s.ctrs name with
       | Some r -> r := !r + n
       | None -> Hashtbl.replace s.ctrs name (ref n));
-      Mutex.unlock s.mu
+      Mutex.unlock s.mu;
+      (match !count_observer with None -> () | Some f -> f name n)
 
 (* ------------------------------------------------------------------ *)
 (* Session accessors                                                   *)

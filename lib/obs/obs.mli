@@ -53,6 +53,13 @@ end
 val count : ?n:int -> string -> unit
 (** Bump a named session counter (created on first use; default 1). *)
 
+val set_count_observer : (string -> int -> unit) option -> unit
+(** Install a process-wide mirror called on every recorded {!count}
+    (i.e. only while a session is active, keeping the disabled path
+    allocation-free) with the counter name and amount — the per-request
+    attribution seam (Measure_engine points this at its request
+    sink). *)
+
 val pipeline_instrument : unit -> Instrument.t option
 (** The tracer's view of one compilation — [Some] only while a session
     is active. Phases become [B]/[E] events named ["phase:<name>"]; each

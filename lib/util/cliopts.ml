@@ -110,13 +110,33 @@ let queue_limit =
        'overloaded' instead of queueing (default 8)";
   }
 
+let listen =
+  {
+    o_name = "--listen";
+    o_docv = Some "HOST:PORT";
+    o_doc =
+      "additionally serve the same protocol over TCP on HOST:PORT \
+       (port 0 binds an ephemeral port, reported at startup)";
+  }
+
+let executors =
+  {
+    o_name = "--executors";
+    o_docv = Some "N";
+    o_doc =
+      "size of the daemon's executor domain pool — requests from \
+       different clients that execute concurrently (0 = execute inline \
+       on session threads, serialized; default min(4, cores))";
+  }
+
 let connect =
   {
     o_name = "--connect";
-    o_docv = Some "PATH";
+    o_docv = Some "ENDPOINT";
     o_doc =
-      "run this command in the debugtuner serve daemon listening on PATH \
-       instead of in-process (shares its caches)";
+      "run this command in the debugtuner serve daemon at ENDPOINT — a \
+       unix socket path, or HOST:PORT for a TCP daemon — instead of \
+       in-process (shares its caches)";
   }
 
 let shard =
@@ -149,8 +169,8 @@ let partial_dir =
 let shared =
   [
     stats; json; jobs; sanitize; trace; profile; cache_dir; no_cache;
-    no_prefix_cache; socket; timeout; queue_limit; connect; shard; corpus;
-    partial_dir;
+    no_prefix_cache; socket; listen; executors; timeout; queue_limit;
+    connect; shard; corpus; partial_dir;
   ]
 
 type common = {
@@ -164,6 +184,8 @@ type common = {
   mutable c_no_cache : bool;
   mutable c_no_prefix_cache : bool;
   mutable c_socket : string option;
+  mutable c_listen : string option;
+  mutable c_executors : int;
   mutable c_timeout : float option;
   mutable c_queue_limit : int;
   mutable c_connect : string option;
@@ -184,6 +206,8 @@ let defaults () =
     c_no_cache = false;
     c_no_prefix_cache = false;
     c_socket = None;
+    c_listen = None;
+    c_executors = min 4 (Domain.recommended_domain_count ());
     c_timeout = None;
     c_queue_limit = 8;
     c_connect = None;
@@ -272,6 +296,14 @@ let parse (c : common) (argv : string list) : string list =
     | a :: rest when a = socket.o_name ->
         let v, rest = value a rest in
         c.c_socket <- Some v;
+        go acc rest
+    | a :: rest when a = listen.o_name ->
+        let v, rest = value a rest in
+        c.c_listen <- Some v;
+        go acc rest
+    | a :: rest when a = executors.o_name ->
+        let n, rest = int_value a rest in
+        c.c_executors <- n;
         go acc rest
     | a :: rest when a = timeout.o_name ->
         let f, rest = float_value a rest in

@@ -20,6 +20,8 @@ val cache_dir : spec
 val no_cache : spec
 val no_prefix_cache : spec
 val socket : spec
+val listen : spec
+val executors : spec
 val timeout : spec
 val queue_limit : spec
 val connect : spec
@@ -41,6 +43,8 @@ type common = {
   mutable c_no_cache : bool;
   mutable c_no_prefix_cache : bool;
   mutable c_socket : string option;
+  mutable c_listen : string option;
+  mutable c_executors : int;
   mutable c_timeout : float option;
   mutable c_queue_limit : int;
   mutable c_connect : string option;

@@ -879,6 +879,30 @@ module Decode = struct
   let cache : (string, program option) Hashtbl.t = Hashtbl.create 64
   let cache_mu = Mutex.create ()
 
+  (* Bumped whenever [program]'s layout (or the decoder's output for a
+     given binary — new superinstructions, changed cost model) changes:
+     persisted decode results from any other version must read as
+     misses, never be trusted. *)
+  let format_version = 1
+
+  (* Persistence seam: the instantiation (Measure_engine) keys decode
+     results into its [Disk_store] without this library depending on
+     lib/engine. [ps_get]/[ps_put] see the full versioned key; a [None]
+     payload records "decode unsupported", which is as expensive to
+     rediscover as a successful decode. [ps_note true] is a persisted
+     hit, [ps_note false] a fresh decode — the vm/decode_hits|misses
+     counters. *)
+  type persist = {
+    ps_get : string -> program option option;
+    ps_put : string -> program option -> unit;
+    ps_note : bool -> unit;
+  }
+
+  let persist : persist option ref = ref None
+  let set_persist p = persist := p
+
+  let persist_key digest = Printf.sprintf "decode-v%d/%s" format_version digest
+
   let get (bin : Emit.binary) : program option =
     Mutex.lock cache_mu;
     let cached = Hashtbl.find_opt cache bin.Emit.full_digest in
@@ -886,7 +910,20 @@ module Decode = struct
     match cached with
     | Some p -> p
     | None ->
-        let p = try Some (decode bin) with Unsupported -> None in
+        let p =
+          match !persist with
+          | None -> (try Some (decode bin) with Unsupported -> None)
+          | Some ps -> (
+              match ps.ps_get (persist_key bin.Emit.full_digest) with
+              | Some p ->
+                  ps.ps_note true;
+                  p
+              | None ->
+                  let p = try Some (decode bin) with Unsupported -> None in
+                  ps.ps_note false;
+                  ps.ps_put (persist_key bin.Emit.full_digest) p;
+                  p)
+        in
         Mutex.lock cache_mu;
         if Hashtbl.length cache > 192 then Hashtbl.reset cache;
         Hashtbl.replace cache bin.Emit.full_digest p;

@@ -646,16 +646,107 @@ let test_daemon_byte_identity () =
         per_client)
     results
 
+let test_execute_concurrent_counters () =
+  (* Per-request attribution under real parallelism: N domains hammer
+     one shared context with disjoint (program, config) pairs, and each
+     response's counters (and text) must be byte-equal to the same
+     request executed alone on a fresh context — no bleed from whatever
+     ran alongside. Disjoint pairs are essential: concurrent duplicate
+     keys legitimately flip miss/dedup/hit by arrival order. *)
+  let reqs =
+    List.map
+      (fun (name, level) ->
+        R.Compile
+          {
+            c_subject = R.Named name;
+            c_config = Config.make Config.Gcc level;
+            c_profile = None;
+            c_sanitize = false;
+            c_view = R.Summary;
+          })
+      [
+        ("zlib", Config.O1);
+        ("bzip2", Config.O2);
+        ("libexif", Config.O1);
+        ("liblouis", Config.O2);
+      ]
+  in
+  let serialized =
+    List.map
+      (fun req ->
+        let resp = Api.execute (Api.create_ctx ()) req in
+        checkb "serialized ok" true (resp.Resp.status = Resp.Ok);
+        resp)
+      reqs
+  in
+  let ctx = Api.create_ctx () in
+  let doms =
+    List.map (fun req -> Domain.spawn (fun () -> Api.execute ctx req)) reqs
+  in
+  let concurrent = List.map Domain.join doms in
+  List.iteri
+    (fun i (want, got) ->
+      checkb
+        (Printf.sprintf "request %d concurrent ok" i)
+        true
+        (got.Resp.status = Resp.Ok);
+      check Alcotest.string
+        (Printf.sprintf "request %d text matches serialized run" i)
+        want.Resp.text got.Resp.text;
+      check
+        Alcotest.(list (pair string int))
+        (Printf.sprintf "request %d counters match serialized run" i)
+        want.Resp.stats got.Resp.stats)
+    (List.combine serialized concurrent)
+
+let test_daemon_tcp_identity () =
+  (* The TCP transport speaks the identical framing: responses over
+     --listen/--connect HOST:PORT are byte-equal to the Unix-socket
+     path against the same warm daemon. *)
+  let socket = tmp_socket "tcp" in
+  let server =
+    Api_server.create ~listen:"localhost:0" ~socket (Api.create_ctx ())
+  in
+  let accept_thread = Api_server.start server in
+  let host, port =
+    match Api_server.listen_addr server with
+    | Some hp -> hp
+    | None -> Alcotest.fail "no TCP listener bound"
+  in
+  checkb "ephemeral port bound" true (port > 0);
+  let endpoint = Printf.sprintf "%s:%d" host port in
+  List.iter
+    (fun req ->
+      match
+        ( Api_client.oneshot ~timeout:60.0 socket req,
+          Api_client.oneshot ~timeout:60.0 endpoint req )
+      with
+      | Ok a, Ok b ->
+          checkb "unix ok" true (a.Resp.status = Resp.Ok);
+          checkb "tcp ok" true (b.Resp.status = Resp.Ok);
+          check Alcotest.string "tcp text matches unix text" a.Resp.text
+            b.Resp.text
+      | Error msg, _ -> Alcotest.fail ("unix rpc failed: " ^ msg)
+      | _, Error msg -> Alcotest.fail ("tcp rpc failed: " ^ msg))
+    identity_requests;
+  Api_server.stop server;
+  Thread.join accept_thread
+
 let test_daemon_overloaded () =
-  (* Deterministic backpressure: hold the context lock so the first
-     admitted request parks inside execute, then a second concurrent
-     request must be refused with Overloaded immediately — not queued,
-     not hung. *)
+  (* Deterministic backpressure: park the execute gate so the first
+     admitted request holds its slot inside execute, then a second
+     concurrent request must be refused with Overloaded immediately —
+     not queued, not hung. *)
   let ctx = Api.create_ctx () in
   let socket = tmp_socket "load" in
   let server = Api_server.create ~queue_limit:1 ~socket ctx in
   let accept_thread = Api_server.start server in
-  Mutex.lock ctx.Api.lock;
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  Api.execute_gate :=
+    (fun () ->
+      Mutex.lock gate;
+      Mutex.unlock gate);
   let slow_result = ref None in
   let slow =
     Thread.create
@@ -682,8 +773,9 @@ let test_daemon_overloaded () =
       checkb "refused with overloaded" true (resp.Resp.status = Resp.Overloaded);
       checkb "non-zero exit" true (resp.Resp.exit_code <> 0)
   | Error msg -> Alcotest.fail ("overload probe failed: " ^ msg));
-  Mutex.unlock ctx.Api.lock;
+  Mutex.unlock gate;
   Thread.join slow;
+  Api.execute_gate := (fun () -> ());
   (match !slow_result with
   | Some (Ok resp) -> checkb "parked request completes" true (resp.Resp.status = Resp.Ok)
   | _ -> Alcotest.fail "parked request lost");
@@ -737,8 +829,12 @@ let tests =
       test_execute_error_response;
     Alcotest.test_case "per-request counter deltas" `Quick
       test_execute_stats_delta;
+    Alcotest.test_case "concurrent executes keep per-request counters" `Quick
+      test_execute_concurrent_counters;
     Alcotest.test_case "daemon byte-identical to CLI path (4x3x5)" `Quick
       test_daemon_byte_identity;
+    Alcotest.test_case "daemon TCP transport byte-identical to unix" `Quick
+      test_daemon_tcp_identity;
     Alcotest.test_case "daemon backpressure: overloaded, not hung" `Quick
       test_daemon_overloaded;
     Alcotest.test_case "daemon survives protocol garbage" `Quick
